@@ -1,0 +1,103 @@
+//! Criterion benches for the detailed-placement stage (Table III companion) and for
+//! the end-to-end flow, plus an ablation of the resonator legalizer's frequency
+//! awareness (a design choice called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgdp::prelude::*;
+use qgdp::{DetailedPlacer, ResonatorLegalizer};
+use qgdp_bench::EXPERIMENT_SEED;
+use qgdp_legalize::{CellLegalizer, QubitLegalizer};
+
+fn legalized(topology: StandardTopology) -> (QuantumNetlist, Rect, Placement) {
+    let topo = topology.build();
+    let netlist = topo
+        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+        .expect("netlist builds");
+    let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_seed(EXPERIMENT_SEED))
+        .place(&netlist, &topo);
+    let qubits = qgdp::QuantumQubitLegalizer::new()
+        .legalize_qubits(&netlist, &gp.die, &gp.placement)
+        .expect("qubit legalization succeeds");
+    let legal = ResonatorLegalizer::new()
+        .legalize_cells(&netlist, &gp.die, &qubits)
+        .expect("resonator legalization succeeds");
+    (netlist, gp.die, legal)
+}
+
+fn bench_detailed_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detailed_placement");
+    group.sample_size(10);
+    for topology in [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Aspen11,
+        StandardTopology::AspenM,
+    ] {
+        let (netlist, die, legal) = legalized(topology);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topology.name()),
+            &(netlist, die, legal),
+            |b, (netlist, die, legal)| {
+                b.iter(|| DetailedPlacer::new().place(netlist, die, legal));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow_qgdp");
+    group.sample_size(10);
+    for topology in [StandardTopology::Grid, StandardTopology::Falcon] {
+        let topo = topology.build();
+        group.bench_with_input(BenchmarkId::from_parameter(topology.name()), &topo, |b, topo| {
+            b.iter(|| {
+                run_flow(
+                    topo,
+                    LegalizationStrategy::Qgdp,
+                    &FlowConfig::default()
+                        .with_seed(EXPERIMENT_SEED)
+                        .with_detailed_placement(true),
+                )
+                .expect("flow succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: integration-aware legalization with and without the frequency-adjacency
+/// penalty.  The runtime cost of frequency awareness is what this bench quantifies;
+/// its quality benefit is reported by the `fig9` binary.
+fn bench_frequency_awareness_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resonator_lg_frequency_ablation");
+    group.sample_size(10);
+    let topo = StandardTopology::Aspen11.build();
+    let netlist = topo
+        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+        .expect("netlist builds");
+    let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_seed(EXPERIMENT_SEED))
+        .place(&netlist, &topo);
+    let qubits = qgdp::QuantumQubitLegalizer::new()
+        .legalize_qubits(&netlist, &gp.die, &gp.placement)
+        .expect("qubit legalization succeeds");
+    for (name, penalty) in [("frequency_aware", 3.0), ("frequency_blind", 0.0)] {
+        group.bench_function(name, |b| {
+            let legalizer = ResonatorLegalizer::new().with_frequency_penalty(penalty);
+            b.iter(|| {
+                legalizer
+                    .legalize_cells(&netlist, &gp.die, &qubits)
+                    .expect("legal")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detailed_placement,
+    bench_full_flow,
+    bench_frequency_awareness_ablation
+);
+criterion_main!(benches);

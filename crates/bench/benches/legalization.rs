@@ -1,0 +1,92 @@
+//! Criterion benches for the legalization stages (the Table II companion).
+//!
+//! For every standard topology the global placement is computed once; the bench then
+//! measures the qubit-legalization and resonator-legalization stages of each strategy
+//! on that fixed input, which is exactly what Table II's `t_q` / `t_e` columns report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgdp::prelude::*;
+use qgdp_bench::EXPERIMENT_SEED;
+use qgdp_legalize::{CellLegalizer, QubitLegalizer};
+
+struct Prepared {
+    netlist: QuantumNetlist,
+    die: Rect,
+    gp: Placement,
+    qubits_legal: Placement,
+}
+
+fn prepare(topology: StandardTopology) -> Prepared {
+    let topo = topology.build();
+    let netlist = topo
+        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+        .expect("netlist builds");
+    let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_seed(EXPERIMENT_SEED))
+        .place(&netlist, &topo);
+    let qubits_legal = qgdp::QuantumQubitLegalizer::new()
+        .legalize_qubits(&netlist, &gp.die, &gp.placement)
+        .expect("qubit legalization succeeds");
+    Prepared {
+        netlist,
+        die: gp.die,
+        gp: gp.placement,
+        qubits_legal,
+    }
+}
+
+fn bench_qubit_legalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubit_legalization");
+    group.sample_size(10);
+    for topology in StandardTopology::all() {
+        let prepared = prepare(topology);
+        for (name, legalizer) in [
+            ("quantum", Box::new(qgdp::QuantumQubitLegalizer::new()) as Box<dyn QubitLegalizer>),
+            ("macro", Box::new(MacroLegalizer::new()) as Box<dyn QubitLegalizer>),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, topology.name()),
+                &prepared,
+                |b, p| {
+                    b.iter(|| {
+                        legalizer
+                            .legalize_qubits(&p.netlist, &p.die, &p.gp)
+                            .expect("legal")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_resonator_legalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resonator_legalization");
+    group.sample_size(10);
+    for topology in StandardTopology::all() {
+        let prepared = prepare(topology);
+        for (name, legalizer) in [
+            (
+                "qgdp",
+                Box::new(qgdp::ResonatorLegalizer::new()) as Box<dyn CellLegalizer>,
+            ),
+            ("tetris", Box::new(TetrisLegalizer::new()) as Box<dyn CellLegalizer>),
+            ("abacus", Box::new(AbacusLegalizer::new()) as Box<dyn CellLegalizer>),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, topology.name()),
+                &prepared,
+                |b, p| {
+                    b.iter(|| {
+                        legalizer
+                            .legalize_cells(&p.netlist, &p.die, &p.qubits_legal)
+                            .expect("legal")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qubit_legalization, bench_resonator_legalization);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the conceptual Fig. 1: layout quality versus placement-optimisation
+//! stage, contrasting a quantum-aware legalizer with a classic one.  Quality is
+//! measured as the mean qaoa-4 fidelity and (negated) hotspot proportion after each
+//! stage: global placement, legalization (classic = Tetris vs quantum-aware = qGDP-LG)
+//! and detailed placement.
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin fig1
+//! ```
+
+use qgdp::metrics::{FidelityEvaluator, LayoutReport};
+use qgdp::prelude::*;
+use qgdp_bench::{experiment_config, mappings_per_benchmark, EXPERIMENT_SEED};
+
+fn main() {
+    let topology = StandardTopology::Grid;
+    let topo = topology.build();
+    let mappings = mappings_per_benchmark();
+    let noise = NoiseModel::default();
+    let maps = random_mappings(&Benchmark::Qaoa4.circuit(), &topo, mappings, EXPERIMENT_SEED);
+
+    println!("FIG. 1: layout quality vs placement stage on {} (qaoa-4, {mappings} mappings)", topology.name());
+    println!();
+    println!(
+        "{:<28} {:>10} {:>9} {:>12}",
+        "stage", "fidelity", "Ph (%)", "runtime (ms)"
+    );
+    println!("{}", "-".repeat(64));
+
+    let quantum = run_flow(
+        &topo,
+        LegalizationStrategy::Qgdp,
+        &experiment_config().with_detailed_placement(true),
+    )
+    .expect("qGDP flow");
+    let classic = run_flow(&topo, LegalizationStrategy::Tetris, &experiment_config())
+        .expect("Tetris flow");
+
+    let evaluate = |placement: &Placement, result: &FlowResult| -> (f64, f64) {
+        let report = LayoutReport::evaluate(&result.netlist, placement, &result.crosstalk);
+        let fidelity =
+            FidelityEvaluator::new(&result.netlist, placement, noise, &result.crosstalk).mean(&maps);
+        (fidelity, report.hotspot_proportion_percent)
+    };
+
+    let (f, ph) = evaluate(&quantum.gp_placement, &quantum);
+    println!(
+        "{:<28} {:>10.4} {:>9.2} {:>12.1}",
+        "global placement (GP)",
+        f,
+        ph,
+        quantum.timing.global_placement.as_secs_f64() * 1e3
+    );
+    let (f, ph) = evaluate(&classic.legalized, &classic);
+    println!(
+        "{:<28} {:>10.4} {:>9.2} {:>12.2}",
+        "classic LG (Tetris)",
+        f,
+        ph,
+        (classic.timing.qubit_legalization + classic.timing.resonator_legalization).as_secs_f64()
+            * 1e3
+    );
+    let (f, ph) = evaluate(&quantum.legalized, &quantum);
+    println!(
+        "{:<28} {:>10.4} {:>9.2} {:>12.2}",
+        "quantum-aware LG (qGDP-LG)",
+        f,
+        ph,
+        (quantum.timing.qubit_legalization + quantum.timing.resonator_legalization).as_secs_f64()
+            * 1e3
+    );
+    if let Some(dp) = &quantum.detailed {
+        let (f, ph) = evaluate(dp, &quantum);
+        println!(
+            "{:<28} {:>10.4} {:>9.2} {:>12.2}",
+            "detailed placement (qGDP-DP)",
+            f,
+            ph,
+            quantum
+                .timing
+                .detailed_placement
+                .map_or(0.0, |d| d.as_secs_f64() * 1e3)
+        );
+    }
+    println!();
+    println!("the gap between the two LG rows is the quality a classic legalizer loses and DP cannot recover");
+}

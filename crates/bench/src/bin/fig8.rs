@@ -1,0 +1,71 @@
+//! Regenerates Fig. 8: mean worst-case program fidelity for every combination of
+//! topology (6) × benchmark (7) × legalization strategy (5), averaged over random
+//! qubit mappings (50 by default, `QGDP_MAPPINGS` to override).
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin fig8
+//! ```
+
+use qgdp::metrics::FidelityEvaluator;
+use qgdp::prelude::*;
+use qgdp_bench::{experiment_config, format_fidelity, mappings_per_benchmark, EXPERIMENT_SEED};
+
+fn main() {
+    let mappings = mappings_per_benchmark();
+    let benchmarks = Benchmark::all();
+    let noise = NoiseModel::default();
+    println!(
+        "FIG. 8: fidelity per topology x benchmark x legalization strategy ({mappings} mappings each)"
+    );
+
+    // Topologies in the paper's panel order.
+    let panels = [
+        StandardTopology::Grid,
+        StandardTopology::Xtree,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+        StandardTopology::Aspen11,
+        StandardTopology::AspenM,
+    ];
+    for topology in panels {
+        let topo = topology.build();
+        // One set of mappings per (topology, benchmark), shared across strategies so
+        // the comparison isolates the legalizer.
+        let mapping_sets: Vec<Vec<MappedCircuit>> = benchmarks
+            .iter()
+            .map(|b| {
+                random_mappings(
+                    &b.circuit(),
+                    &topo,
+                    mappings,
+                    EXPERIMENT_SEED ^ b.num_qubits() as u64,
+                )
+            })
+            .collect();
+
+        println!();
+        println!("=== {} ===", topology.name());
+        print!("{:<10}", "strategy");
+        for b in &benchmarks {
+            print!(" {:>8}", b.name());
+        }
+        println!(" {:>8}", "Mean");
+        for strategy in LegalizationStrategy::all() {
+            let result = run_flow(&topo, strategy, &experiment_config())
+                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+            let evaluator = FidelityEvaluator::new(
+                &result.netlist,
+                result.final_placement(),
+                noise,
+                &result.crosstalk,
+            );
+            let fidelities: Vec<f64> = mapping_sets.iter().map(|maps| evaluator.mean(maps)).collect();
+            let mean = fidelities.iter().sum::<f64>() / fidelities.len() as f64;
+            print!("{:<10}", strategy.name());
+            for f in &fidelities {
+                print!(" {:>8}", format_fidelity(*f));
+            }
+            println!(" {:>8}", format_fidelity(mean));
+        }
+    }
+}

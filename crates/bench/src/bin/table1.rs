@@ -1,0 +1,58 @@
+//! Regenerates Table I: the topology and benchmark inventory of the evaluation.
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin table1
+//! ```
+
+use qgdp::prelude::*;
+
+fn main() {
+    println!("TABLE I: TOPOLOGIES AND BENCHMARKS");
+    println!();
+    println!("{:<10} {:>7} {:>9} {:>7}  description", "Topology", "Qubits", "Couplers", "Cells");
+    println!("{}", "-".repeat(76));
+    let descriptions = [
+        (StandardTopology::Grid, "Quantum error correction friendly architecture"),
+        (StandardTopology::Falcon, "Falcon processor from IBM (heavy hex)"),
+        (StandardTopology::Eagle, "Eagle processor from IBM (heavy hex)"),
+        (StandardTopology::Aspen11, "Aspen-11 processor from Rigetti (octagon)"),
+        (StandardTopology::AspenM, "Aspen-M processor from Rigetti (octagon)"),
+        (StandardTopology::Xtree, "Pauli-string efficient architecture, level 3"),
+    ];
+    for (t, desc) in descriptions {
+        let topo = t.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .expect("netlist builds");
+        println!(
+            "{:<10} {:>7} {:>9} {:>7}  {desc}",
+            t.name(),
+            topo.num_qubits(),
+            topo.num_couplings(),
+            netlist.num_components(),
+        );
+    }
+
+    println!();
+    println!("{:<10} {:>7} {:>9} {:>6}  description", "Benchmark", "Qubits", "2q gates", "depth");
+    println!("{}", "-".repeat(76));
+    let descriptions = [
+        (Benchmark::Bv4, "Bernstein-Vazirani algorithm"),
+        (Benchmark::Bv9, "Bernstein-Vazirani algorithm"),
+        (Benchmark::Bv16, "Bernstein-Vazirani algorithm"),
+        (Benchmark::Qaoa4, "Quantum Approximate Optimization Algorithm"),
+        (Benchmark::Ising4, "Linear Ising model simulation of spin chain"),
+        (Benchmark::Qgan4, "Quantum Generative Adversarial Network"),
+        (Benchmark::Qgan9, "Quantum Generative Adversarial Network"),
+    ];
+    for (b, desc) in descriptions {
+        let circuit = b.circuit();
+        println!(
+            "{:<10} {:>7} {:>9} {:>6}  {desc}",
+            b.name(),
+            b.num_qubits(),
+            circuit.two_qubit_gate_count(),
+            circuit.depth(),
+        );
+    }
+}

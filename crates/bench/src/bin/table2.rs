@@ -1,0 +1,59 @@
+//! Regenerates Table II: qubit (`t_q`) and resonator (`t_e`) legalization runtimes in
+//! milliseconds for every topology and strategy.  Each flow is repeated several times
+//! and the mean stage runtime is reported; `cargo bench -p qgdp-bench` gives the same
+//! quantities with Criterion's statistical treatment.
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin table2
+//! ```
+
+use qgdp::prelude::*;
+use qgdp_bench::experiment_config;
+
+const REPEATS: usize = 5;
+
+fn main() {
+    let topologies = StandardTopology::all();
+    let strategies = LegalizationStrategy::all();
+    println!("TABLE II: legalization runtime (ms), mean of {REPEATS} runs");
+    println!();
+    print!("{:<10}", "Topology");
+    for s in strategies {
+        print!(" | {:>8} {:>8}", format!("{} tq", s.name()), "te");
+    }
+    println!();
+    println!("{}", "-".repeat(10 + strategies.len() * 21));
+
+    let mut sums = vec![(0.0f64, 0.0f64); strategies.len()];
+    for topology in topologies {
+        let topo = topology.build();
+        print!("{:<10}", topology.name());
+        for (i, strategy) in strategies.into_iter().enumerate() {
+            let mut tq = 0.0;
+            let mut te = 0.0;
+            for _ in 0..REPEATS {
+                let result = run_flow(&topo, strategy, &experiment_config())
+                    .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+                tq += result.timing.qubit_legalization.as_secs_f64() * 1e3;
+                te += result.timing.resonator_legalization.as_secs_f64() * 1e3;
+            }
+            tq /= REPEATS as f64;
+            te /= REPEATS as f64;
+            sums[i].0 += tq;
+            sums[i].1 += te;
+            print!(" | {:>8.2} {:>8.2}", tq, te);
+        }
+        println!();
+    }
+    print!("{:<10}", "Mean");
+    for (tq, te) in &sums {
+        print!(
+            " | {:>8.2} {:>8.2}",
+            tq / topologies.len() as f64,
+            te / topologies.len() as f64
+        );
+    }
+    println!();
+    println!();
+    println!("columns per strategy: tq = qubit legalization, te = resonator legalization");
+}

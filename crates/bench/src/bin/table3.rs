@@ -1,0 +1,45 @@
+//! Regenerates Table III: the detailed-placement evaluation.  For every topology the
+//! qGDP-LG layout and the qGDP-DP layout are compared on the number of unified
+//! resonators (`I_edge`), coupler crossings (`X`), frequency-hotspot proportion
+//! (`P_h`) and the number of qubits under hotspots (`H_Q`).
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin table3
+//! ```
+
+use qgdp::prelude::*;
+use qgdp_bench::run_strategy;
+
+fn main() {
+    println!("TABLE III: detailed placement evaluation (qGDP-LG vs qGDP-DP)");
+    println!();
+    println!(
+        "{:<10} {:>6} | {:>8} {:>4} {:>7} {:>4} | {:>8} {:>4} {:>7} {:>4}",
+        "Topology", "#Cells", "I_edge", "X", "Ph(%)", "HQ", "I_edge", "X", "Ph(%)", "HQ"
+    );
+    println!(
+        "{:<10} {:>6} | {:^27} | {:^27}",
+        "", "", "qGDP-LG", "qGDP-DP"
+    );
+    println!("{}", "-".repeat(78));
+    for topology in StandardTopology::all() {
+        let result = run_strategy(topology, LegalizationStrategy::Qgdp, true);
+        let lg = &result.legalized_report;
+        let dp = result.detailed_report.as_ref().expect("DP ran");
+        println!(
+            "{:<10} {:>6} | {:>8} {:>4} {:>7.2} {:>4} | {:>8} {:>4} {:>7.2} {:>4}",
+            topology.name(),
+            result.netlist.num_components(),
+            lg.integration_ratio(),
+            lg.crossings,
+            lg.hotspot_proportion_percent,
+            lg.hotspot_qubits,
+            dp.integration_ratio(),
+            dp.crossings,
+            dp.hotspot_proportion_percent,
+            dp.hotspot_qubits,
+        );
+    }
+    println!();
+    println!("higher I_edge is better; lower X, Ph and HQ are better");
+}

@@ -1,0 +1,283 @@
+//! Generators for the NISQ benchmark circuits of the paper's Table I.
+
+use crate::{Circuit, Gate, GateKind};
+use std::f64::consts::PI;
+use std::fmt;
+
+/// The benchmark programs evaluated in the paper (Table I / Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// 4-qubit Bernstein–Vazirani.
+    Bv4,
+    /// 9-qubit Bernstein–Vazirani.
+    Bv9,
+    /// 16-qubit Bernstein–Vazirani.
+    Bv16,
+    /// 4-qubit QAOA (ring MaxCut, p = 1).
+    Qaoa4,
+    /// 4-qubit linear Ising-chain simulation.
+    Ising4,
+    /// 4-qubit quantum GAN ansatz.
+    Qgan4,
+    /// 9-qubit quantum GAN ansatz.
+    Qgan9,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the column order of Fig. 8.
+    #[must_use]
+    pub fn all() -> [Benchmark; 7] {
+        [
+            Benchmark::Bv4,
+            Benchmark::Bv9,
+            Benchmark::Bv16,
+            Benchmark::Qaoa4,
+            Benchmark::Ising4,
+            Benchmark::Qgan4,
+            Benchmark::Qgan9,
+        ]
+    }
+
+    /// The name used in the paper's figures (e.g. `"bv-16"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bv4 => "bv-4",
+            Benchmark::Bv9 => "bv-9",
+            Benchmark::Bv16 => "bv-16",
+            Benchmark::Qaoa4 => "qaoa-4",
+            Benchmark::Ising4 => "ising-4",
+            Benchmark::Qgan4 => "qgan-4",
+            Benchmark::Qgan9 => "qgan-9",
+        }
+    }
+
+    /// Number of logical qubits.
+    #[must_use]
+    pub fn num_qubits(self) -> usize {
+        match self {
+            Benchmark::Bv4 | Benchmark::Qaoa4 | Benchmark::Ising4 | Benchmark::Qgan4 => 4,
+            Benchmark::Bv9 | Benchmark::Qgan9 => 9,
+            Benchmark::Bv16 => 16,
+        }
+    }
+
+    /// Generates the benchmark circuit.
+    #[must_use]
+    pub fn circuit(self) -> Circuit {
+        match self {
+            Benchmark::Bv4 => bernstein_vazirani(4),
+            Benchmark::Bv9 => bernstein_vazirani(9),
+            Benchmark::Bv16 => bernstein_vazirani(16),
+            Benchmark::Qaoa4 => qaoa_ring(4, 1),
+            Benchmark::Ising4 => ising_chain(4, 3),
+            Benchmark::Qgan4 => qgan(4, 3),
+            Benchmark::Qgan9 => qgan(9, 3),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bernstein–Vazirani on `n` qubits (`n − 1` data qubits plus one ancilla) with the
+/// all-ones hidden string: the hardest-coupling instance, requiring a CX from every
+/// data qubit to the ancilla.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn bernstein_vazirani(n: usize) -> Circuit {
+    assert!(n >= 2, "Bernstein–Vazirani needs at least two qubits");
+    let ancilla = n - 1;
+    let mut c = Circuit::new(n);
+    for q in 0..n - 1 {
+        c.push(Gate::one(GateKind::H, q));
+    }
+    c.push(Gate::one(GateKind::X, ancilla));
+    c.push(Gate::one(GateKind::H, ancilla));
+    for q in 0..n - 1 {
+        c.push(Gate::two(GateKind::Cx, q, ancilla));
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::one(GateKind::H, q));
+        c.push(Gate::one(GateKind::Measure, q));
+    }
+    c
+}
+
+/// QAOA for MaxCut on an `n`-qubit ring graph with `p` layers.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `p == 0`.
+#[must_use]
+pub fn qaoa_ring(n: usize, p: usize) -> Circuit {
+    assert!(n >= 3, "QAOA ring needs at least three qubits");
+    assert!(p >= 1, "QAOA needs at least one layer");
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::one(GateKind::H, q));
+    }
+    for layer in 0..p {
+        let gamma = 0.4 + 0.1 * layer as f64;
+        let beta = 0.3 + 0.05 * layer as f64;
+        for q in 0..n {
+            let (a, b) = (q, (q + 1) % n);
+            // exp(-i γ Z_a Z_b) via CX–RZ–CX.
+            c.push(Gate::two(GateKind::Cx, a, b));
+            c.push(Gate::one(GateKind::Rz(2.0 * gamma), b));
+            c.push(Gate::two(GateKind::Cx, a, b));
+        }
+        for q in 0..n {
+            c.push(Gate::one(GateKind::Rx(2.0 * beta), q));
+        }
+    }
+    for q in 0..n {
+        c.push(Gate::one(GateKind::Measure, q));
+    }
+    c
+}
+
+/// Digitised (Trotterised) simulation of a transverse-field Ising spin chain on `n`
+/// qubits with `steps` Trotter steps.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `steps == 0`.
+#[must_use]
+pub fn ising_chain(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2, "Ising chain needs at least two qubits");
+    assert!(steps >= 1, "Ising simulation needs at least one Trotter step");
+    let dt = 0.1;
+    let j = 1.0;
+    let h = 0.8;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::one(GateKind::H, q));
+    }
+    for _ in 0..steps {
+        for q in 0..n - 1 {
+            c.push(Gate::two(GateKind::Cx, q, q + 1));
+            c.push(Gate::one(GateKind::Rz(2.0 * j * dt), q + 1));
+            c.push(Gate::two(GateKind::Cx, q, q + 1));
+        }
+        for q in 0..n {
+            c.push(Gate::one(GateKind::Rx(2.0 * h * dt), q));
+        }
+    }
+    for q in 0..n {
+        c.push(Gate::one(GateKind::Measure, q));
+    }
+    c
+}
+
+/// A hardware-efficient quantum-GAN generator ansatz on `n` qubits with `layers`
+/// alternating rotation/entanglement layers (linear entanglement).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `layers == 0`.
+#[must_use]
+pub fn qgan(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2, "QGAN ansatz needs at least two qubits");
+    assert!(layers >= 1, "QGAN ansatz needs at least one layer");
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            let angle = PI * (0.1 + 0.07 * layer as f64 + 0.03 * q as f64);
+            c.push(Gate::one(GateKind::Ry(angle), q));
+            c.push(Gate::one(GateKind::Rz(angle * 0.5), q));
+        }
+        for q in 0..n - 1 {
+            c.push(Gate::two(GateKind::Cx, q, q + 1));
+        }
+    }
+    for q in 0..n {
+        c.push(Gate::one(GateKind::Ry(PI * 0.21), q));
+        c.push(Gate::one(GateKind::Measure, q));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_sizes_match_table1() {
+        assert_eq!(Benchmark::Bv4.num_qubits(), 4);
+        assert_eq!(Benchmark::Bv9.num_qubits(), 9);
+        assert_eq!(Benchmark::Bv16.num_qubits(), 16);
+        assert_eq!(Benchmark::Qaoa4.num_qubits(), 4);
+        assert_eq!(Benchmark::Ising4.num_qubits(), 4);
+        assert_eq!(Benchmark::Qgan4.num_qubits(), 4);
+        assert_eq!(Benchmark::Qgan9.num_qubits(), 9);
+        for b in Benchmark::all() {
+            assert_eq!(b.circuit().num_qubits(), b.num_qubits(), "{b}");
+        }
+    }
+
+    #[test]
+    fn bv_structure() {
+        let c = bernstein_vazirani(4);
+        // 3 CX gates to the ancilla.
+        assert_eq!(c.two_qubit_gate_count(), 3);
+        assert!(c.interaction_pairs().iter().all(|&(_, b)| b == 3));
+        let big = bernstein_vazirani(16);
+        assert_eq!(big.two_qubit_gate_count(), 15);
+    }
+
+    #[test]
+    fn qaoa_ring_structure() {
+        let c = qaoa_ring(4, 1);
+        // 4 ring edges, 2 CX each.
+        assert_eq!(c.two_qubit_gate_count(), 8);
+        assert_eq!(c.interaction_pairs().len(), 4);
+        let c2 = qaoa_ring(4, 2);
+        assert_eq!(c2.two_qubit_gate_count(), 16);
+    }
+
+    #[test]
+    fn ising_chain_structure() {
+        let c = ising_chain(4, 3);
+        // 3 chain edges × 2 CX × 3 steps.
+        assert_eq!(c.two_qubit_gate_count(), 18);
+        assert_eq!(c.interaction_pairs(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn qgan_structure() {
+        let c = qgan(4, 3);
+        assert_eq!(c.two_qubit_gate_count(), 9);
+        assert_eq!(c.interaction_pairs(), vec![(0, 1), (1, 2), (2, 3)]);
+        let c9 = qgan(9, 3);
+        assert_eq!(c9.two_qubit_gate_count(), 24);
+    }
+
+    #[test]
+    fn deeper_benchmarks_have_more_gates() {
+        assert!(Benchmark::Bv16.circuit().len() > Benchmark::Bv4.circuit().len());
+        assert!(Benchmark::Qgan9.circuit().len() > Benchmark::Qgan4.circuit().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two qubits")]
+    fn bv_rejects_tiny_instances() {
+        let _ = bernstein_vazirani(1);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["bv-4", "bv-9", "bv-16", "qaoa-4", "ising-4", "qgan-4", "qgan-9"]
+        );
+        assert_eq!(Benchmark::Qaoa4.to_string(), "qaoa-4");
+    }
+}

@@ -1,0 +1,289 @@
+//! Minimal quantum-circuit intermediate representation.
+
+use std::fmt;
+
+/// The gate alphabet used by the benchmark generators.
+///
+/// Only the structure of the circuit matters for placement-quality evaluation (which
+/// qubits interact, how many one- and two-qubit gates each carries, how deep the
+/// schedule is); gate parameters are retained for completeness but never interpreted
+/// numerically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Z.
+    Z,
+    /// Z-axis rotation by the given angle (radians).
+    Rz(f64),
+    /// X-axis rotation by the given angle (radians).
+    Rx(f64),
+    /// Y-axis rotation by the given angle (radians).
+    Ry(f64),
+    /// Controlled-X (CNOT).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// SWAP (decomposed into three CNOTs by the mapper).
+    Swap,
+    /// Terminal measurement.
+    Measure,
+}
+
+impl GateKind {
+    /// Returns `true` for gates acting on two qubits.
+    #[must_use]
+    pub fn is_two_qubit(self) -> bool {
+        matches!(self, GateKind::Cx | GateKind::Cz | GateKind::Swap)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::H => write!(f, "h"),
+            GateKind::X => write!(f, "x"),
+            GateKind::Z => write!(f, "z"),
+            GateKind::Rz(a) => write!(f, "rz({a:.3})"),
+            GateKind::Rx(a) => write!(f, "rx({a:.3})"),
+            GateKind::Ry(a) => write!(f, "ry({a:.3})"),
+            GateKind::Cx => write!(f, "cx"),
+            GateKind::Cz => write!(f, "cz"),
+            GateKind::Swap => write!(f, "swap"),
+            GateKind::Measure => write!(f, "measure"),
+        }
+    }
+}
+
+/// A gate applied to one or two logical qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// The gate kind.
+    pub kind: GateKind,
+    /// Logical qubit operands (one entry for single-qubit gates, two for two-qubit
+    /// gates, control first).
+    pub qubits: Vec<usize>,
+}
+
+impl Gate {
+    /// A single-qubit gate.
+    #[must_use]
+    pub fn one(kind: GateKind, qubit: usize) -> Self {
+        debug_assert!(!kind.is_two_qubit());
+        Gate {
+            kind,
+            qubits: vec![qubit],
+        }
+    }
+
+    /// A two-qubit gate (control first).
+    #[must_use]
+    pub fn two(kind: GateKind, control: usize, target: usize) -> Self {
+        debug_assert!(kind.is_two_qubit());
+        Gate {
+            kind,
+            qubits: vec![control, target],
+        }
+    }
+
+    /// Returns `true` if this is a two-qubit gate.
+    #[must_use]
+    pub fn is_two_qubit(&self) -> bool {
+        self.kind.is_two_qubit()
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i == 0 {
+                write!(f, " q{q}")?;
+            } else {
+                write!(f, ", q{q}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A logical quantum circuit: an ordered gate list over `num_qubits` logical qubits.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_circuits::{Circuit, Gate, GateKind};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::one(GateKind::H, 0));
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` logical qubits.
+    #[must_use]
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of logical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate list in program order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit outside `0..num_qubits`.
+    pub fn push(&mut self, gate: Gate) {
+        for &q in &gate.qubits {
+            assert!(
+                q < self.num_qubits,
+                "gate {gate} references qubit {q} outside 0..{}",
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Total gate count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of single-qubit gates.
+    #[must_use]
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| !g.is_two_qubit()).count()
+    }
+
+    /// Number of two-qubit gates.
+    #[must_use]
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Circuit depth under as-soon-as-possible scheduling (each gate occupies all of
+    /// its operand qubits for one layer).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut layer = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for gate in &self.gates {
+            let start = gate.qubits.iter().map(|&q| layer[q]).max().unwrap_or(0);
+            for &q in &gate.qubits {
+                layer[q] = start + 1;
+            }
+            depth = depth.max(start + 1);
+        }
+        depth
+    }
+
+    /// The logical interaction pairs (i, j) with i < j that appear in two-qubit gates,
+    /// deduplicated.
+    #[must_use]
+    pub fn interaction_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = self
+            .gates
+            .iter()
+            .filter(|g| g.is_two_qubit())
+            .map(|g| {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits:", self.num_qubits)?;
+        for gate in &self.gates {
+            writeln!(f, "  {gate}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_and_depth() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::one(GateKind::H, 0));
+        c.push(Gate::one(GateKind::H, 1));
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        c.push(Gate::one(GateKind::Measure, 2));
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.single_qubit_gate_count(), 3);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        // H(0) | H(1) ; CX(0,1) ; CX(1,2) ; M(2)  => depth 4
+        assert_eq!(c.depth(), 4);
+        assert_eq!(c.interaction_pairs(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn parallel_gates_share_a_layer() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 2, 3));
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "references qubit 5")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::one(GateKind::H, 5));
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert!(c.interaction_pairs().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gate::two(GateKind::Cx, 0, 1).to_string(), "cx q0, q1");
+        assert_eq!(Gate::one(GateKind::Rz(1.0), 3).to_string(), "rz(1.000) q3");
+        assert!(GateKind::Swap.is_two_qubit());
+        assert!(!GateKind::H.is_two_qubit());
+    }
+}

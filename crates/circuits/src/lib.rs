@@ -1,0 +1,40 @@
+//! # qgdp-circuits
+//!
+//! NISQ benchmark circuits and the layout mapper used by the qGDP fidelity model.
+//!
+//! The paper estimates program fidelity (Eq. 7) on seven NISQ benchmarks — BV-4/9/16,
+//! QAOA-4, Ising-4 and QGAN-4/9 (Table I) — each transpiled onto a device topology with
+//! 50 random qubit mappings.  This crate provides the substrate that the original work
+//! delegated to Qiskit:
+//!
+//! * a minimal gate/circuit IR ([`Gate`], [`GateKind`], [`Circuit`]),
+//! * generators for the benchmark circuits ([`Benchmark`]),
+//! * a layout mapper ([`map_circuit`]) that picks a (seeded, random) initial layout on a
+//!   connected region of the device and inserts SWAPs along shortest coupling-graph
+//!   paths so every two-qubit gate acts on coupled qubits,
+//! * the resulting [`MappedCircuit`]: per-physical-qubit and per-coupler gate counts and
+//!   an as-soon-as-possible schedule, which is all the fidelity estimator needs.
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_circuits::{map_circuit, Benchmark};
+//! use qgdp_topology::StandardTopology;
+//!
+//! let circuit = Benchmark::Bv4.circuit();
+//! let topology = StandardTopology::Falcon.build();
+//! let mapped = map_circuit(&circuit, &topology, 7);
+//! assert!(mapped.two_qubit_gate_count() >= 3);
+//! assert!(mapped.active_qubits().len() >= 4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod benchmarks;
+pub mod circuit;
+pub mod mapper;
+
+pub use benchmarks::Benchmark;
+pub use circuit::{Circuit, Gate, GateKind};
+pub use mapper::{map_circuit, random_mappings, GateTimes, MappedCircuit, PhysicalOp};

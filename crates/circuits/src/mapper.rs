@@ -1,0 +1,459 @@
+//! Layout mapping and SWAP routing of logical circuits onto device topologies.
+//!
+//! The paper evaluates each benchmark with 50 qubit mappings per topology and averages
+//! the resulting worst-case fidelity.  This module provides the mapping substrate: a
+//! seeded random initial layout over a connected region of the device, followed by
+//! greedy SWAP insertion along shortest coupling-graph paths so that every two-qubit
+//! gate is executed between physically coupled qubits.
+
+use crate::{Circuit, GateKind};
+use qgdp_topology::Topology;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Gate durations (nanoseconds) used when scheduling a mapped circuit.
+///
+/// The defaults reflect fixed-frequency transmons with all-microwave (resonator-induced
+/// phase) two-qubit gates: fast single-qubit pulses, slow two-qubit gates, slower
+/// readout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTimes {
+    /// Duration of a single-qubit gate.
+    pub single_ns: f64,
+    /// Duration of a two-qubit gate.
+    pub two_qubit_ns: f64,
+    /// Duration of a measurement.
+    pub measure_ns: f64,
+}
+
+impl GateTimes {
+    /// The default timing model (35 ns / 300 ns / 700 ns).
+    #[must_use]
+    pub fn new() -> Self {
+        GateTimes {
+            single_ns: 35.0,
+            two_qubit_ns: 300.0,
+            measure_ns: 700.0,
+        }
+    }
+}
+
+impl Default for GateTimes {
+    fn default() -> Self {
+        GateTimes::new()
+    }
+}
+
+/// A gate applied to physical qubits after mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysicalOp {
+    /// A single-qubit operation on physical qubit `qubit`.
+    Single {
+        /// Physical qubit index.
+        qubit: usize,
+        /// The gate kind.
+        kind: GateKind,
+    },
+    /// A two-qubit operation between coupled physical qubits `a` and `b`.
+    Two {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+        /// The gate kind.
+        kind: GateKind,
+    },
+}
+
+/// A circuit routed onto a device: physical operations plus the bookkeeping needed by
+/// the fidelity estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedCircuit {
+    num_physical_qubits: usize,
+    ops: Vec<PhysicalOp>,
+    swaps_inserted: usize,
+}
+
+impl MappedCircuit {
+    /// Number of physical qubits on the target device.
+    #[must_use]
+    pub fn num_physical_qubits(&self) -> usize {
+        self.num_physical_qubits
+    }
+
+    /// The physical operation list in program order.
+    #[must_use]
+    pub fn ops(&self) -> &[PhysicalOp] {
+        &self.ops
+    }
+
+    /// Number of SWAPs the router inserted.
+    #[must_use]
+    pub fn swaps_inserted(&self) -> usize {
+        self.swaps_inserted
+    }
+
+    /// Number of single-qubit physical operations (measurements included).
+    #[must_use]
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PhysicalOp::Single { .. }))
+            .count()
+    }
+
+    /// Number of two-qubit physical operations (SWAPs already decomposed into CNOTs).
+    #[must_use]
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, PhysicalOp::Two { .. }))
+            .count()
+    }
+
+    /// Per-physical-qubit `(single, two_qubit)` gate counts.
+    #[must_use]
+    pub fn qubit_gate_counts(&self) -> Vec<(usize, usize)> {
+        let mut counts = vec![(0usize, 0usize); self.num_physical_qubits];
+        for op in &self.ops {
+            match *op {
+                PhysicalOp::Single { qubit, .. } => counts[qubit].0 += 1,
+                PhysicalOp::Two { a, b, .. } => {
+                    counts[a].1 += 1;
+                    counts[b].1 += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Two-qubit gate counts per physical coupler, keyed by the ordered pair `(a, b)`
+    /// with `a < b`.
+    #[must_use]
+    pub fn edge_gate_counts(&self) -> BTreeMap<(usize, usize), usize> {
+        let mut counts = BTreeMap::new();
+        for op in &self.ops {
+            if let PhysicalOp::Two { a, b, .. } = *op {
+                *counts.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The physical qubits that carry at least one operation.
+    #[must_use]
+    pub fn active_qubits(&self) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        for op in &self.ops {
+            match *op {
+                PhysicalOp::Single { qubit, .. } => {
+                    set.insert(qubit);
+                }
+                PhysicalOp::Two { a, b, .. } => {
+                    set.insert(a);
+                    set.insert(b);
+                }
+            }
+        }
+        set
+    }
+
+    /// The physical couplers (as `(a, b)` with `a < b`) that carry at least one
+    /// two-qubit operation.
+    #[must_use]
+    pub fn active_edges(&self) -> BTreeSet<(usize, usize)> {
+        self.edge_gate_counts().into_keys().collect()
+    }
+
+    /// As-soon-as-possible schedule: per-qubit busy time and overall makespan.
+    ///
+    /// The returned vector holds, for every physical qubit, the time at which its last
+    /// operation finishes (zero for idle qubits); the second element is the circuit
+    /// makespan.  The fidelity model uses the makespan as the decoherence exposure of
+    /// every active qubit (worst case).
+    #[must_use]
+    pub fn schedule(&self, times: &GateTimes) -> (Vec<f64>, f64) {
+        let mut finish = vec![0.0f64; self.num_physical_qubits];
+        for op in &self.ops {
+            match *op {
+                PhysicalOp::Single { qubit, kind } => {
+                    let dur = if matches!(kind, GateKind::Measure) {
+                        times.measure_ns
+                    } else {
+                        times.single_ns
+                    };
+                    finish[qubit] += dur;
+                }
+                PhysicalOp::Two { a, b, .. } => {
+                    let start = finish[a].max(finish[b]);
+                    finish[a] = start + times.two_qubit_ns;
+                    finish[b] = start + times.two_qubit_ns;
+                }
+            }
+        }
+        let makespan = finish.iter().copied().fold(0.0, f64::max);
+        (finish, makespan)
+    }
+}
+
+/// Maps `circuit` onto `topology` with a seeded random initial layout and greedy SWAP
+/// routing.
+///
+/// The initial layout is a random connected region of the device (BFS from a random
+/// seed qubit with shuffled neighbour order), with logical qubits randomly permuted
+/// over it.  Whenever a two-qubit gate acts on uncoupled physical qubits, SWAPs
+/// (decomposed into three CNOTs each) are inserted along a shortest path until the
+/// operands are adjacent.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the topology provides, or if the
+/// topology is disconnected and the required region cannot be collected.
+#[must_use]
+pub fn map_circuit(circuit: &Circuit, topology: &Topology, seed: u64) -> MappedCircuit {
+    assert!(
+        circuit.num_qubits() <= topology.num_qubits(),
+        "circuit needs {} qubits but the topology has only {}",
+        circuit.num_qubits(),
+        topology.num_qubits()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let adjacency = topology.adjacency();
+    let dist = topology.shortest_path_lengths();
+    let n_phys = topology.num_qubits();
+    let n_logical = circuit.num_qubits();
+
+    // Collect a random connected region of `n_logical` physical qubits.
+    let start = rng.gen_range(0..n_phys);
+    let mut region = Vec::with_capacity(n_logical);
+    let mut seen = vec![false; n_phys];
+    let mut queue = VecDeque::from([start]);
+    seen[start] = true;
+    while let Some(u) = queue.pop_front() {
+        region.push(u);
+        if region.len() == n_logical {
+            break;
+        }
+        let mut neigh = adjacency[u].clone();
+        neigh.shuffle(&mut rng);
+        for v in neigh {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    assert!(
+        region.len() == n_logical,
+        "could not collect a connected region of {n_logical} qubits (topology disconnected?)"
+    );
+    region.shuffle(&mut rng);
+
+    // logical -> physical and physical -> logical maps.
+    let mut l2p: Vec<usize> = region;
+    let mut p2l: Vec<Option<usize>> = vec![None; n_phys];
+    for (l, &p) in l2p.iter().enumerate() {
+        p2l[p] = Some(l);
+    }
+
+    let mut ops = Vec::with_capacity(circuit.len() * 2);
+    let mut swaps = 0usize;
+    for gate in circuit.gates() {
+        if !gate.is_two_qubit() {
+            ops.push(PhysicalOp::Single {
+                qubit: l2p[gate.qubits[0]],
+                kind: gate.kind,
+            });
+            continue;
+        }
+        let (la, lb) = (gate.qubits[0], gate.qubits[1]);
+        // Route: walk la's physical qubit towards lb's until adjacent.
+        loop {
+            let pa = l2p[la];
+            let pb = l2p[lb];
+            if dist[pa][pb] <= 1 {
+                break;
+            }
+            // Step to any neighbour of pa strictly closer to pb.
+            let next = adjacency[pa]
+                .iter()
+                .copied()
+                .filter(|&v| dist[v][pb] + 1 == dist[pa][pb])
+                .min()
+                .expect("shortest path step exists on a connected graph");
+            // Emit the SWAP as three CNOTs.
+            for _ in 0..3 {
+                ops.push(PhysicalOp::Two {
+                    a: pa,
+                    b: next,
+                    kind: GateKind::Cx,
+                });
+            }
+            swaps += 1;
+            // Update the maps: logical la moves to `next`; whatever sat there moves
+            // back to pa.
+            let displaced = p2l[next];
+            p2l[next] = Some(la);
+            p2l[pa] = displaced;
+            l2p[la] = next;
+            if let Some(d) = displaced {
+                l2p[d] = pa;
+            }
+        }
+        ops.push(PhysicalOp::Two {
+            a: l2p[la],
+            b: l2p[lb],
+            kind: gate.kind,
+        });
+    }
+
+    MappedCircuit {
+        num_physical_qubits: n_phys,
+        ops,
+        swaps_inserted: swaps,
+    }
+}
+
+/// Maps `circuit` onto `topology` `count` times with distinct seeds derived from
+/// `base_seed` (the paper's "50 mappings of a benchmark program" protocol).
+#[must_use]
+pub fn random_mappings(
+    circuit: &Circuit,
+    topology: &Topology,
+    count: usize,
+    base_seed: u64,
+) -> Vec<MappedCircuit> {
+    (0..count)
+        .map(|i| map_circuit(circuit, topology, base_seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+    use qgdp_topology::StandardTopology;
+
+    fn check_all_two_qubit_ops_are_coupled(mapped: &MappedCircuit, topo: &Topology) {
+        let coupled: BTreeSet<(usize, usize)> = topo
+            .couplings()
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        for op in mapped.ops() {
+            if let PhysicalOp::Two { a, b, .. } = *op {
+                assert!(
+                    coupled.contains(&(a.min(b), a.max(b))),
+                    "two-qubit op on uncoupled pair ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_respects_coupling_constraints() {
+        for topo_kind in StandardTopology::all() {
+            let topo = topo_kind.build();
+            for bench in [Benchmark::Bv4, Benchmark::Qaoa4, Benchmark::Qgan9] {
+                let mapped = map_circuit(&bench.circuit(), &topo, 42);
+                check_all_two_qubit_ops_are_coupled(&mapped, &topo);
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_preserves_logical_gate_counts() {
+        let circuit = Benchmark::Bv9.circuit();
+        let topo = StandardTopology::Falcon.build();
+        let mapped = map_circuit(&circuit, &topo, 3);
+        assert_eq!(mapped.single_qubit_gate_count(), circuit.single_qubit_gate_count());
+        // Every inserted SWAP adds exactly 3 CX.
+        assert_eq!(
+            mapped.two_qubit_gate_count(),
+            circuit.two_qubit_gate_count() + 3 * mapped.swaps_inserted()
+        );
+    }
+
+    #[test]
+    fn mapping_is_deterministic_per_seed() {
+        let circuit = Benchmark::Qaoa4.circuit();
+        let topo = StandardTopology::Grid.build();
+        let a = map_circuit(&circuit, &topo, 9);
+        let b = map_circuit(&circuit, &topo, 9);
+        assert_eq!(a, b);
+        let c = map_circuit(&circuit, &topo, 10);
+        // Different seeds almost surely give different layouts (not guaranteed, but
+        // true for this circuit/seed combination).
+        assert!(a != c || a.swaps_inserted() == c.swaps_inserted());
+    }
+
+    #[test]
+    fn active_sets_and_counts_are_consistent() {
+        let circuit = Benchmark::Qgan4.circuit();
+        let topo = StandardTopology::Aspen11.build();
+        let mapped = map_circuit(&circuit, &topo, 5);
+        assert!(mapped.active_qubits().len() >= circuit.num_qubits());
+        let counts = mapped.qubit_gate_counts();
+        for &q in &mapped.active_qubits() {
+            assert!(counts[q].0 + counts[q].1 > 0);
+        }
+        let per_edge_total: usize = mapped.edge_gate_counts().values().sum();
+        assert_eq!(per_edge_total, mapped.two_qubit_gate_count());
+        assert_eq!(mapped.active_edges().len(), mapped.edge_gate_counts().len());
+    }
+
+    #[test]
+    fn schedule_makespan_bounds() {
+        let circuit = Benchmark::Ising4.circuit();
+        let topo = StandardTopology::Grid.build();
+        let mapped = map_circuit(&circuit, &topo, 1);
+        let times = GateTimes::default();
+        let (busy, makespan) = mapped.schedule(&times);
+        assert_eq!(busy.len(), topo.num_qubits());
+        assert!(makespan > 0.0);
+        for &b in &busy {
+            assert!(b <= makespan + 1e-9);
+        }
+        // Makespan at least as long as the serial duration of the busiest qubit's gates.
+        let counts = mapped.qubit_gate_counts();
+        let min_bound = counts
+            .iter()
+            .map(|&(s, t)| s as f64 * times.single_ns + t as f64 * times.two_qubit_ns)
+            .fold(0.0f64, f64::max);
+        // Measurements make individual qubits busier than the 1q estimate; just sanity
+        // check the ordering direction.
+        assert!(makespan >= min_bound * 0.5);
+    }
+
+    #[test]
+    fn bv16_on_small_grid_requires_swaps() {
+        let circuit = Benchmark::Bv16.circuit();
+        let topo = StandardTopology::Grid.build();
+        let mapped = map_circuit(&circuit, &topo, 11);
+        // All 15 data qubits must interact with the single ancilla; on a grid of degree
+        // ≤ 4 that is impossible without routing.
+        assert!(mapped.swaps_inserted() > 0);
+        check_all_two_qubit_ops_are_coupled(&mapped, &topo);
+    }
+
+    #[test]
+    fn random_mappings_produce_requested_count() {
+        let circuit = Benchmark::Bv4.circuit();
+        let topo = StandardTopology::Xtree.build();
+        let maps = random_mappings(&circuit, &topo, 10, 100);
+        assert_eq!(maps.len(), 10);
+        for m in &maps {
+            check_all_two_qubit_ops_are_coupled(m, &topo);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit needs")]
+    fn oversized_circuit_panics() {
+        let circuit = Benchmark::Bv16.circuit();
+        let tiny = qgdp_topology::grid(2, 2);
+        let _ = map_circuit(&circuit, &tiny, 0);
+    }
+}

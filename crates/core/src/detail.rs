@@ -1,0 +1,517 @@
+//! Detailed placement (paper §III-E, Algorithm 2).
+//!
+//! The detailed placer never moves qubits.  It scans the legalized layout for
+//! *non-unified* resonators (more than one wire-block cluster) and resonators involved
+//! in *frequency hotspots*, builds a processing window around each problematic
+//! resonator and its neighbours, rips the window's wire blocks up and re-places each
+//! resonator along a maze-routed path of free bins between its two endpoint qubits.
+//! The window is accepted only if neither the cumulative cluster count nor the hotspot
+//! measure got worse — otherwise the previous positions are restored, exactly the
+//! guard of Algorithm 2.
+
+use qgdp_geometry::{BinGrid, BinId, BinState, Point, Rect};
+use qgdp_metrics::{find_violations, CrosstalkConfig, SpatialViolation};
+use qgdp_netlist::{
+    resonator_clusters, ComponentId, Placement, QuantumNetlist, ResonatorId, SegmentId,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Configuration of the detailed placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailedPlacerConfig {
+    /// Margin added around the problematic resonator's bounding box when building the
+    /// processing window, in wire-block units.
+    pub window_margin_cells: f64,
+    /// Maximum number of windows processed in one pass (a safety bound; the default is
+    /// high enough that every problematic resonator is visited).
+    pub max_windows: usize,
+    /// Number of refinement passes over the problem list.
+    pub passes: usize,
+    /// Crosstalk thresholds used to detect hotspots.
+    pub crosstalk: CrosstalkConfig,
+}
+
+impl DetailedPlacerConfig {
+    /// The default configuration (4-cell margin, 2 passes).
+    #[must_use]
+    pub fn new() -> Self {
+        DetailedPlacerConfig {
+            window_margin_cells: 4.0,
+            max_windows: 4096,
+            passes: 2,
+            crosstalk: CrosstalkConfig::default(),
+        }
+    }
+}
+
+impl Default for DetailedPlacerConfig {
+    fn default() -> Self {
+        DetailedPlacerConfig::new()
+    }
+}
+
+/// The result of a detailed-placement pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedPlacementOutcome {
+    /// The refined placement (qubits identical to the input).
+    pub placement: Placement,
+    /// Number of processing windows examined.
+    pub windows_processed: usize,
+    /// Number of windows whose re-placement was accepted.
+    pub windows_accepted: usize,
+}
+
+/// The qGDP detailed placer (Algorithm 2).
+#[derive(Debug, Clone, Default)]
+pub struct DetailedPlacer {
+    config: DetailedPlacerConfig,
+}
+
+impl DetailedPlacer {
+    /// Creates a detailed placer with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        DetailedPlacer {
+            config: DetailedPlacerConfig::default(),
+        }
+    }
+
+    /// Creates a detailed placer with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: DetailedPlacerConfig) -> Self {
+        DetailedPlacer { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DetailedPlacerConfig {
+        &self.config
+    }
+
+    /// Runs detailed placement on `legalized` and returns the refined layout.
+    ///
+    /// The input must already be legal (no overlaps); the output preserves legality,
+    /// never moves qubits, and never regresses the cluster count or hotspot measure.
+    #[must_use]
+    pub fn place(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        legalized: &Placement,
+    ) -> DetailedPlacementOutcome {
+        let mut placement = legalized.clone();
+        let mut processed = 0usize;
+        let mut accepted = 0usize;
+
+        for _ in 0..self.config.passes {
+            let problems = self.problem_resonators(netlist, &placement);
+            if problems.is_empty() {
+                break;
+            }
+            for &resonator in &problems {
+                if processed >= self.config.max_windows {
+                    break;
+                }
+                processed += 1;
+                if self.optimize_window(netlist, die, &mut placement, resonator) {
+                    accepted += 1;
+                }
+            }
+        }
+
+        DetailedPlacementOutcome {
+            placement,
+            windows_processed: processed,
+            windows_accepted: accepted,
+        }
+    }
+
+    /// The `E_c ∪ E_h` set of Algorithm 2: non-unified resonators plus resonators
+    /// involved in at least one spatial violation.
+    fn problem_resonators(
+        &self,
+        netlist: &QuantumNetlist,
+        placement: &Placement,
+    ) -> Vec<ResonatorId> {
+        let violations = find_violations(netlist, placement, &self.config.crosstalk);
+        let mut set: BTreeSet<ResonatorId> = BTreeSet::new();
+        for r in netlist.resonator_ids() {
+            if resonator_clusters(netlist, placement, r).len() > 1 {
+                set.insert(r);
+            }
+        }
+        for v in &violations {
+            for id in [v.a, v.b] {
+                if let ComponentId::Segment(s) = id {
+                    set.insert(netlist.block(s).resonator());
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Hotspot measure restricted to a set of resonators: the Eq. 4 numerator summed
+    /// over violations that touch any segment of those resonators.
+    fn local_hotspot_measure(
+        violations: &[SpatialViolation],
+        netlist: &QuantumNetlist,
+        resonators: &BTreeSet<ResonatorId>,
+    ) -> f64 {
+        violations
+            .iter()
+            .filter(|v| {
+                [v.a, v.b].iter().any(|id| match id {
+                    ComponentId::Segment(s) => resonators.contains(&netlist.block(*s).resonator()),
+                    ComponentId::Qubit(_) => false,
+                })
+            })
+            .map(|v| v.adjacency_length * v.centroid_distance)
+            .sum()
+    }
+
+    /// Crossing count restricted to pairs involving at least one of the given
+    /// resonators (each unordered pair counted once).
+    fn local_crossings(
+        netlist: &QuantumNetlist,
+        placement: &Placement,
+        resonators: &BTreeSet<ResonatorId>,
+    ) -> usize {
+        qgdp_metrics::crossing_pairs(netlist, placement)
+            .into_iter()
+            .filter(|(a, b, _)| resonators.contains(a) || resonators.contains(b))
+            .map(|(_, _, n)| n)
+            .sum()
+    }
+
+    /// Total cluster count over a set of resonators.
+    fn local_cluster_count(
+        netlist: &QuantumNetlist,
+        placement: &Placement,
+        resonators: &BTreeSet<ResonatorId>,
+    ) -> usize {
+        resonators
+            .iter()
+            .map(|&r| resonator_clusters(netlist, placement, r).len())
+            .sum()
+    }
+
+    /// Processes one window centred on `resonator`.  Returns `true` if the
+    /// re-placement was accepted.
+    fn optimize_window(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &mut Placement,
+        resonator: ResonatorId,
+    ) -> bool {
+        let lb = netlist.geometry().wire_block_size;
+        let margin = self.config.window_margin_cells * lb;
+
+        // Window: bounding box of the resonator's blocks and endpoint qubits, inflated.
+        let res = netlist.resonator(resonator);
+        let (qa, qb) = res.endpoints();
+        let mut rects: Vec<Rect> = res
+            .segments()
+            .iter()
+            .map(|&s| placement.rect(netlist, ComponentId::Segment(s)))
+            .collect();
+        rects.push(placement.rect(netlist, ComponentId::Qubit(qa)));
+        rects.push(placement.rect(netlist, ComponentId::Qubit(qb)));
+        let Some(bbox) = Rect::bounding_box(rects.iter()) else {
+            return false;
+        };
+        let window = bbox.inflated(margin);
+
+        // Window resonators: the problem resonator plus every resonator with at least
+        // one block inside the window.
+        let mut window_resonators: BTreeSet<ResonatorId> = BTreeSet::new();
+        window_resonators.insert(resonator);
+        for r in netlist.resonator_ids() {
+            if netlist
+                .resonator(r)
+                .segments()
+                .iter()
+                .any(|&s| window.contains_point(placement.segment(s)))
+            {
+                window_resonators.insert(r);
+            }
+        }
+
+        // Snapshot for rollback and the "before" objective.
+        let snapshot: HashMap<SegmentId, Point> = window_resonators
+            .iter()
+            .flat_map(|&r| netlist.resonator(r).segments().iter().copied())
+            .map(|s| (s, placement.segment(s)))
+            .collect();
+        let violations_before = find_violations(netlist, placement, &self.config.crosstalk);
+        let clusters_before = Self::local_cluster_count(netlist, placement, &window_resonators);
+        let hotspots_before =
+            Self::local_hotspot_measure(&violations_before, netlist, &window_resonators);
+        let crossings_before = Self::local_crossings(netlist, placement, &window_resonators);
+
+        // Occupancy grid: qubits and all blocks outside the window resonators are fixed.
+        let mut grid = BinGrid::new(die, lb);
+        for q in netlist.qubit_ids() {
+            grid.block_rect(&netlist.qubit(q).rect_at(placement.qubit(q)));
+        }
+        for s in netlist.segment_ids() {
+            if !window_resonators.contains(&netlist.block(s).resonator()) {
+                if let Some(bin) = grid.bin_at(placement.segment(s)) {
+                    grid.set_state(bin, BinState::Occupied);
+                }
+            }
+        }
+
+        // Re-place the problem resonator first, then its window neighbours.
+        let mut order: Vec<ResonatorId> = vec![resonator];
+        order.extend(window_resonators.iter().copied().filter(|&r| r != resonator));
+        let mut ok = true;
+        for r in order {
+            if !self.reroute_resonator(netlist, &mut grid, placement, r) {
+                ok = false;
+                break;
+            }
+        }
+
+        // Evaluate and accept / revert (Algorithm 2, lines 7–9).
+        let mut accept = ok;
+        if ok {
+            let violations_after = find_violations(netlist, placement, &self.config.crosstalk);
+            let clusters_after = Self::local_cluster_count(netlist, placement, &window_resonators);
+            let hotspots_after =
+                Self::local_hotspot_measure(&violations_after, netlist, &window_resonators);
+            let crossings_after = Self::local_crossings(netlist, placement, &window_resonators);
+            let not_worse = clusters_after <= clusters_before
+                && hotspots_after <= hotspots_before + 1e-12
+                && crossings_after <= crossings_before;
+            let strictly_better = clusters_after < clusters_before
+                || hotspots_after < hotspots_before - 1e-12
+                || crossings_after < crossings_before;
+            accept = not_worse && strictly_better;
+        }
+        if !accept {
+            for (s, p) in snapshot {
+                placement.set_segment(s, p);
+            }
+        }
+        accept
+    }
+
+    /// Re-places one resonator's blocks along a maze-routed path of free bins between
+    /// its endpoint qubits.  Returns `false` when not enough free bins exist.
+    fn reroute_resonator(
+        &self,
+        netlist: &QuantumNetlist,
+        grid: &mut BinGrid,
+        placement: &mut Placement,
+        resonator: ResonatorId,
+    ) -> bool {
+        let res = netlist.resonator(resonator);
+        let (qa, qb) = res.endpoints();
+        let n = res.num_segments();
+        if n == 0 {
+            return true;
+        }
+        let start = nearest_free_bin(grid, placement.qubit(qa));
+        let goal = nearest_free_bin(grid, placement.qubit(qb));
+        let (Some(start), Some(goal)) = (start, goal) else {
+            return false;
+        };
+
+        // Maze route (BFS over free bins).
+        let path = bfs_path(grid, start, goal);
+        let mut chosen: Vec<BinId> = match path {
+            Some(path) if path.len() >= n => {
+                // Take the n bins centred on the middle of the path so the reserved
+                // area sits between the two qubits.
+                let skip = (path.len() - n) / 2;
+                path.into_iter().skip(skip).take(n).collect()
+            }
+            Some(path) => path,
+            None => vec![start],
+        };
+        // Grow with free neighbours until we have n bins.
+        if chosen.len() < n {
+            let mut seen: BTreeSet<BinId> = chosen.iter().copied().collect();
+            let mut queue: VecDeque<BinId> = chosen.iter().copied().collect();
+            while chosen.len() < n {
+                let Some(bin) = queue.pop_front() else { break };
+                for nb in grid.neighbors4(bin) {
+                    if grid.state(nb) == BinState::Free && seen.insert(nb) {
+                        chosen.push(nb);
+                        queue.push_back(nb);
+                        if chosen.len() == n {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if chosen.len() < n {
+            return false;
+        }
+        for (&s, &bin) in res.segments().iter().zip(chosen.iter()) {
+            placement.set_segment(s, grid.bin_center(bin));
+            grid.set_state(bin, BinState::Occupied);
+        }
+        true
+    }
+}
+
+/// The free bin nearest to `point` (linear scan; windows are small so this is cheap
+/// relative to the BFS that follows).
+fn nearest_free_bin(grid: &BinGrid, point: Point) -> Option<BinId> {
+    grid.bins_in_state(BinState::Free)
+        .map(|b| (grid.bin_center(b).distance_squared(point), b))
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+        .map(|(_, b)| b)
+}
+
+/// Breadth-first maze route over free bins from `start` to `goal` (4-connected).
+fn bfs_path(grid: &BinGrid, start: BinId, goal: BinId) -> Option<Vec<BinId>> {
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let mut parent: HashMap<BinId, BinId> = HashMap::new();
+    let mut queue = VecDeque::from([start]);
+    parent.insert(start, start);
+    while let Some(bin) = queue.pop_front() {
+        for n in grid.neighbors4(bin) {
+            if grid.state(n) != BinState::Free || parent.contains_key(&n) {
+                continue;
+            }
+            parent.insert(n, bin);
+            if n == goal {
+                // Reconstruct.
+                let mut path = vec![n];
+                let mut cur = n;
+                while cur != start {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuantumQubitLegalizer, ResonatorLegalizer};
+    use qgdp_legalize::{is_legal, CellLegalizer as _, QubitLegalizer as _};
+    use qgdp_metrics::LayoutReport;
+    use qgdp_netlist::{ClusterReport, ComponentGeometry, NetModel};
+    use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+    use qgdp_topology::StandardTopology;
+
+    fn legalized(topology: StandardTopology) -> (QuantumNetlist, Rect, Placement) {
+        let topo = topology.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .unwrap();
+        let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(50))
+            .place(&netlist, &topo);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &gp.die, &gp.placement)
+            .unwrap();
+        let legal = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &gp.die, &qubits)
+            .unwrap();
+        (netlist, gp.die, legal)
+    }
+
+    #[test]
+    fn output_remains_legal_and_qubits_fixed() {
+        let (netlist, die, legal) = legalized(StandardTopology::Grid);
+        let outcome = DetailedPlacer::new().place(&netlist, &die, &legal);
+        assert!(is_legal(&netlist, &die, &outcome.placement));
+        for q in netlist.qubit_ids() {
+            assert_eq!(outcome.placement.qubit(q), legal.qubit(q));
+        }
+    }
+
+    #[test]
+    fn never_regresses_cluster_count_or_hotspots() {
+        for topology in [StandardTopology::Grid, StandardTopology::Aspen11] {
+            let (netlist, die, legal) = legalized(topology);
+            let cfg = CrosstalkConfig::default();
+            let before = LayoutReport::evaluate(&netlist, &legal, &cfg);
+            let outcome = DetailedPlacer::new().place(&netlist, &die, &legal);
+            let after = LayoutReport::evaluate(&netlist, &outcome.placement, &cfg);
+            assert!(
+                after.total_clusters <= before.total_clusters,
+                "{topology:?}: clusters regressed {} -> {}",
+                before.total_clusters,
+                after.total_clusters
+            );
+            assert!(
+                after.hotspot_proportion_percent <= before.hotspot_proportion_percent + 1e-9,
+                "{topology:?}: hotspots regressed"
+            );
+            assert!(after.unified_resonators >= before.unified_resonators);
+        }
+    }
+
+    #[test]
+    fn clean_layout_is_left_untouched() {
+        // Build a layout that is already perfect: every resonator unified, no hotspots.
+        let (netlist, die, legal) = legalized(StandardTopology::Grid);
+        let report = ClusterReport::analyze(&netlist, &legal);
+        let outcome = DetailedPlacer::new().place(&netlist, &die, &legal);
+        if report.non_unified().is_empty() && outcome.windows_processed == 0 {
+            assert_eq!(outcome.placement, legal);
+        }
+        // Either way the accepted count never exceeds the processed count.
+        assert!(outcome.windows_accepted <= outcome.windows_processed);
+    }
+
+    #[test]
+    fn bfs_path_finds_shortest_route() {
+        let die = Rect::from_lower_left(Point::ORIGIN, 50.0, 50.0);
+        let mut grid = BinGrid::new(&die, 10.0);
+        // Block the middle column except the top row.
+        for row in 0..4 {
+            let bin = grid.bin_id(2, row).unwrap();
+            grid.set_state(bin, BinState::Blocked);
+        }
+        let start = grid.bin_id(0, 0).unwrap();
+        let goal = grid.bin_id(4, 0).unwrap();
+        let path = bfs_path(&grid, start, goal).expect("a detour exists");
+        assert_eq!(path.first(), Some(&start));
+        assert_eq!(path.last(), Some(&goal));
+        // Detour over the top row: 4 right + 4 up/down somewhere = 13 bins total.
+        assert_eq!(path.len(), 13);
+        // Consecutive bins are 4-neighbours.
+        for w in path.windows(2) {
+            assert!(grid.neighbors4(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_path_returns_none_when_walled_off() {
+        let die = Rect::from_lower_left(Point::ORIGIN, 50.0, 50.0);
+        let mut grid = BinGrid::new(&die, 10.0);
+        for row in 0..5 {
+            let bin = grid.bin_id(2, row).unwrap();
+            grid.set_state(bin, BinState::Blocked);
+        }
+        let start = grid.bin_id(0, 0).unwrap();
+        let goal = grid.bin_id(4, 0).unwrap();
+        assert!(bfs_path(&grid, start, goal).is_none());
+        assert_eq!(bfs_path(&grid, start, start), Some(vec![start]));
+    }
+
+    #[test]
+    fn nearest_free_bin_prefers_closest() {
+        let die = Rect::from_lower_left(Point::ORIGIN, 30.0, 30.0);
+        let mut grid = BinGrid::new(&die, 10.0);
+        grid.set_state(grid.bin_id(0, 0).unwrap(), BinState::Blocked);
+        let b = nearest_free_bin(&grid, Point::new(0.0, 0.0)).unwrap();
+        // The blocked origin bin is skipped; one of its neighbours is returned.
+        assert!(grid.neighbors8(grid.bin_id(0, 0).unwrap()).contains(&b));
+    }
+}

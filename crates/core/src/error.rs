@@ -1,0 +1,76 @@
+//! The error type of the end-to-end qGDP flow.
+
+use qgdp_legalize::LegalizeError;
+use qgdp_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the qGDP pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Building the netlist from the topology failed.
+    Netlist(NetlistError),
+    /// A legalization stage failed.
+    Legalize(LegalizeError),
+    /// The detailed placer was asked to run without a legalized layout.
+    MissingLegalization,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+            FlowError::Legalize(e) => write!(f, "legalization failed: {e}"),
+            FlowError::MissingLegalization => {
+                write!(f, "detailed placement requires a legalized layout")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Legalize(e) => Some(e),
+            FlowError::MissingLegalization => None,
+        }
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(value: NetlistError) -> Self {
+        FlowError::Netlist(value)
+    }
+}
+
+impl From<LegalizeError> for FlowError {
+    fn from(value: LegalizeError) -> Self {
+        FlowError::Legalize(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: FlowError = NetlistError::Empty.into();
+        assert!(e.to_string().contains("netlist"));
+        assert!(e.source().is_some());
+        let e: FlowError = LegalizeError::NoSpace {
+            component: "q1".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("legalization"));
+        assert!(FlowError::MissingLegalization.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

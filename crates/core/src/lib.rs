@@ -1,0 +1,66 @@
+//! # qgdp — Quantum Legalization and Detailed Placement
+//!
+//! A Rust implementation of **qGDP**, the legalization and detailed-placement engine
+//! for superconducting quantum computers (DATE 2025).  Starting from a global placement
+//! of transmon qubits (macros) and resonator wire blocks (standard cells), qGDP:
+//!
+//! 1. **legalizes the qubits** (§III-C, [`QuantumQubitLegalizer`]) with a minimum
+//!    inter-qubit spacing of one standard cell, relaxed greedily only when the die is
+//!    too dense, while minimising displacement from the global placement;
+//! 2. **legalizes the resonators** (§III-D, Algorithm 1, [`ResonatorLegalizer`]) with
+//!    an integration-aware, bin-aided sweep that keeps the wire blocks of each
+//!    resonator in as few touching clusters as possible;
+//! 3. **runs detailed placement** (§III-E, Algorithm 2, [`DetailedPlacer`]) on windows
+//!    around non-unified resonators and frequency hotspots, rerouting their wire blocks
+//!    with a maze router and accepting a window only when the cluster count and hotspot
+//!    measure do not regress.
+//!
+//! The crate also exposes the paper's five-way strategy matrix
+//! ([`LegalizationStrategy`]: Tetris, Abacus, Q-Tetris, Q-Abacus, qGDP-LG) and an
+//! end-to-end pipeline ([`run_flow`]) that drives global placement, legalization,
+//! detailed placement and metric evaluation — everything the `qgdp-bench` harness needs
+//! to regenerate the paper's figures and tables.
+//!
+//! # Quick start
+//!
+//! ```
+//! use qgdp::prelude::*;
+//!
+//! let topology = StandardTopology::Grid.build();
+//! let result = run_flow(
+//!     &topology,
+//!     LegalizationStrategy::Qgdp,
+//!     &FlowConfig::default().with_detailed_placement(true),
+//! )?;
+//! assert!(result.legalized_report.total_clusters >= result.netlist.num_resonators());
+//! assert!(result.is_legal());
+//! # Ok::<(), qgdp::FlowError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod detail;
+pub mod error;
+pub mod pipeline;
+pub mod prelude;
+pub mod qubit_lg;
+pub mod resonator_lg;
+pub mod strategy;
+
+pub use detail::{DetailedPlacer, DetailedPlacerConfig, DetailedPlacementOutcome};
+pub use error::FlowError;
+pub use pipeline::{run_flow, FlowConfig, FlowResult, StageTiming};
+pub use qubit_lg::QuantumQubitLegalizer;
+pub use resonator_lg::ResonatorLegalizer;
+pub use strategy::LegalizationStrategy;
+
+// Re-export the substrate crates under stable names so downstream users (and the
+// examples/benches in this repository) can depend on `qgdp` alone.
+pub use qgdp_circuits as circuits;
+pub use qgdp_geometry as geometry;
+pub use qgdp_legalize as legalize;
+pub use qgdp_metrics as metrics;
+pub use qgdp_netlist as netlist;
+pub use qgdp_placer as placer;
+pub use qgdp_topology as topology;

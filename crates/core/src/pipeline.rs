@@ -1,0 +1,296 @@
+//! The end-to-end qGDP flow: GP → qubit LG → resonator LG → (optional) DP → metrics.
+
+use crate::{DetailedPlacer, DetailedPlacerConfig, FlowError, LegalizationStrategy};
+use qgdp_circuits::{random_mappings, Benchmark};
+use qgdp_geometry::Rect;
+use qgdp_legalize::is_legal;
+use qgdp_metrics::{mean_fidelity, CrosstalkConfig, LayoutReport, NoiseModel};
+use qgdp_netlist::{ComponentGeometry, NetModel, Placement, QuantumNetlist};
+use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+use qgdp_topology::Topology;
+use std::time::{Duration, Instant};
+
+/// Configuration of the full flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowConfig {
+    /// Component geometry used to build the netlist.
+    pub geometry: ComponentGeometry,
+    /// Net model (pseudo connections on or off).
+    pub net_model: NetModel,
+    /// Global-placer configuration.
+    pub gp: GlobalPlacerConfig,
+    /// Crosstalk detection thresholds.
+    pub crosstalk: CrosstalkConfig,
+    /// Whether to run the detailed placer after legalization.
+    pub detailed_placement: bool,
+    /// Detailed-placer configuration.
+    pub detail: DetailedPlacerConfig,
+}
+
+impl FlowConfig {
+    /// The default flow configuration (pseudo connections, no detailed placement).
+    #[must_use]
+    pub fn new() -> Self {
+        FlowConfig {
+            geometry: ComponentGeometry::default(),
+            net_model: NetModel::Pseudo,
+            gp: GlobalPlacerConfig::default(),
+            crosstalk: CrosstalkConfig::default(),
+            detailed_placement: false,
+            detail: DetailedPlacerConfig::default(),
+        }
+    }
+
+    /// Enables or disables the detailed-placement stage.
+    #[must_use]
+    pub fn with_detailed_placement(mut self, enabled: bool) -> Self {
+        self.detailed_placement = enabled;
+        self
+    }
+
+    /// Overrides the global-placer seed (useful for repeated experiments).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.gp = self.gp.with_seed(seed);
+        self
+    }
+
+    /// Overrides the net model.
+    #[must_use]
+    pub fn with_net_model(mut self, net_model: NetModel) -> Self {
+        self.net_model = net_model;
+        self
+    }
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig::new()
+    }
+}
+
+/// Wall-clock duration of each stage of the flow (the quantities of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTiming {
+    /// Global placement runtime.
+    pub global_placement: Duration,
+    /// Qubit legalization runtime (`t_q` of Table II).
+    pub qubit_legalization: Duration,
+    /// Resonator legalization runtime (`t_e` of Table II).
+    pub resonator_legalization: Duration,
+    /// Detailed placement runtime, when the stage ran.
+    pub detailed_placement: Option<Duration>,
+}
+
+/// Everything produced by one run of the flow.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The device topology the flow was run for.
+    pub topology: Topology,
+    /// The legalization strategy used.
+    pub strategy: LegalizationStrategy,
+    /// The netlist built from the topology.
+    pub netlist: QuantumNetlist,
+    /// The die outline.
+    pub die: Rect,
+    /// The global-placement positions.
+    pub gp_placement: Placement,
+    /// Positions after qubit legalization (wire blocks still at GP positions).
+    pub qubit_legalized: Placement,
+    /// Positions after wire-block legalization.
+    pub legalized: Placement,
+    /// Positions after detailed placement, when the stage ran.
+    pub detailed: Option<Placement>,
+    /// Per-stage wall-clock timings.
+    pub timing: StageTiming,
+    /// Crosstalk configuration the reports were computed with.
+    pub crosstalk: CrosstalkConfig,
+    /// Layout metrics of the raw global placement.
+    pub gp_report: LayoutReport,
+    /// Layout metrics after legalization.
+    pub legalized_report: LayoutReport,
+    /// Layout metrics after detailed placement, when the stage ran.
+    pub detailed_report: Option<LayoutReport>,
+}
+
+impl FlowResult {
+    /// The final placement of the flow (detailed placement when it ran, otherwise the
+    /// legalized layout).
+    #[must_use]
+    pub fn final_placement(&self) -> &Placement {
+        self.detailed.as_ref().unwrap_or(&self.legalized)
+    }
+
+    /// The layout report of the final placement.
+    #[must_use]
+    pub fn final_report(&self) -> &LayoutReport {
+        self.detailed_report.as_ref().unwrap_or(&self.legalized_report)
+    }
+
+    /// Returns `true` if the final placement is fully legal (inside the die, no
+    /// overlapping components).
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        is_legal(&self.netlist, &self.die, self.final_placement())
+    }
+
+    /// Mean worst-case program fidelity of `benchmark` on the final layout, averaged
+    /// over `mappings` random qubit mappings (the Fig. 8 protocol).
+    #[must_use]
+    pub fn mean_benchmark_fidelity(
+        &self,
+        benchmark: Benchmark,
+        mappings: usize,
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> f64 {
+        let circuit = benchmark.circuit();
+        let maps = random_mappings(&circuit, &self.topology, mappings, seed);
+        mean_fidelity(
+            &self.netlist,
+            self.final_placement(),
+            &maps,
+            noise,
+            &self.crosstalk,
+        )
+    }
+}
+
+/// Runs the full qGDP flow for `topology` under `strategy`.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] when the netlist cannot be built or a legalization stage
+/// fails to find a legal layout.
+pub fn run_flow(
+    topology: &Topology,
+    strategy: LegalizationStrategy,
+    config: &FlowConfig,
+) -> Result<FlowResult, FlowError> {
+    let netlist = topology.to_netlist(config.geometry, config.net_model)?;
+
+    // Global placement.
+    let gp_start = Instant::now();
+    let gp = GlobalPlacer::new(config.gp).place(&netlist, topology);
+    let gp_time = gp_start.elapsed();
+
+    // Qubit legalization.
+    let q_start = Instant::now();
+    let qubit_legalized = strategy
+        .qubit_legalizer()
+        .legalize_qubits(&netlist, &gp.die, &gp.placement)?;
+    let q_time = q_start.elapsed();
+
+    // Wire-block (resonator) legalization.
+    let e_start = Instant::now();
+    let legalized = strategy
+        .cell_legalizer()
+        .legalize_cells(&netlist, &gp.die, &qubit_legalized)?;
+    let e_time = e_start.elapsed();
+
+    // Detailed placement (optional).
+    let mut detailed = None;
+    let mut detailed_time = None;
+    if config.detailed_placement {
+        let d_start = Instant::now();
+        let outcome =
+            DetailedPlacer::with_config(config.detail).place(&netlist, &gp.die, &legalized);
+        detailed_time = Some(d_start.elapsed());
+        detailed = Some(outcome.placement);
+    }
+
+    // Reports.
+    let gp_report = LayoutReport::evaluate(&netlist, &gp.placement, &config.crosstalk);
+    let legalized_report = LayoutReport::evaluate(&netlist, &legalized, &config.crosstalk);
+    let detailed_report = detailed
+        .as_ref()
+        .map(|p| LayoutReport::evaluate(&netlist, p, &config.crosstalk));
+
+    Ok(FlowResult {
+        topology: topology.clone(),
+        strategy,
+        netlist,
+        die: gp.die,
+        gp_placement: gp.placement,
+        qubit_legalized,
+        legalized,
+        detailed,
+        timing: StageTiming {
+            global_placement: gp_time,
+            qubit_legalization: q_time,
+            resonator_legalization: e_time,
+            detailed_placement: detailed_time,
+        },
+        crosstalk: config.crosstalk,
+        gp_report,
+        legalized_report,
+        detailed_report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_topology::StandardTopology;
+
+    #[test]
+    fn flow_runs_for_qgdp_on_grid() {
+        let topo = StandardTopology::Grid.build();
+        let cfg = FlowConfig::default().with_seed(3);
+        let result = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
+        assert!(result.is_legal());
+        assert_eq!(result.strategy, LegalizationStrategy::Qgdp);
+        assert!(result.timing.qubit_legalization > Duration::ZERO);
+        assert!(result.timing.resonator_legalization > Duration::ZERO);
+        assert!(result.detailed.is_none());
+        assert!(result.final_report().total_clusters >= result.netlist.num_resonators());
+    }
+
+    #[test]
+    fn flow_with_detailed_placement_never_regresses() {
+        let topo = StandardTopology::Grid.build();
+        let cfg = FlowConfig::default().with_detailed_placement(true).with_seed(5);
+        let result = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
+        assert!(result.is_legal());
+        let dp = result.detailed_report.as_ref().expect("DP ran");
+        assert!(dp.total_clusters <= result.legalized_report.total_clusters);
+        assert!(
+            dp.hotspot_proportion_percent
+                <= result.legalized_report.hotspot_proportion_percent + 1e-9
+        );
+        assert!(result.timing.detailed_placement.is_some());
+    }
+
+    #[test]
+    fn all_strategies_produce_legal_layouts_on_falcon() {
+        let topo = StandardTopology::Falcon.build();
+        let cfg = FlowConfig::default().with_seed(11);
+        for strategy in LegalizationStrategy::all() {
+            let result = run_flow(&topo, strategy, &cfg).unwrap();
+            assert!(result.is_legal(), "{strategy} produced an illegal layout");
+        }
+    }
+
+    #[test]
+    fn qgdp_produces_fewer_clusters_than_classical_baselines() {
+        let topo = StandardTopology::Grid.build();
+        let cfg = FlowConfig::default().with_seed(17);
+        let qgdp = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
+        let tetris = run_flow(&topo, LegalizationStrategy::Tetris, &cfg).unwrap();
+        assert!(
+            qgdp.legalized_report.total_clusters <= tetris.legalized_report.total_clusters,
+            "qGDP {} clusters vs Tetris {}",
+            qgdp.legalized_report.total_clusters,
+            tetris.legalized_report.total_clusters
+        );
+    }
+
+    #[test]
+    fn fidelity_evaluation_runs() {
+        let topo = StandardTopology::Grid.build();
+        let cfg = FlowConfig::default().with_seed(23);
+        let result = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
+        let f = result.mean_benchmark_fidelity(Benchmark::Bv4, 3, &NoiseModel::default(), 1);
+        assert!(f > 0.0 && f <= 1.0);
+    }
+}

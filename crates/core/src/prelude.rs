@@ -1,0 +1,28 @@
+//! A convenience prelude re-exporting the types most users need.
+//!
+//! ```
+//! use qgdp::prelude::*;
+//!
+//! let topology = StandardTopology::Falcon.build();
+//! assert_eq!(topology.num_qubits(), 27);
+//! ```
+
+pub use crate::detail::{DetailedPlacer, DetailedPlacerConfig, DetailedPlacementOutcome};
+pub use crate::error::FlowError;
+pub use crate::pipeline::{run_flow, FlowConfig, FlowResult, StageTiming};
+pub use crate::qubit_lg::QuantumQubitLegalizer;
+pub use crate::resonator_lg::{ResonatorLegalizer, ResonatorOrder};
+pub use crate::strategy::LegalizationStrategy;
+
+pub use qgdp_circuits::{map_circuit, random_mappings, Benchmark, Circuit, MappedCircuit};
+pub use qgdp_geometry::{Point, Rect};
+pub use qgdp_legalize::{AbacusLegalizer, MacroLegalizer, TetrisLegalizer};
+pub use qgdp_metrics::{
+    estimate_fidelity, mean_fidelity, CrosstalkConfig, CrosstalkModel, LayoutReport, NoiseModel,
+};
+pub use qgdp_netlist::{
+    ClusterReport, ComponentGeometry, NetModel, NetlistBuilder, Placement, QuantumNetlist, QubitId,
+    ResonatorId, SegmentId,
+};
+pub use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+pub use qgdp_topology::{StandardTopology, Topology};

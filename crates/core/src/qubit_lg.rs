@@ -1,0 +1,244 @@
+//! Quantum-aware qubit legalization (paper §III-C).
+//!
+//! Qubits are treated as macros.  The legalizer enforces, in addition to the classical
+//! non-overlap and border constraints, a **minimum inter-qubit spacing of one standard
+//! cell** (one wire-block size): since resonators operate far above the qubit band,
+//! a wire block placed between two qubits isolates them, so reserving that gap during
+//! qubit legalization lets the global placer use less padding without increasing
+//! crosstalk risk.  The spacing starts at the configured value and is relaxed greedily
+//! (halved) only when the constraint system cannot be satisfied inside the die, exactly
+//! the "start with stringent constraints and relax them only when necessary" loop the
+//! paper describes.  Displacement from the GP positions is minimised throughout
+//! (Eq. 5).
+
+use qgdp_geometry::Rect;
+use qgdp_legalize::{legalize_macros, LegalizeError, QubitLegalizer};
+use qgdp_netlist::{Placement, QuantumNetlist};
+
+/// The quantum-aware qubit legalizer.
+///
+/// # Example
+///
+/// ```
+/// use qgdp::prelude::*;
+/// use qgdp::QuantumQubitLegalizer;
+/// use qgdp_legalize::QubitLegalizer as _;
+///
+/// let topology = StandardTopology::Grid.build();
+/// let netlist = topology.to_netlist(ComponentGeometry::default(), NetModel::Pseudo)?;
+/// let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(40))
+///     .place(&netlist, &topology);
+/// let legal = QuantumQubitLegalizer::new().legalize_qubits(&netlist, &gp.die, &gp.placement)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QuantumQubitLegalizer {
+    /// Number of greedy relaxation steps allowed before giving up on extra spacing.
+    max_relaxations: usize,
+}
+
+impl QuantumQubitLegalizer {
+    /// Creates the legalizer with the default relaxation budget (4 steps).
+    #[must_use]
+    pub fn new() -> Self {
+        QuantumQubitLegalizer { max_relaxations: 4 }
+    }
+
+    /// Overrides the relaxation budget.
+    #[must_use]
+    pub fn with_max_relaxations(mut self, max_relaxations: usize) -> Self {
+        self.max_relaxations = max_relaxations;
+        self
+    }
+
+    /// Legalizes the qubits and also reports the spacing that was finally achieved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LegalizeError`] when even zero extra spacing cannot be satisfied.
+    pub fn legalize_with_spacing(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        gp: &Placement,
+    ) -> Result<(Placement, f64), LegalizeError> {
+        let desired: Vec<Rect> = netlist
+            .qubit_ids()
+            .map(|q| netlist.qubit(q).rect_at(gp.qubit(q)))
+            .collect();
+        let mut spacing = netlist.geometry().min_qubit_spacing();
+        let mut last_err: Option<LegalizeError> = None;
+        for step in 0..=self.max_relaxations {
+            match legalize_macros(&desired, die, spacing) {
+                Ok(centers) => {
+                    let mut out = gp.clone();
+                    for (q, c) in netlist.qubit_ids().zip(centers) {
+                        out.set_qubit(q, c);
+                    }
+                    return Ok((out, spacing));
+                }
+                Err(err) => {
+                    last_err = Some(err);
+                    // Greedy relaxation: halve the spacing; on the last step drop it
+                    // entirely so the result is at least classically legal.
+                    spacing = if step + 1 == self.max_relaxations {
+                        0.0
+                    } else {
+                        spacing * 0.5
+                    };
+                }
+            }
+        }
+        Err(last_err.unwrap_or(LegalizeError::NoSpace {
+            component: "qubits".into(),
+        }))
+    }
+}
+
+impl Default for QuantumQubitLegalizer {
+    fn default() -> Self {
+        QuantumQubitLegalizer::new()
+    }
+}
+
+impl QubitLegalizer for QuantumQubitLegalizer {
+    fn name(&self) -> &'static str {
+        "q-macro-lg"
+    }
+
+    fn legalize_qubits(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        gp: &Placement,
+    ) -> Result<Placement, LegalizeError> {
+        self.legalize_with_spacing(netlist, die, gp).map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_geometry::Point;
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder, QubitId};
+
+    fn path_netlist(n: usize) -> QuantumNetlist {
+        NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(n)
+            .couple_all((0..n - 1).map(|i| (i, i + 1)))
+            .build()
+            .unwrap()
+    }
+
+    fn qubit_rects(netlist: &QuantumNetlist, p: &Placement) -> Vec<Rect> {
+        netlist
+            .qubit_ids()
+            .map(|q| netlist.qubit(q).rect_at(p.qubit(q)))
+            .collect()
+    }
+
+    fn min_gap(rects: &[Rect]) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                min = min.min(rects[i].gap(&rects[j]));
+            }
+        }
+        min
+    }
+
+    #[test]
+    fn enforces_one_cell_spacing_when_space_allows() {
+        let netlist = path_netlist(4);
+        let die = Rect::from_lower_left(Point::ORIGIN, 600.0, 600.0);
+        let mut gp = Placement::new(&netlist);
+        // Overlapping clump of qubits.
+        for q in netlist.qubit_ids() {
+            gp.set_qubit(q, Point::new(300.0 + 8.0 * q.index() as f64, 300.0));
+        }
+        let (out, spacing) = QuantumQubitLegalizer::new()
+            .legalize_with_spacing(&netlist, &die, &gp)
+            .unwrap();
+        assert_eq!(spacing, netlist.geometry().min_qubit_spacing());
+        let rects = qubit_rects(&netlist, &out);
+        assert!(min_gap(&rects) >= spacing - 1e-6);
+        for r in &rects {
+            assert!(die.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn relaxes_spacing_on_dense_dies() {
+        let netlist = path_netlist(4);
+        // Just enough room for the four 40x40 qubits with no extra spacing
+        // (4 * 50*50 = 10000 > 90*90=8100? Use 95x95: qubits fit tightly but the
+        // one-cell spacing (10 µm) cannot be satisfied everywhere.)
+        let die = Rect::from_lower_left(Point::ORIGIN, 95.0, 95.0);
+        let mut gp = Placement::new(&netlist);
+        for (i, q) in netlist.qubit_ids().enumerate() {
+            gp.set_qubit(
+                q,
+                Point::new(25.0 + 45.0 * (i % 2) as f64, 25.0 + 45.0 * (i / 2) as f64),
+            );
+        }
+        let (out, spacing) = QuantumQubitLegalizer::new()
+            .legalize_with_spacing(&netlist, &die, &gp)
+            .unwrap();
+        assert!(spacing < netlist.geometry().min_qubit_spacing());
+        let rects = qubit_rects(&netlist, &out);
+        // Still classically legal: no overlaps.
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(!rects[i].overlaps(&rects[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_die_reports_an_error() {
+        let netlist = path_netlist(4);
+        let die = Rect::from_lower_left(Point::ORIGIN, 60.0, 60.0);
+        let gp = Placement::new(&netlist);
+        let result = QuantumQubitLegalizer::new().legalize_with_spacing(&netlist, &die, &gp);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn preserves_gp_positions_when_already_legal() {
+        let netlist = path_netlist(3);
+        let die = Rect::from_lower_left(Point::ORIGIN, 600.0, 600.0);
+        let mut gp = Placement::new(&netlist);
+        gp.set_qubit(QubitId(0), Point::new(100.0, 100.0));
+        gp.set_qubit(QubitId(1), Point::new(200.0, 100.0));
+        gp.set_qubit(QubitId(2), Point::new(300.0, 100.0));
+        let (out, _) = QuantumQubitLegalizer::new()
+            .legalize_with_spacing(&netlist, &die, &gp)
+            .unwrap();
+        assert!(out.qubit_displacement_from(&gp) < 1e-9);
+    }
+
+    #[test]
+    fn displacement_stays_small_relative_to_die() {
+        let netlist = path_netlist(6);
+        let die = Rect::from_lower_left(Point::ORIGIN, 800.0, 800.0);
+        let mut gp = Placement::new(&netlist);
+        for q in netlist.qubit_ids() {
+            gp.set_qubit(q, Point::new(400.0 + 11.0 * q.index() as f64, 400.0));
+        }
+        let (out, _) = QuantumQubitLegalizer::new()
+            .legalize_with_spacing(&netlist, &die, &gp)
+            .unwrap();
+        let per_qubit = out.qubit_displacement_from(&gp) / 6.0;
+        assert!(per_qubit < 200.0, "average qubit displacement {per_qubit:.1} µm too large");
+        // Wire blocks are untouched by qubit legalization.
+        for s in netlist.segment_ids() {
+            assert_eq!(out.segment(s), gp.segment(s));
+        }
+    }
+
+    #[test]
+    fn trait_name() {
+        use qgdp_legalize::QubitLegalizer as _;
+        assert_eq!(QuantumQubitLegalizer::new().name(), "q-macro-lg");
+    }
+}

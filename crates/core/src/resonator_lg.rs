@@ -1,0 +1,376 @@
+//! Integration-aware resonator legalization (paper §III-D, Algorithm 1).
+//!
+//! After the qubits are fixed, each resonator's wire blocks are legalized onto a bin
+//! grid (one bin = one wire block).  Within a resonator the first block goes to the
+//! free bin nearest its global-placement position; every subsequent block goes to the
+//! nearest bin in the *adjacent-available* set `B_aa` — free bins bordering the blocks
+//! of the same resonator placed so far — falling back to the global free set `B_a`
+//! only when `B_aa` is empty.  The adjacent-available set is maintained incrementally
+//! and the global free set is the hierarchical per-row index of
+//! [`qgdp_geometry::FreeBinIndex`], reproducing the paper's bin-aided `O(log n)` query
+//! structure.  The effect is that every resonator stays a single touching cluster
+//! whenever space permits, which is the Eq. 3 objective.
+
+use qgdp_geometry::{BinGrid, BinId, BinState, Rect};
+use qgdp_legalize::{CellLegalizer, LegalizeError};
+use qgdp_netlist::{Placement, QuantumNetlist, ResonatorId};
+use std::collections::BTreeSet;
+
+/// The order in which resonators are processed by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResonatorOrder {
+    /// Netlist id order (the paper's `for e ∈ E`).
+    #[default]
+    Id,
+    /// Shortest endpoint-to-endpoint distance first; compact resonators claim their
+    /// space before long ones have to route around them (used by the ablation bench).
+    EndpointDistance,
+}
+
+/// The integration-aware resonator legalizer (Algorithm 1).
+///
+/// Besides integration (keeping each resonator a single cluster), bin selection is
+/// *frequency-aware*: a candidate bin that abuts already-placed blocks of a **different**
+/// resonator whose frequency is within the detuning threshold is charged a penalty, so
+/// near-resonant resonators end up separated by at least one empty bin whenever space
+/// allows — directly reducing the `P_h` hotspot metric.
+///
+/// # Example
+///
+/// ```
+/// use qgdp::prelude::*;
+/// use qgdp::{QuantumQubitLegalizer, ResonatorLegalizer};
+/// use qgdp_legalize::{CellLegalizer as _, QubitLegalizer as _};
+///
+/// let topology = StandardTopology::Grid.build();
+/// let netlist = topology.to_netlist(ComponentGeometry::default(), NetModel::Pseudo)?;
+/// let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(40))
+///     .place(&netlist, &topology);
+/// let qubits = QuantumQubitLegalizer::new().legalize_qubits(&netlist, &gp.die, &gp.placement)?;
+/// let legal = ResonatorLegalizer::new().legalize_cells(&netlist, &gp.die, &qubits)?;
+/// assert_eq!(legal.count_overlaps(&netlist), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ResonatorLegalizer {
+    order: ResonatorOrder,
+    /// Penalty (in wire-block units of distance) per adjacent near-resonant foreign
+    /// block when scoring a candidate bin.
+    frequency_penalty_cells: f64,
+    /// Detuning threshold (GHz) below which two resonators count as near-resonant.
+    detuning_threshold_ghz: f64,
+    /// Radius (in bins) of the candidate neighbourhood examined around the target
+    /// position when the adjacent-available set is empty.
+    search_radius_bins: usize,
+}
+
+impl Default for ResonatorLegalizer {
+    fn default() -> Self {
+        ResonatorLegalizer::new()
+    }
+}
+
+impl ResonatorLegalizer {
+    /// Creates the legalizer with the default (netlist id) processing order.
+    #[must_use]
+    pub fn new() -> Self {
+        ResonatorLegalizer {
+            order: ResonatorOrder::Id,
+            frequency_penalty_cells: 3.0,
+            detuning_threshold_ghz: 0.06,
+            search_radius_bins: 3,
+        }
+    }
+
+    /// Overrides the resonator processing order.
+    #[must_use]
+    pub fn with_order(mut self, order: ResonatorOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Overrides the frequency-adjacency penalty (in wire-block units); zero disables
+    /// frequency awareness entirely (used by the ablation bench).
+    #[must_use]
+    pub fn with_frequency_penalty(mut self, cells: f64) -> Self {
+        self.frequency_penalty_cells = cells;
+        self
+    }
+
+    /// The processing order in use.
+    #[must_use]
+    pub fn order(&self) -> ResonatorOrder {
+        self.order
+    }
+
+    /// Scores a candidate bin for a block of `resonator`: Euclidean displacement from
+    /// the block's GP position plus the frequency-adjacency penalty.
+    fn bin_cost(
+        &self,
+        netlist: &QuantumNetlist,
+        grid: &BinGrid,
+        occupied_by: &std::collections::HashMap<BinId, ResonatorId>,
+        resonator: ResonatorId,
+        bin: BinId,
+        target: qgdp_geometry::Point,
+    ) -> f64 {
+        let lb = netlist.geometry().wire_block_size;
+        let mut cost = grid.bin_center(bin).distance(target);
+        if self.frequency_penalty_cells > 0.0 {
+            let own_freq = netlist.resonator(resonator).frequency();
+            for n in grid.neighbors4(bin) {
+                if let Some(&other) = occupied_by.get(&n) {
+                    if other != resonator
+                        && netlist
+                            .resonator(other)
+                            .frequency()
+                            .detuning(own_freq)
+                            <= self.detuning_threshold_ghz
+                    {
+                        cost += self.frequency_penalty_cells * lb;
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    fn resonator_order(&self, netlist: &QuantumNetlist, placement: &Placement) -> Vec<ResonatorId> {
+        let mut order: Vec<ResonatorId> = netlist.resonator_ids().collect();
+        if self.order == ResonatorOrder::EndpointDistance {
+            order.sort_by(|&a, &b| {
+                let d = |r: ResonatorId| {
+                    let (qa, qb) = netlist.resonator(r).endpoints();
+                    placement.qubit(qa).distance(placement.qubit(qb))
+                };
+                d(a).total_cmp(&d(b)).then(a.cmp(&b))
+            });
+        }
+        order
+    }
+}
+
+impl CellLegalizer for ResonatorLegalizer {
+    fn name(&self) -> &'static str {
+        "qgdp-resonator-lg"
+    }
+
+    fn legalize_cells(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &Placement,
+    ) -> Result<Placement, LegalizeError> {
+        let lb = netlist.geometry().wire_block_size;
+
+        // B ← all bins; B_f ← bins under fixed qubits; B_a ← B − B_f.
+        let mut grid = BinGrid::new(die, lb);
+        for q in netlist.qubit_ids() {
+            grid.block_rect(&netlist.qubit(q).rect_at(placement.qubit(q)));
+        }
+        let mut available = grid.free_index();
+        let mut occupied_by: std::collections::HashMap<BinId, ResonatorId> =
+            std::collections::HashMap::new();
+
+        let mut out = placement.clone();
+        for r in self.resonator_order(netlist, placement) {
+            // B_aa ← ∅ for every new resonator.
+            let mut adjacent_available: BTreeSet<BinId> = BTreeSet::new();
+            for &s in netlist.resonator(r).segments() {
+                let target = placement.segment(s);
+                // Candidate bins: the adjacent-available set when non-empty, otherwise
+                // the free bins in a small neighbourhood of the target (plus the
+                // globally nearest free bin as a fallback).
+                let mut candidates: Vec<BinId> = if adjacent_available.is_empty() {
+                    let mut c: Vec<BinId> = Vec::new();
+                    if let Some(center) = grid.bin_at(target) {
+                        let (col, row) = grid.col_row(center);
+                        let radius = self.search_radius_bins as i64;
+                        for dr in -radius..=radius {
+                            for dc in -radius..=radius {
+                                let (nc, nr) = (col as i64 + dc, row as i64 + dr);
+                                if nc >= 0 && nr >= 0 {
+                                    if let Some(b) = grid.bin_id(nc as usize, nr as usize) {
+                                        if grid.state(b) == BinState::Free {
+                                            c.push(b);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Some(nearest) = available.nearest_free(target) {
+                        if !c.contains(&nearest) {
+                            c.push(nearest);
+                        }
+                    }
+                    c
+                } else {
+                    adjacent_available.iter().copied().collect()
+                };
+                if candidates.is_empty() {
+                    if let Some(nearest) = available.nearest_free(target) {
+                        candidates.push(nearest);
+                    }
+                }
+                let chosen = candidates
+                    .into_iter()
+                    .map(|b| (self.bin_cost(netlist, &grid, &occupied_by, r, b, target), b))
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                    .map(|(_, b)| b);
+                let Some(bin) = chosen else {
+                    return Err(LegalizeError::NoSpace {
+                        component: format!("wire block {s} of resonator {r}"),
+                    });
+                };
+                // Legalize the segment and update B_a / B_aa.
+                out.set_segment(s, grid.bin_center(bin));
+                grid.set_state(bin, BinState::Occupied);
+                occupied_by.insert(bin, r);
+                available.remove(bin);
+                adjacent_available.remove(&bin);
+                for n in grid.neighbors4(bin) {
+                    if grid.state(n) == BinState::Free {
+                        adjacent_available.insert(n);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantumQubitLegalizer;
+    use qgdp_legalize::{is_legal, QubitLegalizer as _};
+    use qgdp_netlist::{ClusterReport, ComponentGeometry, NetModel, QubitId};
+    use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+    use qgdp_topology::StandardTopology;
+
+    /// Runs GP + qubit LG + resonator LG for a standard topology.
+    fn legalize(topology: StandardTopology) -> (QuantumNetlist, Rect, Placement, Placement) {
+        let topo = topology.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .unwrap();
+        let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(50))
+            .place(&netlist, &topo);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &gp.die, &gp.placement)
+            .unwrap();
+        let legal = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &gp.die, &qubits)
+            .unwrap();
+        (netlist, gp.die, gp.placement, legal)
+    }
+
+    #[test]
+    fn produces_fully_legal_layout_on_grid() {
+        let (netlist, die, _, legal) = legalize(StandardTopology::Grid);
+        assert!(is_legal(&netlist, &die, &legal));
+    }
+
+    #[test]
+    fn produces_fully_legal_layout_on_falcon() {
+        let (netlist, die, _, legal) = legalize(StandardTopology::Falcon);
+        assert!(is_legal(&netlist, &die, &legal));
+    }
+
+    #[test]
+    fn qubits_are_untouched_by_resonator_legalization() {
+        let (netlist, die, gp, _) = legalize(StandardTopology::Grid);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .unwrap();
+        let legal = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &die, &qubits)
+            .unwrap();
+        for q in netlist.qubit_ids() {
+            assert_eq!(legal.qubit(q), qubits.qubit(q));
+        }
+    }
+
+    #[test]
+    fn most_resonators_end_up_unified() {
+        let (netlist, _, _, legal) = legalize(StandardTopology::Grid);
+        let report = ClusterReport::analyze(&netlist, &legal);
+        let (unified, total) = report.integration_ratio();
+        assert!(
+            unified * 10 >= total * 8,
+            "only {unified}/{total} resonators unified — integration-awareness is broken"
+        );
+    }
+
+    #[test]
+    fn blocks_land_on_bin_centres() {
+        let (netlist, die, _, legal) = legalize(StandardTopology::Aspen11);
+        let lb = netlist.geometry().wire_block_size;
+        for s in netlist.segment_ids() {
+            let p = legal.segment(s);
+            let fx = (p.x - die.left() - lb * 0.5) / lb;
+            let fy = (p.y - die.bottom() - lb * 0.5) / lb;
+            assert!((fx - fx.round()).abs() < 1e-6, "block {s} off-grid in x");
+            assert!((fy - fy.round()).abs() < 1e-6, "block {s} off-grid in y");
+        }
+    }
+
+    #[test]
+    fn more_unified_than_tetris_baseline() {
+        use qgdp_legalize::TetrisLegalizer;
+        let topo = StandardTopology::Xtree.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .unwrap();
+        let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(50))
+            .place(&netlist, &topo);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &gp.die, &gp.placement)
+            .unwrap();
+        let ours = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &gp.die, &qubits)
+            .unwrap();
+        let tetris = TetrisLegalizer::new()
+            .legalize_cells(&netlist, &gp.die, &qubits)
+            .unwrap();
+        let ours_clusters = ClusterReport::analyze(&netlist, &ours).total_clusters();
+        let tetris_clusters = ClusterReport::analyze(&netlist, &tetris).total_clusters();
+        assert!(
+            ours_clusters <= tetris_clusters,
+            "qGDP produced {ours_clusters} clusters vs Tetris {tetris_clusters}"
+        );
+    }
+
+    #[test]
+    fn endpoint_distance_order_is_also_legal() {
+        let topo = StandardTopology::Grid.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .unwrap();
+        let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(40))
+            .place(&netlist, &topo);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &gp.die, &gp.placement)
+            .unwrap();
+        let lg = ResonatorLegalizer::new().with_order(ResonatorOrder::EndpointDistance);
+        assert_eq!(lg.order(), ResonatorOrder::EndpointDistance);
+        let legal = lg.legalize_cells(&netlist, &gp.die, &qubits).unwrap();
+        assert!(is_legal(&netlist, &gp.die, &legal));
+    }
+
+    #[test]
+    fn fails_cleanly_when_the_die_cannot_hold_the_blocks() {
+        let netlist = qgdp_netlist::NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(2)
+            .couple(0, 1)
+            .build()
+            .unwrap();
+        let die = Rect::from_lower_left(qgdp_geometry::Point::ORIGIN, 100.0, 50.0);
+        let mut p = Placement::new(&netlist);
+        p.set_qubit(QubitId(0), qgdp_geometry::Point::new(25.0, 25.0));
+        p.set_qubit(QubitId(1), qgdp_geometry::Point::new(75.0, 25.0));
+        let result = ResonatorLegalizer::new().legalize_cells(&netlist, &die, &p);
+        assert!(matches!(result, Err(LegalizeError::NoSpace { .. })));
+    }
+}

@@ -1,0 +1,126 @@
+//! The five-way legalization strategy matrix of the paper's evaluation.
+
+use crate::{QuantumQubitLegalizer, ResonatorLegalizer};
+use qgdp_legalize::{AbacusLegalizer, CellLegalizer, MacroLegalizer, QubitLegalizer, TetrisLegalizer};
+use std::fmt;
+
+/// The legalization strategies compared in Figs. 8–9 and Table II.
+///
+/// | strategy | qubit stage | wire-block stage |
+/// |----------|-------------|------------------|
+/// | `Tetris`  | classical macro legalizer | Tetris |
+/// | `Abacus`  | classical macro legalizer | Abacus |
+/// | `QTetris` | qGDP qubit legalizer (§III-C) | Tetris |
+/// | `QAbacus` | qGDP qubit legalizer (§III-C) | Abacus |
+/// | `Qgdp`    | qGDP qubit legalizer (§III-C) | integration-aware resonator legalizer (Alg. 1) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LegalizationStrategy {
+    /// qGDP-LG: the paper's full quantum legalizer.
+    Qgdp,
+    /// Q-Abacus: quantum qubit legalizer + Abacus cell legalizer.
+    QAbacus,
+    /// Q-Tetris: quantum qubit legalizer + Tetris cell legalizer.
+    QTetris,
+    /// Abacus: classical macro legalizer + Abacus cell legalizer.
+    Abacus,
+    /// Tetris: classical macro legalizer + Tetris cell legalizer.
+    Tetris,
+}
+
+impl LegalizationStrategy {
+    /// All five strategies, in the order the paper's figures list them.
+    #[must_use]
+    pub fn all() -> [LegalizationStrategy; 5] {
+        [
+            LegalizationStrategy::Qgdp,
+            LegalizationStrategy::QAbacus,
+            LegalizationStrategy::QTetris,
+            LegalizationStrategy::Abacus,
+            LegalizationStrategy::Tetris,
+        ]
+    }
+
+    /// The display name used in the paper's legends.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LegalizationStrategy::Qgdp => "qGDP-LG",
+            LegalizationStrategy::QAbacus => "Q-Abacus",
+            LegalizationStrategy::QTetris => "Q-Tetris",
+            LegalizationStrategy::Abacus => "Abacus",
+            LegalizationStrategy::Tetris => "Tetris",
+        }
+    }
+
+    /// Returns `true` for the strategies that use the quantum-aware qubit legalizer.
+    #[must_use]
+    pub fn is_quantum_aware(self) -> bool {
+        !matches!(
+            self,
+            LegalizationStrategy::Abacus | LegalizationStrategy::Tetris
+        )
+    }
+
+    /// The qubit-stage legalizer of this strategy.
+    #[must_use]
+    pub fn qubit_legalizer(self) -> Box<dyn QubitLegalizer> {
+        if self.is_quantum_aware() {
+            Box::new(QuantumQubitLegalizer::new())
+        } else {
+            Box::new(MacroLegalizer::new())
+        }
+    }
+
+    /// The wire-block-stage legalizer of this strategy.
+    #[must_use]
+    pub fn cell_legalizer(self) -> Box<dyn CellLegalizer> {
+        match self {
+            LegalizationStrategy::Qgdp => Box::new(ResonatorLegalizer::new()),
+            LegalizationStrategy::QAbacus | LegalizationStrategy::Abacus => {
+                Box::new(AbacusLegalizer::new())
+            }
+            LegalizationStrategy::QTetris | LegalizationStrategy::Tetris => {
+                Box::new(TetrisLegalizer::new())
+            }
+        }
+    }
+}
+
+impl fmt::Display for LegalizationStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_five_distinct_strategies() {
+        let all = LegalizationStrategy::all();
+        assert_eq!(all.len(), 5);
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 5);
+        assert_eq!(all[0], LegalizationStrategy::Qgdp);
+    }
+
+    #[test]
+    fn quantum_awareness_split() {
+        assert!(LegalizationStrategy::Qgdp.is_quantum_aware());
+        assert!(LegalizationStrategy::QTetris.is_quantum_aware());
+        assert!(LegalizationStrategy::QAbacus.is_quantum_aware());
+        assert!(!LegalizationStrategy::Tetris.is_quantum_aware());
+        assert!(!LegalizationStrategy::Abacus.is_quantum_aware());
+    }
+
+    #[test]
+    fn legalizer_names_match_strategy_components() {
+        assert_eq!(LegalizationStrategy::Qgdp.cell_legalizer().name(), "qgdp-resonator-lg");
+        assert_eq!(LegalizationStrategy::Tetris.cell_legalizer().name(), "tetris");
+        assert_eq!(LegalizationStrategy::QAbacus.cell_legalizer().name(), "abacus");
+        assert_eq!(LegalizationStrategy::Tetris.qubit_legalizer().name(), "macro-lg");
+        assert_eq!(LegalizationStrategy::Qgdp.qubit_legalizer().name(), "q-macro-lg");
+        assert_eq!(LegalizationStrategy::Qgdp.to_string(), "qGDP-LG");
+    }
+}

@@ -1,0 +1,614 @@
+//! Bin grid and the hierarchical "bin-aided" free-space index (paper §III-D).
+//!
+//! The resonator legalizer discretises the die into square bins of one wire-block size.
+//! Bins covered by fixed qubits are *blocked*; bins holding an already-legalized wire
+//! block are *occupied*; the rest are *free*.  The paper stresses that a flat array of
+//! free cells makes nearest-free-space queries the scalability bottleneck and instead
+//! organises the cells into hierarchical per-row structures, reducing queries to
+//! `O(log n)`; [`FreeBinIndex`] reproduces that design with one ordered set of free
+//! columns per row.
+
+use crate::{Point, Rect};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a bin inside a [`BinGrid`] (row-major linear index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BinId(pub usize);
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bin{}", self.0)
+    }
+}
+
+/// Occupancy state of a bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BinState {
+    /// The bin is available for a wire block.
+    #[default]
+    Free,
+    /// The bin is permanently unavailable (covered by a qubit pad or outside the
+    /// placeable area).
+    Blocked,
+    /// The bin holds a legalized wire block.
+    Occupied,
+}
+
+/// A uniform grid of square bins covering the die.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{BinGrid, BinState, Point, Rect};
+///
+/// let die = Rect::from_corners(Point::ORIGIN, Point::new(10.0, 10.0));
+/// let mut grid = BinGrid::new(&die, 1.0);
+/// assert_eq!(grid.num_bins(), 100);
+/// grid.block_rect(&Rect::from_center(Point::new(5.0, 5.0), 2.0, 2.0));
+/// assert_eq!(grid.count(BinState::Blocked), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinGrid {
+    origin: Point,
+    bin_size: f64,
+    cols: usize,
+    rows: usize,
+    states: Vec<BinState>,
+}
+
+impl BinGrid {
+    /// Creates a grid of square bins of side `bin_size` covering `die`.
+    ///
+    /// The grid is anchored at the die's lower-left corner; partial bins at the top and
+    /// right edges are dropped so that every bin lies fully inside the die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_size` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(die: &Rect, bin_size: f64) -> Self {
+        assert!(
+            bin_size > 0.0 && bin_size.is_finite(),
+            "bin size must be positive and finite (got {bin_size})"
+        );
+        let cols = ((die.width() / bin_size) + crate::EPS).floor() as usize;
+        let rows = ((die.height() / bin_size) + crate::EPS).floor() as usize;
+        BinGrid {
+            origin: die.lower_left(),
+            bin_size,
+            cols,
+            rows,
+            states: vec![BinState::Free; cols * rows],
+        }
+    }
+
+    /// Number of bin columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of bin rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Side length of each (square) bin.
+    #[must_use]
+    pub fn bin_size(&self) -> f64 {
+        self.bin_size
+    }
+
+    /// Total number of bins.
+    #[must_use]
+    pub fn num_bins(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Lower-left corner of the grid.
+    #[must_use]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Converts a `(col, row)` pair into a [`BinId`], if in range.
+    #[must_use]
+    pub fn bin_id(&self, col: usize, row: usize) -> Option<BinId> {
+        if col < self.cols && row < self.rows {
+            Some(BinId(row * self.cols + col))
+        } else {
+            None
+        }
+    }
+
+    /// Converts a [`BinId`] back to its `(col, row)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin id does not belong to this grid.
+    #[must_use]
+    pub fn col_row(&self, bin: BinId) -> (usize, usize) {
+        assert!(bin.0 < self.states.len(), "{bin} out of range");
+        (bin.0 % self.cols, bin.0 / self.cols)
+    }
+
+    /// Centre point of a bin.
+    #[must_use]
+    pub fn bin_center(&self, bin: BinId) -> Point {
+        let (col, row) = self.col_row(bin);
+        Point::new(
+            self.origin.x + (col as f64 + 0.5) * self.bin_size,
+            self.origin.y + (row as f64 + 0.5) * self.bin_size,
+        )
+    }
+
+    /// Rectangle covered by a bin.
+    #[must_use]
+    pub fn bin_rect(&self, bin: BinId) -> Rect {
+        Rect::from_center(self.bin_center(bin), self.bin_size, self.bin_size)
+    }
+
+    /// The bin containing `point`, clamped to the grid when the point lies outside.
+    ///
+    /// Returns `None` only when the grid has zero bins.
+    #[must_use]
+    pub fn bin_at(&self, point: Point) -> Option<BinId> {
+        if self.states.is_empty() {
+            return None;
+        }
+        let col = (((point.x - self.origin.x) / self.bin_size).floor() as i64)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let row = (((point.y - self.origin.y) / self.bin_size).floor() as i64)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        self.bin_id(col, row)
+    }
+
+    /// Current state of a bin.
+    #[must_use]
+    pub fn state(&self, bin: BinId) -> BinState {
+        self.states[bin.0]
+    }
+
+    /// Sets the state of a bin.
+    pub fn set_state(&mut self, bin: BinId, state: BinState) {
+        self.states[bin.0] = state;
+    }
+
+    /// Marks every bin whose rectangle overlaps `rect` as [`BinState::Blocked`].
+    pub fn block_rect(&mut self, rect: &Rect) {
+        if self.states.is_empty() {
+            return;
+        }
+        let lo_col = (((rect.left() - self.origin.x) / self.bin_size).floor() as i64)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let hi_col = (((rect.right() - self.origin.x) / self.bin_size).ceil() as i64 - 1)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let lo_row = (((rect.bottom() - self.origin.y) / self.bin_size).floor() as i64)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        let hi_row = (((rect.top() - self.origin.y) / self.bin_size).ceil() as i64 - 1)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        for row in lo_row..=hi_row {
+            for col in lo_col..=hi_col {
+                let id = BinId(row * self.cols + col);
+                if self.bin_rect(id).overlaps(rect) {
+                    self.states[id.0] = BinState::Blocked;
+                }
+            }
+        }
+    }
+
+    /// Number of bins currently in `state`.
+    #[must_use]
+    pub fn count(&self, state: BinState) -> usize {
+        self.states.iter().filter(|&&s| s == state).count()
+    }
+
+    /// Iterator over all bins in `state`.
+    pub fn bins_in_state(&self, state: BinState) -> impl Iterator<Item = BinId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == state)
+            .map(|(i, _)| BinId(i))
+    }
+
+    /// The 4-connected neighbours (left, right, down, up) of a bin.
+    #[must_use]
+    pub fn neighbors4(&self, bin: BinId) -> Vec<BinId> {
+        let (col, row) = self.col_row(bin);
+        let mut out = Vec::with_capacity(4);
+        if col > 0 {
+            out.push(BinId(bin.0 - 1));
+        }
+        if col + 1 < self.cols {
+            out.push(BinId(bin.0 + 1));
+        }
+        if row > 0 {
+            out.push(BinId(bin.0 - self.cols));
+        }
+        if row + 1 < self.rows {
+            out.push(BinId(bin.0 + self.cols));
+        }
+        out
+    }
+
+    /// The 8-connected neighbours of a bin (including diagonals).
+    #[must_use]
+    pub fn neighbors8(&self, bin: BinId) -> Vec<BinId> {
+        let (col, row) = self.col_row(bin);
+        let mut out = Vec::with_capacity(8);
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let nc = col as i64 + dc;
+                let nr = row as i64 + dr;
+                if nc >= 0 && nr >= 0 {
+                    if let Some(id) = self.bin_id(nc as usize, nr as usize) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the hierarchical free-bin index for the current grid state.
+    #[must_use]
+    pub fn free_index(&self) -> FreeBinIndex {
+        let mut index = FreeBinIndex::empty(self.origin, self.bin_size, self.cols, self.rows);
+        for bin in self.bins_in_state(BinState::Free) {
+            index.insert(bin);
+        }
+        index
+    }
+}
+
+/// Hierarchical index of free bins, organised as one ordered set of columns per row.
+///
+/// This mirrors the paper's "bin-aided indexing approach, which organizes cells into
+/// hierarchical bins along the y-axis rather than flattened arrays, reducing cell query
+/// operations to `O(log n)`": a nearest-free query walks rows outward from the target
+/// row and performs a logarithmic column search in each, pruning once the row distance
+/// alone exceeds the best candidate found so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreeBinIndex {
+    origin: Point,
+    bin_size: f64,
+    cols: usize,
+    rows: usize,
+    /// `free_cols[row]` is the ordered set of free columns in that row.
+    free_cols: Vec<BTreeSet<usize>>,
+    len: usize,
+}
+
+impl FreeBinIndex {
+    /// Creates an empty index with the same geometry as the owning grid.
+    #[must_use]
+    pub fn empty(origin: Point, bin_size: f64, cols: usize, rows: usize) -> Self {
+        FreeBinIndex {
+            origin,
+            bin_size,
+            cols,
+            rows,
+            free_cols: vec![BTreeSet::new(); rows],
+            len: 0,
+        }
+    }
+
+    /// Number of free bins currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no free bins are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `bin` is currently tracked as free.
+    #[must_use]
+    pub fn contains(&self, bin: BinId) -> bool {
+        let (col, row) = self.col_row(bin);
+        self.free_cols[row].contains(&col)
+    }
+
+    /// Adds `bin` to the free set.  Returns `true` if it was not already present.
+    pub fn insert(&mut self, bin: BinId) -> bool {
+        let (col, row) = self.col_row(bin);
+        let inserted = self.free_cols[row].insert(col);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes `bin` from the free set.  Returns `true` if it was present.
+    pub fn remove(&mut self, bin: BinId) -> bool {
+        let (col, row) = self.col_row(bin);
+        let removed = self.free_cols[row].remove(&col);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Centre point of a bin (same convention as [`BinGrid::bin_center`]).
+    #[must_use]
+    pub fn bin_center(&self, bin: BinId) -> Point {
+        let (col, row) = self.col_row(bin);
+        Point::new(
+            self.origin.x + (col as f64 + 0.5) * self.bin_size,
+            self.origin.y + (row as f64 + 0.5) * self.bin_size,
+        )
+    }
+
+    fn col_row(&self, bin: BinId) -> (usize, usize) {
+        assert!(bin.0 < self.cols * self.rows, "{bin} out of range");
+        (bin.0 % self.cols, bin.0 / self.cols)
+    }
+
+    fn bin_of(&self, col: usize, row: usize) -> BinId {
+        BinId(row * self.cols + col)
+    }
+
+    /// Finds the free bin whose centre is nearest (Euclidean) to `target`.
+    ///
+    /// Returns `None` when the index is empty.  The search walks rows outward from the
+    /// target row, doing an ordered column lookup per row, and stops as soon as the
+    /// vertical distance to the next row exceeds the best distance found so far, which
+    /// keeps queries logarithmic for realistic occupancies.
+    #[must_use]
+    pub fn nearest_free(&self, target: Point) -> Option<BinId> {
+        if self.is_empty() || self.cols == 0 || self.rows == 0 {
+            return None;
+        }
+        let target_row = (((target.y - self.origin.y) / self.bin_size - 0.5).round() as i64)
+            .clamp(0, self.rows as i64 - 1) as usize;
+
+        let mut best: Option<(f64, BinId)> = None;
+        let mut offset: i64 = 0;
+        loop {
+            let mut any_row_in_range = false;
+            for row in Self::rows_at_offset(target_row, offset, self.rows) {
+                any_row_in_range = true;
+                let row_y = self.origin.y + (row as f64 + 0.5) * self.bin_size;
+                let dy = row_y - target.y;
+                if let Some((best_d, _)) = best {
+                    if dy.abs() > best_d {
+                        continue;
+                    }
+                }
+                if let Some((dist, bin)) = self.nearest_in_row(row, target, dy) {
+                    match best {
+                        Some((best_d, best_bin)) if dist > best_d
+                            || (dist == best_d && bin >= best_bin) => {}
+                        _ => best = Some((dist, bin)),
+                    }
+                }
+            }
+            offset += 1;
+            // Termination: either we've scanned every row, or the vertical distance of
+            // the next row band already exceeds the best candidate.
+            let next_dy = (offset as f64 - 1.0).max(0.0) * self.bin_size;
+            let exhausted = !any_row_in_range && offset as usize > self.rows;
+            if exhausted {
+                break;
+            }
+            if let Some((best_d, _)) = best {
+                if next_dy > best_d {
+                    break;
+                }
+            }
+        }
+        best.map(|(_, bin)| bin)
+    }
+
+    /// Rows at exactly `offset` away from `center` (one or two rows), filtered to range.
+    fn rows_at_offset(center: usize, offset: i64, rows: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(2);
+        if offset == 0 {
+            out.push(center);
+            return out;
+        }
+        let up = center as i64 + offset;
+        let down = center as i64 - offset;
+        if up >= 0 && (up as usize) < rows {
+            out.push(up as usize);
+        }
+        if down >= 0 && (down as usize) < rows {
+            out.push(down as usize);
+        }
+        out
+    }
+
+    /// Nearest free bin in a single row, as `(distance, bin)`.
+    fn nearest_in_row(&self, row: usize, target: Point, dy: f64) -> Option<(f64, BinId)> {
+        let set = &self.free_cols[row];
+        if set.is_empty() {
+            return None;
+        }
+        let target_col = (((target.x - self.origin.x) / self.bin_size - 0.5).round() as i64)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let mut candidates = Vec::with_capacity(2);
+        if let Some(&c) = set.range(..=target_col).next_back() {
+            candidates.push(c);
+        }
+        if let Some(&c) = set.range(target_col..).next() {
+            candidates.push(c);
+        }
+        candidates
+            .into_iter()
+            .map(|col| {
+                let x = self.origin.x + (col as f64 + 0.5) * self.bin_size;
+                let dx = x - target.x;
+                (dx.hypot(dy), self.bin_of(col, row))
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+    }
+
+    /// Iterator over all free bins tracked by the index, in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = BinId> + '_ {
+        self.free_cols
+            .iter()
+            .enumerate()
+            .flat_map(move |(row, cols)| cols.iter().map(move |&col| self.bin_of(col, row)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn die(w: f64, h: f64) -> Rect {
+        Rect::from_corners(Point::ORIGIN, Point::new(w, h))
+    }
+
+    #[test]
+    fn grid_construction_and_indexing() {
+        let grid = BinGrid::new(&die(10.0, 5.0), 1.0);
+        assert_eq!(grid.cols(), 10);
+        assert_eq!(grid.rows(), 5);
+        assert_eq!(grid.num_bins(), 50);
+        let id = grid.bin_id(3, 2).expect("in range");
+        assert_eq!(grid.col_row(id), (3, 2));
+        assert_eq!(grid.bin_center(id), Point::new(3.5, 2.5));
+        assert!(grid.bin_id(10, 0).is_none());
+        assert!(grid.bin_id(0, 5).is_none());
+    }
+
+    #[test]
+    fn bin_at_clamps_out_of_range_points() {
+        let grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        assert_eq!(
+            grid.bin_at(Point::new(-5.0, -5.0)),
+            grid.bin_id(0, 0)
+        );
+        assert_eq!(
+            grid.bin_at(Point::new(50.0, 50.0)),
+            grid.bin_id(9, 9)
+        );
+        assert_eq!(grid.bin_at(Point::new(2.5, 7.5)), grid.bin_id(2, 7));
+    }
+
+    #[test]
+    fn block_rect_marks_overlapping_bins() {
+        let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid.block_rect(&Rect::from_center(Point::new(5.0, 5.0), 2.0, 2.0));
+        assert_eq!(grid.count(BinState::Blocked), 4);
+        // Touching a bin boundary without overlapping its interior does not block it.
+        let mut grid2 = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid2.block_rect(&Rect::from_lower_left(Point::new(2.0, 2.0), 1.0, 1.0));
+        assert_eq!(grid2.count(BinState::Blocked), 1);
+    }
+
+    #[test]
+    fn neighbors_are_in_range() {
+        let grid = BinGrid::new(&die(3.0, 3.0), 1.0);
+        let corner = grid.bin_id(0, 0).unwrap();
+        assert_eq!(grid.neighbors4(corner).len(), 2);
+        assert_eq!(grid.neighbors8(corner).len(), 3);
+        let center = grid.bin_id(1, 1).unwrap();
+        assert_eq!(grid.neighbors4(center).len(), 4);
+        assert_eq!(grid.neighbors8(center).len(), 8);
+    }
+
+    #[test]
+    fn free_index_nearest_simple() {
+        let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid.block_rect(&Rect::from_lower_left(Point::ORIGIN, 10.0, 10.0));
+        // Free exactly two bins.
+        let a = grid.bin_id(2, 2).unwrap();
+        let b = grid.bin_id(8, 8).unwrap();
+        grid.set_state(a, BinState::Free);
+        grid.set_state(b, BinState::Free);
+        let index = grid.free_index();
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.nearest_free(Point::new(1.0, 1.0)), Some(a));
+        assert_eq!(index.nearest_free(Point::new(9.0, 9.0)), Some(b));
+    }
+
+    #[test]
+    fn free_index_insert_remove() {
+        let grid = BinGrid::new(&die(4.0, 4.0), 1.0);
+        let mut index = grid.free_index();
+        assert_eq!(index.len(), 16);
+        let b = grid.bin_id(1, 1).unwrap();
+        assert!(index.contains(b));
+        assert!(index.remove(b));
+        assert!(!index.remove(b));
+        assert!(!index.contains(b));
+        assert_eq!(index.len(), 15);
+        assert!(index.insert(b));
+        assert!(!index.insert(b));
+        assert_eq!(index.len(), 16);
+    }
+
+    #[test]
+    fn nearest_free_empty_index_is_none() {
+        let index = FreeBinIndex::empty(Point::ORIGIN, 1.0, 4, 4);
+        assert!(index.nearest_free(Point::new(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn free_index_iter_matches_grid() {
+        let mut grid = BinGrid::new(&die(5.0, 5.0), 1.0);
+        grid.block_rect(&Rect::from_center(Point::new(2.5, 2.5), 3.0, 3.0));
+        let index = grid.free_index();
+        let from_iter: Vec<BinId> = index.iter().collect();
+        let from_grid: Vec<BinId> = grid.bins_in_state(BinState::Free).collect();
+        assert_eq!(from_iter.len(), from_grid.len());
+        for b in from_grid {
+            assert!(index.contains(b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nearest_free_matches_bruteforce(
+            blocked in proptest::collection::hash_set(0usize..100, 0..60),
+            tx in 0.0..10.0f64,
+            ty in 0.0..10.0f64,
+        ) {
+            let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+            for &b in &blocked {
+                grid.set_state(BinId(b), BinState::Blocked);
+            }
+            let index = grid.free_index();
+            let target = Point::new(tx, ty);
+            let fast = index.nearest_free(target);
+            let brute = grid
+                .bins_in_state(BinState::Free)
+                .map(|b| (grid.bin_center(b).distance(target), b))
+                .min_by(|a, b| a.0.total_cmp(&b.0));
+            match (fast, brute) {
+                (None, None) => {}
+                (Some(f), Some((bd, _))) => {
+                    let fd = grid.bin_center(f).distance(target);
+                    // The index must return a bin at exactly the optimal distance
+                    // (ties may be broken differently than the brute force).
+                    prop_assert!((fd - bd).abs() < 1e-9, "fast {} vs brute {}", fd, bd);
+                }
+                (f, b) => prop_assert!(false, "mismatch: fast={:?} brute={:?}", f, b),
+            }
+        }
+
+        #[test]
+        fn prop_block_rect_never_unblocks(
+            rx in 0.0..10.0f64, ry in 0.0..10.0f64,
+            rw in 0.1..5.0f64, rh in 0.1..5.0f64,
+        ) {
+            let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+            let before_free = grid.count(BinState::Free);
+            grid.block_rect(&Rect::from_center(Point::new(rx, ry), rw, rh));
+            prop_assert!(grid.count(BinState::Free) <= before_free);
+            prop_assert_eq!(grid.count(BinState::Free) + grid.count(BinState::Blocked), 100);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! # qgdp-geometry
+//!
+//! Geometry and spatial-indexing substrate for the qGDP quantum placement engine.
+//!
+//! Superconducting quantum layouts are modelled as rectilinear objects on a planar
+//! substrate (the chip die): transmon qubits are large rectangles ("macros"), resonator
+//! wire blocks are small square cells ("standard cells"), and resonator connectivity is
+//! described by polylines whose pairwise intersections correspond to airbridge
+//! crossings.  This crate provides:
+//!
+//! * [`Point`], [`Vector`] — planar coordinates and displacements,
+//! * [`Rect`] — axis-aligned rectangles (center + dimensions, matching the paper's
+//!   formulation of the non-overlap and border constraints),
+//! * [`Segment`], [`Polyline`] — line segments and chains used for resonator crossing
+//!   detection,
+//! * [`BinGrid`] and [`FreeBinIndex`] — the "bin-aided" free-space index used by the
+//!   integration-aware resonator legalizer (paper §III-D),
+//! * small numeric helpers shared by the placement and legalization crates.
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_geometry::{Point, Rect};
+//!
+//! let q0 = Rect::from_center(Point::new(10.0, 10.0), 8.0, 8.0);
+//! let q1 = Rect::from_center(Point::new(15.0, 10.0), 8.0, 8.0);
+//! assert!(q0.overlaps(&q1));
+//! assert_eq!(q0.overlap_area(&q1), 3.0 * 8.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bins;
+pub mod point;
+pub mod polyline;
+pub mod rect;
+pub mod segment;
+
+pub use bins::{BinGrid, BinId, BinState, FreeBinIndex};
+pub use point::{Point, Vector};
+pub use polyline::Polyline;
+pub use rect::Rect;
+pub use segment::{segments_properly_intersect, Orientation, Segment};
+
+/// Numerical tolerance used by geometric predicates throughout the workspace.
+///
+/// Coordinates in the qGDP flow are expressed in micrometres and are typically on the
+/// order of `1e0`–`1e4`, so an absolute epsilon of `1e-9` is far below any meaningful
+/// feature size while staying well above `f64` rounding noise.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when two floating point values are equal within [`EPS`].
+///
+/// # Example
+///
+/// ```
+/// assert!(qgdp_geometry::approx_eq(0.1 + 0.2, 0.3));
+/// assert!(!qgdp_geometry::approx_eq(1.0, 1.001));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Clamps `value` into the inclusive interval `[lo, hi]`.
+///
+/// Unlike [`f64::clamp`], this helper tolerates an inverted interval (when `lo > hi`)
+/// by returning the midpoint, which is the behaviour required when a component is wider
+/// than the die and no legal position exists: the least-bad answer is the centre.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(qgdp_geometry::clamp_interval(5.0, 0.0, 10.0), 5.0);
+/// assert_eq!(qgdp_geometry::clamp_interval(-3.0, 0.0, 10.0), 0.0);
+/// // inverted interval: component wider than the die
+/// assert_eq!(qgdp_geometry::clamp_interval(2.0, 6.0, 4.0), 5.0);
+/// ```
+#[must_use]
+pub fn clamp_interval(value: f64, lo: f64, hi: f64) -> f64 {
+    if lo > hi {
+        (lo + hi) * 0.5
+    } else {
+        value.clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn clamp_interval_regular_and_inverted() {
+        assert_eq!(clamp_interval(11.0, 0.0, 10.0), 10.0);
+        assert_eq!(clamp_interval(-1.0, 0.0, 10.0), 0.0);
+        assert_eq!(clamp_interval(3.0, 0.0, 10.0), 3.0);
+        assert_eq!(clamp_interval(100.0, 8.0, 2.0), 5.0);
+    }
+}

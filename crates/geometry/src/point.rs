@@ -1,0 +1,348 @@
+//! Planar points and displacement vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point on the chip substrate, in micrometres.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::Point;
+///
+/// let a = Point::new(0.0, 3.0);
+/// let b = Point::new(4.0, 0.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// assert_eq!(a.manhattan_distance(b), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s.
+///
+/// Kept distinct from [`Point`] so that positions and movements cannot be confused in
+/// APIs (a `Vector` can be added to a `Point`, but two `Point`s cannot be added).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub dx: f64,
+    /// Vertical component.
+    pub dy: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a new point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when only
+    /// comparisons are needed).
+    #[must_use]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let d = self - other;
+        d.dx * d.dx + d.dy * d.dy
+    }
+
+    /// Manhattan (rectilinear) distance to `other`, the natural metric for
+    /// displacement-minimising legalization.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation from `self` (at `t = 0`) to `other` (at `t = 1`).
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vector {
+    /// The zero displacement.
+    pub const ZERO: Vector = Vector { dx: 0.0, dy: 0.0 };
+
+    /// Creates a new vector.
+    #[must_use]
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Vector { dx, dy }
+    }
+
+    /// Euclidean length of the displacement.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.dx.hypot(self.dy)
+    }
+
+    /// Manhattan length of the displacement.
+    #[must_use]
+    pub fn manhattan_length(self) -> f64 {
+        self.dx.abs() + self.dy.abs()
+    }
+
+    /// Dot product with `other`.
+    #[must_use]
+    pub fn dot(self, other: Vector) -> f64 {
+        self.dx * other.dx + self.dy * other.dy
+    }
+
+    /// 2D cross product (z component) with `other`.
+    #[must_use]
+    pub fn cross(self, other: Vector) -> f64 {
+        self.dx * other.dy - self.dy * other.dx
+    }
+
+    /// Returns the unit vector in the same direction, or [`Vector::ZERO`] if the length
+    /// is (numerically) zero.
+    #[must_use]
+    pub fn normalized(self) -> Vector {
+        let len = self.length();
+        if len <= crate::EPS {
+            Vector::ZERO
+        } else {
+            Vector::new(self.dx / len, self.dy / len)
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.dx, self.dy)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.dx, self.y + rhs.dy)
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.dx, self.y - rhs.dy)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.dx;
+        self.y += rhs.dy;
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.dx;
+        self.y -= rhs.dy;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.dx + rhs.dx, self.dy + rhs.dy)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.dx - rhs.dx, self.dy - rhs.dy)
+    }
+}
+
+impl AddAssign for Vector {
+    fn add_assign(&mut self, rhs: Vector) {
+        self.dx += rhs.dx;
+        self.dy += rhs.dy;
+    }
+}
+
+impl SubAssign for Vector {
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.dx -= rhs.dx;
+        self.dy -= rhs.dy;
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.dx * rhs, self.dy * rhs)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.dx / rhs, self.dy / rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+
+    fn neg(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vector {
+    fn from((dx, dy): (f64, f64)) -> Self {
+        Vector::new(dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_and_manhattan() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+        assert_eq!(a.manhattan_distance(b), 7.0);
+    }
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let p = Point::new(1.0, 1.0);
+        let v = Vector::new(2.0, -1.0);
+        assert_eq!(p + v, Point::new(3.0, 0.0));
+        assert_eq!((p + v) - p, v);
+        assert_eq!(p - v, Point::new(-1.0, 2.0));
+        assert_eq!(-v, Vector::new(-2.0, 1.0));
+        assert_eq!(v * 2.0, Vector::new(4.0, -2.0));
+        assert_eq!(v / 2.0, Vector::new(1.0, -0.5));
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 4.0);
+        assert_eq!(a.midpoint(b), Point::new(5.0, 2.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25), Point::new(2.5, 1.0));
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_zero() {
+        assert_eq!(Vector::ZERO.normalized(), Vector::ZERO);
+        let v = Vector::new(3.0, 4.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_and_dot() {
+        let a = Vector::new(1.0, 0.0);
+        let b = Vector::new(0.0, 1.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+        assert_eq!(a.dot(b), 0.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_is_symmetric(ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+                                      bx in -1e4..1e4f64, by in -1e4..1e4f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+            prop_assert!((a.manhattan_distance(b) - b.manhattan_distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
+                                    bx in -1e3..1e3f64, by in -1e3..1e3f64,
+                                    cx in -1e3..1e3f64, cy in -1e3..1e3f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_euclidean_le_manhattan(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
+                                       bx in -1e3..1e3f64, by in -1e3..1e3f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!(a.distance(b) <= a.manhattan_distance(b) + 1e-9);
+        }
+    }
+}

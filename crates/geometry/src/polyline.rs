@@ -1,0 +1,250 @@
+//! Polylines (segment chains) modelling resonator routes for crossing detection.
+
+use crate::{Point, Segment};
+use std::fmt;
+
+/// An open polyline: an ordered chain of points connected by straight segments.
+///
+/// In the qGDP metrics, a resonator's reserved space is summarised as a polyline that
+/// starts at one endpoint qubit, passes through the centroids of its wire-block
+/// clusters, and ends at the other endpoint qubit.  The number of *proper* pairwise
+/// crossings between the polylines of different resonators is the paper's "coupler
+/// crosses" metric (`X̄` in Fig. 9 and `X` in Table III).
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Polyline};
+///
+/// let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(4.0, 4.0)]);
+/// let b = Polyline::new(vec![Point::new(0.0, 4.0), Point::new(4.0, 0.0)]);
+/// assert_eq!(a.crossings_with(&b), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline from an ordered list of vertices.
+    ///
+    /// Fewer than two points yields a degenerate polyline with no segments, which is
+    /// valid and simply never crosses anything.
+    #[must_use]
+    pub fn new(points: Vec<Point>) -> Self {
+        Polyline { points }
+    }
+
+    /// The vertices of the polyline.
+    #[must_use]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the polyline has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Appends a vertex to the end of the polyline.
+    pub fn push(&mut self, point: Point) {
+        self.points.push(point);
+    }
+
+    /// Total Euclidean length of the polyline.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    /// Iterator over the constituent segments, skipping degenerate (zero-length) ones.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points
+            .windows(2)
+            .map(|w| Segment::new(w[0], w[1]))
+            .filter(|s| !s.is_degenerate())
+    }
+
+    /// Counts the proper crossings between this polyline and `other`.
+    ///
+    /// Endpoint touches and collinear overlaps are not counted, so two resonators that
+    /// share a qubit anchor do not register a spurious crossing.
+    #[must_use]
+    pub fn crossings_with(&self, other: &Polyline) -> usize {
+        let other_segments: Vec<Segment> = other.segments().collect();
+        self.segments()
+            .map(|s| {
+                other_segments
+                    .iter()
+                    .filter(|o| s.properly_intersects(o))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Returns all proper crossing points between this polyline and `other`.
+    #[must_use]
+    pub fn crossing_points_with(&self, other: &Polyline) -> Vec<Point> {
+        let other_segments: Vec<Segment> = other.segments().collect();
+        let mut out = Vec::new();
+        for s in self.segments() {
+            for o in &other_segments {
+                if let Some(p) = s.crossing_point(o) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Counts the proper self-crossings of the polyline (non-adjacent segment pairs
+    /// only).
+    #[must_use]
+    pub fn self_crossings(&self) -> usize {
+        let segs: Vec<Segment> = self.segments().collect();
+        let mut count = 0;
+        for i in 0..segs.len() {
+            for j in (i + 2)..segs.len() {
+                if segs[i].properly_intersects(&segs[j]) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The axis-aligned bounding box of the polyline, or `None` when empty.
+    #[must_use]
+    pub fn bounding_box(&self) -> Option<crate::Rect> {
+        let first = *self.points.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in &self.points {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        Some(crate::Rect::from_corners(lo, hi))
+    }
+}
+
+impl FromIterator<Point> for Polyline {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        Polyline::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point> for Polyline {
+    fn extend<T: IntoIterator<Item = Point>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+impl fmt::Display for Polyline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polyline[{} pts, len {:.3}]", self.len(), self.length())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        let pl = Polyline::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(3.0, 4.0)]);
+        assert_eq!(pl.length(), 7.0);
+        assert_eq!(pl.segments().count(), 2);
+    }
+
+    #[test]
+    fn degenerate_segments_skipped() {
+        let pl = Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.0), p(3.0, 0.0)]);
+        assert_eq!(pl.segments().count(), 1);
+        assert_eq!(pl.length(), 3.0);
+    }
+
+    #[test]
+    fn crossings_counted_once_per_pair() {
+        let a = Polyline::new(vec![p(0.0, 0.0), p(10.0, 0.0)]);
+        let b = Polyline::new(vec![p(1.0, -1.0), p(1.0, 1.0), p(2.0, 1.0), p(2.0, -1.0)]);
+        // b crosses a twice (two vertical strokes).
+        assert_eq!(a.crossings_with(&b), 2);
+        assert_eq!(b.crossings_with(&a), 2);
+        assert_eq!(a.crossing_points_with(&b).len(), 2);
+    }
+
+    #[test]
+    fn shared_anchor_not_a_crossing() {
+        // Two resonators fanning out of the same qubit at (0,0).
+        let a = Polyline::new(vec![p(0.0, 0.0), p(5.0, 5.0)]);
+        let b = Polyline::new(vec![p(0.0, 0.0), p(5.0, -5.0)]);
+        assert_eq!(a.crossings_with(&b), 0);
+    }
+
+    #[test]
+    fn self_crossing_detection() {
+        // A figure that crosses itself once.
+        let pl = Polyline::new(vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(2.0, -2.0),
+        ]);
+        assert_eq!(pl.self_crossings(), 1);
+        let straight = Polyline::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]);
+        assert_eq!(straight.self_crossings(), 0);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pl = Polyline::new(vec![p(1.0, 2.0), p(-3.0, 5.0), p(4.0, 0.0)]);
+        let bb = pl.bounding_box().expect("non-empty");
+        assert_eq!(bb.lower_left(), p(-3.0, 0.0));
+        assert_eq!(bb.upper_right(), p(4.0, 5.0));
+        assert!(Polyline::default().bounding_box().is_none());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut pl: Polyline = vec![p(0.0, 0.0), p(1.0, 0.0)].into_iter().collect();
+        pl.extend(vec![p(2.0, 0.0)]);
+        assert_eq!(pl.len(), 3);
+        assert_eq!(pl.length(), 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crossings_symmetric(
+            xs in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 2..6),
+            ys in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 2..6),
+        ) {
+            let a: Polyline = xs.into_iter().map(|(x, y)| p(x, y)).collect();
+            let b: Polyline = ys.into_iter().map(|(x, y)| p(x, y)).collect();
+            prop_assert_eq!(a.crossings_with(&b), b.crossings_with(&a));
+        }
+
+        #[test]
+        fn prop_length_nonnegative_and_additive(
+            xs in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 0..8),
+        ) {
+            let a: Polyline = xs.iter().map(|&(x, y)| p(x, y)).collect();
+            prop_assert!(a.length() >= 0.0);
+            let seg_sum: f64 = a.segments().map(|s| s.length()).sum();
+            prop_assert!((a.length() - seg_sum).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Axis-aligned rectangles used for qubit pads, wire blocks and window regions.
+
+use crate::{clamp_interval, Point, Vector, EPS};
+use std::fmt;
+
+/// An axis-aligned rectangle described by its centre and dimensions.
+///
+/// The centre-based representation mirrors the paper's constraint formulation:
+/// non-overlap between components `i` and `j` is
+/// `|x_i − x_j| ≥ (w_i + w_j)/2` **or** `|y_i − y_j| ≥ (h_i + h_j)/2`,
+/// and the border constraint is `w/2 ≤ x ≤ W − w/2`, `h/2 ≤ y ≤ H − h/2`.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Rect};
+///
+/// let die = Rect::from_corners(Point::ORIGIN, Point::new(100.0, 100.0));
+/// let qubit = Rect::from_center(Point::new(3.0, 3.0), 10.0, 10.0);
+/// let inside = qubit.clamped_within(&die);
+/// assert_eq!(inside.center(), Point::new(5.0, 5.0));
+/// assert!(die.contains_rect(&inside));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    center: Point,
+    width: f64,
+    height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its centre point and dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or non-finite.
+    #[must_use]
+    pub fn from_center(center: Point, width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0 && width.is_finite() && height.is_finite(),
+            "rectangle dimensions must be finite and non-negative (got {width} x {height})"
+        );
+        Rect {
+            center,
+            width,
+            height,
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or non-finite.
+    #[must_use]
+    pub fn from_lower_left(lower_left: Point, width: f64, height: f64) -> Self {
+        Rect::from_center(
+            Point::new(lower_left.x + width * 0.5, lower_left.y + height * 0.5),
+            width,
+            height,
+        )
+    }
+
+    /// Creates a rectangle spanning two opposite corners (in any order).
+    #[must_use]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        let lo = Point::new(a.x.min(b.x), a.y.min(b.y));
+        let hi = Point::new(a.x.max(b.x), a.y.max(b.y));
+        Rect::from_lower_left(lo, hi.x - lo.x, hi.y - lo.y)
+    }
+
+    /// The centre of the rectangle.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The width of the rectangle.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The height of the rectangle.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Area of the rectangle.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Half of the perimeter (`width + height`), the HPWL-style size measure.
+    #[must_use]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width + self.height
+    }
+
+    /// The x coordinate of the left edge.
+    #[must_use]
+    pub fn left(&self) -> f64 {
+        self.center.x - self.width * 0.5
+    }
+
+    /// The x coordinate of the right edge.
+    #[must_use]
+    pub fn right(&self) -> f64 {
+        self.center.x + self.width * 0.5
+    }
+
+    /// The y coordinate of the bottom edge.
+    #[must_use]
+    pub fn bottom(&self) -> f64 {
+        self.center.y - self.height * 0.5
+    }
+
+    /// The y coordinate of the top edge.
+    #[must_use]
+    pub fn top(&self) -> f64 {
+        self.center.y + self.height * 0.5
+    }
+
+    /// The lower-left corner.
+    #[must_use]
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.left(), self.bottom())
+    }
+
+    /// The upper-right corner.
+    #[must_use]
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.right(), self.top())
+    }
+
+    /// Returns a copy of this rectangle translated so its centre is `center`.
+    #[must_use]
+    pub fn with_center(&self, center: Point) -> Rect {
+        Rect { center, ..*self }
+    }
+
+    /// Returns a copy of this rectangle translated by `offset`.
+    #[must_use]
+    pub fn translated(&self, offset: Vector) -> Rect {
+        Rect {
+            center: self.center + offset,
+            ..*self
+        }
+    }
+
+    /// Returns a copy of this rectangle expanded by `margin` on every side.
+    ///
+    /// A negative margin shrinks the rectangle; dimensions are floored at zero.
+    #[must_use]
+    pub fn inflated(&self, margin: f64) -> Rect {
+        Rect {
+            center: self.center,
+            width: (self.width + 2.0 * margin).max(0.0),
+            height: (self.height + 2.0 * margin).max(0.0),
+        }
+    }
+
+    /// Returns `true` if `point` lies inside or on the boundary of the rectangle.
+    #[must_use]
+    pub fn contains_point(&self, point: Point) -> bool {
+        point.x >= self.left() - EPS
+            && point.x <= self.right() + EPS
+            && point.y >= self.bottom() - EPS
+            && point.y <= self.top() + EPS
+    }
+
+    /// Returns `true` if `other` lies entirely inside (or on the boundary of) `self`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.left() >= self.left() - EPS
+            && other.right() <= self.right() + EPS
+            && other.bottom() >= self.bottom() - EPS
+            && other.top() <= self.top() + EPS
+    }
+
+    /// Returns `true` if the interiors of the two rectangles intersect.
+    ///
+    /// Rectangles that merely touch along an edge or corner do **not** overlap; touching
+    /// is the desired packing condition for wire blocks of the same resonator.
+    #[must_use]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.overlap_x(other) > EPS && self.overlap_y(other) > EPS
+    }
+
+    /// Length of the overlap of the two x-projections (zero if disjoint).
+    #[must_use]
+    pub fn overlap_x(&self, other: &Rect) -> f64 {
+        (self.right().min(other.right()) - self.left().max(other.left())).max(0.0)
+    }
+
+    /// Length of the overlap of the two y-projections (zero if disjoint).
+    #[must_use]
+    pub fn overlap_y(&self, other: &Rect) -> f64 {
+        (self.top().min(other.top()) - self.bottom().max(other.bottom())).max(0.0)
+    }
+
+    /// Area of the intersection of the two rectangles (zero if disjoint).
+    #[must_use]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        self.overlap_x(other) * self.overlap_y(other)
+    }
+
+    /// Returns `true` if the two rectangles touch: their closures intersect but their
+    /// interiors may or may not.  Two abutting wire blocks touch; two blocks separated
+    /// by any positive gap do not.
+    #[must_use]
+    pub fn touches(&self, other: &Rect) -> bool {
+        let gap_x = self.left().max(other.left()) - self.right().min(other.right());
+        let gap_y = self.bottom().max(other.bottom()) - self.top().min(other.top());
+        gap_x <= EPS && gap_y <= EPS
+    }
+
+    /// Length of the shared boundary between two touching, non-overlapping rectangles.
+    ///
+    /// This is the `p_i ∩ p_j` term of the frequency-hotspot metric (paper Eq. 4): the
+    /// facing length over which two components are adjacent.  For overlapping
+    /// rectangles the larger projection overlap is returned, and for rectangles that do
+    /// not touch at all the result is zero.
+    #[must_use]
+    pub fn contact_length(&self, other: &Rect) -> f64 {
+        if !self.touches(other) {
+            return 0.0;
+        }
+        self.overlap_x(other).max(self.overlap_y(other))
+    }
+
+    /// Shortest distance between the boundaries of the two rectangles (zero if they
+    /// touch or overlap).
+    #[must_use]
+    pub fn gap(&self, other: &Rect) -> f64 {
+        let gap_x = (self.left().max(other.left()) - self.right().min(other.right())).max(0.0);
+        let gap_y = (self.bottom().max(other.bottom()) - self.top().min(other.top())).max(0.0);
+        gap_x.hypot(gap_y)
+    }
+
+    /// Distance between the centres of the two rectangles — the `d_c` term of the
+    /// frequency-hotspot metric (paper Eq. 4).
+    #[must_use]
+    pub fn centroid_distance(&self, other: &Rect) -> f64 {
+        self.center.distance(other.center)
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::from_corners(
+            Point::new(
+                self.left().min(other.left()),
+                self.bottom().min(other.bottom()),
+            ),
+            Point::new(self.right().max(other.right()), self.top().max(other.top())),
+        )
+    }
+
+    /// The bounding box of a non-empty set of rectangles, or `None` for an empty
+    /// iterator.
+    #[must_use]
+    pub fn bounding_box<'a, I: IntoIterator<Item = &'a Rect>>(rects: I) -> Option<Rect> {
+        let mut iter = rects.into_iter();
+        let first = *iter.next()?;
+        Some(iter.fold(first, |acc, r| acc.union(r)))
+    }
+
+    /// Returns a copy of `self` whose centre has been clamped so that the rectangle lies
+    /// inside `border` (the paper's border constraint, Eq. 2).
+    ///
+    /// If `self` is wider or taller than `border`, the corresponding coordinate is
+    /// centred on the border.
+    #[must_use]
+    pub fn clamped_within(&self, border: &Rect) -> Rect {
+        let cx = clamp_interval(
+            self.center.x,
+            border.left() + self.width * 0.5,
+            border.right() - self.width * 0.5,
+        );
+        let cy = clamp_interval(
+            self.center.y,
+            border.bottom() + self.height * 0.5,
+            border.top() - self.height * 0.5,
+        );
+        self.with_center(Point::new(cx, cy))
+    }
+
+    /// Minimum centre-to-centre separation along x for `self` and `other` not to
+    /// overlap, i.e. `(w_i + w_j)/2` from the paper's Eq. 1.
+    #[must_use]
+    pub fn min_separation_x(&self, other: &Rect) -> f64 {
+        (self.width + other.width) * 0.5
+    }
+
+    /// Minimum centre-to-centre separation along y for `self` and `other` not to
+    /// overlap, i.e. `(h_i + h_j)/2` from the paper's Eq. 1.
+    #[must_use]
+    pub fn min_separation_y(&self, other: &Rect) -> f64 {
+        (self.height + other.height) * 0.5
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3}x{:.3} @ {}]",
+            self.width, self.height, self.center
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(cx: f64, cy: f64, w: f64, h: f64) -> Rect {
+        Rect::from_center(Point::new(cx, cy), w, h)
+    }
+
+    #[test]
+    fn construction_round_trips() {
+        let a = Rect::from_lower_left(Point::new(1.0, 2.0), 4.0, 6.0);
+        assert_eq!(a.center(), Point::new(3.0, 5.0));
+        assert_eq!(a.lower_left(), Point::new(1.0, 2.0));
+        assert_eq!(a.upper_right(), Point::new(5.0, 8.0));
+        let b = Rect::from_corners(Point::new(5.0, 8.0), Point::new(1.0, 2.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be finite")]
+    fn negative_dimensions_panic() {
+        let _ = Rect::from_center(Point::ORIGIN, -1.0, 1.0);
+    }
+
+    #[test]
+    fn overlap_and_touching() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(8.0, 0.0, 10.0, 10.0);
+        let c = r(10.0, 0.0, 10.0, 10.0); // abuts a exactly
+        let d = r(30.0, 0.0, 10.0, 10.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.touches(&c));
+        assert!(!a.touches(&d));
+        assert_eq!(a.overlap_area(&b), 2.0 * 10.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert_eq!(a.contact_length(&c), 10.0);
+        assert_eq!(a.contact_length(&d), 0.0);
+    }
+
+    #[test]
+    fn gap_distances() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(20.0, 0.0, 10.0, 10.0);
+        assert_eq!(a.gap(&b), 10.0);
+        let c = r(20.0, 20.0, 10.0, 10.0);
+        let expected = (10.0f64 * 10.0 + 10.0 * 10.0).sqrt();
+        assert!((a.gap(&c) - expected).abs() < 1e-12);
+        assert_eq!(a.gap(&r(5.0, 5.0, 10.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn union_and_bounding_box() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(10.0, 10.0, 2.0, 2.0);
+        let u = a.union(&b);
+        assert_eq!(u.lower_left(), Point::new(-1.0, -1.0));
+        assert_eq!(u.upper_right(), Point::new(11.0, 11.0));
+        assert_eq!(Rect::bounding_box([&a, &b].into_iter().copied().collect::<Vec<_>>().iter()), Some(u));
+        assert_eq!(Rect::bounding_box(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn clamp_within_border() {
+        let die = Rect::from_corners(Point::ORIGIN, Point::new(100.0, 50.0));
+        let q = r(-5.0, 60.0, 10.0, 10.0);
+        let c = q.clamped_within(&die);
+        assert_eq!(c.center(), Point::new(5.0, 45.0));
+        assert!(die.contains_rect(&c));
+        // Larger than die: centred.
+        let big = r(0.0, 0.0, 200.0, 10.0);
+        assert_eq!(big.clamped_within(&die).center().x, 50.0);
+    }
+
+    #[test]
+    fn containment() {
+        let die = Rect::from_corners(Point::ORIGIN, Point::new(10.0, 10.0));
+        assert!(die.contains_point(Point::new(0.0, 0.0)));
+        assert!(die.contains_point(Point::new(10.0, 10.0)));
+        assert!(!die.contains_point(Point::new(10.1, 10.0)));
+        assert!(die.contains_rect(&r(5.0, 5.0, 10.0, 10.0)));
+        assert!(!die.contains_rect(&r(5.0, 5.0, 10.1, 10.0)));
+    }
+
+    #[test]
+    fn separation_terms_match_eq1() {
+        let a = r(0.0, 0.0, 8.0, 6.0);
+        let b = r(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.min_separation_x(&b), 6.0);
+        assert_eq!(a.min_separation_y(&b), 4.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_overlap_is_symmetric(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                                     aw in 0.1..20.0f64, ah in 0.1..20.0f64,
+                                     bx in -50.0..50.0f64, by in -50.0..50.0f64,
+                                     bw in 0.1..20.0f64, bh in 0.1..20.0f64) {
+            let a = r(ax, ay, aw, ah);
+            let b = r(bx, by, bw, bh);
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            prop_assert!((a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9);
+            prop_assert!((a.gap(&b) - b.gap(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_overlap_implies_eq1_violated(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                                             aw in 0.1..20.0f64, ah in 0.1..20.0f64,
+                                             bx in -50.0..50.0f64, by in -50.0..50.0f64,
+                                             bw in 0.1..20.0f64, bh in 0.1..20.0f64) {
+            // Overlap is exactly the negation of the paper's non-overlap constraint.
+            let a = r(ax, ay, aw, ah);
+            let b = r(bx, by, bw, bh);
+            let eq1_satisfied = (ax - bx).abs() + 1e-12 >= a.min_separation_x(&b)
+                || (ay - by).abs() + 1e-12 >= a.min_separation_y(&b);
+            prop_assert_eq!(a.overlaps(&b), !eq1_satisfied);
+        }
+
+        #[test]
+        fn prop_clamp_keeps_inside_when_feasible(cx in -200.0..200.0f64, cy in -200.0..200.0f64,
+                                                 w in 0.1..50.0f64, h in 0.1..50.0f64) {
+            let die = Rect::from_corners(Point::ORIGIN, Point::new(100.0, 100.0));
+            let clamped = r(cx, cy, w, h).clamped_within(&die);
+            prop_assert!(die.contains_rect(&clamped));
+        }
+
+        #[test]
+        fn prop_union_contains_both(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                                    aw in 0.1..20.0f64, ah in 0.1..20.0f64,
+                                    bx in -50.0..50.0f64, by in -50.0..50.0f64,
+                                    bw in 0.1..20.0f64, bh in 0.1..20.0f64) {
+            let a = r(ax, ay, aw, ah);
+            let b = r(bx, by, bw, bh);
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Line segments and the intersection predicate used for resonator-crossing detection.
+
+use crate::{Point, EPS};
+use std::fmt;
+
+/// Orientation of an ordered point triple, used by the segment-intersection predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The three points are (numerically) collinear.
+    Collinear,
+    /// Counter-clockwise turn.
+    CounterClockwise,
+    /// Clockwise turn.
+    Clockwise,
+}
+
+impl Orientation {
+    /// Computes the orientation of the ordered triple `(a, b, c)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qgdp_geometry::{Orientation, Point};
+    ///
+    /// let o = Orientation::of(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(1.0, 1.0));
+    /// assert_eq!(o, Orientation::CounterClockwise);
+    /// ```
+    #[must_use]
+    pub fn of(a: Point, b: Point, c: Point) -> Orientation {
+        let cross = (b - a).cross(c - a);
+        if cross.abs() <= EPS {
+            Orientation::Collinear
+        } else if cross > 0.0 {
+            Orientation::CounterClockwise
+        } else {
+            Orientation::Clockwise
+        }
+    }
+}
+
+/// A straight line segment between two points.
+///
+/// Resonator routes are modelled as chains of segments; a pairwise *proper* intersection
+/// between segments of two different resonators corresponds to a physical crossing that
+/// would require an airbridge on the chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a new segment.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[must_use]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Returns `true` if the segment degenerates to a single point.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.length() <= EPS
+    }
+
+    /// Returns `true` if `p` lies on the segment (within tolerance).
+    #[must_use]
+    pub fn contains_point(&self, p: Point) -> bool {
+        if Orientation::of(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        p.x >= self.a.x.min(self.b.x) - EPS
+            && p.x <= self.a.x.max(self.b.x) + EPS
+            && p.y >= self.a.y.min(self.b.y) - EPS
+            && p.y <= self.a.y.max(self.b.y) + EPS
+    }
+
+    /// Returns `true` if the two segments intersect at all, including shared endpoints
+    /// and collinear overlap.
+    #[must_use]
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = Orientation::of(self.a, self.b, other.a);
+        let o2 = Orientation::of(self.a, self.b, other.b);
+        let o3 = Orientation::of(other.a, other.b, self.a);
+        let o4 = Orientation::of(other.a, other.b, self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        {
+            return true;
+        }
+        // Collinear / endpoint cases.
+        (o1 == Orientation::Collinear && self.contains_point(other.a))
+            || (o2 == Orientation::Collinear && self.contains_point(other.b))
+            || (o3 == Orientation::Collinear && other.contains_point(self.a))
+            || (o4 == Orientation::Collinear && other.contains_point(self.b))
+    }
+
+    /// Returns `true` if the two segments *properly* cross: they intersect at exactly
+    /// one interior point of each.  Shared endpoints (resonators meeting at the same
+    /// qubit pad) and collinear overlaps do **not** count as crossings.
+    #[must_use]
+    pub fn properly_intersects(&self, other: &Segment) -> bool {
+        segments_properly_intersect(self.a, self.b, other.a, other.b)
+    }
+
+    /// The intersection point of the supporting lines, if the segments properly cross.
+    ///
+    /// Returns `None` when the segments do not properly intersect (parallel, collinear,
+    /// disjoint, or touching only at endpoints).
+    #[must_use]
+    pub fn crossing_point(&self, other: &Segment) -> Option<Point> {
+        if !self.properly_intersects(other) {
+            return None;
+        }
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() <= EPS {
+            return None;
+        }
+        let t = (other.a - self.a).cross(s) / denom;
+        Some(self.a + r * t)
+    }
+}
+
+/// Returns `true` if segment `(p1, p2)` properly crosses segment `(p3, p4)`.
+///
+/// "Properly" means the intersection point is interior to both segments; touching at an
+/// endpoint or overlapping collinearly is not a proper crossing.  This is the predicate
+/// used to count airbridge crossings between resonator routes.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{segments_properly_intersect, Point};
+///
+/// let p = |x, y| Point::new(x, y);
+/// assert!(segments_properly_intersect(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(2.0, 0.0)));
+/// // Sharing an endpoint is not a proper crossing.
+/// assert!(!segments_properly_intersect(p(0.0, 0.0), p(2.0, 2.0), p(0.0, 0.0), p(2.0, 0.0)));
+/// ```
+#[must_use]
+pub fn segments_properly_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool {
+    let o1 = Orientation::of(p1, p2, p3);
+    let o2 = Orientation::of(p1, p2, p4);
+    let o3 = Orientation::of(p3, p4, p1);
+    let o4 = Orientation::of(p3, p4, p2);
+    o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -- {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(
+            Orientation::of(p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)),
+            Orientation::Collinear
+        );
+        assert_eq!(
+            Orientation::of(p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            Orientation::of(p(0.0, 0.0), p(1.0, 0.0), p(1.0, -1.0)),
+            Orientation::Clockwise
+        );
+    }
+
+    #[test]
+    fn proper_crossing_detected() {
+        let s1 = Segment::new(p(0.0, 0.0), p(4.0, 4.0));
+        let s2 = Segment::new(p(0.0, 4.0), p(4.0, 0.0));
+        assert!(s1.properly_intersects(&s2));
+        let x = s1.crossing_point(&s2).expect("segments cross");
+        assert!((x.x - 2.0).abs() < 1e-12 && (x.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_endpoint_is_not_proper() {
+        let s1 = Segment::new(p(0.0, 0.0), p(4.0, 4.0));
+        let s2 = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        assert!(!s1.properly_intersects(&s2));
+        assert!(s1.intersects(&s2));
+        assert!(s1.crossing_point(&s2).is_none());
+    }
+
+    #[test]
+    fn collinear_overlap_is_not_proper() {
+        let s1 = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        let s2 = Segment::new(p(2.0, 0.0), p(6.0, 0.0));
+        assert!(!s1.properly_intersects(&s2));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s1 = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let s2 = Segment::new(p(0.0, 1.0), p(1.0, 1.0));
+        assert!(!s1.intersects(&s2));
+        assert!(!s1.properly_intersects(&s2));
+    }
+
+    #[test]
+    fn t_junction_touching_is_intersecting_but_not_proper() {
+        // s2 ends exactly on the interior of s1.
+        let s1 = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        let s2 = Segment::new(p(2.0, 0.0), p(2.0, 3.0));
+        assert!(s1.intersects(&s2));
+        assert!(!s1.properly_intersects(&s2));
+    }
+
+    #[test]
+    fn contains_point_checks_bounds() {
+        let s = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        assert!(s.contains_point(p(2.0, 0.0)));
+        assert!(!s.contains_point(p(5.0, 0.0)));
+        assert!(!s.contains_point(p(2.0, 0.1)));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(p(1.0, 1.0), p(1.0, 1.0));
+        assert!(s.is_degenerate());
+        assert_eq!(s.length(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_proper_intersection_symmetric(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+            cx in -10.0..10.0f64, cy in -10.0..10.0f64,
+            dx in -10.0..10.0f64, dy in -10.0..10.0f64,
+        ) {
+            let s1 = Segment::new(p(ax, ay), p(bx, by));
+            let s2 = Segment::new(p(cx, cy), p(dx, dy));
+            prop_assert_eq!(s1.properly_intersects(&s2), s2.properly_intersects(&s1));
+            prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+        }
+
+        #[test]
+        fn prop_proper_implies_intersects(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+            cx in -10.0..10.0f64, cy in -10.0..10.0f64,
+            dx in -10.0..10.0f64, dy in -10.0..10.0f64,
+        ) {
+            let s1 = Segment::new(p(ax, ay), p(bx, by));
+            let s2 = Segment::new(p(cx, cy), p(dx, dy));
+            if s1.properly_intersects(&s2) {
+                prop_assert!(s1.intersects(&s2));
+                let x = s1.crossing_point(&s2).expect("proper crossing has a point");
+                prop_assert!(s1.contains_point(x) || x.distance(s1.a).min(x.distance(s1.b)) < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_segment_never_properly_crosses_itself(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+        ) {
+            let s = Segment::new(p(ax, ay), p(bx, by));
+            prop_assert!(!s.properly_intersects(&s));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The Abacus row-cluster legalizer (baseline for resonator wire blocks).
+//!
+//! Abacus (Spindler et al., ISPD'08) legalizes standard cells row by row: cells are
+//! processed in global-placement x order and, for each candidate row, the row's cells
+//! are maintained as *clusters* whose optimal positions minimise total quadratic
+//! displacement; inserting a cell may cause clusters to collapse (merge) until no two
+//! overlap.  The cell is committed to the row with the cheapest resulting displacement.
+//! Like Tetris it is quantum-unaware: it optimises displacement only and happily
+//! splits a resonator's wire blocks across the die.
+
+use crate::{CellLegalizer, LegalizeError, RowGrid, SubRow};
+use qgdp_geometry::{Point, Rect};
+use qgdp_netlist::{Placement, QuantumNetlist, SegmentId};
+
+/// One Abacus cluster: a maximal run of abutting cells within a sub-row.
+#[derive(Debug, Clone, PartialEq)]
+struct Cluster {
+    /// Left edge of the cluster.
+    x: f64,
+    /// Total width of the member cells.
+    width: f64,
+    /// Total weight of the member cells.
+    weight: f64,
+    /// Abacus `q` accumulator: Σ e_i (x'_i − offset_i).
+    q: f64,
+    /// Member cells in placement order: (segment, desired left edge, width).
+    cells: Vec<(SegmentId, f64, f64)>,
+}
+
+impl Cluster {
+    fn new_with(cell: (SegmentId, f64, f64)) -> Self {
+        let (_, desired_left, width) = cell;
+        Cluster {
+            x: desired_left,
+            width,
+            weight: 1.0,
+            q: desired_left,
+            cells: vec![cell],
+        }
+    }
+
+    fn add_cluster(&mut self, other: &Cluster) {
+        self.q += other.q - other.weight * self.width;
+        self.weight += other.weight;
+        self.width += other.width;
+        self.cells.extend(other.cells.iter().cloned());
+    }
+
+    /// Optimal (unclamped) left edge, then clamped into the sub-row.
+    fn place(&mut self, sub: &SubRow) {
+        let optimal = self.q / self.weight;
+        self.x = optimal.clamp(sub.x_start, (sub.x_end - self.width).max(sub.x_start));
+    }
+}
+
+/// The per-sub-row state of the Abacus algorithm.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct SubRowState {
+    clusters: Vec<Cluster>,
+    used_width: f64,
+}
+
+impl SubRowState {
+    /// Inserts a cell at the end of the sub-row, collapsing clusters as required, and
+    /// returns the resulting centre position of the inserted cell.
+    fn insert(&mut self, sub: &SubRow, cell: (SegmentId, f64, f64)) -> f64 {
+        let (segment, _, width) = cell;
+        let mut cluster = Cluster::new_with(cell);
+        cluster.place(sub);
+        // Collapse with predecessors while overlapping.
+        while let Some(last) = self.clusters.last() {
+            if last.x + last.width > cluster.x + qgdp_geometry::EPS {
+                let mut merged = self.clusters.pop().expect("last exists");
+                merged.add_cluster(&cluster);
+                merged.place(sub);
+                cluster = merged;
+            } else {
+                break;
+            }
+        }
+        self.clusters.push(cluster);
+        self.used_width += width;
+        // Locate the inserted cell's final position.
+        let last = self.clusters.last().expect("just pushed");
+        let mut x = last.x;
+        for &(s, _, w) in &last.cells {
+            if s == segment {
+                return x + w * 0.5;
+            }
+            x += w;
+        }
+        unreachable!("inserted cell must be in the final cluster");
+    }
+
+    /// Final centre positions of every cell in the sub-row.
+    fn positions(&self, row_y: f64) -> Vec<(SegmentId, Point)> {
+        let mut out = Vec::new();
+        for cluster in &self.clusters {
+            let mut x = cluster.x;
+            for &(s, _, w) in &cluster.cells {
+                out.push((s, Point::new(x + w * 0.5, row_y)));
+                x += w;
+            }
+        }
+        out
+    }
+}
+
+/// The Abacus legalizer for resonator wire blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbacusLegalizer;
+
+impl AbacusLegalizer {
+    /// Creates an Abacus legalizer.
+    #[must_use]
+    pub fn new() -> Self {
+        AbacusLegalizer
+    }
+}
+
+impl CellLegalizer for AbacusLegalizer {
+    fn name(&self) -> &'static str {
+        "abacus"
+    }
+
+    fn legalize_cells(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &Placement,
+    ) -> Result<Placement, LegalizeError> {
+        let lb = netlist.geometry().wire_block_size;
+        let blockages: Vec<Rect> = netlist
+            .qubit_ids()
+            .map(|q| netlist.qubit(q).rect_at(placement.qubit(q)))
+            .collect();
+        let grid = RowGrid::new(die, lb, &blockages)?;
+
+        let mut states: Vec<Vec<SubRowState>> = grid
+            .rows()
+            .iter()
+            .map(|row| vec![SubRowState::default(); row.len()])
+            .collect();
+
+        let mut order: Vec<SegmentId> = netlist.segment_ids().collect();
+        order.sort_by(|&a, &b| {
+            placement
+                .segment(a)
+                .x
+                .total_cmp(&placement.segment(b).x)
+                .then(a.cmp(&b))
+        });
+
+        for s in &order {
+            let desired = placement.segment(*s);
+            let desired_left = desired.x - lb * 0.5;
+            // Candidate rows sorted by vertical distance; stop expanding once the
+            // vertical distance alone exceeds the best cost found.
+            let mut row_order: Vec<usize> = (0..grid.num_rows()).collect();
+            row_order.sort_by(|&a, &b| {
+                (grid.row_y(a) - desired.y)
+                    .abs()
+                    .total_cmp(&(grid.row_y(b) - desired.y).abs())
+            });
+            let mut best: Option<(f64, usize, usize)> = None;
+            for &r in &row_order {
+                let dy = (grid.row_y(r) - desired.y).abs();
+                if let Some((bc, _, _)) = best {
+                    if dy > bc {
+                        break;
+                    }
+                }
+                for (k, sub) in grid.rows()[r].iter().enumerate() {
+                    if sub.width() - states[r][k].used_width < lb - qgdp_geometry::EPS {
+                        continue;
+                    }
+                    // Trial insertion on a copy.
+                    let mut trial = states[r][k].clone();
+                    let center_x = trial.insert(sub, (*s, desired_left, lb));
+                    let cost = (center_x - desired.x).abs() + dy;
+                    if best.map_or(true, |(bc, ..)| cost < bc - qgdp_geometry::EPS) {
+                        best = Some((cost, r, k));
+                    }
+                }
+            }
+            let Some((_, r, k)) = best else {
+                return Err(LegalizeError::NoSpace {
+                    component: format!("wire block {s}"),
+                });
+            };
+            let sub = grid.rows()[r][k];
+            states[r][k].insert(&sub, (*s, desired_left, lb));
+        }
+
+        let mut out = placement.clone();
+        for (r, row) in grid.rows().iter().enumerate() {
+            for (k, sub) in row.iter().enumerate() {
+                for (s, p) in states[r][k].positions(sub.y) {
+                    out.set_segment(s, p);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::is_legal;
+    use crate::{MacroLegalizer, QubitLegalizer, TetrisLegalizer};
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder, QubitId};
+
+    fn setup() -> (QuantumNetlist, Rect, Placement) {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(1, 2)
+            .couple(2, 3)
+            .couple(3, 0)
+            .build()
+            .unwrap();
+        let die = netlist.suggested_die(0.4);
+        let mut gp = Placement::new(&netlist);
+        let side = die.width();
+        let corners = [
+            (0.25 * side, 0.25 * side),
+            (0.75 * side, 0.25 * side),
+            (0.75 * side, 0.75 * side),
+            (0.25 * side, 0.75 * side),
+        ];
+        for (i, &(x, y)) in corners.iter().enumerate() {
+            gp.set_qubit(QubitId(i), Point::new(x, y));
+        }
+        for s in netlist.segment_ids() {
+            gp.set_segment(
+                s,
+                Point::new(
+                    0.5 * side + (s.index() % 6) as f64 * 4.0 - 12.0,
+                    0.5 * side + (s.index() % 4) as f64 * 4.0 - 8.0,
+                ),
+            );
+        }
+        let qubits_legal = MacroLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .unwrap();
+        (netlist, die, qubits_legal)
+    }
+
+    #[test]
+    fn produces_a_fully_legal_layout() {
+        let (netlist, die, placement) = setup();
+        let out = AbacusLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        assert!(is_legal(&netlist, &die, &out));
+    }
+
+    #[test]
+    fn qubits_are_not_moved() {
+        let (netlist, die, placement) = setup();
+        let out = AbacusLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        for q in netlist.qubit_ids() {
+            assert_eq!(out.qubit(q), placement.qubit(q));
+        }
+    }
+
+    #[test]
+    fn abacus_displacement_not_worse_than_tetris_by_much() {
+        // Abacus optimises displacement more carefully than Tetris; on this benign
+        // input it should be no more than marginally worse.
+        let (netlist, die, placement) = setup();
+        let abacus = AbacusLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        let tetris = TetrisLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        let da = abacus.total_displacement_from(&placement);
+        let dt = tetris.total_displacement_from(&placement);
+        assert!(
+            da <= dt * 1.5 + 1.0,
+            "abacus displacement {da:.1} is much worse than tetris {dt:.1}"
+        );
+    }
+
+    #[test]
+    fn cluster_collapse_keeps_cells_in_order_and_abutting() {
+        let sub = SubRow {
+            x_start: 0.0,
+            x_end: 100.0,
+            y: 5.0,
+        };
+        let mut state = SubRowState::default();
+        // Three cells that all want to sit around x = 40.
+        state.insert(&sub, (SegmentId(0), 40.0, 10.0));
+        state.insert(&sub, (SegmentId(1), 38.0, 10.0));
+        state.insert(&sub, (SegmentId(2), 42.0, 10.0));
+        let positions = state.positions(sub.y);
+        assert_eq!(positions.len(), 3);
+        // Cells are packed in insertion order with no overlap and no gap inside the
+        // cluster.
+        for w in positions.windows(2) {
+            let gap = w[1].1.x - w[0].1.x;
+            assert!((gap - 10.0).abs() < 1e-9, "cells not abutting: gap {gap}");
+        }
+        // The cluster is centred near the desired positions.
+        let mean_x: f64 = positions.iter().map(|(_, p)| p.x).sum::<f64>() / 3.0;
+        assert!((mean_x - 45.0).abs() < 6.0);
+    }
+
+    #[test]
+    fn fails_cleanly_when_the_die_is_packed() {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(2)
+            .couple(0, 1)
+            .build()
+            .unwrap();
+        let die = Rect::from_lower_left(Point::ORIGIN, 100.0, 50.0);
+        let mut gp = Placement::new(&netlist);
+        gp.set_qubit(QubitId(0), Point::new(25.0, 25.0));
+        gp.set_qubit(QubitId(1), Point::new(75.0, 25.0));
+        let result = AbacusLegalizer::new().legalize_cells(&netlist, &die, &gp);
+        assert!(matches!(result, Err(LegalizeError::NoSpace { .. })));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by all legalization engines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by legalization engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LegalizeError {
+    /// A component could not be placed anywhere inside the die without violating the
+    /// spacing constraints.
+    NoSpace {
+        /// Human-readable description of the component that failed.
+        component: String,
+    },
+    /// The die is too small to hold the total component area at all.
+    DieTooSmall {
+        /// Total component area (µm²) that must fit.
+        required_area: f64,
+        /// Available die area (µm²).
+        die_area: f64,
+    },
+    /// The requested row height or bin size does not divide the die.
+    InvalidRowHeight {
+        /// The offending row height.
+        row_height: f64,
+    },
+}
+
+impl fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalizeError::NoSpace { component } => {
+                write!(f, "no legal position found for {component}")
+            }
+            LegalizeError::DieTooSmall {
+                required_area,
+                die_area,
+            } => write!(
+                f,
+                "die area {die_area:.1} µm² cannot hold {required_area:.1} µm² of components"
+            ),
+            LegalizeError::InvalidRowHeight { row_height } => {
+                write!(f, "row height {row_height} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl Error for LegalizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = LegalizeError::NoSpace {
+            component: "qubit q3".into(),
+        };
+        assert!(e.to_string().contains("q3"));
+        let e = LegalizeError::DieTooSmall {
+            required_area: 100.0,
+            die_area: 50.0,
+        };
+        assert!(e.to_string().contains("50.0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LegalizeError>();
+    }
+}

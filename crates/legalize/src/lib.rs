@@ -1,0 +1,55 @@
+//! # qgdp-legalize
+//!
+//! Classical legalization engines and the shared infrastructure they run on.
+//!
+//! The paper compares its quantum legalizer against classical baselines assembled from
+//! three well-known engines:
+//!
+//! * a **macro legalizer** (Tang-style constraint relaxation) for the qubit macros,
+//! * the **Tetris** greedy standard-cell legalizer for resonator wire blocks,
+//! * the **Abacus** row-cluster dynamic-programming legalizer for resonator wire
+//!   blocks.
+//!
+//! This crate implements those baselines, the row/sub-row infrastructure they share
+//! ([`RowGrid`]), and the [`QubitLegalizer`] / [`CellLegalizer`] traits that the qGDP
+//! core crate uses to compose the five evaluated strategies (Tetris, Abacus, Q-Tetris,
+//! Q-Abacus, qGDP-LG).
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_legalize::{CellLegalizer, MacroLegalizer, QubitLegalizer, TetrisLegalizer};
+//! use qgdp_netlist::{ComponentGeometry, NetlistBuilder, Placement};
+//! use qgdp_geometry::{Point, Rect};
+//!
+//! let netlist = NetlistBuilder::new(ComponentGeometry::default())
+//!     .qubits(2)
+//!     .couple(0, 1)
+//!     .build()?;
+//! let die = Rect::from_lower_left(Point::ORIGIN, 400.0, 400.0);
+//! let mut gp = Placement::new(&netlist);
+//! gp.set_qubit(qgdp_netlist::QubitId(0), Point::new(100.0, 100.0));
+//! gp.set_qubit(qgdp_netlist::QubitId(1), Point::new(120.0, 100.0)); // overlapping
+//!
+//! let qubits_legal = MacroLegalizer::new().legalize_qubits(&netlist, &die, &gp)?;
+//! let all_legal = TetrisLegalizer::new().legalize_cells(&netlist, &die, &qubits_legal)?;
+//! assert_eq!(all_legal.count_overlaps(&netlist), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod abacus;
+pub mod error;
+pub mod macros;
+pub mod rows;
+pub mod tetris;
+pub mod traits;
+
+pub use abacus::AbacusLegalizer;
+pub use error::LegalizeError;
+pub use macros::{legalize_macros, MacroLegalizer};
+pub use rows::{RowGrid, SubRow};
+pub use tetris::TetrisLegalizer;
+pub use traits::{is_legal, CellLegalizer, QubitLegalizer};

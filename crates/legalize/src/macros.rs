@@ -1,0 +1,393 @@
+//! Macro (qubit) legalization: the shared displacement-minimising engine and the
+//! classical baseline wrapper.
+//!
+//! The paper's qubit legalization (§III-C) follows the classical macro-legalization
+//! recipe — constraint graphs over the macros with displacement minimisation — and adds
+//! a quantum-specific minimum-spacing term.  [`legalize_macros`] implements the shared
+//! engine with an explicit `spacing` parameter:
+//!
+//! 1. an iterative pairwise-separation phase pushes overlapping macros apart along the
+//!    axis that needs the smaller move, preserving the global-placement ordering and
+//!    keeping total displacement small (the behaviour of the min-cost-flow formulation
+//!    it substitutes for);
+//! 2. a deterministic repair phase re-places any macro still in violation at the
+//!    nearest legal site found by an outward ring search, guaranteeing legality
+//!    whenever space exists.
+//!
+//! The classical baseline [`MacroLegalizer`] simply calls the engine with zero extra
+//! spacing; the quantum qubit legalizer in the `qgdp` crate calls it with the
+//! one-standard-cell spacing and a greedy relaxation loop.
+
+use crate::{LegalizeError, QubitLegalizer};
+use qgdp_geometry::{Point, Rect};
+use qgdp_netlist::{Placement, QuantumNetlist};
+
+/// Maximum number of pairwise-separation sweeps before falling back to repair.
+const MAX_SWEEPS: usize = 200;
+
+/// Legalizes a set of macros with a minimum edge-to-edge `spacing`, minimising
+/// displacement from the desired positions.
+///
+/// `desired` holds each macro's desired rectangle (global-placement centre and its
+/// dimensions).  The returned vector holds the legalized centres in the same order.
+///
+/// # Errors
+///
+/// Returns [`LegalizeError::DieTooSmall`] when the macro area (with spacing) provably
+/// exceeds the die, and [`LegalizeError::NoSpace`] when the repair search cannot find a
+/// legal site for some macro.
+pub fn legalize_macros(
+    desired: &[Rect],
+    die: &Rect,
+    spacing: f64,
+) -> Result<Vec<Point>, LegalizeError> {
+    if desired.is_empty() {
+        return Ok(Vec::new());
+    }
+    let required_area: f64 = desired
+        .iter()
+        .map(|r| (r.width() + spacing) * (r.height() + spacing))
+        .sum();
+    if required_area > die.area() * 1.000_001 {
+        return Err(LegalizeError::DieTooSmall {
+            required_area,
+            die_area: die.area(),
+        });
+    }
+
+    let mut centers: Vec<Point> = desired
+        .iter()
+        .map(|r| r.clamped_within(die).center())
+        .collect();
+
+    // Phase 1: pairwise separation sweeps.
+    for _ in 0..MAX_SWEEPS {
+        let mut any_violation = false;
+        for i in 0..desired.len() {
+            for j in (i + 1)..desired.len() {
+                let sep_x = desired[i].min_separation_x(&desired[j]) + spacing;
+                let sep_y = desired[i].min_separation_y(&desired[j]) + spacing;
+                let dx = centers[j].x - centers[i].x;
+                let dy = centers[j].y - centers[i].y;
+                if dx.abs() >= sep_x - qgdp_geometry::EPS || dy.abs() >= sep_y - qgdp_geometry::EPS
+                {
+                    continue;
+                }
+                any_violation = true;
+                let push_x = sep_x - dx.abs();
+                let push_y = sep_y - dy.abs();
+                if push_x <= push_y {
+                    // Separate along x, preserving order (ties broken by index).
+                    let dir = if dx > 0.0 || (dx == 0.0 && i < j) { 1.0 } else { -1.0 };
+                    centers[i].x -= dir * push_x * 0.5;
+                    centers[j].x += dir * push_x * 0.5;
+                } else {
+                    let dir = if dy > 0.0 || (dy == 0.0 && i < j) { 1.0 } else { -1.0 };
+                    centers[i].y -= dir * push_y * 0.5;
+                    centers[j].y += dir * push_y * 0.5;
+                }
+                centers[i] = desired[i].with_center(centers[i]).clamped_within(die).center();
+                centers[j] = desired[j].with_center(centers[j]).clamped_within(die).center();
+            }
+        }
+        if !any_violation {
+            return Ok(centers);
+        }
+    }
+
+    // Phase 2: deterministic repair of the remaining violators.
+    repair_violations(desired, die, spacing, &mut centers)?;
+    Ok(centers)
+}
+
+/// Returns the indices of macros that violate spacing against any other macro.
+fn violating_indices(desired: &[Rect], centers: &[Point], spacing: f64) -> Vec<usize> {
+    let mut bad = std::collections::BTreeSet::new();
+    for i in 0..desired.len() {
+        for j in (i + 1)..desired.len() {
+            let sep_x = desired[i].min_separation_x(&desired[j]) + spacing;
+            let sep_y = desired[i].min_separation_y(&desired[j]) + spacing;
+            let dx = (centers[j].x - centers[i].x).abs();
+            let dy = (centers[j].y - centers[i].y).abs();
+            if dx < sep_x - qgdp_geometry::EPS && dy < sep_y - qgdp_geometry::EPS {
+                bad.insert(i);
+                bad.insert(j);
+            }
+        }
+    }
+    bad.into_iter().collect()
+}
+
+/// Re-places every violating macro at the nearest legal site (outward ring search).
+fn repair_violations(
+    desired: &[Rect],
+    die: &Rect,
+    spacing: f64,
+    centers: &mut [Point],
+) -> Result<(), LegalizeError> {
+    let mut violators = violating_indices(desired, centers, spacing);
+    // Larger macros first: they are hardest to fit.
+    violators.sort_by(|&a, &b| {
+        desired[b]
+            .area()
+            .total_cmp(&desired[a].area())
+            .then(a.cmp(&b))
+    });
+    let violator_set: std::collections::BTreeSet<usize> = violators.iter().copied().collect();
+    let mut placed: Vec<usize> = (0..desired.len())
+        .filter(|i| !violator_set.contains(i))
+        .collect();
+
+    let min_side = desired
+        .iter()
+        .map(|r| r.width().min(r.height()))
+        .fold(f64::INFINITY, f64::min);
+    let step = (min_side * 0.5).max(die.width() / 512.0);
+
+    for &v in &violators {
+        let target = desired[v].center();
+        let fits = |candidate: Point| -> bool {
+            let rect = desired[v].with_center(candidate);
+            if !die.contains_rect(&rect) {
+                return false;
+            }
+            placed.iter().all(|&p| {
+                let dx = (centers[p].x - candidate.x).abs();
+                let dy = (centers[p].y - candidate.y).abs();
+                dx >= desired[v].min_separation_x(&desired[p]) + spacing - qgdp_geometry::EPS
+                    || dy >= desired[v].min_separation_y(&desired[p]) + spacing - qgdp_geometry::EPS
+            })
+        };
+        let max_radius_steps =
+            ((die.width().max(die.height()) / step).ceil() as i64 + 1).max(1);
+        let mut found = None;
+        'search: for ring in 0..=max_radius_steps {
+            // Candidates on the square ring of radius `ring * step` around the target.
+            let r = ring as f64 * step;
+            let mut candidates = Vec::new();
+            if ring == 0 {
+                candidates.push(target);
+            } else {
+                let steps = (2 * ring) as i64;
+                for k in 0..=steps {
+                    let t = -r + k as f64 * step;
+                    candidates.push(Point::new(target.x + t, target.y - r));
+                    candidates.push(Point::new(target.x + t, target.y + r));
+                    candidates.push(Point::new(target.x - r, target.y + t));
+                    candidates.push(Point::new(target.x + r, target.y + t));
+                }
+            }
+            // Deterministic preference: nearest to target first.
+            candidates.sort_by(|a, b| {
+                a.distance_squared(target)
+                    .total_cmp(&b.distance_squared(target))
+                    .then(a.x.total_cmp(&b.x))
+                    .then(a.y.total_cmp(&b.y))
+            });
+            for c in candidates {
+                let clamped = desired[v].with_center(c).clamped_within(die).center();
+                if fits(clamped) {
+                    found = Some(clamped);
+                    break 'search;
+                }
+            }
+        }
+        match found {
+            Some(p) => {
+                centers[v] = p;
+                placed.push(v);
+            }
+            None => {
+                return Err(LegalizeError::NoSpace {
+                    component: format!("macro #{v} ({:.0}x{:.0})", desired[v].width(), desired[v].height()),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` if the macro set satisfies pairwise spacing and the border constraint.
+#[must_use]
+pub fn macros_are_legal(desired: &[Rect], centers: &[Point], die: &Rect, spacing: f64) -> bool {
+    centers
+        .iter()
+        .enumerate()
+        .all(|(i, &c)| die.contains_rect(&desired[i].with_center(c)))
+        && violating_indices(desired, centers, spacing).is_empty()
+}
+
+/// The classical macro legalizer baseline: displacement-minimising legalization of the
+/// qubit macros with **no** quantum spacing term (the `Tetris`/`Abacus` baselines of
+/// the paper use this for their qubit stage).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MacroLegalizer;
+
+impl MacroLegalizer {
+    /// Creates the baseline macro legalizer.
+    #[must_use]
+    pub fn new() -> Self {
+        MacroLegalizer
+    }
+}
+
+impl QubitLegalizer for MacroLegalizer {
+    fn name(&self) -> &'static str {
+        "macro-lg"
+    }
+
+    fn legalize_qubits(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        gp: &Placement,
+    ) -> Result<Placement, LegalizeError> {
+        let desired: Vec<Rect> = netlist
+            .qubit_ids()
+            .map(|q| netlist.qubit(q).rect_at(gp.qubit(q)))
+            .collect();
+        let centers = legalize_macros(&desired, die, 0.0)?;
+        let mut out = gp.clone();
+        for (q, c) in netlist.qubit_ids().zip(centers) {
+            out.set_qubit(q, c);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn die(side: f64) -> Rect {
+        Rect::from_lower_left(Point::ORIGIN, side, side)
+    }
+
+    fn squares(centers: &[(f64, f64)], size: f64) -> Vec<Rect> {
+        centers
+            .iter()
+            .map(|&(x, y)| Rect::from_center(Point::new(x, y), size, size))
+            .collect()
+    }
+
+    #[test]
+    fn already_legal_input_is_untouched() {
+        let desired = squares(&[(20.0, 20.0), (60.0, 20.0), (20.0, 60.0)], 20.0);
+        let out = legalize_macros(&desired, &die(100.0), 0.0).unwrap();
+        for (r, c) in desired.iter().zip(&out) {
+            assert_eq!(r.center(), *c);
+        }
+    }
+
+    #[test]
+    fn overlapping_pair_gets_separated_minimally() {
+        let desired = squares(&[(45.0, 50.0), (55.0, 50.0)], 20.0);
+        let out = legalize_macros(&desired, &die(100.0), 0.0).unwrap();
+        assert!(macros_are_legal(&desired, &out, &die(100.0), 0.0));
+        // The pair separates along x (the smaller push) and stays near y = 50.
+        assert!((out[0].y - 50.0).abs() < 1e-6);
+        assert!((out[1].y - 50.0).abs() < 1e-6);
+        assert!(out[1].x - out[0].x >= 20.0 - 1e-9);
+    }
+
+    #[test]
+    fn spacing_is_enforced() {
+        let desired = squares(&[(40.0, 50.0), (60.0, 50.0)], 20.0);
+        let out = legalize_macros(&desired, &die(200.0), 10.0).unwrap();
+        assert!(macros_are_legal(&desired, &out, &die(200.0), 10.0));
+        assert!((out[1].x - out[0].x).abs() >= 30.0 - 1e-9 || (out[1].y - out[0].y).abs() >= 30.0 - 1e-9);
+    }
+
+    #[test]
+    fn dense_cluster_is_repaired() {
+        // Nine macros all dumped on the same spot in a die that can hold them.
+        let desired = squares(&[(50.0, 50.0); 9], 20.0);
+        let d = die(200.0);
+        let out = legalize_macros(&desired, &d, 0.0).unwrap();
+        assert!(macros_are_legal(&desired, &out, &d, 0.0));
+    }
+
+    #[test]
+    fn die_too_small_is_reported() {
+        let desired = squares(&[(10.0, 10.0), (20.0, 20.0)], 30.0);
+        match legalize_macros(&desired, &die(40.0), 0.0) {
+            Err(LegalizeError::DieTooSmall { .. }) => {}
+            other => panic!("expected DieTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert!(legalize_macros(&[], &die(10.0), 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn macro_legalizer_trait_impl_fixes_qubits_only() {
+        use qgdp_netlist::{ComponentGeometry, NetlistBuilder, QubitId, SegmentId};
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(3)
+            .couple(0, 1)
+            .couple(1, 2)
+            .build()
+            .unwrap();
+        let d = die(600.0);
+        let mut gp = Placement::new(&netlist);
+        gp.set_qubit(QubitId(0), Point::new(100.0, 100.0));
+        gp.set_qubit(QubitId(1), Point::new(110.0, 100.0));
+        gp.set_qubit(QubitId(2), Point::new(105.0, 110.0));
+        gp.set_segment(SegmentId(0), Point::new(300.0, 300.0));
+        let lg = MacroLegalizer::new();
+        assert_eq!(lg.name(), "macro-lg");
+        let out = lg.legalize_qubits(&netlist, &d, &gp).unwrap();
+        // Qubits legal with zero spacing.
+        let rects: Vec<Rect> = netlist
+            .qubit_ids()
+            .map(|q| netlist.qubit(q).rect_at(out.qubit(q)))
+            .collect();
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(!rects[i].overlaps(&rects[j]));
+            }
+        }
+        // Segments untouched.
+        assert_eq!(out.segment(SegmentId(0)), Point::new(300.0, 300.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_output_is_always_legal(
+            centers in proptest::collection::vec((30.0..370.0f64, 30.0..370.0f64), 1..12),
+            spacing in 0.0..10.0f64,
+        ) {
+            let desired = squares(&centers, 40.0);
+            let d = die(400.0);
+            match legalize_macros(&desired, &d, spacing) {
+                Ok(out) => prop_assert!(macros_are_legal(&desired, &out, &d, spacing)),
+                Err(LegalizeError::DieTooSmall { .. }) | Err(LegalizeError::NoSpace { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+
+        #[test]
+        fn prop_legal_inputs_are_fixed_points(
+            xs in proptest::collection::vec(0usize..5, 1..5),
+        ) {
+            // Place macros on a coarse lattice: guaranteed legal input.
+            let mut seen = std::collections::BTreeSet::new();
+            let centers: Vec<(f64, f64)> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| ((c * 80 + 40) as f64, ((i % 5) * 80 + 40) as f64))
+                .filter(|&(x, y)| seen.insert((x as i64, y as i64)))
+                .collect();
+            let desired = squares(&centers, 40.0);
+            let d = die(400.0);
+            let out = legalize_macros(&desired, &d, 0.0).unwrap();
+            for (r, c) in desired.iter().zip(&out) {
+                prop_assert!(r.center().distance(*c) < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Row / sub-row infrastructure shared by the standard-cell legalizers.
+//!
+//! Both Tetris and Abacus are row-based: the placeable area is cut into horizontal rows
+//! of one cell height, and each row is further split into *sub-rows* by blockages (the
+//! already-fixed qubit macros).  This module builds that geometry once so both engines
+//! (and tests) agree on it.
+
+use crate::LegalizeError;
+use qgdp_geometry::Rect;
+
+/// A maximal blockage-free interval of one placement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubRow {
+    /// Left end of the interval.
+    pub x_start: f64,
+    /// Right end of the interval.
+    pub x_end: f64,
+    /// Vertical centre of the row.
+    pub y: f64,
+}
+
+impl SubRow {
+    /// Usable width of the sub-row.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        (self.x_end - self.x_start).max(0.0)
+    }
+}
+
+/// The rows of the placeable area, each split into sub-rows around blockages.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Rect};
+/// use qgdp_legalize::RowGrid;
+///
+/// let die = Rect::from_lower_left(Point::ORIGIN, 100.0, 30.0);
+/// let qubit = Rect::from_center(Point::new(50.0, 15.0), 20.0, 20.0);
+/// let grid = RowGrid::new(&die, 10.0, &[qubit])?;
+/// assert_eq!(grid.num_rows(), 3);
+/// // The middle row is split in two by the qubit.
+/// assert_eq!(grid.row(1).len(), 2);
+/// # Ok::<(), qgdp_legalize::LegalizeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowGrid {
+    row_height: f64,
+    die: Rect,
+    rows: Vec<Vec<SubRow>>,
+}
+
+impl RowGrid {
+    /// Builds the row grid for `die` with rows of `row_height`, splitting each row
+    /// around the given `blockages`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LegalizeError::InvalidRowHeight`] if `row_height` is not positive and
+    /// finite.
+    pub fn new(die: &Rect, row_height: f64, blockages: &[Rect]) -> Result<Self, LegalizeError> {
+        if !(row_height > 0.0 && row_height.is_finite()) {
+            return Err(LegalizeError::InvalidRowHeight { row_height });
+        }
+        let num_rows = ((die.height() / row_height) + qgdp_geometry::EPS).floor() as usize;
+        let mut rows = Vec::with_capacity(num_rows);
+        for r in 0..num_rows {
+            let y_bottom = die.bottom() + r as f64 * row_height;
+            let y_top = y_bottom + row_height;
+            let y_center = y_bottom + row_height * 0.5;
+            // Collect the x-intervals blocked in this row.
+            let mut blocked: Vec<(f64, f64)> = blockages
+                .iter()
+                .filter(|b| b.bottom() < y_top - qgdp_geometry::EPS && b.top() > y_bottom + qgdp_geometry::EPS)
+                .map(|b| (b.left().max(die.left()), b.right().min(die.right())))
+                .filter(|(l, r)| r > l)
+                .collect();
+            blocked.sort_by(|a, b| a.0.total_cmp(&b.0));
+            // Merge overlapping blocked intervals.
+            let mut merged: Vec<(f64, f64)> = Vec::new();
+            for (l, r) in blocked {
+                match merged.last_mut() {
+                    Some(last) if l <= last.1 + qgdp_geometry::EPS => last.1 = last.1.max(r),
+                    _ => merged.push((l, r)),
+                }
+            }
+            // The free intervals are the complement inside the die.
+            let mut subrows = Vec::new();
+            let mut cursor = die.left();
+            for (l, r) in merged {
+                if l - cursor > qgdp_geometry::EPS {
+                    subrows.push(SubRow {
+                        x_start: cursor,
+                        x_end: l,
+                        y: y_center,
+                    });
+                }
+                cursor = cursor.max(r);
+            }
+            if die.right() - cursor > qgdp_geometry::EPS {
+                subrows.push(SubRow {
+                    x_start: cursor,
+                    x_end: die.right(),
+                    y: y_center,
+                });
+            }
+            rows.push(subrows);
+        }
+        Ok(RowGrid {
+            row_height,
+            die: *die,
+            rows,
+        })
+    }
+
+    /// The row height.
+    #[must_use]
+    pub fn row_height(&self) -> f64 {
+        self.row_height
+    }
+
+    /// The die the grid covers.
+    #[must_use]
+    pub fn die(&self) -> &Rect {
+        &self.die
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The sub-rows of row `r` (bottom to top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[SubRow] {
+        &self.rows[r]
+    }
+
+    /// All rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<SubRow>] {
+        &self.rows
+    }
+
+    /// Vertical centre of row `r`.
+    #[must_use]
+    pub fn row_y(&self, r: usize) -> f64 {
+        self.die.bottom() + (r as f64 + 0.5) * self.row_height
+    }
+
+    /// Index of the row whose centre is nearest to `y`.
+    #[must_use]
+    pub fn row_index_near(&self, y: f64) -> usize {
+        if self.rows.is_empty() {
+            return 0;
+        }
+        let idx = ((y - self.die.bottom()) / self.row_height - 0.5).round() as i64;
+        idx.clamp(0, self.rows.len() as i64 - 1) as usize
+    }
+
+    /// Total free width over all sub-rows (a capacity measure used for feasibility
+    /// checks).
+    #[must_use]
+    pub fn total_free_width(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(SubRow::width)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_geometry::Point;
+
+    fn die() -> Rect {
+        Rect::from_lower_left(Point::ORIGIN, 100.0, 40.0)
+    }
+
+    #[test]
+    fn rows_without_blockages_span_the_die() {
+        let grid = RowGrid::new(&die(), 10.0, &[]).unwrap();
+        assert_eq!(grid.num_rows(), 4);
+        for r in 0..4 {
+            assert_eq!(grid.row(r).len(), 1);
+            assert_eq!(grid.row(r)[0].x_start, 0.0);
+            assert_eq!(grid.row(r)[0].x_end, 100.0);
+            assert_eq!(grid.row(r)[0].width(), 100.0);
+        }
+        assert_eq!(grid.row_y(0), 5.0);
+        assert_eq!(grid.row_index_near(17.0), 1);
+        assert_eq!(grid.row_index_near(-100.0), 0);
+        assert_eq!(grid.row_index_near(500.0), 3);
+        assert_eq!(grid.total_free_width(), 400.0);
+    }
+
+    #[test]
+    fn blockage_splits_rows() {
+        let qubit = Rect::from_center(Point::new(50.0, 20.0), 20.0, 20.0);
+        let grid = RowGrid::new(&die(), 10.0, &[qubit]).unwrap();
+        // The qubit spans rows 1 and 2 (y in [10, 30]).
+        assert_eq!(grid.row(0).len(), 1);
+        assert_eq!(grid.row(1).len(), 2);
+        assert_eq!(grid.row(2).len(), 2);
+        assert_eq!(grid.row(3).len(), 1);
+        let left = grid.row(1)[0];
+        let right = grid.row(1)[1];
+        assert_eq!(left.x_end, 40.0);
+        assert_eq!(right.x_start, 60.0);
+    }
+
+    #[test]
+    fn touching_blockages_merge() {
+        let a = Rect::from_lower_left(Point::new(10.0, 0.0), 10.0, 40.0);
+        let b = Rect::from_lower_left(Point::new(20.0, 0.0), 10.0, 40.0);
+        let grid = RowGrid::new(&die(), 10.0, &[a, b]).unwrap();
+        for r in 0..4 {
+            assert_eq!(grid.row(r).len(), 2, "row {r}");
+            assert_eq!(grid.row(r)[0].x_end, 10.0);
+            assert_eq!(grid.row(r)[1].x_start, 30.0);
+        }
+    }
+
+    #[test]
+    fn blockage_covering_whole_row_leaves_it_empty() {
+        let full = Rect::from_lower_left(Point::new(0.0, 10.0), 100.0, 10.0);
+        let grid = RowGrid::new(&die(), 10.0, &[full]).unwrap();
+        assert!(grid.row(1).is_empty());
+        assert_eq!(grid.row(0).len(), 1);
+    }
+
+    #[test]
+    fn invalid_row_height_rejected() {
+        assert!(matches!(
+            RowGrid::new(&die(), 0.0, &[]),
+            Err(LegalizeError::InvalidRowHeight { .. })
+        ));
+        assert!(matches!(
+            RowGrid::new(&die(), f64::NAN, &[]),
+            Err(LegalizeError::InvalidRowHeight { .. })
+        ));
+    }
+
+    #[test]
+    fn blockage_outside_die_is_clipped() {
+        let outside = Rect::from_center(Point::new(-50.0, 20.0), 20.0, 20.0);
+        let grid = RowGrid::new(&die(), 10.0, &[outside]).unwrap();
+        for r in 0..4 {
+            assert_eq!(grid.row(r).len(), 1);
+            assert_eq!(grid.row(r)[0].width(), 100.0);
+        }
+    }
+}

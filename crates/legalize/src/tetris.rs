@@ -1,0 +1,206 @@
+//! The Tetris greedy standard-cell legalizer (baseline for resonator wire blocks).
+//!
+//! Tetris-style legalization processes cells in order of their global-placement x
+//! coordinate and greedily commits each one to the row position that minimises its own
+//! displacement, advancing a per-row frontier so previously placed cells are never
+//! disturbed.  It is fast and displacement-aware but completely ignorant of quantum
+//! constraints — in particular it freely scatters the wire blocks of one resonator over
+//! distant rows, which is exactly the failure mode qGDP's integration-aware legalizer
+//! addresses.
+
+use crate::{CellLegalizer, LegalizeError, RowGrid};
+use qgdp_geometry::{Point, Rect};
+use qgdp_netlist::{Placement, QuantumNetlist, SegmentId};
+
+/// The Tetris legalizer for resonator wire blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TetrisLegalizer;
+
+impl TetrisLegalizer {
+    /// Creates a Tetris legalizer.
+    #[must_use]
+    pub fn new() -> Self {
+        TetrisLegalizer
+    }
+}
+
+impl CellLegalizer for TetrisLegalizer {
+    fn name(&self) -> &'static str {
+        "tetris"
+    }
+
+    fn legalize_cells(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &Placement,
+    ) -> Result<Placement, LegalizeError> {
+        let lb = netlist.geometry().wire_block_size;
+        let blockages: Vec<Rect> = netlist
+            .qubit_ids()
+            .map(|q| netlist.qubit(q).rect_at(placement.qubit(q)))
+            .collect();
+        let grid = RowGrid::new(die, lb, &blockages)?;
+
+        // Per-sub-row frontier: next free left-edge coordinate.
+        let mut frontiers: Vec<Vec<f64>> = grid
+            .rows()
+            .iter()
+            .map(|row| row.iter().map(|s| s.x_start).collect())
+            .collect();
+
+        // Cells sorted by desired x (the classic Tetris order).
+        let mut order: Vec<SegmentId> = netlist.segment_ids().collect();
+        order.sort_by(|&a, &b| {
+            placement
+                .segment(a)
+                .x
+                .total_cmp(&placement.segment(b).x)
+                .then(a.cmp(&b))
+        });
+
+        let mut out = placement.clone();
+        for s in order {
+            let desired = placement.segment(s);
+            let mut best: Option<(f64, usize, usize, f64)> = None; // (cost, row, subrow, left_x)
+            for (r, row) in grid.rows().iter().enumerate() {
+                for (k, sub) in row.iter().enumerate() {
+                    let frontier = frontiers[r][k];
+                    if sub.x_end - frontier < lb - qgdp_geometry::EPS {
+                        continue; // no space left in this sub-row
+                    }
+                    let left = (desired.x - lb * 0.5)
+                        .max(frontier)
+                        .min((sub.x_end - lb).max(frontier));
+                    let center = Point::new(left + lb * 0.5, sub.y);
+                    let cost = center.manhattan_distance(desired);
+                    if best.map_or(true, |(bc, ..)| cost < bc - qgdp_geometry::EPS) {
+                        best = Some((cost, r, k, left));
+                    }
+                }
+            }
+            let Some((_, r, k, left)) = best else {
+                return Err(LegalizeError::NoSpace {
+                    component: format!("wire block {s}"),
+                });
+            };
+            out.set_segment(s, Point::new(left + lb * 0.5, grid.rows()[r][k].y));
+            frontiers[r][k] = left + lb;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::is_legal;
+    use crate::{MacroLegalizer, QubitLegalizer};
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder, QubitId};
+
+    fn setup() -> (QuantumNetlist, Rect, Placement) {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(1, 2)
+            .couple(2, 3)
+            .couple(3, 0)
+            .build()
+            .unwrap();
+        let die = netlist.suggested_die(0.4);
+        let mut gp = Placement::new(&netlist);
+        // Qubits at the four corners region, blocks dumped near the middle.
+        let side = die.width();
+        let corners = [
+            (0.2 * side, 0.2 * side),
+            (0.8 * side, 0.2 * side),
+            (0.8 * side, 0.8 * side),
+            (0.2 * side, 0.8 * side),
+        ];
+        for (i, &(x, y)) in corners.iter().enumerate() {
+            gp.set_qubit(QubitId(i), Point::new(x, y));
+        }
+        for s in netlist.segment_ids() {
+            gp.set_segment(
+                s,
+                Point::new(
+                    0.5 * side + (s.index() % 7) as f64 * 3.0,
+                    0.5 * side + (s.index() % 5) as f64 * 3.0,
+                ),
+            );
+        }
+        let qubits_legal = MacroLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .unwrap();
+        (netlist, die, qubits_legal)
+    }
+
+    #[test]
+    fn produces_a_fully_legal_layout() {
+        let (netlist, die, placement) = setup();
+        let out = TetrisLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        assert!(is_legal(&netlist, &die, &out));
+    }
+
+    #[test]
+    fn qubits_are_not_moved() {
+        let (netlist, die, placement) = setup();
+        let out = TetrisLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        for q in netlist.qubit_ids() {
+            assert_eq!(out.qubit(q), placement.qubit(q));
+        }
+    }
+
+    #[test]
+    fn blocks_land_on_row_centres() {
+        let (netlist, die, placement) = setup();
+        let lb = netlist.geometry().wire_block_size;
+        let out = TetrisLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        for s in netlist.segment_ids() {
+            let y = out.segment(s).y;
+            let row_offset = (y - die.bottom() - lb * 0.5) / lb;
+            assert!(
+                (row_offset - row_offset.round()).abs() < 1e-6,
+                "block {s} not on a row centre (y = {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn displacement_is_moderate_for_sparse_layouts() {
+        let (netlist, die, placement) = setup();
+        let out = TetrisLegalizer::new()
+            .legalize_cells(&netlist, &die, &placement)
+            .unwrap();
+        let per_block =
+            out.total_displacement_from(&placement) / netlist.num_segments() as f64;
+        // With 40% utilisation the average block should not need to travel more than a
+        // few block sizes.
+        assert!(
+            per_block < 12.0 * netlist.geometry().wire_block_size,
+            "average displacement {per_block:.1} µm is implausibly large"
+        );
+    }
+
+    #[test]
+    fn fails_cleanly_when_the_die_is_packed() {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(2)
+            .couple(0, 1)
+            .build()
+            .unwrap();
+        // A die that can hold the qubits but not the 12 wire blocks.
+        let die = Rect::from_lower_left(Point::ORIGIN, 100.0, 50.0);
+        let mut gp = Placement::new(&netlist);
+        gp.set_qubit(QubitId(0), Point::new(25.0, 25.0));
+        gp.set_qubit(QubitId(1), Point::new(75.0, 25.0));
+        let result = TetrisLegalizer::new().legalize_cells(&netlist, &die, &gp);
+        assert!(matches!(result, Err(LegalizeError::NoSpace { .. })));
+    }
+}

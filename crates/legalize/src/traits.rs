@@ -1,0 +1,81 @@
+//! Traits implemented by qubit and wire-block legalization engines.
+
+use crate::LegalizeError;
+use qgdp_geometry::Rect;
+use qgdp_netlist::{Placement, QuantumNetlist};
+
+/// A legalizer for the qubit macros.
+///
+/// Implementations take the global-placement positions and return a placement in which
+/// the qubits are overlap-free and inside the die; wire-block positions are copied
+/// through unchanged (they are legalized afterwards by a [`CellLegalizer`]).
+pub trait QubitLegalizer {
+    /// Short name used in reports and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Legalizes the qubit positions of `gp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LegalizeError`] when no legal arrangement can be found inside `die`.
+    fn legalize_qubits(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        gp: &Placement,
+    ) -> Result<Placement, LegalizeError>;
+}
+
+/// A legalizer for the resonator wire blocks (standard cells).
+///
+/// Implementations receive a placement whose qubits are already legal and fixed, and
+/// return a placement in which the wire blocks are additionally overlap-free, inside
+/// the die, and clear of the qubit macros.  Qubit positions must not be modified.
+pub trait CellLegalizer {
+    /// Short name used in reports and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Legalizes the wire-block positions of `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LegalizeError`] when a block cannot be placed inside `die`.
+    fn legalize_cells(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &Placement,
+    ) -> Result<Placement, LegalizeError>;
+}
+
+/// Verifies that `placement` is fully legal: every component inside the die and no two
+/// component rectangles overlapping.  Intended for tests and debug assertions (O(n²)).
+#[must_use]
+pub fn is_legal(netlist: &QuantumNetlist, die: &Rect, placement: &Placement) -> bool {
+    placement.is_within(netlist, die) && placement.count_overlaps(netlist) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_geometry::Point;
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder};
+
+    #[test]
+    fn is_legal_detects_overlap_and_out_of_die() {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(2)
+            .couple(0, 1)
+            .build()
+            .unwrap();
+        let die = Rect::from_lower_left(Point::ORIGIN, 1000.0, 1000.0);
+        let mut p = Placement::new(&netlist);
+        // Everything at origin: overlapping and partially outside.
+        assert!(!is_legal(&netlist, &die, &p));
+        // Spread far apart inside the die.
+        for (i, id) in netlist.component_ids().enumerate() {
+            p.set_component(id, Point::new(60.0 + 45.0 * (i % 20) as f64, 60.0 + 45.0 * (i / 20) as f64));
+        }
+        assert!(is_legal(&netlist, &die, &p));
+    }
+}

@@ -1,0 +1,212 @@
+//! Resonator crossing detection (the `X` metric of Fig. 9 / Table III).
+//!
+//! Each resonator's reserved area is summarised by a *route*: a polyline from one
+//! endpoint qubit, through the centroids of its wire-block clusters (ordered along the
+//! endpoint-to-endpoint axis), to the other endpoint qubit.  Every proper pairwise
+//! crossing between the routes of two different resonators corresponds to a physical
+//! wire crossing that would need an airbridge on the chip.
+
+use qgdp_geometry::{Point, Polyline};
+use qgdp_netlist::{resonator_clusters, Placement, QuantumNetlist, ResonatorId};
+
+/// Builds the route polyline of one resonator under `placement`.
+///
+/// The route runs qubit A → cluster centroids (ordered by their projection onto the
+/// A→B axis) → qubit B.  A fully unified resonator therefore has a three-point route;
+/// badly fragmented resonators have long, wiggly routes that cross others more often.
+#[must_use]
+pub fn resonator_route(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    resonator: ResonatorId,
+) -> Polyline {
+    let res = netlist.resonator(resonator);
+    let (qa, qb) = res.endpoints();
+    let a = placement.qubit(qa);
+    let b = placement.qubit(qb);
+    let axis = b - a;
+    let axis_len_sq = axis.dot(axis).max(qgdp_geometry::EPS);
+
+    let clusters = resonator_clusters(netlist, placement, resonator);
+    let mut centroids: Vec<(f64, Point)> = clusters
+        .iter()
+        .map(|cluster| {
+            let mut cx = 0.0;
+            let mut cy = 0.0;
+            for &s in cluster {
+                let p = placement.segment(s);
+                cx += p.x;
+                cy += p.y;
+            }
+            let centroid = Point::new(cx / cluster.len() as f64, cy / cluster.len() as f64);
+            let t = (centroid - a).dot(axis) / axis_len_sq;
+            (t, centroid)
+        })
+        .collect();
+    centroids.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let mut points = Vec::with_capacity(centroids.len() + 2);
+    points.push(a);
+    points.extend(centroids.into_iter().map(|(_, p)| p));
+    points.push(b);
+    Polyline::new(points)
+}
+
+/// Counts the total number of crossings between the routes of all resonator pairs.
+#[must_use]
+pub fn count_crossings(netlist: &QuantumNetlist, placement: &Placement) -> usize {
+    crossing_pairs(netlist, placement)
+        .iter()
+        .map(|&(_, _, n)| n)
+        .sum()
+}
+
+/// Returns, for every resonator pair with at least one crossing, the pair and its
+/// crossing count.
+#[must_use]
+pub fn crossing_pairs(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+) -> Vec<(ResonatorId, ResonatorId, usize)> {
+    let routes: Vec<Polyline> = netlist
+        .resonator_ids()
+        .map(|r| resonator_route(netlist, placement, r))
+        .collect();
+    let boxes: Vec<_> = routes.iter().map(Polyline::bounding_box).collect();
+    let mut out = Vec::new();
+    for i in 0..routes.len() {
+        for j in (i + 1)..routes.len() {
+            // Cheap bounding-box rejection before the segment-pair test.
+            if let (Some(bi), Some(bj)) = (boxes[i], boxes[j]) {
+                if !bi.inflated(qgdp_geometry::EPS).touches(&bj) {
+                    continue;
+                }
+            }
+            let n = routes[i].crossings_with(&routes[j]);
+            if n > 0 {
+                out.push((ResonatorId(i), ResonatorId(j), n));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder, QubitId};
+
+    /// Four qubits at the corners of a square, with the two diagonal couplings
+    /// (0–2 and 1–3) whose straight routes must cross once.
+    fn diagonal_netlist() -> (QuantumNetlist, Placement) {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 2)
+            .couple(1, 3)
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        p.set_qubit(QubitId(0), Point::new(100.0, 100.0));
+        p.set_qubit(QubitId(1), Point::new(500.0, 100.0));
+        p.set_qubit(QubitId(2), Point::new(500.0, 500.0));
+        p.set_qubit(QubitId(3), Point::new(100.0, 500.0));
+        // Place each resonator's blocks in one unified clump on its own diagonal,
+        // near the centre but offset so the clusters themselves do not overlap.
+        for (ri, offset) in [(0usize, -30.0), (1usize, 30.0)] {
+            let res = netlist.resonator(ResonatorId(ri));
+            for (k, &s) in res.segments().iter().enumerate() {
+                p.set_segment(
+                    s,
+                    Point::new(
+                        295.0 + offset + (k % 4) as f64 * 10.0,
+                        295.0 + offset + (k / 4) as f64 * 10.0,
+                    ),
+                );
+            }
+        }
+        (netlist, p)
+    }
+
+    #[test]
+    fn diagonal_resonators_cross_once() {
+        let (netlist, p) = diagonal_netlist();
+        let crossings = count_crossings(&netlist, &p);
+        assert_eq!(crossings, 1, "the two diagonals must cross exactly once");
+        let pairs = crossing_pairs(&netlist, &p);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, ResonatorId(0));
+        assert_eq!(pairs[0].1, ResonatorId(1));
+    }
+
+    #[test]
+    fn parallel_resonators_do_not_cross() {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(2, 3)
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        p.set_qubit(QubitId(0), Point::new(100.0, 100.0));
+        p.set_qubit(QubitId(1), Point::new(500.0, 100.0));
+        p.set_qubit(QubitId(2), Point::new(100.0, 400.0));
+        p.set_qubit(QubitId(3), Point::new(500.0, 400.0));
+        for r in netlist.resonator_ids() {
+            let res = netlist.resonator(r);
+            let y = if r.index() == 0 { 100.0 } else { 400.0 };
+            for (k, &s) in res.segments().iter().enumerate() {
+                p.set_segment(s, Point::new(200.0 + 10.0 * k as f64, y));
+            }
+        }
+        assert_eq!(count_crossings(&netlist, &p), 0);
+        assert!(crossing_pairs(&netlist, &p).is_empty());
+    }
+
+    #[test]
+    fn route_of_unified_resonator_has_three_points() {
+        let (netlist, p) = diagonal_netlist();
+        let route = resonator_route(&netlist, &p, ResonatorId(0));
+        // qubit — single cluster centroid — qubit.
+        assert_eq!(route.len(), 3);
+        assert_eq!(route.points()[0], p.qubit(QubitId(0)));
+        assert_eq!(route.points()[2], p.qubit(QubitId(2)));
+    }
+
+    #[test]
+    fn fragmented_resonator_has_longer_route() {
+        let (netlist, mut p) = diagonal_netlist();
+        // Fragment resonator 0 into scattered singleton clusters.
+        let segs = netlist.resonator(ResonatorId(0)).segments().to_vec();
+        for (k, &s) in segs.iter().enumerate() {
+            p.set_segment(s, Point::new(150.0 + 37.0 * k as f64, 150.0 + 29.0 * (k % 5) as f64));
+        }
+        let route = resonator_route(&netlist, &p, ResonatorId(0));
+        assert_eq!(route.len(), 2 + segs.len());
+    }
+
+    #[test]
+    fn shared_endpoint_resonators_do_not_count_as_crossing() {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(3)
+            .couple(0, 1)
+            .couple(0, 2)
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        p.set_qubit(QubitId(0), Point::new(100.0, 100.0));
+        p.set_qubit(QubitId(1), Point::new(400.0, 100.0));
+        p.set_qubit(QubitId(2), Point::new(100.0, 400.0));
+        for r in netlist.resonator_ids() {
+            let res = netlist.resonator(r);
+            for (k, &s) in res.segments().iter().enumerate() {
+                let base = if r.index() == 0 {
+                    Point::new(200.0 + 10.0 * k as f64, 100.0)
+                } else {
+                    Point::new(100.0, 200.0 + 10.0 * k as f64)
+                };
+                p.set_segment(s, base);
+            }
+        }
+        assert_eq!(count_crossings(&netlist, &p), 0);
+    }
+}

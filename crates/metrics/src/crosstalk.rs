@@ -1,0 +1,199 @@
+//! The analytic crosstalk physics model.
+//!
+//! The paper obtains its parasitic capacitances from AWR Microwave Office simulations:
+//! 3.5 fF at each resonator crossing point, and a capacitance proportional to the
+//! adjacent length for spatial violations.  This module substitutes an analytic model
+//! with the same constants, converting a parasitic capacitance and a frequency detuning
+//! into an effective coupling rate `g_eff` and then into the Rabi-oscillation crosstalk
+//! error `ε = sin²(g_eff · t)` of Eq. 8 (see DESIGN.md for the sign-convention note).
+
+/// Geometric / detection thresholds used when scanning a layout for crosstalk risks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkConfig {
+    /// Edge-to-edge distance (µm) below which two components count as spatially
+    /// proximate (the spatial-violation threshold; one wire block by default).
+    pub proximity_threshold: f64,
+    /// Frequency detuning threshold `Δ_c` (GHz) of the `τ` predicate in Eq. 4.
+    pub detuning_threshold_ghz: f64,
+}
+
+impl CrosstalkConfig {
+    /// The default thresholds: 10 µm proximity (one wire block), 60 MHz detuning.
+    #[must_use]
+    pub fn new() -> Self {
+        CrosstalkConfig {
+            proximity_threshold: 10.0,
+            detuning_threshold_ghz: 0.06,
+        }
+    }
+}
+
+impl Default for CrosstalkConfig {
+    fn default() -> Self {
+        CrosstalkConfig::new()
+    }
+}
+
+/// The electrical crosstalk model converting parasitics into error rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkModel {
+    /// Parasitic capacitance at a resonator crossing point (fF); the paper uses 3.5 fF
+    /// from AWR simulation.
+    pub crossing_capacitance_ff: f64,
+    /// Parasitic capacitance per micrometre of violating adjacency (fF/µm).
+    pub violation_capacitance_ff_per_um: f64,
+    /// Effective coupling rate produced by 1 fF of parasitic capacitance between
+    /// resonant components (MHz).
+    pub coupling_mhz_per_ff: f64,
+    /// Detuning scale (GHz) over which the effective coupling rolls off.
+    pub detuning_rolloff_ghz: f64,
+}
+
+impl CrosstalkModel {
+    /// The default model (3.5 fF per crossing, 0.08 fF/µm of adjacency, 0.45 MHz/fF of
+    /// resonant coupling, 60 MHz roll-off).
+    #[must_use]
+    pub fn new() -> Self {
+        CrosstalkModel {
+            crossing_capacitance_ff: 3.5,
+            violation_capacitance_ff_per_um: 0.08,
+            coupling_mhz_per_ff: 0.45,
+            detuning_rolloff_ghz: 0.06,
+        }
+    }
+
+    /// Effective coupling rate `g_eff` (angular MHz) between two components linked by a
+    /// parasitic capacitance `capacitance_ff`, detuned by `detuning_ghz`.
+    ///
+    /// The coupling is maximal on resonance and rolls off linearly to zero at the
+    /// detuning roll-off; far-detuned components (for example a 5 GHz qubit and a
+    /// 6.3 GHz resonator) therefore contribute nothing, matching the `τ` gate of Eq. 4.
+    #[must_use]
+    pub fn effective_coupling_mhz(&self, capacitance_ff: f64, detuning_ghz: f64) -> f64 {
+        let rolloff = (1.0 - detuning_ghz.abs() / self.detuning_rolloff_ghz).max(0.0);
+        self.coupling_mhz_per_ff * capacitance_ff * rolloff
+    }
+
+    /// Rabi-oscillation crosstalk error after an exposure of `time_ns` under an
+    /// effective coupling of `g_eff_mhz`.
+    ///
+    /// The transition probability is `sin²(g_eff · t)` (Eq. 8); because the worst-case
+    /// fidelity is wanted, the phase is capped at π/2 so the error grows monotonically
+    /// with exposure and saturates at 1 instead of oscillating.
+    #[must_use]
+    pub fn rabi_error(&self, g_eff_mhz: f64, time_ns: f64) -> f64 {
+        // MHz × ns → 2π-free radians: 1 MHz = 1e-3 rad/ns (up to 2π, absorbed into the
+        // calibration of `coupling_mhz_per_ff`).
+        let phase = (g_eff_mhz * 1e-3 * time_ns).min(std::f64::consts::FRAC_PI_2);
+        let s = phase.sin();
+        s * s
+    }
+
+    /// Convenience: the crosstalk error of one crossing point after `time_ns`, given
+    /// the detuning between the two crossing resonators.
+    #[must_use]
+    pub fn crossing_error(&self, detuning_ghz: f64, time_ns: f64) -> f64 {
+        let g = self.effective_coupling_mhz(self.crossing_capacitance_ff, detuning_ghz);
+        self.rabi_error(g, time_ns)
+    }
+
+    /// Convenience: the crosstalk error of a spatial violation with `adjacency_um` of
+    /// facing length after `time_ns`, given the detuning between the two components.
+    #[must_use]
+    pub fn violation_error(&self, adjacency_um: f64, detuning_ghz: f64, time_ns: f64) -> f64 {
+        let c = self.violation_capacitance_ff_per_um * adjacency_um;
+        let g = self.effective_coupling_mhz(c, detuning_ghz);
+        self.rabi_error(g, time_ns)
+    }
+}
+
+impl Default for CrosstalkModel {
+    fn default() -> Self {
+        CrosstalkModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coupling_rolls_off_with_detuning() {
+        let m = CrosstalkModel::default();
+        let on_resonance = m.effective_coupling_mhz(3.5, 0.0);
+        let detuned = m.effective_coupling_mhz(3.5, 0.03);
+        let far = m.effective_coupling_mhz(3.5, 0.5);
+        assert!(on_resonance > detuned);
+        assert!(detuned > 0.0);
+        assert_eq!(far, 0.0);
+    }
+
+    #[test]
+    fn rabi_error_monotone_and_saturating() {
+        let m = CrosstalkModel::default();
+        let short = m.rabi_error(1.0, 100.0);
+        let long = m.rabi_error(1.0, 10_000.0);
+        let very_long = m.rabi_error(1.0, 10_000_000.0);
+        assert!(short < long);
+        assert!(long <= very_long);
+        assert!(very_long <= 1.0 + 1e-12);
+        assert_eq!(m.rabi_error(0.0, 1e9), 0.0);
+    }
+
+    #[test]
+    fn crossing_error_uses_fixed_capacitance() {
+        let m = CrosstalkModel::default();
+        // Two resonators at the same frequency crossing for 10 µs: a visible error.
+        let e = m.crossing_error(0.0, 10_000.0);
+        assert!(e > 1e-4, "crossing error {e} unexpectedly small");
+        // Far detuned: no error.
+        assert_eq!(m.crossing_error(1.0, 10_000.0), 0.0);
+    }
+
+    #[test]
+    fn violation_error_scales_with_adjacency() {
+        let m = CrosstalkModel::default();
+        let small = m.violation_error(5.0, 0.0, 5_000.0);
+        let large = m.violation_error(40.0, 0.0, 5_000.0);
+        assert!(large > small);
+        assert_eq!(m.violation_error(0.0, 0.0, 5_000.0), 0.0);
+    }
+
+    #[test]
+    fn default_config_values() {
+        let c = CrosstalkConfig::default();
+        assert_eq!(c.proximity_threshold, 10.0);
+        assert!(c.detuning_threshold_ghz > 0.0);
+        let m = CrosstalkModel::default();
+        assert_eq!(m.crossing_capacitance_ff, 3.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_errors_are_probabilities(
+            cap in 0.0..100.0f64,
+            det in 0.0..2.0f64,
+            t in 0.0..1e7f64,
+        ) {
+            let m = CrosstalkModel::default();
+            let g = m.effective_coupling_mhz(cap, det);
+            let e = m.rabi_error(g, t);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+
+        #[test]
+        fn prop_more_detuning_never_increases_error(
+            cap in 0.0..10.0f64,
+            det1 in 0.0..0.2f64,
+            det2 in 0.0..0.2f64,
+            t in 0.0..1e6f64,
+        ) {
+            let m = CrosstalkModel::default();
+            let (lo, hi) = if det1 < det2 { (det1, det2) } else { (det2, det1) };
+            let e_lo = m.rabi_error(m.effective_coupling_mhz(cap, lo), t);
+            let e_hi = m.rabi_error(m.effective_coupling_mhz(cap, hi), t);
+            prop_assert!(e_hi <= e_lo + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Program-fidelity estimation (Eq. 7 of the paper).
+
+use crate::{crossing_pairs, find_violations, CrosstalkConfig, CrosstalkModel};
+use qgdp_circuits::{GateKind, GateTimes, MappedCircuit, PhysicalOp};
+use qgdp_netlist::{ComponentId, Placement, QuantumNetlist, QubitId, ResonatorId};
+use std::collections::BTreeSet;
+
+/// The noise model behind the fidelity estimate.
+///
+/// Gate error rates and coherence times follow typical fixed-frequency transmon
+/// devices; the crosstalk sub-model supplies the spatial-violation and crossing errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Energy-relaxation time T1, in microseconds.
+    pub t1_us: f64,
+    /// Dephasing time T2, in microseconds.
+    pub t2_us: f64,
+    /// Depolarising error per single-qubit gate.
+    pub single_qubit_error: f64,
+    /// Depolarising error per two-qubit gate.
+    pub two_qubit_error: f64,
+    /// Assignment error per measurement.
+    pub readout_error: f64,
+    /// Gate durations used for scheduling.
+    pub gate_times: GateTimes,
+    /// Crosstalk physics model.
+    pub crosstalk: CrosstalkModel,
+}
+
+impl NoiseModel {
+    /// The default noise model (T1 = 100 µs, T2 = 80 µs, 3·10⁻⁴ / 8·10⁻³ gate errors,
+    /// 1.5 % readout error).
+    #[must_use]
+    pub fn new() -> Self {
+        NoiseModel {
+            t1_us: 100.0,
+            t2_us: 80.0,
+            single_qubit_error: 3e-4,
+            two_qubit_error: 8e-3,
+            readout_error: 1.5e-2,
+            gate_times: GateTimes::default(),
+            crosstalk: CrosstalkModel::default(),
+        }
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::new()
+    }
+}
+
+/// The decomposition of a fidelity estimate into its factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// The overall worst-case program fidelity `F` (Eq. 7).
+    pub fidelity: f64,
+    /// Product of per-gate success probabilities (including readout).
+    pub gate_fidelity: f64,
+    /// Product of per-active-qubit decoherence survival probabilities.
+    pub decoherence_fidelity: f64,
+    /// Product over qubit-qubit spatial violations of `(1 − ε_g)`.
+    pub qubit_crosstalk_fidelity: f64,
+    /// Product over resonator spatial violations and crossings of `(1 − ε_e)`.
+    pub resonator_crosstalk_fidelity: f64,
+    /// Number of active (mapped) physical qubits.
+    pub active_qubits: usize,
+    /// Number of active (mapped) resonators.
+    pub active_resonators: usize,
+    /// Spatial violations that involved active components and were charged.
+    pub violations_counted: usize,
+    /// Crossing points between active resonators that were charged.
+    pub crossings_counted: usize,
+}
+
+/// A reusable fidelity evaluator for one layout.
+///
+/// Spatial violations and resonator crossings depend only on the layout, not on the
+/// benchmark mapping, so they are scanned once at construction; each call to
+/// [`FidelityEvaluator::evaluate`] then only walks the mapped circuit and filters the
+/// precomputed lists by the active components.  The Fig. 8 harness evaluates tens of
+/// thousands of mappings per layout, which makes this separation essential.
+#[derive(Debug, Clone)]
+pub struct FidelityEvaluator<'a> {
+    netlist: &'a QuantumNetlist,
+    noise: NoiseModel,
+    violations: Vec<crate::SpatialViolation>,
+    crossings: Vec<(ResonatorId, ResonatorId, usize)>,
+}
+
+impl<'a> FidelityEvaluator<'a> {
+    /// Scans `placement` once and prepares the evaluator.
+    #[must_use]
+    pub fn new(
+        netlist: &'a QuantumNetlist,
+        placement: &Placement,
+        noise: NoiseModel,
+        config: &CrosstalkConfig,
+    ) -> Self {
+        FidelityEvaluator {
+            netlist,
+            noise,
+            violations: find_violations(netlist, placement, config),
+            crossings: crossing_pairs(netlist, placement),
+        }
+    }
+
+    /// The spatial violations found in the layout.
+    #[must_use]
+    pub fn violations(&self) -> &[crate::SpatialViolation] {
+        &self.violations
+    }
+
+    /// The resonator crossing pairs found in the layout.
+    #[must_use]
+    pub fn crossings(&self) -> &[(ResonatorId, ResonatorId, usize)] {
+        &self.crossings
+    }
+
+    /// Estimates the worst-case program fidelity of one mapped circuit (Eq. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapped circuit targets a device with a different qubit count than
+    /// the netlist.
+    #[must_use]
+    pub fn evaluate(&self, mapped: &MappedCircuit) -> FidelityReport {
+        let netlist = self.netlist;
+        let noise = &self.noise;
+        assert_eq!(
+            mapped.num_physical_qubits(),
+            netlist.num_qubits(),
+            "mapped circuit and netlist must target the same device"
+        );
+
+        // --- Gate errors.
+        let mut gate_fidelity = 1.0f64;
+        for op in mapped.ops() {
+            let err = match op {
+                PhysicalOp::Single { kind, .. } => {
+                    if matches!(kind, GateKind::Measure) {
+                        noise.readout_error
+                    } else {
+                        noise.single_qubit_error
+                    }
+                }
+                PhysicalOp::Two { .. } => noise.two_qubit_error,
+            };
+            gate_fidelity *= 1.0 - err;
+        }
+
+        // --- Decoherence over the schedule makespan.
+        let (_, makespan_ns) = mapped.schedule(&noise.gate_times);
+        let makespan_us = makespan_ns / 1000.0;
+        let active_qubits = mapped.active_qubits();
+        let per_qubit_survival =
+            (-makespan_us * (1.0 / noise.t1_us + 1.0 / noise.t2_us) * 0.5).exp();
+        let decoherence_fidelity = per_qubit_survival.powi(active_qubits.len() as i32);
+
+        // --- Active resonators: those whose endpoint pair carries a two-qubit gate.
+        let active_edges = mapped.active_edges();
+        let active_resonators: BTreeSet<ResonatorId> = active_edges
+            .iter()
+            .filter_map(|&(a, b)| netlist.resonator_between(QubitId(a), QubitId(b)))
+            .collect();
+
+        let qubit_active = |q: QubitId| active_qubits.contains(&q.index());
+        let component_charged = |id: ComponentId| -> bool {
+            match id {
+                ComponentId::Qubit(q) => qubit_active(q),
+                ComponentId::Segment(s) => {
+                    active_resonators.contains(&netlist.block(s).resonator())
+                }
+            }
+        };
+
+        // --- Spatial-violation crosstalk.
+        let mut qubit_crosstalk_fidelity = 1.0f64;
+        let mut resonator_crosstalk_fidelity = 1.0f64;
+        let mut violations_counted = 0usize;
+        for v in &self.violations {
+            if !(component_charged(v.a) && component_charged(v.b)) {
+                continue;
+            }
+            violations_counted += 1;
+            let err =
+                noise
+                    .crosstalk
+                    .violation_error(v.adjacency_length, v.detuning_ghz, makespan_ns);
+            let qubit_pair = v.a.is_qubit() && v.b.is_qubit();
+            if qubit_pair {
+                qubit_crosstalk_fidelity *= 1.0 - err;
+            } else {
+                resonator_crosstalk_fidelity *= 1.0 - err;
+            }
+        }
+
+        // --- Crossing-point crosstalk between active resonators.
+        let mut crossings_counted = 0usize;
+        for &(ra, rb, n) in &self.crossings {
+            if !(active_resonators.contains(&ra) && active_resonators.contains(&rb)) {
+                continue;
+            }
+            let detuning = netlist
+                .resonator(ra)
+                .frequency()
+                .detuning(netlist.resonator(rb).frequency());
+            let err = noise.crosstalk.crossing_error(detuning, makespan_ns);
+            resonator_crosstalk_fidelity *= (1.0 - err).powi(n as i32);
+            crossings_counted += n;
+        }
+
+        let fidelity = gate_fidelity
+            * decoherence_fidelity
+            * qubit_crosstalk_fidelity
+            * resonator_crosstalk_fidelity;
+        FidelityReport {
+            fidelity,
+            gate_fidelity,
+            decoherence_fidelity,
+            qubit_crosstalk_fidelity,
+            resonator_crosstalk_fidelity,
+            active_qubits: active_qubits.len(),
+            active_resonators: active_resonators.len(),
+            violations_counted,
+            crossings_counted,
+        }
+    }
+
+    /// Mean fidelity over a set of mappings.
+    #[must_use]
+    pub fn mean(&self, mappings: &[MappedCircuit]) -> f64 {
+        if mappings.is_empty() {
+            return 0.0;
+        }
+        mappings.iter().map(|m| self.evaluate(m).fidelity).sum::<f64>() / mappings.len() as f64
+    }
+}
+
+/// Estimates the worst-case program fidelity of `mapped` executed on the layout
+/// described by `netlist` + `placement`.
+///
+/// Only the physical qubits and resonators actually used by the mapped benchmark
+/// contribute crosstalk terms, matching the paper's note that "these fidelity
+/// calculations apply only to actively engaged physical qubits (mapped) and resonators
+/// in the layout".  When evaluating many mappings of the same layout, prefer
+/// [`FidelityEvaluator`], which scans the layout only once.
+///
+/// # Panics
+///
+/// Panics if the mapped circuit targets a device with a different qubit count than the
+/// netlist.
+#[must_use]
+pub fn estimate_fidelity(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    mapped: &MappedCircuit,
+    noise: &NoiseModel,
+    config: &CrosstalkConfig,
+) -> FidelityReport {
+    FidelityEvaluator::new(netlist, placement, *noise, config).evaluate(mapped)
+}
+
+/// Mean fidelity over a set of mappings (the paper averages 50 mappings per benchmark).
+#[must_use]
+pub fn mean_fidelity(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    mappings: &[MappedCircuit],
+    noise: &NoiseModel,
+    config: &CrosstalkConfig,
+) -> f64 {
+    FidelityEvaluator::new(netlist, placement, *noise, config).mean(mappings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_circuits::{map_circuit, Benchmark};
+    use qgdp_geometry::Point;
+    use qgdp_netlist::{ComponentGeometry, NetModel};
+    use qgdp_topology::StandardTopology;
+
+    /// A well-spread, legal-looking layout for the grid topology.
+    fn grid_layout() -> (QuantumNetlist, Placement, qgdp_topology::Topology) {
+        let topo = StandardTopology::Grid.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        // Qubits on a 5x5 lattice with generous pitch.
+        for q in netlist.qubit_ids() {
+            let c = topo.coord(q);
+            p.set_qubit(q, Point::new(100.0 + c.x * 150.0, 100.0 + c.y * 150.0));
+        }
+        // Each resonator's blocks in a tight 4x3 clump at its midpoint.
+        for r in netlist.resonator_ids() {
+            let res = netlist.resonator(r);
+            let (qa, qb) = res.endpoints();
+            let mid = p.qubit(qa).midpoint(p.qubit(qb));
+            for (k, &s) in res.segments().iter().enumerate() {
+                p.set_segment(
+                    s,
+                    Point::new(
+                        mid.x - 15.0 + 10.0 * (k % 4) as f64,
+                        mid.y - 10.0 + 10.0 * (k / 4) as f64,
+                    ),
+                );
+            }
+        }
+        (netlist, p, topo)
+    }
+
+    #[test]
+    fn fidelity_is_a_probability_and_decomposes() {
+        let (netlist, p, topo) = grid_layout();
+        let mapped = map_circuit(&Benchmark::Bv4.circuit(), &topo, 1);
+        let rep = estimate_fidelity(
+            &netlist,
+            &p,
+            &mapped,
+            &NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+        assert!(rep.fidelity > 0.0 && rep.fidelity <= 1.0);
+        let product = rep.gate_fidelity
+            * rep.decoherence_fidelity
+            * rep.qubit_crosstalk_fidelity
+            * rep.resonator_crosstalk_fidelity;
+        assert!((rep.fidelity - product).abs() < 1e-12);
+        assert!(rep.active_qubits >= 4);
+    }
+
+    #[test]
+    fn clean_layout_has_no_crosstalk_penalty() {
+        let (netlist, p, topo) = grid_layout();
+        let mapped = map_circuit(&Benchmark::Bv4.circuit(), &topo, 2);
+        let rep = estimate_fidelity(
+            &netlist,
+            &p,
+            &mapped,
+            &NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+        assert!((rep.qubit_crosstalk_fidelity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_layout_scores_lower_than_good_layout() {
+        let (netlist, good, topo) = grid_layout();
+        // Bad layout: same qubits, but all wire blocks piled into one corner so that
+        // different resonators overlap and routes cross.
+        let mut bad = good.clone();
+        for (k, s) in netlist.segment_ids().enumerate() {
+            bad.set_segment(
+                s,
+                Point::new(100.0 + (k % 10) as f64 * 10.0, 100.0 + (k / 10) as f64 * 10.0),
+            );
+        }
+        let mapped = map_circuit(&Benchmark::Qaoa4.circuit(), &topo, 3);
+        let noise = NoiseModel::default();
+        let cfg = CrosstalkConfig::default();
+        let f_good = estimate_fidelity(&netlist, &good, &mapped, &noise, &cfg).fidelity;
+        let f_bad = estimate_fidelity(&netlist, &bad, &mapped, &noise, &cfg).fidelity;
+        assert!(
+            f_bad < f_good,
+            "piling resonators together must hurt fidelity (good {f_good:.4} vs bad {f_bad:.4})"
+        );
+    }
+
+    #[test]
+    fn larger_benchmarks_have_lower_fidelity() {
+        let (netlist, p, topo) = grid_layout();
+        let noise = NoiseModel::default();
+        let cfg = CrosstalkConfig::default();
+        let f4 = estimate_fidelity(
+            &netlist,
+            &p,
+            &map_circuit(&Benchmark::Bv4.circuit(), &topo, 4),
+            &noise,
+            &cfg,
+        )
+        .fidelity;
+        let f16 = estimate_fidelity(
+            &netlist,
+            &p,
+            &map_circuit(&Benchmark::Bv16.circuit(), &topo, 4),
+            &noise,
+            &cfg,
+        )
+        .fidelity;
+        assert!(f16 < f4);
+    }
+
+    #[test]
+    fn mean_fidelity_averages() {
+        let (netlist, p, topo) = grid_layout();
+        let noise = NoiseModel::default();
+        let cfg = CrosstalkConfig::default();
+        let maps = qgdp_circuits::random_mappings(&Benchmark::Bv4.circuit(), &topo, 5, 7);
+        let mean = mean_fidelity(&netlist, &p, &maps, &noise, &cfg);
+        assert!(mean > 0.0 && mean <= 1.0);
+        assert_eq!(mean_fidelity(&netlist, &p, &[], &noise, &cfg), 0.0);
+        let singles: Vec<f64> = maps
+            .iter()
+            .map(|m| estimate_fidelity(&netlist, &p, m, &noise, &cfg).fidelity)
+            .collect();
+        assert!(mean <= singles.iter().copied().fold(f64::MIN, f64::max) + 1e-12);
+        assert!(mean >= singles.iter().copied().fold(f64::MAX, f64::min) - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same device")]
+    fn mismatched_device_panics() {
+        let (netlist, p, _) = grid_layout();
+        let other = StandardTopology::Falcon.build();
+        let mapped = map_circuit(&Benchmark::Bv4.circuit(), &other, 0);
+        let _ = estimate_fidelity(
+            &netlist,
+            &p,
+            &mapped,
+            &NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+    }
+}

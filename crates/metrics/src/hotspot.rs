@@ -1,0 +1,300 @@
+//! Frequency-hotspot detection: the `P_h` metric (Eq. 4) and `H_Q`.
+
+use crate::CrosstalkConfig;
+use qgdp_netlist::{ComponentId, Placement, QuantumNetlist, QubitId};
+use std::collections::BTreeSet;
+
+/// A detected spatial-constraint violation between two frequency-proximate components.
+///
+/// A pair contributes to the hotspot metric when the components are spatially
+/// proximate (edge-to-edge gap below the proximity threshold), operate at nearly the
+/// same frequency (`τ(ω_i, ω_j, Δ_c) = 1`), and are not part of the same resonator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialViolation {
+    /// First component.
+    pub a: ComponentId,
+    /// Second component.
+    pub b: ComponentId,
+    /// Facing (adjacent) length of the two component polygons, in µm — the
+    /// `p_i ∩ p_j` term of Eq. 4.
+    pub adjacency_length: f64,
+    /// Distance between the two component centroids, in µm — the `d_c` term of Eq. 4.
+    pub centroid_distance: f64,
+    /// Frequency detuning between the two components, in GHz.
+    pub detuning_ghz: f64,
+}
+
+/// Scans the layout for spatial violations between frequency-proximate components.
+///
+/// Pairs belonging to the same resonator are skipped (abutting wire blocks of one
+/// resonator are the *desired* outcome), as are pairs whose detuning exceeds
+/// `config.detuning_threshold_ghz`.
+#[must_use]
+pub fn find_violations(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    config: &CrosstalkConfig,
+) -> Vec<SpatialViolation> {
+    let ids: Vec<ComponentId> = netlist.component_ids().collect();
+    let rects: Vec<_> = ids.iter().map(|&id| placement.rect(netlist, id)).collect();
+    let freqs: Vec<_> = ids
+        .iter()
+        .map(|&id| netlist.component_frequency(id))
+        .collect();
+    let owners: Vec<_> = ids.iter().map(|&id| netlist.owning_resonator(id)).collect();
+
+    // Coarse spatial hashing so the scan is not O(n²) on large layouts.
+    let cell = (config.proximity_threshold
+        + rects
+            .iter()
+            .map(|r| r.width().max(r.height()))
+            .fold(0.0f64, f64::max))
+    .max(1.0);
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, r) in rects.iter().enumerate() {
+        let key = (
+            (r.center().x / cell).floor() as i64,
+            (r.center().y / cell).floor() as i64,
+        );
+        buckets.entry(key).or_default().push(i);
+    }
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (&(bx, by), members) in &buckets {
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(neighbors) = buckets.get(&(bx + dx, by + dy)) else {
+                    continue;
+                };
+                for &i in members {
+                    for &j in neighbors {
+                        if j <= i {
+                            continue;
+                        }
+                        if !seen.insert((i, j)) {
+                            continue;
+                        }
+                        // Same resonator: integration, not a violation.
+                        if owners[i].is_some() && owners[i] == owners[j] {
+                            continue;
+                        }
+                        let detuning = freqs[i].detuning(freqs[j]);
+                        if detuning > config.detuning_threshold_ghz {
+                            continue;
+                        }
+                        let gap = rects[i].gap(&rects[j]);
+                        if gap >= config.proximity_threshold {
+                            continue;
+                        }
+                        let inflate = config.proximity_threshold * 0.5;
+                        let adjacency_length = rects[i]
+                            .inflated(inflate)
+                            .contact_length(&rects[j].inflated(inflate));
+                        if adjacency_length <= 0.0 {
+                            continue;
+                        }
+                        out.push(SpatialViolation {
+                            a: ids[i],
+                            b: ids[j],
+                            adjacency_length,
+                            centroid_distance: rects[i].centroid_distance(&rects[j]),
+                            detuning_ghz: detuning,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+    out
+}
+
+/// The frequency-hotspot proportion `P_h` of Eq. 4, as a percentage.
+///
+/// `P_h = Σ_{i,j} (p_i ∩ p_j) · d_c(p_i, p_j) · τ(ω_i, ω_j, Δ_c) / Σ_n w_n h_n`, where
+/// the sum runs over the violating pairs returned by [`find_violations`].
+#[must_use]
+pub fn hotspot_proportion(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    config: &CrosstalkConfig,
+) -> f64 {
+    let violations = find_violations(netlist, placement, config);
+    hotspot_proportion_from(&violations, netlist)
+}
+
+/// [`hotspot_proportion`] computed from an already-collected violation list.
+#[must_use]
+pub fn hotspot_proportion_from(violations: &[SpatialViolation], netlist: &QuantumNetlist) -> f64 {
+    let numerator: f64 = violations
+        .iter()
+        .map(|v| v.adjacency_length * v.centroid_distance)
+        .sum();
+    100.0 * numerator / netlist.total_component_area()
+}
+
+/// The qubits "under crosstalk" (`H_Q` of Table III): qubits that are themselves part
+/// of a violating pair, plus the endpoint qubits of any resonator one of whose wire
+/// blocks is part of a violating pair.
+#[must_use]
+pub fn hotspot_qubits(
+    netlist: &QuantumNetlist,
+    violations: &[SpatialViolation],
+) -> BTreeSet<QubitId> {
+    let mut qubits = BTreeSet::new();
+    for v in violations {
+        for id in [v.a, v.b] {
+            match id {
+                ComponentId::Qubit(q) => {
+                    qubits.insert(q);
+                }
+                ComponentId::Segment(s) => {
+                    let r = netlist.block(s).resonator();
+                    let (qa, qb) = netlist.resonator(r).endpoints();
+                    qubits.insert(qa);
+                    qubits.insert(qb);
+                }
+            }
+        }
+    }
+    qubits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_geometry::Point;
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder, ResonatorId, SegmentId};
+
+    /// Builds a 4-qubit path netlist and a placement with everything spread far apart.
+    fn spread_layout() -> (QuantumNetlist, Placement) {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(1, 2)
+            .couple(2, 3)
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        for (i, id) in netlist.component_ids().enumerate() {
+            p.set_component(id, Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0));
+        }
+        (netlist, p)
+    }
+
+    #[test]
+    fn spread_layout_has_no_violations() {
+        let (netlist, p) = spread_layout();
+        let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
+        assert!(v.is_empty());
+        assert_eq!(hotspot_proportion(&netlist, &p, &CrosstalkConfig::default()), 0.0);
+        assert!(hotspot_qubits(&netlist, &v).is_empty());
+    }
+
+    #[test]
+    fn same_frequency_qubits_close_together_violate() {
+        let (netlist, mut p) = spread_layout();
+        // Qubits 0 and 2 are not coupled, so the greedy colouring may give them the
+        // same frequency; find two qubits with identical frequencies and move them
+        // next to each other.
+        let mut same = None;
+        'outer: for a in netlist.qubit_ids() {
+            for b in netlist.qubit_ids() {
+                if a < b
+                    && netlist
+                        .qubit(a)
+                        .frequency()
+                        .detuning(netlist.qubit(b).frequency())
+                        < 1e-9
+                {
+                    same = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = same.expect("a 4-qubit path has at least one repeated frequency");
+        p.set_qubit(a, Point::new(1000.0, 1000.0));
+        p.set_qubit(b, Point::new(1000.0 + 40.0 + 5.0, 1000.0)); // 5 µm gap < threshold
+        let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].adjacency_length > 0.0);
+        assert!(hotspot_proportion(&netlist, &p, &CrosstalkConfig::default()) > 0.0);
+        let hq = hotspot_qubits(&netlist, &v);
+        assert!(hq.contains(&a) && hq.contains(&b));
+        assert_eq!(hq.len(), 2);
+    }
+
+    #[test]
+    fn detuned_neighbors_do_not_violate() {
+        let (netlist, mut p) = spread_layout();
+        // Coupled qubits have different frequencies by construction; placing them close
+        // must not create a violation (their detuning exceeds Δ_c).
+        p.set_qubit(qgdp_netlist::QubitId(0), Point::new(500.0, 500.0));
+        p.set_qubit(qgdp_netlist::QubitId(1), Point::new(545.0, 500.0));
+        let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
+        assert!(v.iter().all(|v| {
+            !(matches!(v.a, ComponentId::Qubit(q) if q.index() <= 1)
+                && matches!(v.b, ComponentId::Qubit(q) if q.index() <= 1))
+        }));
+    }
+
+    #[test]
+    fn same_resonator_blocks_never_violate() {
+        let (netlist, mut p) = spread_layout();
+        let segs = netlist.resonator(ResonatorId(0)).segments().to_vec();
+        for (k, &s) in segs.iter().enumerate() {
+            p.set_segment(s, Point::new(2000.0 + 10.0 * k as f64, 2000.0));
+        }
+        let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
+        for viol in &v {
+            let owners = (
+                netlist.owning_resonator(viol.a),
+                netlist.owning_resonator(viol.b),
+            );
+            assert!(
+                owners.0 != Some(ResonatorId(0)) || owners.1 != Some(ResonatorId(0)),
+                "same-resonator pair reported as a violation"
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_of_same_frequency_resonators_violate_when_adjacent() {
+        // Resonators 0 and 8 share a band slot in the default plan; with only 3
+        // resonators here, force the check with resonator 0's own frequency band by
+        // using two resonators whose assigned slots coincide modulo the band size.
+        // Simpler: use blocks of resonators 0 and 1 — different slots (50 MHz apart),
+        // which is within the default 60 MHz threshold, so adjacency still counts.
+        let (netlist, mut p) = spread_layout();
+        let s0: SegmentId = netlist.resonator(ResonatorId(0)).segments()[0];
+        let s1: SegmentId = netlist.resonator(ResonatorId(1)).segments()[0];
+        p.set_segment(s0, Point::new(3000.0, 3000.0));
+        p.set_segment(s1, Point::new(3010.0, 3000.0)); // abutting
+        let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
+        assert!(v
+            .iter()
+            .any(|v| (v.a == ComponentId::Segment(s0) && v.b == ComponentId::Segment(s1))
+                || (v.a == ComponentId::Segment(s1) && v.b == ComponentId::Segment(s0))));
+        let hq = hotspot_qubits(&netlist, &v);
+        // Endpoints of both resonators are flagged.
+        assert!(hq.len() >= 3);
+    }
+
+    #[test]
+    fn ph_increases_with_more_violations() {
+        let (netlist, mut p) = spread_layout();
+        let cfg = CrosstalkConfig::default();
+        let base = hotspot_proportion(&netlist, &p, &cfg);
+        // Pile the blocks of resonators 0 and 1 on top of each other.
+        let r0 = netlist.resonator(ResonatorId(0)).segments().to_vec();
+        let r1 = netlist.resonator(ResonatorId(1)).segments().to_vec();
+        for (k, (&a, &b)) in r0.iter().zip(&r1).enumerate() {
+            p.set_segment(a, Point::new(4000.0 + 10.0 * k as f64, 4000.0));
+            p.set_segment(b, Point::new(4000.0 + 10.0 * k as f64, 4010.0));
+        }
+        let stacked = hotspot_proportion(&netlist, &p, &cfg);
+        assert!(stacked > base);
+    }
+}

@@ -1,0 +1,49 @@
+//! # qgdp-metrics
+//!
+//! Layout-quality and fidelity metrics for the qGDP evaluation.
+//!
+//! The paper assesses layouts from two angles (Section IV, "Metrics"):
+//!
+//! 1. **Program fidelity** `F = Π_q (1 − ε_q) · Π_g (1 − ε_g) · Π_e (1 − ε_e)` (Eq. 7),
+//!    combining gate/decoherence errors, qubit crosstalk from spatial-constraint
+//!    violations (Rabi oscillation between resonant neighbours, Eq. 8), and resonator
+//!    crosstalk from spatial violations and airbridge crossings (3.5 fF parasitic per
+//!    crossing).  Only components actually used by the mapped benchmark contribute.
+//! 2. **Frequency-hotspot proportion** `P_h` (Eq. 4) and the derived `H_Q` (number of
+//!    qubits under crosstalk), plus the resonator crossing count `X`.
+//!
+//! This crate implements both, along with the supporting crosstalk physics model and
+//! the per-resonator route construction used to count crossings.
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_metrics::{CrosstalkConfig, LayoutReport};
+//! use qgdp_netlist::{ComponentGeometry, NetModel, Placement};
+//! use qgdp_topology::StandardTopology;
+//!
+//! let topo = StandardTopology::Grid.build();
+//! let netlist = topo.to_netlist(ComponentGeometry::default(), NetModel::Pseudo)?;
+//! let placement = Placement::new(&netlist); // everything at the origin: terrible layout
+//! let report = LayoutReport::evaluate(&netlist, &placement, &CrosstalkConfig::default());
+//! assert!(report.violations > 0);
+//! # Ok::<(), qgdp_netlist::NetlistError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod crossings;
+pub mod crosstalk;
+pub mod fidelity;
+pub mod hotspot;
+pub mod report;
+
+pub use crossings::{count_crossings, crossing_pairs, resonator_route};
+pub use crosstalk::{CrosstalkConfig, CrosstalkModel};
+pub use fidelity::{estimate_fidelity, mean_fidelity, FidelityEvaluator, FidelityReport, NoiseModel};
+pub use hotspot::{find_violations, hotspot_proportion, hotspot_qubits, SpatialViolation};
+pub use report::LayoutReport;
+
+// Re-exported so benchmark code can depend on one crate for topology-independent use.
+pub use qgdp_circuits::GateTimes;

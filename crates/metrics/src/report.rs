@@ -1,0 +1,144 @@
+//! Aggregate layout-quality report (the rows of Fig. 9 and Table III).
+
+use crate::hotspot::hotspot_proportion_from;
+use crate::{count_crossings, find_violations, hotspot_qubits, CrosstalkConfig};
+use qgdp_netlist::{ClusterReport, Placement, QuantumNetlist};
+use std::fmt;
+
+/// The layout-quality metrics the paper reports per topology: integration ratio
+/// `I_edge`, crossing count `X`, hotspot proportion `P_h` and affected qubit count
+/// `H_Q` (Table III), plus the raw counts behind them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutReport {
+    /// Total number of placeable cells (qubits + wire blocks) — the `#Cells` column.
+    pub num_cells: usize,
+    /// Number of unified resonators (single cluster).
+    pub unified_resonators: usize,
+    /// Total number of resonators.
+    pub total_resonators: usize,
+    /// Total cluster count `Σ_e |C_e|` (Eq. 3 objective).
+    pub total_clusters: usize,
+    /// Resonator crossing count `X`.
+    pub crossings: usize,
+    /// Frequency-hotspot proportion `P_h`, in percent.
+    pub hotspot_proportion_percent: f64,
+    /// Number of qubits under crosstalk (`H_Q`).
+    pub hotspot_qubits: usize,
+    /// Number of spatial violations detected.
+    pub violations: usize,
+}
+
+impl LayoutReport {
+    /// Evaluates every layout metric for `placement`.
+    #[must_use]
+    pub fn evaluate(
+        netlist: &QuantumNetlist,
+        placement: &Placement,
+        config: &CrosstalkConfig,
+    ) -> Self {
+        let clusters = ClusterReport::analyze(netlist, placement);
+        let violations = find_violations(netlist, placement, config);
+        let ph = hotspot_proportion_from(&violations, netlist);
+        let hq = hotspot_qubits(netlist, &violations).len();
+        LayoutReport {
+            num_cells: netlist.num_components(),
+            unified_resonators: clusters.unified_count(),
+            total_resonators: clusters.total_resonators(),
+            total_clusters: clusters.total_clusters(),
+            crossings: count_crossings(netlist, placement),
+            hotspot_proportion_percent: ph,
+            hotspot_qubits: hq,
+            violations: violations.len(),
+        }
+    }
+
+    /// The `I_edge` column formatted as the paper prints it, e.g. `"37/40"`.
+    #[must_use]
+    pub fn integration_ratio(&self) -> String {
+        format!("{}/{}", self.unified_resonators, self.total_resonators)
+    }
+
+    /// Returns `true` if this report is at least as good as `other` on every metric the
+    /// detailed placer guards (cluster count and hotspot proportion) — the acceptance
+    /// test of Algorithm 2.
+    #[must_use]
+    pub fn not_worse_than(&self, other: &LayoutReport) -> bool {
+        self.total_clusters <= other.total_clusters
+            && self.hotspot_proportion_percent <= other.hotspot_proportion_percent + 1e-12
+    }
+}
+
+impl fmt::Display for LayoutReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cells={} I_edge={} X={} Ph={:.2}% HQ={}",
+            self.num_cells,
+            self.integration_ratio(),
+            self.crossings,
+            self.hotspot_proportion_percent,
+            self.hotspot_qubits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_geometry::Point;
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder};
+
+    fn netlist() -> QuantumNetlist {
+        NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(1, 2)
+            .couple(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    fn spread(netlist: &QuantumNetlist) -> Placement {
+        let mut p = Placement::new(netlist);
+        for (i, id) in netlist.component_ids().enumerate() {
+            p.set_component(id, Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0));
+        }
+        p
+    }
+
+    #[test]
+    fn evaluate_on_scattered_layout() {
+        let nl = netlist();
+        let p = spread(&nl);
+        let report = LayoutReport::evaluate(&nl, &p, &CrosstalkConfig::default());
+        assert_eq!(report.num_cells, nl.num_components());
+        assert_eq!(report.total_resonators, 3);
+        // Scattered blocks: nothing unified.
+        assert_eq!(report.unified_resonators, 0);
+        assert!(report.total_clusters > 3);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.hotspot_qubits, 0);
+        assert_eq!(report.hotspot_proportion_percent, 0.0);
+        assert!(report.integration_ratio().ends_with("/3"));
+        assert!(report.to_string().contains("I_edge"));
+    }
+
+    #[test]
+    fn compact_resonators_improve_the_report() {
+        let nl = netlist();
+        let mut p = spread(&nl);
+        // Unify every resonator into an abutting row far from everything else.
+        for r in nl.resonator_ids() {
+            let res = nl.resonator(r);
+            for (k, &s) in res.segments().iter().enumerate() {
+                p.set_segment(s, Point::new(2000.0 + 10.0 * k as f64, 2000.0 + 300.0 * r.index() as f64));
+            }
+        }
+        let unified = LayoutReport::evaluate(&nl, &p, &CrosstalkConfig::default());
+        assert_eq!(unified.unified_resonators, 3);
+        assert_eq!(unified.total_clusters, 3);
+        let scattered = LayoutReport::evaluate(&nl, &spread(&nl), &CrosstalkConfig::default());
+        assert!(unified.not_worse_than(&scattered));
+        assert!(!scattered.not_worse_than(&unified));
+    }
+}

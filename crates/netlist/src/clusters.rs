@@ -1,0 +1,269 @@
+//! Cluster analysis of resonator wire blocks.
+//!
+//! Wire blocks of an edge are "grouped into clusters if they physically touch,
+//! indicating integration and minimizing crossing points"; a non-unified edge consists
+//! of multiple clusters `C¹ ∪ C² ∪ … ∪ Cⁿ = S_e` (paper §III-B).  Minimising the total
+//! cluster count `Σ_e |C_e|` (Eq. 3) is the integration objective of the resonator
+//! legalizer, and the fraction of *unified* resonators (`|C_e| = 1`) is the `I_edge`
+//! column of Table III.
+
+use crate::{Placement, QuantumNetlist, ResonatorId, SegmentId};
+
+/// Disjoint-set union used to group touching wire blocks.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Tolerance used when deciding whether two wire blocks "physically touch".
+///
+/// Legalized blocks sit on a bin grid and either abut exactly or are at least one bin
+/// apart, so a small positive slack only absorbs floating-point noise.
+const TOUCH_TOLERANCE: f64 = 1e-6;
+
+/// Computes the clusters (maximal groups of mutually touching wire blocks) of one
+/// resonator under `placement`.
+///
+/// Each inner vector is one cluster; their union is exactly the resonator's segment
+/// set.  Blocks touch when their rectangles abut or overlap (gap ≤ a small tolerance).
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::Point;
+/// use qgdp_netlist::{resonator_clusters, ComponentGeometry, NetlistBuilder, Placement, ResonatorId};
+///
+/// let netlist = NetlistBuilder::new(ComponentGeometry::default())
+///     .qubits(2)
+///     .couple(0, 1)
+///     .build()?;
+/// let mut placement = Placement::new(&netlist);
+/// // Lay the 12 blocks out in an abutting row: one cluster.
+/// for (i, &s) in netlist.resonator(ResonatorId(0)).segments().iter().enumerate() {
+///     placement.set_segment(s, Point::new(5.0 + 10.0 * i as f64, 5.0));
+/// }
+/// let clusters = resonator_clusters(&netlist, &placement, ResonatorId(0));
+/// assert_eq!(clusters.len(), 1);
+/// # Ok::<(), qgdp_netlist::NetlistError>(())
+/// ```
+#[must_use]
+pub fn resonator_clusters(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    resonator: ResonatorId,
+) -> Vec<Vec<SegmentId>> {
+    let segments = netlist.resonator(resonator).segments();
+    let n = segments.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let rects: Vec<_> = segments
+        .iter()
+        .map(|&s| {
+            netlist
+                .block(s)
+                .rect_at(placement.segment(s))
+                .inflated(TOUCH_TOLERANCE)
+        })
+        .collect();
+    let mut dsu = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rects[i].touches(&rects[j]) {
+                dsu.union(i, j);
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<SegmentId>> =
+        std::collections::BTreeMap::new();
+    for (i, &s) in segments.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(s);
+    }
+    groups.into_values().collect()
+}
+
+/// Summary of the cluster structure of every resonator in a placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// `|C_e|` for each resonator, indexed by resonator id.
+    pub cluster_counts: Vec<usize>,
+}
+
+impl ClusterReport {
+    /// Analyses every resonator of `netlist` under `placement`.
+    #[must_use]
+    pub fn analyze(netlist: &QuantumNetlist, placement: &Placement) -> Self {
+        let cluster_counts = netlist
+            .resonator_ids()
+            .map(|r| resonator_clusters(netlist, placement, r).len())
+            .collect();
+        ClusterReport { cluster_counts }
+    }
+
+    /// Total cluster count `Σ_e |C_e|` — the objective of Eq. 3.
+    #[must_use]
+    pub fn total_clusters(&self) -> usize {
+        self.cluster_counts.iter().sum()
+    }
+
+    /// Number of unified resonators (`|C_e| = 1`).
+    #[must_use]
+    pub fn unified_count(&self) -> usize {
+        self.cluster_counts.iter().filter(|&&c| c == 1).count()
+    }
+
+    /// Total number of resonators.
+    #[must_use]
+    pub fn total_resonators(&self) -> usize {
+        self.cluster_counts.len()
+    }
+
+    /// The resonators that are *not* unified (`|C_e| > 1`) — the `E_c` set of
+    /// Algorithm 2.
+    #[must_use]
+    pub fn non_unified(&self) -> Vec<ResonatorId> {
+        self.cluster_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 1)
+            .map(|(i, _)| ResonatorId(i))
+            .collect()
+    }
+
+    /// The `I_edge` ratio of Table III as a `(unified, total)` pair.
+    #[must_use]
+    pub fn integration_ratio(&self) -> (usize, usize) {
+        (self.unified_count(), self.total_resonators())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComponentGeometry, NetlistBuilder};
+    use qgdp_geometry::Point;
+
+    fn two_qubit_netlist() -> QuantumNetlist {
+        NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(2)
+            .couple(0, 1)
+            .build()
+            .expect("valid netlist")
+    }
+
+    #[test]
+    fn abutting_row_is_one_cluster() {
+        let nl = two_qubit_netlist();
+        let mut p = Placement::new(&nl);
+        for (i, &s) in nl.resonator(ResonatorId(0)).segments().iter().enumerate() {
+            p.set_segment(s, Point::new(5.0 + 10.0 * i as f64, 5.0));
+        }
+        let clusters = resonator_clusters(&nl, &p, ResonatorId(0));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 12);
+        let report = ClusterReport::analyze(&nl, &p);
+        assert_eq!(report.total_clusters(), 1);
+        assert_eq!(report.unified_count(), 1);
+        assert_eq!(report.integration_ratio(), (1, 1));
+        assert!(report.non_unified().is_empty());
+    }
+
+    #[test]
+    fn separated_blocks_form_multiple_clusters() {
+        let nl = two_qubit_netlist();
+        let mut p = Placement::new(&nl);
+        let segs = nl.resonator(ResonatorId(0)).segments().to_vec();
+        for (i, &s) in segs.iter().enumerate() {
+            // Two groups 500 µm apart, blocks abutting within each group.
+            let group_offset = if i < 6 { 0.0 } else { 500.0 };
+            p.set_segment(s, Point::new(group_offset + 10.0 * (i % 6) as f64, 5.0));
+        }
+        let clusters = resonator_clusters(&nl, &p, ResonatorId(0));
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters.iter().map(Vec::len).sum::<usize>(), 12);
+        let report = ClusterReport::analyze(&nl, &p);
+        assert_eq!(report.non_unified(), vec![ResonatorId(0)]);
+        assert_eq!(report.unified_count(), 0);
+    }
+
+    #[test]
+    fn fully_scattered_blocks_are_all_singletons() {
+        let nl = two_qubit_netlist();
+        let mut p = Placement::new(&nl);
+        for (i, &s) in nl.resonator(ResonatorId(0)).segments().iter().enumerate() {
+            p.set_segment(s, Point::new(100.0 * i as f64, 300.0 * i as f64));
+        }
+        let clusters = resonator_clusters(&nl, &p, ResonatorId(0));
+        assert_eq!(clusters.len(), 12);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn diagonal_corner_touch_counts_as_touching() {
+        // Blocks meeting only at a corner share a zero-length boundary; the paper's
+        // "physically touch" is satisfied, and the DSU groups them.
+        let nl = two_qubit_netlist();
+        let mut p = Placement::new(&nl);
+        let segs = nl.resonator(ResonatorId(0)).segments().to_vec();
+        // Scatter everything far away first.
+        for (i, &s) in segs.iter().enumerate() {
+            p.set_segment(s, Point::new(1000.0 + 100.0 * i as f64, 1000.0));
+        }
+        p.set_segment(segs[0], Point::new(5.0, 5.0));
+        p.set_segment(segs[1], Point::new(15.0, 15.0));
+        let clusters = resonator_clusters(&nl, &p, ResonatorId(0));
+        let cluster_of_first = clusters
+            .iter()
+            .find(|c| c.contains(&segs[0]))
+            .expect("first block is in some cluster");
+        assert!(cluster_of_first.contains(&segs[1]));
+    }
+
+    #[test]
+    fn clusters_partition_the_segment_set() {
+        let nl = two_qubit_netlist();
+        let mut p = Placement::new(&nl);
+        for (i, &s) in nl.resonator(ResonatorId(0)).segments().iter().enumerate() {
+            p.set_segment(s, Point::new((i as f64) * 15.0, 0.0));
+        }
+        let clusters = resonator_clusters(&nl, &p, ResonatorId(0));
+        let mut all: Vec<SegmentId> = clusters.into_iter().flatten().collect();
+        all.sort();
+        let mut expected = nl.resonator(ResonatorId(0)).segments().to_vec();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+}

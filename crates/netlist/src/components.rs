@@ -1,0 +1,358 @@
+//! Physical component records: qubits, resonators and resonator wire blocks.
+
+use crate::{Frequency, NetlistError, QubitId, ResonatorId, SegmentId};
+use qgdp_geometry::{Point, Rect};
+
+/// Geometric parameters shared by every component of a netlist.
+///
+/// Dimensions are in micrometres.  The defaults follow the QPlacer-style setup the
+/// paper refers to for "qubit geometry features": a 40 µm square transmon pad, 10 µm
+/// wire blocks, and a padded resonator whose area partitions into 12 blocks
+/// (Eq. 6: `l_pad · L = n · l_b²` with `l_pad = 3`, `L = 400`, `l_b = 10`), which
+/// reproduces the ≈11–12 cells-per-resonator densities of the paper's Table III.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_netlist::ComponentGeometry;
+///
+/// let geom = ComponentGeometry::default();
+/// assert_eq!(geom.segments_per_resonator(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentGeometry {
+    /// Width of a qubit pad.
+    pub qubit_width: f64,
+    /// Height of a qubit pad.
+    pub qubit_height: f64,
+    /// Side length `l_b` of a (square) resonator wire block — the "standard cell" size.
+    pub wire_block_size: f64,
+    /// Padding length `l_pad` applied to the resonator when reshaping it into a compact
+    /// rectangle (Eq. 6).
+    pub padding_length: f64,
+    /// Resonator wire length `L` (Eq. 6).
+    pub resonator_wirelength: f64,
+    /// Minimum spacing to enforce between adjacent qubits during legalization, in
+    /// multiples of [`ComponentGeometry::wire_block_size`] (the paper enforces "at
+    /// least one standard cell size").
+    pub min_qubit_spacing_cells: f64,
+}
+
+impl ComponentGeometry {
+    /// Creates the default geometry (see the type-level documentation).
+    #[must_use]
+    pub fn new() -> Self {
+        ComponentGeometry {
+            qubit_width: 40.0,
+            qubit_height: 40.0,
+            wire_block_size: 10.0,
+            padding_length: 3.0,
+            resonator_wirelength: 400.0,
+            min_qubit_spacing_cells: 1.0,
+        }
+    }
+
+    /// Validates that every parameter is positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidGeometry`] naming the first offending parameter.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let checks = [
+            ("qubit_width", self.qubit_width),
+            ("qubit_height", self.qubit_height),
+            ("wire_block_size", self.wire_block_size),
+            ("padding_length", self.padding_length),
+            ("resonator_wirelength", self.resonator_wirelength),
+        ];
+        for (parameter, value) in checks {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(NetlistError::InvalidGeometry { parameter, value });
+            }
+        }
+        if !(self.min_qubit_spacing_cells >= 0.0 && self.min_qubit_spacing_cells.is_finite()) {
+            return Err(NetlistError::InvalidGeometry {
+                parameter: "min_qubit_spacing_cells",
+                value: self.min_qubit_spacing_cells,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of wire blocks each resonator partitions into (Eq. 6):
+    /// `n = ⌈ l_pad · L / l_b² ⌉`.
+    #[must_use]
+    pub fn segments_per_resonator(&self) -> usize {
+        let n = (self.padding_length * self.resonator_wirelength)
+            / (self.wire_block_size * self.wire_block_size);
+        n.ceil().max(1.0) as usize
+    }
+
+    /// The minimum qubit-to-qubit edge spacing in micrometres.
+    #[must_use]
+    pub fn min_qubit_spacing(&self) -> f64 {
+        self.min_qubit_spacing_cells * self.wire_block_size
+    }
+}
+
+impl Default for ComponentGeometry {
+    fn default() -> Self {
+        ComponentGeometry::new()
+    }
+}
+
+/// A transmon qubit: the macro-sized, fixed-frequency component of the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qubit {
+    id: QubitId,
+    width: f64,
+    height: f64,
+    frequency: Frequency,
+}
+
+impl Qubit {
+    /// Creates a qubit record.
+    #[must_use]
+    pub fn new(id: QubitId, width: f64, height: f64, frequency: Frequency) -> Self {
+        Qubit {
+            id,
+            width,
+            height,
+            frequency,
+        }
+    }
+
+    /// The qubit's identifier.
+    #[must_use]
+    pub fn id(&self) -> QubitId {
+        self.id
+    }
+
+    /// Pad width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Pad height.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Operating frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// The qubit's bounding rectangle when centred at `center`.
+    #[must_use]
+    pub fn rect_at(&self, center: Point) -> Rect {
+        Rect::from_center(center, self.width, self.height)
+    }
+}
+
+/// A resonator wire block: one of the `n` standard-cell-sized segments a resonator is
+/// partitioned into (Eq. 6) so its reserved area can be placed flexibly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireBlock {
+    id: SegmentId,
+    resonator: ResonatorId,
+    size: f64,
+    frequency: Frequency,
+}
+
+impl WireBlock {
+    /// Creates a wire block record.
+    #[must_use]
+    pub fn new(id: SegmentId, resonator: ResonatorId, size: f64, frequency: Frequency) -> Self {
+        WireBlock {
+            id,
+            resonator,
+            size,
+            frequency,
+        }
+    }
+
+    /// The block's identifier.
+    #[must_use]
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// The resonator this block belongs to.
+    #[must_use]
+    pub fn resonator(&self) -> ResonatorId {
+        self.resonator
+    }
+
+    /// Side length of the (square) block.
+    #[must_use]
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// Operating frequency (inherited from the owning resonator).
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// The block's bounding rectangle when centred at `center`.
+    #[must_use]
+    pub fn rect_at(&self, center: Point) -> Rect {
+        Rect::from_center(center, self.size, self.size)
+    }
+}
+
+/// A resonator: an edge `(q_i, q_j, S_ij)` of the quantum netlist coupling two qubits,
+/// realised on chip as a set of wire-block segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resonator {
+    id: ResonatorId,
+    endpoints: (QubitId, QubitId),
+    frequency: Frequency,
+    wirelength: f64,
+    segments: Vec<SegmentId>,
+}
+
+impl Resonator {
+    /// Creates a resonator record.
+    #[must_use]
+    pub fn new(
+        id: ResonatorId,
+        endpoints: (QubitId, QubitId),
+        frequency: Frequency,
+        wirelength: f64,
+        segments: Vec<SegmentId>,
+    ) -> Self {
+        Resonator {
+            id,
+            endpoints,
+            frequency,
+            wirelength,
+            segments,
+        }
+    }
+
+    /// The resonator's identifier.
+    #[must_use]
+    pub fn id(&self) -> ResonatorId {
+        self.id
+    }
+
+    /// The two qubits this resonator couples.
+    #[must_use]
+    pub fn endpoints(&self) -> (QubitId, QubitId) {
+        self.endpoints
+    }
+
+    /// Returns the other endpoint given one of the two coupled qubits, or `None` if
+    /// `qubit` is not an endpoint.
+    #[must_use]
+    pub fn other_endpoint(&self, qubit: QubitId) -> Option<QubitId> {
+        if self.endpoints.0 == qubit {
+            Some(self.endpoints.1)
+        } else if self.endpoints.1 == qubit {
+            Some(self.endpoints.0)
+        } else {
+            None
+        }
+    }
+
+    /// Operating (fundamental) frequency.
+    #[must_use]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Wire length `L` of the resonator before partitioning.
+    #[must_use]
+    pub fn wirelength(&self) -> f64 {
+        self.wirelength
+    }
+
+    /// The wire-block segments `S_e` this resonator is partitioned into.
+    #[must_use]
+    pub fn segments(&self) -> &[SegmentId] {
+        &self.segments
+    }
+
+    /// Number of wire blocks.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_paper_density() {
+        let geom = ComponentGeometry::default();
+        assert!(geom.validate().is_ok());
+        assert_eq!(geom.segments_per_resonator(), 12);
+        assert_eq!(geom.min_qubit_spacing(), 10.0);
+    }
+
+    #[test]
+    fn geometry_validation_rejects_nonpositive() {
+        let mut geom = ComponentGeometry::default();
+        geom.wire_block_size = 0.0;
+        assert_eq!(
+            geom.validate(),
+            Err(NetlistError::InvalidGeometry {
+                parameter: "wire_block_size",
+                value: 0.0
+            })
+        );
+        let mut geom = ComponentGeometry::default();
+        geom.qubit_width = f64::NAN;
+        assert!(geom.validate().is_err());
+        let mut geom = ComponentGeometry::default();
+        geom.min_qubit_spacing_cells = -1.0;
+        assert!(geom.validate().is_err());
+    }
+
+    #[test]
+    fn partition_count_follows_eq6() {
+        let mut geom = ComponentGeometry::default();
+        geom.padding_length = 5.0;
+        geom.resonator_wirelength = 120.0;
+        geom.wire_block_size = 10.0;
+        // 5 * 120 / 100 = 6 — the n = 6 example of Fig. 5.
+        assert_eq!(geom.segments_per_resonator(), 6);
+        geom.resonator_wirelength = 121.0;
+        assert_eq!(geom.segments_per_resonator(), 7, "partial blocks round up");
+    }
+
+    #[test]
+    fn qubit_and_block_rects() {
+        let q = Qubit::new(QubitId(0), 40.0, 30.0, Frequency::ghz(5.0));
+        let r = q.rect_at(Point::new(100.0, 100.0));
+        assert_eq!(r.width(), 40.0);
+        assert_eq!(r.height(), 30.0);
+        assert_eq!(r.center(), Point::new(100.0, 100.0));
+        let b = WireBlock::new(SegmentId(0), ResonatorId(0), 10.0, Frequency::ghz(6.2));
+        assert_eq!(b.rect_at(Point::ORIGIN).area(), 100.0);
+        assert_eq!(b.resonator(), ResonatorId(0));
+    }
+
+    #[test]
+    fn resonator_endpoints() {
+        let r = Resonator::new(
+            ResonatorId(0),
+            (QubitId(1), QubitId(2)),
+            Frequency::ghz(6.3),
+            400.0,
+            vec![SegmentId(0), SegmentId(1)],
+        );
+        assert_eq!(r.other_endpoint(QubitId(1)), Some(QubitId(2)));
+        assert_eq!(r.other_endpoint(QubitId(2)), Some(QubitId(1)));
+        assert_eq!(r.other_endpoint(QubitId(3)), None);
+        assert_eq!(r.num_segments(), 2);
+    }
+}

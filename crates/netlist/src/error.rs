@@ -1,0 +1,101 @@
+//! Error type for netlist construction and validation.
+
+use crate::{QubitId, ResonatorId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::QuantumNetlist`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A coupling references a qubit index that does not exist.
+    UnknownQubit {
+        /// The offending qubit id.
+        qubit: QubitId,
+        /// Number of qubits declared in the netlist.
+        num_qubits: usize,
+    },
+    /// A resonator couples a qubit to itself.
+    SelfCoupling {
+        /// The qubit coupled to itself.
+        qubit: QubitId,
+    },
+    /// The same pair of qubits is coupled by more than one resonator.
+    DuplicateCoupling {
+        /// First endpoint.
+        a: QubitId,
+        /// Second endpoint.
+        b: QubitId,
+    },
+    /// A geometry parameter is non-positive or non-finite.
+    InvalidGeometry {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A resonator ended up with zero wire-block segments after partitioning.
+    EmptyResonator {
+        /// The offending resonator.
+        resonator: ResonatorId,
+    },
+    /// The netlist has no qubits.
+    Empty,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownQubit { qubit, num_qubits } => write!(
+                f,
+                "coupling references {qubit} but the netlist declares only {num_qubits} qubits"
+            ),
+            NetlistError::SelfCoupling { qubit } => {
+                write!(f, "resonator couples {qubit} to itself")
+            }
+            NetlistError::DuplicateCoupling { a, b } => {
+                write!(f, "duplicate resonator between {a} and {b}")
+            }
+            NetlistError::InvalidGeometry { parameter, value } => {
+                write!(f, "geometry parameter `{parameter}` must be positive and finite, got {value}")
+            }
+            NetlistError::EmptyResonator { resonator } => {
+                write!(f, "resonator {resonator} has no wire-block segments")
+            }
+            NetlistError::Empty => write!(f, "netlist has no qubits"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownQubit {
+            qubit: QubitId(9),
+            num_qubits: 4,
+        };
+        assert!(e.to_string().contains("q9"));
+        assert!(e.to_string().contains('4'));
+        let e = NetlistError::DuplicateCoupling {
+            a: QubitId(1),
+            b: QubitId(2),
+        };
+        assert!(e.to_string().contains("q1"));
+        let e = NetlistError::InvalidGeometry {
+            parameter: "wire_block_size",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("wire_block_size"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,296 @@
+//! Component operating frequencies and the fixed-frequency allocation scheme.
+//!
+//! Fixed-frequency transmon architectures (the paper's target, §II-A) fabricate each
+//! qubit at one of a small palette of design frequencies and each readout/coupling
+//! resonator in a higher band.  Crosstalk is worst when two spatially-close components
+//! sit at (nearly) the same frequency, which is exactly what the frequency-hotspot
+//! metric `P_h` (Eq. 4) measures.  The allocator below reproduces the standard
+//! frequency-collision-avoidance heuristic: greedy graph colouring of the coupling
+//! graph over the qubit palette, with resonator frequencies spread over their own band.
+
+use crate::{QubitId, ResonatorId};
+use std::fmt;
+
+/// An operating frequency in gigahertz.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_netlist::Frequency;
+///
+/// let a = Frequency::ghz(5.00);
+/// let b = Frequency::ghz(5.04);
+/// assert!(a.detuning(b) < 0.05);
+/// assert!(a.is_near(b, 0.05));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// Creates a frequency from a value in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is negative or non-finite.
+    #[must_use]
+    pub fn ghz(ghz: f64) -> Self {
+        assert!(
+            ghz >= 0.0 && ghz.is_finite(),
+            "frequency must be non-negative and finite (got {ghz})"
+        );
+        Frequency(ghz)
+    }
+
+    /// The frequency value in GHz.
+    #[must_use]
+    pub fn as_ghz(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute detuning `|ω_i − ω_j|` in GHz.
+    #[must_use]
+    pub fn detuning(self, other: Frequency) -> f64 {
+        (self.0 - other.0).abs()
+    }
+
+    /// Returns `true` when the detuning from `other` is within `threshold_ghz` —
+    /// the `τ(ω_i, ω_j, Δ_c)` predicate of the hotspot metric.
+    #[must_use]
+    pub fn is_near(self, other: Frequency, threshold_ghz: f64) -> bool {
+        self.detuning(other) <= threshold_ghz
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} GHz", self.0)
+    }
+}
+
+/// The frequency palettes used when assigning component frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyPlan {
+    /// Candidate qubit frequencies in GHz (the fabrication palette).
+    pub qubit_palette: Vec<f64>,
+    /// Lower edge of the resonator band in GHz.
+    pub resonator_band_start: f64,
+    /// Spacing between consecutive resonator frequencies in GHz.
+    pub resonator_band_step: f64,
+    /// Number of distinct resonator frequencies before the band wraps around.
+    pub resonator_band_slots: usize,
+}
+
+impl FrequencyPlan {
+    /// The default plan: five qubit frequencies between 5.00 and 5.28 GHz (70 MHz
+    /// steps, matching typical IBM fixed-frequency lattices) and resonators from
+    /// 6.2 GHz upward in 50 MHz steps over 8 slots.
+    #[must_use]
+    pub fn new() -> Self {
+        FrequencyPlan {
+            qubit_palette: vec![5.00, 5.07, 5.14, 5.21, 5.28],
+            resonator_band_start: 6.20,
+            resonator_band_step: 0.05,
+            resonator_band_slots: 8,
+        }
+    }
+}
+
+impl Default for FrequencyPlan {
+    fn default() -> Self {
+        FrequencyPlan::new()
+    }
+}
+
+/// Greedy frequency allocator over a coupling graph.
+///
+/// Qubit frequencies are assigned by greedy graph colouring in id order: each qubit
+/// takes the first palette entry not used by an already-coloured neighbour (wrapping to
+/// the least-used entry when the palette is exhausted, as happens on high-degree
+/// topologies).  Resonators cycle through their band slots, so resonators sharing a
+/// qubit rarely collide.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyAllocator {
+    plan: FrequencyPlan,
+}
+
+impl FrequencyAllocator {
+    /// Creates an allocator with the given plan.
+    #[must_use]
+    pub fn new(plan: FrequencyPlan) -> Self {
+        FrequencyAllocator { plan }
+    }
+
+    /// The plan used by this allocator.
+    #[must_use]
+    pub fn plan(&self) -> &FrequencyPlan {
+        &self.plan
+    }
+
+    /// Assigns a frequency to every qubit given the coupling edges.
+    ///
+    /// `num_qubits` is the number of qubits; `couplings` lists the resonator edges as
+    /// qubit-id pairs.  The result is indexed by qubit id.
+    #[must_use]
+    pub fn assign_qubits(
+        &self,
+        num_qubits: usize,
+        couplings: &[(QubitId, QubitId)],
+    ) -> Vec<Frequency> {
+        let palette = &self.plan.qubit_palette;
+        assert!(!palette.is_empty(), "qubit palette must not be empty");
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); num_qubits];
+        for &(a, b) in couplings {
+            if a.index() < num_qubits && b.index() < num_qubits {
+                adjacency[a.index()].push(b.index());
+                adjacency[b.index()].push(a.index());
+            }
+        }
+        let mut colors: Vec<Option<usize>> = vec![None; num_qubits];
+        let mut usage = vec![0usize; palette.len()];
+        for q in 0..num_qubits {
+            let mut forbidden = vec![false; palette.len()];
+            for &n in &adjacency[q] {
+                if let Some(c) = colors[n] {
+                    forbidden[c] = true;
+                }
+            }
+            let choice = (0..palette.len())
+                .find(|&c| !forbidden[c])
+                .unwrap_or_else(|| {
+                    // Palette exhausted: pick the globally least-used colour.
+                    (0..palette.len())
+                        .min_by_key(|&c| usage[c])
+                        .expect("palette is non-empty")
+                });
+            colors[q] = Some(choice);
+            usage[choice] += 1;
+        }
+        colors
+            .into_iter()
+            .map(|c| Frequency::ghz(palette[c.expect("every qubit coloured")]))
+            .collect()
+    }
+
+    /// Assigns a frequency to every resonator, cycling over the resonator band.
+    ///
+    /// The result is indexed by resonator id.
+    #[must_use]
+    pub fn assign_resonators(&self, num_resonators: usize) -> Vec<Frequency> {
+        (0..num_resonators)
+            .map(|i| {
+                let slot = i % self.plan.resonator_band_slots.max(1);
+                Frequency::ghz(
+                    self.plan.resonator_band_start + slot as f64 * self.plan.resonator_band_step,
+                )
+            })
+            .collect()
+    }
+
+    /// Convenience helper returning the frequency of resonator `r` under this plan.
+    #[must_use]
+    pub fn resonator_frequency(&self, r: ResonatorId) -> Frequency {
+        let slot = r.index() % self.plan.resonator_band_slots.max(1);
+        Frequency::ghz(self.plan.resonator_band_start + slot as f64 * self.plan.resonator_band_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frequency_basics() {
+        let f = Frequency::ghz(5.1);
+        assert_eq!(f.as_ghz(), 5.1);
+        assert!(f.is_near(Frequency::ghz(5.15), 0.06));
+        assert!(!f.is_near(Frequency::ghz(5.2), 0.06));
+        assert_eq!(f.to_string(), "5.100 GHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be non-negative")]
+    fn negative_frequency_panics() {
+        let _ = Frequency::ghz(-1.0);
+    }
+
+    #[test]
+    fn coloring_avoids_neighbor_collisions_on_a_path() {
+        let alloc = FrequencyAllocator::default();
+        let couplings: Vec<(QubitId, QubitId)> =
+            (0..9).map(|i| (QubitId(i), QubitId(i + 1))).collect();
+        let freqs = alloc.assign_qubits(10, &couplings);
+        assert_eq!(freqs.len(), 10);
+        for &(a, b) in &couplings {
+            assert!(
+                freqs[a.index()].detuning(freqs[b.index()]) > 1e-9,
+                "adjacent qubits {a} and {b} share a frequency"
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_avoids_neighbor_collisions_on_a_grid() {
+        // 5x5 grid coupling graph.
+        let mut couplings = Vec::new();
+        let id = |r: usize, c: usize| QubitId(r * 5 + c);
+        for r in 0..5 {
+            for c in 0..5 {
+                if c + 1 < 5 {
+                    couplings.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < 5 {
+                    couplings.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        let freqs = FrequencyAllocator::default().assign_qubits(25, &couplings);
+        for &(a, b) in &couplings {
+            assert!(freqs[a.index()].detuning(freqs[b.index()]) > 1e-9);
+        }
+    }
+
+    #[test]
+    fn resonator_band_is_above_qubit_band() {
+        let alloc = FrequencyAllocator::default();
+        let rf = alloc.assign_resonators(20);
+        let qf = alloc.assign_qubits(4, &[(QubitId(0), QubitId(1))]);
+        let max_q = qf.iter().map(|f| f.as_ghz()).fold(0.0f64, f64::max);
+        for f in &rf {
+            assert!(f.as_ghz() > max_q, "resonators must sit above the qubit band");
+        }
+        assert_eq!(alloc.resonator_frequency(ResonatorId(3)), rf[3]);
+    }
+
+    #[test]
+    fn resonator_frequencies_cycle() {
+        let alloc = FrequencyAllocator::default();
+        let rf = alloc.assign_resonators(10);
+        assert_eq!(rf[0], rf[8]);
+        assert_ne!(rf[0], rf[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_qubit_gets_a_palette_frequency(
+            n in 1usize..60,
+            edges in proptest::collection::vec((0usize..60, 0usize..60), 0..120),
+        ) {
+            let alloc = FrequencyAllocator::default();
+            let couplings: Vec<(QubitId, QubitId)> = edges
+                .into_iter()
+                .filter(|(a, b)| a != b && *a < n && *b < n)
+                .map(|(a, b)| (QubitId(a), QubitId(b)))
+                .collect();
+            let freqs = alloc.assign_qubits(n, &couplings);
+            prop_assert_eq!(freqs.len(), n);
+            for f in &freqs {
+                prop_assert!(alloc
+                    .plan()
+                    .qubit_palette
+                    .iter()
+                    .any(|&p| (p - f.as_ghz()).abs() < 1e-12));
+            }
+        }
+    }
+}

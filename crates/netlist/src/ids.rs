@@ -1,0 +1,143 @@
+//! Strongly-typed identifiers for netlist components.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The underlying index value.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(value: usize) -> Self {
+                $name(value)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> Self {
+                value.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a transmon qubit (a vertex of the quantum netlist graph).
+    QubitId,
+    "q"
+);
+id_type!(
+    /// Identifier of a resonator (an edge of the quantum netlist graph).
+    ResonatorId,
+    "r"
+);
+id_type!(
+    /// Identifier of a resonator wire-block segment (a movable standard cell).
+    SegmentId,
+    "s"
+);
+
+/// Identifier of any placeable component — either a qubit macro or a wire-block cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentId {
+    /// A transmon qubit.
+    Qubit(QubitId),
+    /// A resonator wire block.
+    Segment(SegmentId),
+}
+
+impl ComponentId {
+    /// Returns the qubit id if this component is a qubit.
+    #[must_use]
+    pub fn as_qubit(self) -> Option<QubitId> {
+        match self {
+            ComponentId::Qubit(q) => Some(q),
+            ComponentId::Segment(_) => None,
+        }
+    }
+
+    /// Returns the segment id if this component is a wire block.
+    #[must_use]
+    pub fn as_segment(self) -> Option<SegmentId> {
+        match self {
+            ComponentId::Segment(s) => Some(s),
+            ComponentId::Qubit(_) => None,
+        }
+    }
+
+    /// Returns `true` if this component is a qubit.
+    #[must_use]
+    pub fn is_qubit(self) -> bool {
+        matches!(self, ComponentId::Qubit(_))
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentId::Qubit(q) => write!(f, "{q}"),
+            ComponentId::Segment(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<QubitId> for ComponentId {
+    fn from(value: QubitId) -> Self {
+        ComponentId::Qubit(value)
+    }
+}
+
+impl From<SegmentId> for ComponentId {
+    fn from(value: SegmentId) -> Self {
+        ComponentId::Segment(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(QubitId(3).to_string(), "q3");
+        assert_eq!(ResonatorId(7).to_string(), "r7");
+        assert_eq!(SegmentId(11).to_string(), "s11");
+        assert_eq!(ComponentId::Qubit(QubitId(1)).to_string(), "q1");
+        assert_eq!(ComponentId::Segment(SegmentId(2)).to_string(), "s2");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let q: QubitId = 5usize.into();
+        assert_eq!(usize::from(q), 5);
+        assert_eq!(q.index(), 5);
+        let c: ComponentId = q.into();
+        assert_eq!(c.as_qubit(), Some(q));
+        assert!(c.is_qubit());
+        assert_eq!(c.as_segment(), None);
+        let s: ComponentId = SegmentId(2).into();
+        assert_eq!(s.as_segment(), Some(SegmentId(2)));
+        assert!(!s.is_qubit());
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(QubitId(1) < QubitId(2));
+        assert!(ComponentId::Qubit(QubitId(9)) < ComponentId::Segment(SegmentId(0)));
+    }
+}

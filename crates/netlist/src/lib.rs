@@ -1,0 +1,64 @@
+//! # qgdp-netlist
+//!
+//! Quantum netlist model for the qGDP placement engine.
+//!
+//! The paper defines a quantum netlist as an undirected graph `G(Q, E)` whose vertices
+//! are transmon qubits and whose edges are resonators coupling two qubits.  Each
+//! resonator is partitioned into wire-block *segments* (paper Eq. 6) so the global
+//! placer can treat the resonator's reserved area as a set of movable standard cells;
+//! the legalizer must then re-integrate those segments into as few *clusters* (groups of
+//! mutually touching blocks) as possible.
+//!
+//! This crate provides:
+//!
+//! * strongly-typed identifiers ([`QubitId`], [`ResonatorId`], [`SegmentId`],
+//!   [`ComponentId`]),
+//! * component records ([`Qubit`], [`Resonator`], [`WireBlock`]) and the
+//!   [`QuantumNetlist`] container,
+//! * [`Frequency`] and the greedy frequency allocator used for fixed-frequency
+//!   transmon chips,
+//! * [`Placement`] — a positional assignment for every component, kept separate from
+//!   the netlist so the same netlist can carry GP, LG and DP solutions,
+//! * connectivity nets for the global placer, including the paper's **pseudo
+//!   connections** (§III-D) that bias GP towards rectangular resonator clumps,
+//! * cluster analysis ([`clusters::resonator_clusters`]) implementing the
+//!   `C¹ ∪ C² ∪ … = S_e` decomposition used by the integration objective (Eq. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_netlist::{ComponentGeometry, NetModel, NetlistBuilder};
+//!
+//! // A 3-qubit chain: q0 - q1 - q2.
+//! let netlist = NetlistBuilder::new(ComponentGeometry::default())
+//!     .qubits(3)
+//!     .couple(0, 1)
+//!     .couple(1, 2)
+//!     .net_model(NetModel::Pseudo)
+//!     .build()
+//!     .expect("valid netlist");
+//! assert_eq!(netlist.num_qubits(), 3);
+//! assert_eq!(netlist.num_resonators(), 2);
+//! assert!(netlist.num_segments() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod clusters;
+pub mod components;
+pub mod error;
+pub mod frequency;
+pub mod ids;
+pub mod nets;
+pub mod netlist;
+pub mod placement;
+
+pub use clusters::{resonator_clusters, ClusterReport};
+pub use components::{ComponentGeometry, Qubit, Resonator, WireBlock};
+pub use error::NetlistError;
+pub use frequency::{Frequency, FrequencyAllocator, FrequencyPlan};
+pub use ids::{ComponentId, QubitId, ResonatorId, SegmentId};
+pub use nets::{Net, NetModel};
+pub use netlist::{NetlistBuilder, QuantumNetlist};
+pub use placement::Placement;

@@ -1,0 +1,595 @@
+//! The [`QuantumNetlist`] container and its builder.
+
+use crate::components::{ComponentGeometry, Qubit, Resonator, WireBlock};
+use crate::frequency::{Frequency, FrequencyAllocator, FrequencyPlan};
+use crate::ids::{ComponentId, QubitId, ResonatorId, SegmentId};
+use crate::nets::{resonator_nets, Net, NetModel};
+use crate::NetlistError;
+use qgdp_geometry::{Point, Rect};
+use std::collections::HashSet;
+
+/// A quantum netlist `G(Q, E)`: qubits, resonators, their wire-block segments and the
+/// connectivity nets used by the global placer.
+///
+/// The netlist is immutable once built; positional solutions live in
+/// [`crate::Placement`] values so the same netlist can carry the GP, LG and DP layouts
+/// side by side.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_netlist::{ComponentGeometry, NetlistBuilder};
+///
+/// let netlist = NetlistBuilder::new(ComponentGeometry::default())
+///     .qubits(4)
+///     .couple(0, 1)
+///     .couple(1, 2)
+///     .couple(2, 3)
+///     .build()?;
+/// assert_eq!(netlist.num_qubits(), 4);
+/// assert_eq!(netlist.num_resonators(), 3);
+/// assert_eq!(
+///     netlist.num_segments(),
+///     3 * netlist.geometry().segments_per_resonator()
+/// );
+/// # Ok::<(), qgdp_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantumNetlist {
+    geometry: ComponentGeometry,
+    qubits: Vec<Qubit>,
+    resonators: Vec<Resonator>,
+    blocks: Vec<WireBlock>,
+    nets: Vec<Net>,
+    net_model: NetModel,
+}
+
+impl QuantumNetlist {
+    /// The shared component geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &ComponentGeometry {
+        &self.geometry
+    }
+
+    /// The net model the netlist was built with.
+    #[must_use]
+    pub fn net_model(&self) -> NetModel {
+        self.net_model
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Number of resonators (netlist edges).
+    #[must_use]
+    pub fn num_resonators(&self) -> usize {
+        self.resonators.len()
+    }
+
+    /// Number of wire-block segments across all resonators.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of placeable components (qubits + segments) — the "#Cells" column
+    /// of the paper's Table III.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.num_qubits() + self.num_segments()
+    }
+
+    /// Looks up a qubit record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn qubit(&self, id: QubitId) -> &Qubit {
+        &self.qubits[id.index()]
+    }
+
+    /// Looks up a resonator record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn resonator(&self, id: ResonatorId) -> &Resonator {
+        &self.resonators[id.index()]
+    }
+
+    /// Looks up a wire-block record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn block(&self, id: SegmentId) -> &WireBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterator over all qubits.
+    pub fn qubits(&self) -> impl Iterator<Item = &Qubit> {
+        self.qubits.iter()
+    }
+
+    /// Iterator over all resonators.
+    pub fn resonators(&self) -> impl Iterator<Item = &Resonator> {
+        self.resonators.iter()
+    }
+
+    /// Iterator over all wire blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &WireBlock> {
+        self.blocks.iter()
+    }
+
+    /// Iterator over all qubit ids.
+    pub fn qubit_ids(&self) -> impl Iterator<Item = QubitId> {
+        (0..self.qubits.len()).map(QubitId)
+    }
+
+    /// Iterator over all resonator ids.
+    pub fn resonator_ids(&self) -> impl Iterator<Item = ResonatorId> {
+        (0..self.resonators.len()).map(ResonatorId)
+    }
+
+    /// Iterator over all segment ids.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.blocks.len()).map(SegmentId)
+    }
+
+    /// Iterator over all component ids (qubits first, then segments).
+    pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.qubit_ids()
+            .map(ComponentId::Qubit)
+            .chain(self.segment_ids().map(ComponentId::Segment))
+    }
+
+    /// The connectivity nets used by the global placer.
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The coupling edges as qubit-id pairs, in resonator-id order.
+    #[must_use]
+    pub fn couplings(&self) -> Vec<(QubitId, QubitId)> {
+        self.resonators.iter().map(|r| r.endpoints()).collect()
+    }
+
+    /// Finds the resonator coupling `a` and `b`, if any.
+    #[must_use]
+    pub fn resonator_between(&self, a: QubitId, b: QubitId) -> Option<ResonatorId> {
+        self.resonators
+            .iter()
+            .find(|r| {
+                let (x, y) = r.endpoints();
+                (x == a && y == b) || (x == b && y == a)
+            })
+            .map(Resonator::id)
+    }
+
+    /// Returns `true` if qubits `a` and `b` are directly coupled.
+    #[must_use]
+    pub fn are_coupled(&self, a: QubitId, b: QubitId) -> bool {
+        self.resonator_between(a, b).is_some()
+    }
+
+    /// The qubits directly coupled to `qubit`.
+    #[must_use]
+    pub fn neighbors(&self, qubit: QubitId) -> Vec<QubitId> {
+        self.resonators
+            .iter()
+            .filter_map(|r| r.other_endpoint(qubit))
+            .collect()
+    }
+
+    /// The resonators incident to `qubit`.
+    #[must_use]
+    pub fn incident_resonators(&self, qubit: QubitId) -> Vec<ResonatorId> {
+        self.resonators
+            .iter()
+            .filter(|r| r.other_endpoint(qubit).is_some())
+            .map(Resonator::id)
+            .collect()
+    }
+
+    /// The dimensions (width, height) of a component's bounding polygon.
+    #[must_use]
+    pub fn component_dims(&self, id: ComponentId) -> (f64, f64) {
+        match id {
+            ComponentId::Qubit(q) => {
+                let q = self.qubit(q);
+                (q.width(), q.height())
+            }
+            ComponentId::Segment(s) => {
+                let b = self.block(s);
+                (b.size(), b.size())
+            }
+        }
+    }
+
+    /// The bounding rectangle of a component centred at `center`.
+    #[must_use]
+    pub fn component_rect_at(&self, id: ComponentId, center: Point) -> Rect {
+        let (w, h) = self.component_dims(id);
+        Rect::from_center(center, w, h)
+    }
+
+    /// The operating frequency of a component.
+    #[must_use]
+    pub fn component_frequency(&self, id: ComponentId) -> Frequency {
+        match id {
+            ComponentId::Qubit(q) => self.qubit(q).frequency(),
+            ComponentId::Segment(s) => self.block(s).frequency(),
+        }
+    }
+
+    /// The resonator owning a component, if the component is a wire block.
+    #[must_use]
+    pub fn owning_resonator(&self, id: ComponentId) -> Option<ResonatorId> {
+        id.as_segment().map(|s| self.block(s).resonator())
+    }
+
+    /// Total component area `Σ w_n · h_n` — the normaliser of the hotspot metric
+    /// (Eq. 4).
+    #[must_use]
+    pub fn total_component_area(&self) -> f64 {
+        let qubit_area: f64 = self.qubits.iter().map(|q| q.width() * q.height()).sum();
+        let block_area: f64 = self.blocks.iter().map(|b| b.size() * b.size()).sum();
+        qubit_area + block_area
+    }
+
+    /// A die rectangle sized so that the total component area fills `utilization` of it
+    /// (anchored at the origin, side snapped up to a whole number of wire blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]`.
+    #[must_use]
+    pub fn suggested_die(&self, utilization: f64) -> Rect {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1], got {utilization}"
+        );
+        let lb = self.geometry.wire_block_size;
+        let raw_side = (self.total_component_area() / utilization).sqrt();
+        // Never smaller than the widest single component plus one block of margin.
+        let min_side = self
+            .component_ids()
+            .map(|c| {
+                let (w, h) = self.component_dims(c);
+                w.max(h)
+            })
+            .fold(0.0f64, f64::max)
+            + 2.0 * lb;
+        let side = (raw_side.max(min_side) / lb).ceil() * lb;
+        Rect::from_lower_left(Point::ORIGIN, side, side)
+    }
+}
+
+/// Builder for [`QuantumNetlist`].
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    geometry: ComponentGeometry,
+    num_qubits: usize,
+    couplings: Vec<(QubitId, QubitId)>,
+    net_model: NetModel,
+    frequency_plan: FrequencyPlan,
+}
+
+impl NetlistBuilder {
+    /// Starts a builder with the given component geometry.
+    #[must_use]
+    pub fn new(geometry: ComponentGeometry) -> Self {
+        NetlistBuilder {
+            geometry,
+            num_qubits: 0,
+            couplings: Vec::new(),
+            net_model: NetModel::default(),
+            frequency_plan: FrequencyPlan::default(),
+        }
+    }
+
+    /// Declares the number of qubits.
+    #[must_use]
+    pub fn qubits(mut self, num_qubits: usize) -> Self {
+        self.num_qubits = num_qubits;
+        self
+    }
+
+    /// Adds a resonator coupling qubits `a` and `b` (by index).
+    #[must_use]
+    pub fn couple(mut self, a: usize, b: usize) -> Self {
+        self.couplings.push((QubitId(a), QubitId(b)));
+        self
+    }
+
+    /// Adds many couplings at once.
+    #[must_use]
+    pub fn couple_all<I: IntoIterator<Item = (usize, usize)>>(mut self, pairs: I) -> Self {
+        self.couplings
+            .extend(pairs.into_iter().map(|(a, b)| (QubitId(a), QubitId(b))));
+        self
+    }
+
+    /// Selects the net model (chain vs pseudo connections).
+    #[must_use]
+    pub fn net_model(mut self, model: NetModel) -> Self {
+        self.net_model = model;
+        self
+    }
+
+    /// Overrides the frequency plan.
+    #[must_use]
+    pub fn frequency_plan(mut self, plan: FrequencyPlan) -> Self {
+        self.frequency_plan = plan;
+        self
+    }
+
+    /// Builds the netlist: validates the coupling graph, assigns frequencies,
+    /// partitions each resonator into wire blocks (Eq. 6) and generates the GP nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] when the geometry is invalid, the netlist is empty,
+    /// a coupling references an unknown qubit, couples a qubit to itself, or duplicates
+    /// an existing coupling.
+    pub fn build(self) -> Result<QuantumNetlist, NetlistError> {
+        self.geometry.validate()?;
+        if self.num_qubits == 0 {
+            return Err(NetlistError::Empty);
+        }
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for &(a, b) in &self.couplings {
+            if a.index() >= self.num_qubits {
+                return Err(NetlistError::UnknownQubit {
+                    qubit: a,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if b.index() >= self.num_qubits {
+                return Err(NetlistError::UnknownQubit {
+                    qubit: b,
+                    num_qubits: self.num_qubits,
+                });
+            }
+            if a == b {
+                return Err(NetlistError::SelfCoupling { qubit: a });
+            }
+            let key = (a.index().min(b.index()), a.index().max(b.index()));
+            if !seen.insert(key) {
+                return Err(NetlistError::DuplicateCoupling { a, b });
+            }
+        }
+
+        let allocator = FrequencyAllocator::new(self.frequency_plan);
+        let qubit_freqs = allocator.assign_qubits(self.num_qubits, &self.couplings);
+        let resonator_freqs = allocator.assign_resonators(self.couplings.len());
+
+        let qubits: Vec<Qubit> = (0..self.num_qubits)
+            .map(|i| {
+                Qubit::new(
+                    QubitId(i),
+                    self.geometry.qubit_width,
+                    self.geometry.qubit_height,
+                    qubit_freqs[i],
+                )
+            })
+            .collect();
+
+        let n_segments = self.geometry.segments_per_resonator();
+        let mut blocks = Vec::with_capacity(self.couplings.len() * n_segments);
+        let mut resonators = Vec::with_capacity(self.couplings.len());
+        let mut nets = Vec::new();
+        for (ri, &(a, b)) in self.couplings.iter().enumerate() {
+            let rid = ResonatorId(ri);
+            let freq = resonator_freqs[ri];
+            let segments: Vec<SegmentId> = (0..n_segments)
+                .map(|_| {
+                    let sid = SegmentId(blocks.len());
+                    blocks.push(WireBlock::new(
+                        sid,
+                        rid,
+                        self.geometry.wire_block_size,
+                        freq,
+                    ));
+                    sid
+                })
+                .collect();
+            if segments.is_empty() {
+                return Err(NetlistError::EmptyResonator { resonator: rid });
+            }
+            nets.extend(resonator_nets(rid, a, b, &segments, self.net_model));
+            resonators.push(Resonator::new(
+                rid,
+                (a, b),
+                freq,
+                self.geometry.resonator_wirelength,
+                segments,
+            ));
+        }
+
+        Ok(QuantumNetlist {
+            geometry: self.geometry,
+            qubits,
+            resonators,
+            blocks,
+            nets,
+            net_model: self.net_model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> QuantumNetlist {
+        NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(n)
+            .couple_all((0..n).map(|i| (i, (i + 1) % n)))
+            .build()
+            .expect("valid ring netlist")
+    }
+
+    #[test]
+    fn build_basic_ring() {
+        let netlist = ring(5);
+        assert_eq!(netlist.num_qubits(), 5);
+        assert_eq!(netlist.num_resonators(), 5);
+        assert_eq!(netlist.num_segments(), 5 * 12);
+        assert_eq!(netlist.num_components(), 5 + 60);
+        assert!(netlist.are_coupled(QubitId(0), QubitId(1)));
+        assert!(netlist.are_coupled(QubitId(4), QubitId(0)));
+        assert!(!netlist.are_coupled(QubitId(0), QubitId(2)));
+        assert_eq!(netlist.neighbors(QubitId(0)).len(), 2);
+        assert_eq!(netlist.incident_resonators(QubitId(0)).len(), 2);
+    }
+
+    #[test]
+    fn segment_ownership_and_frequency_inheritance() {
+        let netlist = ring(4);
+        for r in netlist.resonators() {
+            for &s in r.segments() {
+                assert_eq!(netlist.block(s).resonator(), r.id());
+                assert_eq!(netlist.block(s).frequency(), r.frequency());
+                assert_eq!(
+                    netlist.owning_resonator(ComponentId::Segment(s)),
+                    Some(r.id())
+                );
+            }
+        }
+        assert_eq!(netlist.owning_resonator(ComponentId::Qubit(QubitId(0))), None);
+    }
+
+    #[test]
+    fn coupled_qubits_have_distinct_frequencies() {
+        let netlist = ring(8);
+        for (a, b) in netlist.couplings() {
+            assert!(
+                netlist
+                    .qubit(a)
+                    .frequency()
+                    .detuning(netlist.qubit(b).frequency())
+                    > 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let geom = ComponentGeometry::default();
+        assert_eq!(
+            NetlistBuilder::new(geom).qubits(0).build().unwrap_err(),
+            NetlistError::Empty
+        );
+        assert!(matches!(
+            NetlistBuilder::new(geom)
+                .qubits(2)
+                .couple(0, 5)
+                .build()
+                .unwrap_err(),
+            NetlistError::UnknownQubit { .. }
+        ));
+        assert!(matches!(
+            NetlistBuilder::new(geom)
+                .qubits(2)
+                .couple(1, 1)
+                .build()
+                .unwrap_err(),
+            NetlistError::SelfCoupling { .. }
+        ));
+        assert!(matches!(
+            NetlistBuilder::new(geom)
+                .qubits(3)
+                .couple(0, 1)
+                .couple(1, 0)
+                .build()
+                .unwrap_err(),
+            NetlistError::DuplicateCoupling { .. }
+        ));
+        let mut bad_geom = ComponentGeometry::default();
+        bad_geom.resonator_wirelength = -3.0;
+        assert!(matches!(
+            NetlistBuilder::new(bad_geom).qubits(2).build().unwrap_err(),
+            NetlistError::InvalidGeometry { .. }
+        ));
+    }
+
+    #[test]
+    fn nets_cover_all_segments() {
+        let netlist = ring(4);
+        let mut touched: HashSet<SegmentId> = HashSet::new();
+        for net in netlist.nets() {
+            for &c in net.components() {
+                if let ComponentId::Segment(s) = c {
+                    touched.insert(s);
+                }
+            }
+        }
+        assert_eq!(touched.len(), netlist.num_segments());
+    }
+
+    #[test]
+    fn pseudo_model_has_more_nets_than_chain() {
+        let chain = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(3)
+            .couple(0, 1)
+            .couple(1, 2)
+            .net_model(NetModel::Chain)
+            .build()
+            .unwrap();
+        let pseudo = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(3)
+            .couple(0, 1)
+            .couple(1, 2)
+            .net_model(NetModel::Pseudo)
+            .build()
+            .unwrap();
+        assert!(pseudo.nets().len() > chain.nets().len());
+        assert_eq!(chain.net_model(), NetModel::Chain);
+        assert_eq!(pseudo.net_model(), NetModel::Pseudo);
+    }
+
+    #[test]
+    fn suggested_die_fits_components() {
+        let netlist = ring(6);
+        let die = netlist.suggested_die(0.5);
+        assert!(die.area() >= netlist.total_component_area() / 0.5 * 0.99);
+        // Side is a whole number of wire blocks.
+        let lb = netlist.geometry().wire_block_size;
+        let side = die.width();
+        assert!((side / lb - (side / lb).round()).abs() < 1e-9);
+        assert_eq!(die.width(), die.height());
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in (0, 1]")]
+    fn suggested_die_rejects_bad_utilization() {
+        let _ = ring(3).suggested_die(0.0);
+    }
+
+    #[test]
+    fn total_area_matches_hand_computation() {
+        let netlist = ring(3);
+        let expected = 3.0 * 40.0 * 40.0 + (3 * 12) as f64 * 10.0 * 10.0;
+        assert!((netlist.total_component_area() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_lookup_helpers() {
+        let netlist = ring(3);
+        let q = ComponentId::Qubit(QubitId(0));
+        let s = ComponentId::Segment(SegmentId(0));
+        assert_eq!(netlist.component_dims(q), (40.0, 40.0));
+        assert_eq!(netlist.component_dims(s), (10.0, 10.0));
+        let rect = netlist.component_rect_at(q, Point::new(50.0, 50.0));
+        assert_eq!(rect.center(), Point::new(50.0, 50.0));
+        assert_eq!(netlist.component_ids().count(), netlist.num_components());
+    }
+}

@@ -1,0 +1,286 @@
+//! Positional solutions for a netlist: the [`Placement`] type.
+
+use crate::{ComponentId, QuantumNetlist, QubitId, SegmentId};
+use qgdp_geometry::{Point, Rect, Vector};
+
+/// A positional assignment (component centre coordinates) for every component of a
+/// [`QuantumNetlist`].
+///
+/// Placements are deliberately separate from the netlist: the qGDP flow produces a
+/// sequence of placements (global placement → qubit legalization → resonator
+/// legalization → detailed placement) over the same netlist, and quality metrics such
+/// as total displacement are defined *between* placements.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::Point;
+/// use qgdp_netlist::{ComponentGeometry, NetlistBuilder, Placement, QubitId};
+///
+/// let netlist = NetlistBuilder::new(ComponentGeometry::default())
+///     .qubits(2)
+///     .couple(0, 1)
+///     .build()?;
+/// let mut placement = Placement::new(&netlist);
+/// placement.set_qubit(QubitId(0), Point::new(10.0, 10.0));
+/// placement.set_qubit(QubitId(1), Point::new(90.0, 10.0));
+/// assert_eq!(placement.qubit(QubitId(1)), Point::new(90.0, 10.0));
+/// # Ok::<(), qgdp_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    qubit_positions: Vec<Point>,
+    segment_positions: Vec<Point>,
+}
+
+impl Placement {
+    /// Creates a placement with every component at the origin.
+    #[must_use]
+    pub fn new(netlist: &QuantumNetlist) -> Self {
+        Placement {
+            qubit_positions: vec![Point::ORIGIN; netlist.num_qubits()],
+            segment_positions: vec![Point::ORIGIN; netlist.num_segments()],
+        }
+    }
+
+    /// Number of qubit positions stored.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.qubit_positions.len()
+    }
+
+    /// Number of segment positions stored.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.segment_positions.len()
+    }
+
+    /// Position (centre) of a qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn qubit(&self, id: QubitId) -> Point {
+        self.qubit_positions[id.index()]
+    }
+
+    /// Position (centre) of a wire-block segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn segment(&self, id: SegmentId) -> Point {
+        self.segment_positions[id.index()]
+    }
+
+    /// Position (centre) of any component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn component(&self, id: ComponentId) -> Point {
+        match id {
+            ComponentId::Qubit(q) => self.qubit(q),
+            ComponentId::Segment(s) => self.segment(s),
+        }
+    }
+
+    /// Sets the position of a qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_qubit(&mut self, id: QubitId, position: Point) {
+        self.qubit_positions[id.index()] = position;
+    }
+
+    /// Sets the position of a wire-block segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_segment(&mut self, id: SegmentId, position: Point) {
+        self.segment_positions[id.index()] = position;
+    }
+
+    /// Sets the position of any component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_component(&mut self, id: ComponentId, position: Point) {
+        match id {
+            ComponentId::Qubit(q) => self.set_qubit(q, position),
+            ComponentId::Segment(s) => self.set_segment(s, position),
+        }
+    }
+
+    /// The placed bounding rectangle of a component.
+    #[must_use]
+    pub fn rect(&self, netlist: &QuantumNetlist, id: ComponentId) -> Rect {
+        netlist.component_rect_at(id, self.component(id))
+    }
+
+    /// Translates every component by `offset`.
+    pub fn translate_all(&mut self, offset: Vector) {
+        for p in &mut self.qubit_positions {
+            *p += offset;
+        }
+        for p in &mut self.segment_positions {
+            *p += offset;
+        }
+    }
+
+    /// Clamps every component inside `die` (the border constraint, Eq. 2).
+    pub fn clamp_within(&mut self, netlist: &QuantumNetlist, die: &Rect) {
+        for id in netlist.component_ids() {
+            let rect = self.rect(netlist, id).clamped_within(die);
+            self.set_component(id, rect.center());
+        }
+    }
+
+    /// Total Euclidean displacement of every component relative to `reference`
+    /// (the objective of Eq. 5, extended to all components).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two placements have different component counts.
+    #[must_use]
+    pub fn total_displacement_from(&self, reference: &Placement) -> f64 {
+        assert_eq!(self.qubit_positions.len(), reference.qubit_positions.len());
+        assert_eq!(
+            self.segment_positions.len(),
+            reference.segment_positions.len()
+        );
+        let q: f64 = self
+            .qubit_positions
+            .iter()
+            .zip(&reference.qubit_positions)
+            .map(|(a, b)| a.distance(*b))
+            .sum();
+        let s: f64 = self
+            .segment_positions
+            .iter()
+            .zip(&reference.segment_positions)
+            .map(|(a, b)| a.distance(*b))
+            .sum();
+        q + s
+    }
+
+    /// Total displacement of the qubits only, relative to `reference` (Eq. 5).
+    #[must_use]
+    pub fn qubit_displacement_from(&self, reference: &Placement) -> f64 {
+        self.qubit_positions
+            .iter()
+            .zip(&reference.qubit_positions)
+            .map(|(a, b)| a.distance(*b))
+            .sum()
+    }
+
+    /// Maximum single-component displacement relative to `reference`.
+    #[must_use]
+    pub fn max_displacement_from(&self, reference: &Placement) -> f64 {
+        self.qubit_positions
+            .iter()
+            .zip(&reference.qubit_positions)
+            .chain(self.segment_positions.iter().zip(&reference.segment_positions))
+            .map(|(a, b)| a.distance(*b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if every component lies fully inside `die`.
+    #[must_use]
+    pub fn is_within(&self, netlist: &QuantumNetlist, die: &Rect) -> bool {
+        netlist
+            .component_ids()
+            .all(|id| die.contains_rect(&self.rect(netlist, id)))
+    }
+
+    /// Counts pairs of components whose rectangles overlap (a slow O(n²) check used by
+    /// tests and assertions, not by the legalizers themselves).
+    #[must_use]
+    pub fn count_overlaps(&self, netlist: &QuantumNetlist) -> usize {
+        let ids: Vec<ComponentId> = netlist.component_ids().collect();
+        let rects: Vec<Rect> = ids.iter().map(|&id| self.rect(netlist, id)).collect();
+        let mut count = 0;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                if rects[i].overlaps(&rects[j]) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComponentGeometry, NetlistBuilder};
+
+    fn netlist() -> QuantumNetlist {
+        NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(3)
+            .couple(0, 1)
+            .couple(1, 2)
+            .build()
+            .expect("valid netlist")
+    }
+
+    #[test]
+    fn set_and_get_positions() {
+        let nl = netlist();
+        let mut p = Placement::new(&nl);
+        assert_eq!(p.num_qubits(), 3);
+        assert_eq!(p.num_segments(), 24);
+        p.set_qubit(QubitId(1), Point::new(5.0, 6.0));
+        p.set_segment(SegmentId(3), Point::new(1.0, 2.0));
+        assert_eq!(p.qubit(QubitId(1)), Point::new(5.0, 6.0));
+        assert_eq!(p.segment(SegmentId(3)), Point::new(1.0, 2.0));
+        assert_eq!(p.component(ComponentId::Qubit(QubitId(1))), Point::new(5.0, 6.0));
+        p.set_component(ComponentId::Segment(SegmentId(0)), Point::new(9.0, 9.0));
+        assert_eq!(p.segment(SegmentId(0)), Point::new(9.0, 9.0));
+    }
+
+    #[test]
+    fn displacement_metrics() {
+        let nl = netlist();
+        let a = Placement::new(&nl);
+        let mut b = Placement::new(&nl);
+        b.set_qubit(QubitId(0), Point::new(3.0, 4.0));
+        b.set_segment(SegmentId(0), Point::new(0.0, 2.0));
+        assert_eq!(b.total_displacement_from(&a), 7.0);
+        assert_eq!(b.qubit_displacement_from(&a), 5.0);
+        assert_eq!(b.max_displacement_from(&a), 5.0);
+    }
+
+    #[test]
+    fn translate_and_clamp() {
+        let nl = netlist();
+        let die = Rect::from_lower_left(Point::ORIGIN, 500.0, 500.0);
+        let mut p = Placement::new(&nl);
+        p.translate_all(Vector::new(-100.0, 250.0));
+        assert!(!p.is_within(&nl, &die));
+        p.clamp_within(&nl, &die);
+        assert!(p.is_within(&nl, &die));
+    }
+
+    #[test]
+    fn overlap_counting() {
+        let nl = netlist();
+        let p = Placement::new(&nl);
+        // Everything at the origin overlaps pairwise.
+        let n = nl.num_components();
+        assert_eq!(p.count_overlaps(&nl), n * (n - 1) / 2);
+        // Spread the qubits and segments far apart: no overlaps.
+        let mut q = Placement::new(&nl);
+        for (i, id) in nl.component_ids().enumerate() {
+            q.set_component(id, Point::new(i as f64 * 100.0, 0.0));
+        }
+        assert_eq!(q.count_overlaps(&nl), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Configuration for the force-directed global placer.
+
+/// Tuning parameters for [`crate::GlobalPlacer`].
+///
+/// The defaults are calibrated so that the six standard topologies produce GP layouts
+/// with moderate overlap (the situation the legalizers are designed for): qubits close
+/// to their lattice seeds, wire blocks clumped near their resonators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalPlacerConfig {
+    /// Target area utilisation used to size the die (component area / die area).
+    pub utilization: f64,
+    /// Number of force iterations.
+    pub iterations: usize,
+    /// Spring constant for net attraction.
+    pub attraction: f64,
+    /// Strength of the anchor pulling each component back to its seed position.
+    pub anchor: f64,
+    /// Strength of the local density repulsion.
+    pub repulsion: f64,
+    /// Step damping factor applied to the accumulated force each iteration.
+    pub damping: f64,
+    /// Standard deviation (in wire-block units) of the random jitter applied to seed
+    /// positions, which breaks symmetry between co-located wire blocks.
+    pub jitter: f64,
+    /// Extra clearance (in wire-block units) added around qubits when computing
+    /// repulsion — the GP-side *padding* discussed in §III-C.
+    pub qubit_padding_cells: f64,
+    /// RNG seed; the placer is fully deterministic for a given seed.
+    pub seed: u64,
+}
+
+impl GlobalPlacerConfig {
+    /// The default configuration (utilisation 0.45, 120 iterations).
+    #[must_use]
+    pub fn new() -> Self {
+        GlobalPlacerConfig {
+            utilization: 0.45,
+            iterations: 120,
+            attraction: 0.12,
+            anchor: 0.05,
+            repulsion: 0.35,
+            damping: 0.8,
+            jitter: 0.6,
+            qubit_padding_cells: 1.0,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Returns a copy with a different RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different utilisation target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1], got {utilization}"
+        );
+        self.utilization = utilization;
+        self
+    }
+}
+
+/// RNG seed used by [`GlobalPlacerConfig::default`].
+pub const DEFAULT_SEED: u64 = 0x5eed_0001;
+
+impl Default for GlobalPlacerConfig {
+    fn default() -> Self {
+        GlobalPlacerConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = GlobalPlacerConfig::default();
+        assert!(c.utilization > 0.0 && c.utilization <= 1.0);
+        assert!(c.iterations > 0);
+        assert!(c.damping > 0.0 && c.damping <= 1.0);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = GlobalPlacerConfig::default()
+            .with_seed(7)
+            .with_iterations(10)
+            .with_utilization(0.6);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.iterations, 10);
+        assert_eq!(c.utilization, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in (0, 1]")]
+    fn bad_utilization_panics() {
+        let _ = GlobalPlacerConfig::default().with_utilization(1.5);
+    }
+}

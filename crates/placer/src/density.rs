@@ -1,0 +1,199 @@
+//! Coarse density grid used for the global placer's spreading force.
+
+use qgdp_geometry::{Point, Rect};
+
+/// A coarse grid accumulating component area per bin, used to compute the local
+/// density (spreading) force during global placement.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Rect};
+/// use qgdp_placer::DensityGrid;
+///
+/// let die = Rect::from_lower_left(Point::ORIGIN, 100.0, 100.0);
+/// let mut grid = DensityGrid::new(&die, 10);
+/// grid.deposit(&Rect::from_center(Point::new(5.0, 5.0), 10.0, 10.0));
+/// assert!(grid.density_at(Point::new(5.0, 5.0)) > 0.9);
+/// assert_eq!(grid.density_at(Point::new(95.0, 95.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityGrid {
+    die: Rect,
+    bins_per_side: usize,
+    bin_w: f64,
+    bin_h: f64,
+    area: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Creates an empty density grid with `bins_per_side × bins_per_side` bins over
+    /// `die`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins_per_side` is zero or the die is degenerate.
+    #[must_use]
+    pub fn new(die: &Rect, bins_per_side: usize) -> Self {
+        assert!(bins_per_side > 0, "density grid needs at least one bin");
+        assert!(
+            die.width() > 0.0 && die.height() > 0.0,
+            "die must have positive area"
+        );
+        DensityGrid {
+            die: *die,
+            bins_per_side,
+            bin_w: die.width() / bins_per_side as f64,
+            bin_h: die.height() / bins_per_side as f64,
+            area: vec![0.0; bins_per_side * bins_per_side],
+        }
+    }
+
+    /// Resets all accumulated area to zero.
+    pub fn clear(&mut self) {
+        self.area.fill(0.0);
+    }
+
+    /// Number of bins along one side.
+    #[must_use]
+    pub fn bins_per_side(&self) -> usize {
+        self.bins_per_side
+    }
+
+    fn bin_index(&self, col: usize, row: usize) -> usize {
+        row * self.bins_per_side + col
+    }
+
+    fn bin_of(&self, point: Point) -> (usize, usize) {
+        let col = (((point.x - self.die.left()) / self.bin_w).floor() as i64)
+            .clamp(0, self.bins_per_side as i64 - 1) as usize;
+        let row = (((point.y - self.die.bottom()) / self.bin_h).floor() as i64)
+            .clamp(0, self.bins_per_side as i64 - 1) as usize;
+        (col, row)
+    }
+
+    /// Centre of a bin.
+    fn bin_center(&self, col: usize, row: usize) -> Point {
+        Point::new(
+            self.die.left() + (col as f64 + 0.5) * self.bin_w,
+            self.die.bottom() + (row as f64 + 0.5) * self.bin_h,
+        )
+    }
+
+    /// Adds a component's area to the bin containing its centre.
+    ///
+    /// Attributing the whole rectangle to one bin (instead of splatting it across the
+    /// bins it overlaps) is a deliberate simplification: the grid is coarse and only
+    /// steers a spreading force, so per-bin exactness does not matter.
+    pub fn deposit(&mut self, rect: &Rect) {
+        let (col, row) = self.bin_of(rect.center());
+        let idx = self.bin_index(col, row);
+        self.area[idx] += rect.area();
+    }
+
+    /// The density (accumulated area / bin area) of the bin containing `point`.
+    #[must_use]
+    pub fn density_at(&self, point: Point) -> f64 {
+        let (col, row) = self.bin_of(point);
+        self.area[self.bin_index(col, row)] / (self.bin_w * self.bin_h)
+    }
+
+    /// The maximum bin density over the whole grid.
+    #[must_use]
+    pub fn max_density(&self) -> f64 {
+        self.area
+            .iter()
+            .map(|a| a / (self.bin_w * self.bin_h))
+            .fold(0.0, f64::max)
+    }
+
+    /// The spreading force at `point`: a vector pointing from the centre of the
+    /// over-filled neighbourhood towards lower density, scaled by how much the local
+    /// density exceeds `target_density`.
+    ///
+    /// Returns the zero vector when the local density is at or below the target.
+    #[must_use]
+    pub fn spreading_force(&self, point: Point, target_density: f64) -> qgdp_geometry::Vector {
+        let (col, row) = self.bin_of(point);
+        let here = self.area[self.bin_index(col, row)] / (self.bin_w * self.bin_h);
+        if here <= target_density {
+            return qgdp_geometry::Vector::ZERO;
+        }
+        // Push towards the least dense of the 4-neighbours (or away from the bin
+        // centre when all neighbours are equally dense).
+        let mut best: Option<(f64, Point)> = None;
+        for (dc, dr) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+            let nc = col as i64 + dc;
+            let nr = row as i64 + dr;
+            if nc < 0 || nr < 0 || nc as usize >= self.bins_per_side || nr as usize >= self.bins_per_side
+            {
+                continue;
+            }
+            let (nc, nr) = (nc as usize, nr as usize);
+            let d = self.area[self.bin_index(nc, nr)] / (self.bin_w * self.bin_h);
+            if best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, self.bin_center(nc, nr)));
+            }
+        }
+        let overflow = here - target_density;
+        match best {
+            Some((neighbor_density, target)) if neighbor_density < here => {
+                (target - point).normalized() * overflow
+            }
+            _ => {
+                // Locally flat: nudge away from the bin centre to break ties.
+                let away = point - self.bin_center(col, row);
+                away.normalized() * overflow
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Rect {
+        Rect::from_lower_left(Point::ORIGIN, 100.0, 100.0)
+    }
+
+    #[test]
+    fn deposit_and_density() {
+        let mut g = DensityGrid::new(&die(), 10);
+        let r = Rect::from_center(Point::new(15.0, 15.0), 10.0, 10.0);
+        g.deposit(&r);
+        // Bin area is 100; deposited area is 100 → density 1.0 in that bin.
+        assert!((g.density_at(Point::new(15.0, 15.0)) - 1.0).abs() < 1e-9);
+        assert_eq!(g.density_at(Point::new(85.0, 85.0)), 0.0);
+        assert!((g.max_density() - 1.0).abs() < 1e-9);
+        g.clear();
+        assert_eq!(g.max_density(), 0.0);
+    }
+
+    #[test]
+    fn spreading_force_points_away_from_overflow() {
+        let mut g = DensityGrid::new(&die(), 10);
+        // Pile lots of area into the bin at (15, 15).
+        for _ in 0..5 {
+            g.deposit(&Rect::from_center(Point::new(15.0, 15.0), 10.0, 10.0));
+        }
+        let f = g.spreading_force(Point::new(15.0, 15.0), 1.0);
+        assert!(f.length() > 0.0);
+        // Below target: no force.
+        let calm = g.spreading_force(Point::new(85.0, 85.0), 1.0);
+        assert_eq!(calm, qgdp_geometry::Vector::ZERO);
+    }
+
+    #[test]
+    fn out_of_die_points_are_clamped_to_edge_bins() {
+        let mut g = DensityGrid::new(&die(), 4);
+        g.deposit(&Rect::from_center(Point::new(-50.0, -50.0), 10.0, 10.0));
+        assert!(g.density_at(Point::new(0.0, 0.0)) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = DensityGrid::new(&die(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qgdp-placer
+//!
+//! Global placement (GP) substrate for the qGDP flow.
+//!
+//! The paper builds on the QPlacer/DREAMPlace electrostatic global placer; qGDP itself
+//! only consumes the GP *output*: rough, usually overlapping positions for every qubit
+//! and resonator wire block that already reflect the netlist attraction (including the
+//! pseudo connections of §III-D).  This crate reproduces that substrate with a
+//! deterministic, dependency-free force-directed placer:
+//!
+//! 1. qubits are seeded on the die by scaling the topology's canonical lattice
+//!    coordinates, wire blocks are seeded around the midpoint of their resonator's
+//!    endpoint qubits;
+//! 2. a fixed number of iterations applies net attraction (spring forces along every
+//!    net, pseudo nets included at reduced weight), a weak anchor to the seed position,
+//!    and a local density repulsion computed over a coarse bin grid;
+//! 3. positions are clamped to the die after every iteration.
+//!
+//! The result is a [`GlobalPlacement`]: the placement, the die outline and a few
+//! quality statistics.  Legalizers take it from there.
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_netlist::{ComponentGeometry, NetModel};
+//! use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+//! use qgdp_topology::StandardTopology;
+//!
+//! let topology = StandardTopology::Grid.build();
+//! let netlist = topology.to_netlist(ComponentGeometry::default(), NetModel::Pseudo)?;
+//! let gp = GlobalPlacer::new(GlobalPlacerConfig::default()).place(&netlist, &topology);
+//! assert!(gp.placement.is_within(&netlist, &gp.die));
+//! # Ok::<(), qgdp_netlist::NetlistError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod density;
+pub mod placer;
+
+pub use config::GlobalPlacerConfig;
+pub use density::DensityGrid;
+pub use placer::{GlobalPlacement, GlobalPlacer, GpStats};

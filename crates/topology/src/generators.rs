@@ -1,0 +1,435 @@
+//! Generators for the device topologies used in the paper's evaluation (Table I).
+
+use crate::{Topology, TopologyKind};
+use qgdp_geometry::Point;
+
+/// A rectangular grid lattice of `rows × cols` qubits with nearest-neighbour coupling.
+///
+/// The paper's "Grid 25" entry is `grid(5, 5)`: 25 qubits, 40 couplers — the
+/// quantum-error-correction-friendly architecture.
+///
+/// # Example
+///
+/// ```
+/// let g = qgdp_topology::grid(5, 5);
+/// assert_eq!(g.num_qubits(), 25);
+/// assert_eq!(g.num_couplings(), 40);
+/// ```
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Topology {
+    let num_qubits = rows * cols;
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut couplings = Vec::new();
+    let mut coords = Vec::with_capacity(num_qubits);
+    for r in 0..rows {
+        for c in 0..cols {
+            coords.push(Point::new(c as f64, r as f64));
+            if c + 1 < cols {
+                couplings.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                couplings.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Topology::new("", TopologyKind::Grid, num_qubits, couplings, coords)
+        .with_name(format!("Grid-{num_qubits}"))
+}
+
+/// A generic heavy-hexagon lattice built from `long_rows` horizontal chains of
+/// `row_len` qubits, consecutive rows joined by bridge qubits every fourth column with
+/// the bridge columns offset by two between successive bridge rows (the IBM heavy-hex
+/// pattern).
+///
+/// # Panics
+///
+/// Panics if `long_rows` is zero or `row_len` is zero.
+#[must_use]
+pub fn heavy_hex_rows(long_rows: usize, row_len: usize) -> Topology {
+    assert!(long_rows > 0 && row_len > 0, "heavy-hex needs at least one row and column");
+    let mut couplings = Vec::new();
+    let mut coords = Vec::new();
+    // Ids of the qubits in each long row.
+    let mut row_ids: Vec<Vec<usize>> = Vec::with_capacity(long_rows);
+    let mut next = 0usize;
+    for r in 0..long_rows {
+        let ids: Vec<usize> = (0..row_len)
+            .map(|c| {
+                coords.push(Point::new(c as f64, (2 * r) as f64));
+                let id = next;
+                next += 1;
+                id
+            })
+            .collect();
+        for w in ids.windows(2) {
+            couplings.push((w[0], w[1]));
+        }
+        row_ids.push(ids);
+    }
+    // Bridge qubits between consecutive long rows.
+    for r in 0..long_rows.saturating_sub(1) {
+        let offset = if r % 2 == 0 { 0 } else { 2 };
+        let mut c = offset;
+        while c < row_len {
+            let bridge = next;
+            next += 1;
+            coords.push(Point::new(c as f64, (2 * r + 1) as f64));
+            couplings.push((row_ids[r][c], bridge));
+            couplings.push((bridge, row_ids[r + 1][c]));
+            c += 4;
+        }
+    }
+    let num_qubits = next;
+    Topology::new("", TopologyKind::HeavyHex, num_qubits, couplings, coords)
+        .with_name(format!("HeavyHex-{num_qubits}"))
+}
+
+/// The 27-qubit IBM Falcon heavy-hex processor (28 couplers), using the published
+/// Falcon r5 coupling map.
+///
+/// # Example
+///
+/// ```
+/// let falcon = qgdp_topology::heavy_hex_falcon();
+/// assert_eq!(falcon.num_qubits(), 27);
+/// assert_eq!(falcon.num_couplings(), 28);
+/// ```
+#[must_use]
+pub fn heavy_hex_falcon() -> Topology {
+    // Falcon r5 (ibm_montreal / ibm_cairo family) coupling map.
+    let couplings = vec![
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 5),
+        (1, 4),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+        (14, 16),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (18, 21),
+        (19, 20),
+        (19, 22),
+        (21, 23),
+        (22, 25),
+        (23, 24),
+        (24, 25),
+        (25, 26),
+    ];
+    // Canonical coordinates following the published Falcon floor plan (three horizontal
+    // runs joined by vertical bridges).
+    let coords = vec![
+        Point::new(0.0, 0.0),  // 0
+        Point::new(1.0, 0.0),  // 1
+        Point::new(2.0, 0.0),  // 2
+        Point::new(3.0, 0.0),  // 3
+        Point::new(1.0, 1.0),  // 4
+        Point::new(3.0, 1.0),  // 5
+        Point::new(0.0, 2.0),  // 6
+        Point::new(1.0, 2.0),  // 7
+        Point::new(3.0, 2.0),  // 8
+        Point::new(4.0, 2.0),  // 9
+        Point::new(1.5, 3.0),  // 10
+        Point::new(3.0, 3.0),  // 11
+        Point::new(1.5, 4.0),  // 12
+        Point::new(2.5, 4.5),  // 13
+        Point::new(3.0, 4.0),  // 14
+        Point::new(1.0, 5.0),  // 15
+        Point::new(3.5, 5.0),  // 16
+        Point::new(0.0, 6.0),  // 17
+        Point::new(1.0, 6.0),  // 18
+        Point::new(3.5, 6.0),  // 19
+        Point::new(4.5, 6.0),  // 20
+        Point::new(1.5, 7.0),  // 21
+        Point::new(3.5, 7.0),  // 22
+        Point::new(1.5, 8.0),  // 23
+        Point::new(2.5, 8.0),  // 24
+        Point::new(3.5, 8.0),  // 25
+        Point::new(4.5, 8.5),  // 26
+    ];
+    Topology::new("", TopologyKind::HeavyHex, 27, couplings, coords).with_name("Falcon")
+}
+
+/// The 127-qubit IBM Eagle-scale heavy-hex lattice (144 couplers), generated as seven
+/// long rows of qubits with bridge qubits between rows (the Eagle unit-cell pattern).
+///
+/// # Example
+///
+/// ```
+/// let eagle = qgdp_topology::heavy_hex_eagle();
+/// assert_eq!(eagle.num_qubits(), 127);
+/// assert_eq!(eagle.num_couplings(), 144);
+/// ```
+#[must_use]
+pub fn heavy_hex_eagle() -> Topology {
+    // 7 long rows: 14, 15, 15, 15, 15, 15, 14 qubits; bridges every 4 columns with the
+    // IBM alternating offset.  127 qubits, 144 couplers.
+    let row_lens = [14usize, 15, 15, 15, 15, 15, 14];
+    let row_col_offset = [0usize, 0, 0, 0, 0, 0, 1];
+    let mut couplings = Vec::new();
+    let mut coords = Vec::new();
+    let mut row_ids: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    for (r, (&len, &off)) in row_lens.iter().zip(&row_col_offset).enumerate() {
+        let ids: Vec<usize> = (0..len)
+            .map(|c| {
+                coords.push(Point::new((c + off) as f64, (2 * r) as f64));
+                let id = next;
+                next += 1;
+                id
+            })
+            .collect();
+        for w in ids.windows(2) {
+            couplings.push((w[0], w[1]));
+        }
+        row_ids.push(ids);
+    }
+    for r in 0..row_lens.len() - 1 {
+        let offset: usize = if r % 2 == 0 { 0 } else { 2 };
+        let mut c: usize = offset;
+        loop {
+            // Column c must exist (as a lattice column) in both rows.
+            let upper_off = row_col_offset[r + 1];
+            let lower_off = row_col_offset[r];
+            let lower_idx = c.checked_sub(lower_off);
+            let upper_idx = c.checked_sub(upper_off);
+            match (lower_idx, upper_idx) {
+                (Some(li), Some(ui)) if li < row_lens[r] && ui < row_lens[r + 1] => {
+                    let bridge = next;
+                    next += 1;
+                    coords.push(Point::new(c as f64, (2 * r + 1) as f64));
+                    couplings.push((row_ids[r][li], bridge));
+                    couplings.push((bridge, row_ids[r + 1][ui]));
+                }
+                _ => {}
+            }
+            c += 4;
+            if c > 15 {
+                break;
+            }
+        }
+    }
+    let num_qubits = next;
+    Topology::new("", TopologyKind::HeavyHex, num_qubits, couplings, coords).with_name("Eagle")
+}
+
+/// A Rigetti Aspen-style lattice of octagonal rings arranged on `rows × cols` cells.
+///
+/// Each cell is an 8-qubit ring; horizontally adjacent cells are joined by two
+/// couplers, vertically adjacent cells by two couplers — the Aspen fabric.
+/// `octagon_lattice(1, 5)` is Aspen-11 (40 qubits, 48 couplers) and
+/// `octagon_lattice(2, 5)` is Aspen-M (80 qubits, 106 couplers).
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero.
+#[must_use]
+pub fn octagon_lattice(rows: usize, cols: usize) -> Topology {
+    assert!(rows > 0 && cols > 0, "octagon lattice needs at least one cell");
+    let num_qubits = rows * cols * 8;
+    let cell_base = |r: usize, c: usize| (r * cols + c) * 8;
+    let mut couplings = Vec::new();
+    let mut coords = Vec::with_capacity(num_qubits);
+    // Local qubit positions around each octagon (unit circle, starting east and going
+    // counter-clockwise), scaled into a 3x3 cell.
+    let ring: [(f64, f64); 8] = [
+        (1.0, 0.35),
+        (0.65, 0.0),
+        (0.35, 0.0),
+        (0.0, 0.35),
+        (0.0, 0.65),
+        (0.35, 1.0),
+        (0.65, 1.0),
+        (1.0, 0.65),
+    ];
+    for r in 0..rows {
+        for c in 0..cols {
+            let base = cell_base(r, c);
+            for (k, &(lx, ly)) in ring.iter().enumerate() {
+                let _ = k;
+                coords.push(Point::new(c as f64 * 1.5 + lx, r as f64 * 1.5 + ly));
+            }
+            // Ring couplings.
+            for k in 0..8 {
+                couplings.push((base + k, base + (k + 1) % 8));
+            }
+            // Horizontal inter-cell couplings: east side of this cell (locals 0, 7) to
+            // west side of the right neighbour (locals 3, 4).
+            if c + 1 < cols {
+                let right = cell_base(r, c + 1);
+                couplings.push((base, right + 3));
+                couplings.push((base + 7, right + 4));
+            }
+            // Vertical inter-cell couplings: north side (locals 5, 6) to south side of
+            // the upper neighbour (locals 2, 1).
+            if r + 1 < rows {
+                let up = cell_base(r + 1, c);
+                couplings.push((base + 5, up + 2));
+                couplings.push((base + 6, up + 1));
+            }
+        }
+    }
+    Topology::new("", TopologyKind::Octagon, num_qubits, couplings, coords)
+        .with_name(format!("Octagon-{num_qubits}"))
+}
+
+/// The Xtree architecture of Li et al. (ISCA'21): a tree whose root has four children
+/// and every other internal node has three, expanded to `levels` levels below the root.
+///
+/// `xtree(3)` reproduces the paper's 53-qubit level-3 instance (1 + 4 + 12 + 36 = 53
+/// qubits, 52 couplers).
+///
+/// # Panics
+///
+/// Panics if `levels` is zero.
+#[must_use]
+pub fn xtree(levels: usize) -> Topology {
+    assert!(levels > 0, "xtree needs at least one level");
+    let mut couplings = Vec::new();
+    let mut coords = vec![Point::new(0.0, 0.0)];
+    let mut frontier = vec![0usize]; // nodes of the previous level
+    let mut next = 1usize;
+    for level in 1..=levels {
+        let branching = if level == 1 { 4 } else { 3 };
+        let mut new_frontier = Vec::new();
+        let total_new = frontier.len() * branching;
+        let radius = level as f64 * 2.0;
+        let mut k = 0usize;
+        for &parent in &frontier {
+            for _ in 0..branching {
+                let angle = std::f64::consts::TAU * (k as f64 + 0.5) / total_new as f64;
+                coords.push(Point::new(radius * angle.cos(), radius * angle.sin()));
+                couplings.push((parent, next));
+                new_frontier.push(next);
+                next += 1;
+                k += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    Topology::new("", TopologyKind::Xtree, next, couplings, coords)
+        .with_name(format!("Xtree-{next}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_netlist::QubitId;
+
+    #[test]
+    fn grid_counts_match_table1() {
+        let g = grid(5, 5);
+        assert_eq!(g.num_qubits(), 25);
+        assert_eq!(g.num_couplings(), 40);
+        assert!(g.is_connected());
+        // Corner degree 2, edge degree 3, interior degree 4.
+        assert_eq!(g.degree(QubitId(0)), 2);
+        assert_eq!(g.degree(QubitId(2)), 3);
+        assert_eq!(g.degree(QubitId(12)), 4);
+    }
+
+    #[test]
+    fn falcon_counts_match_table1() {
+        let f = heavy_hex_falcon();
+        assert_eq!(f.num_qubits(), 27);
+        assert_eq!(f.num_couplings(), 28);
+        assert!(f.is_connected());
+        assert_eq!(f.name(), "Falcon");
+        // Heavy-hex degree bound.
+        for q in 0..27 {
+            assert!(f.degree(QubitId(q)) <= 3, "qubit {q} exceeds heavy-hex degree");
+        }
+    }
+
+    #[test]
+    fn eagle_counts_match_table1() {
+        let e = heavy_hex_eagle();
+        assert_eq!(e.num_qubits(), 127);
+        assert_eq!(e.num_couplings(), 144);
+        assert!(e.is_connected());
+        for q in 0..127 {
+            assert!(e.degree(QubitId(q)) <= 3, "qubit {q} exceeds heavy-hex degree");
+        }
+    }
+
+    #[test]
+    fn aspen_counts_match_table1() {
+        let a11 = octagon_lattice(1, 5);
+        assert_eq!(a11.num_qubits(), 40);
+        assert_eq!(a11.num_couplings(), 48);
+        assert!(a11.is_connected());
+        let am = octagon_lattice(2, 5);
+        assert_eq!(am.num_qubits(), 80);
+        assert_eq!(am.num_couplings(), 106);
+        assert!(am.is_connected());
+    }
+
+    #[test]
+    fn xtree_counts_match_table1() {
+        let x = xtree(3);
+        assert_eq!(x.num_qubits(), 53);
+        assert_eq!(x.num_couplings(), 52);
+        assert!(x.is_connected());
+        // The root has four children; a tree has exactly n-1 edges.
+        assert_eq!(x.degree(QubitId(0)), 4);
+    }
+
+    #[test]
+    fn generic_heavy_hex_structure() {
+        let h = heavy_hex_rows(3, 7);
+        assert!(h.is_connected());
+        // 3*7 = 21 long-row qubits; bridge rows at offsets 0 and 2: cols {0,4} and {2,6}.
+        assert_eq!(h.num_qubits(), 21 + 2 + 2);
+        // Chain edges 3*6 = 18, bridge edges 4*2 = 8.
+        assert_eq!(h.num_couplings(), 26);
+        for q in 0..h.num_qubits() {
+            assert!(h.degree(QubitId(q)) <= 3);
+        }
+    }
+
+    #[test]
+    fn octagon_ring_degrees() {
+        let a = octagon_lattice(1, 2);
+        assert_eq!(a.num_qubits(), 16);
+        // 2 rings (16 edges) + 2 inter-cell = 18.
+        assert_eq!(a.num_couplings(), 18);
+        // Every qubit has degree 2 (ring) or 3 (ring + inter-cell link).
+        for q in 0..16 {
+            let d = a.degree(QubitId(q));
+            assert!((2..=3).contains(&d));
+        }
+    }
+
+    #[test]
+    fn coordinates_are_distinct() {
+        for topo in [
+            grid(5, 5),
+            heavy_hex_falcon(),
+            heavy_hex_eagle(),
+            octagon_lattice(1, 5),
+            octagon_lattice(2, 5),
+            xtree(3),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for p in topo.coords() {
+                let key = (format!("{:.4}", p.x), format!("{:.4}", p.y));
+                assert!(
+                    seen.insert(key),
+                    "duplicate canonical coordinate {p} in {}",
+                    topo.name()
+                );
+            }
+        }
+    }
+}

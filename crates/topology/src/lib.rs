@@ -1,0 +1,32 @@
+//! # qgdp-topology
+//!
+//! Device connectivity topologies for the qGDP evaluation suite.
+//!
+//! The paper evaluates six superconducting-processor topologies (Table I): a 25-qubit
+//! square grid, the 27-qubit IBM Falcon and 127-qubit IBM Eagle heavy-hex lattices, the
+//! 40-qubit Rigetti Aspen-11 and 80-qubit Aspen-M octagon lattices, and the 53-qubit
+//! Xtree (Pauli-string-efficient) architecture.  This crate generates those coupling
+//! graphs together with canonical lattice coordinates used to seed global placement,
+//! and converts them into [`qgdp_netlist::QuantumNetlist`] instances.
+//!
+//! # Example
+//!
+//! ```
+//! use qgdp_topology::StandardTopology;
+//!
+//! let falcon = StandardTopology::Falcon.build();
+//! assert_eq!(falcon.num_qubits(), 27);
+//! assert_eq!(falcon.num_couplings(), 28);
+//! assert!(falcon.is_connected());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod generators;
+pub mod standard;
+pub mod topology;
+
+pub use generators::{grid, heavy_hex_eagle, heavy_hex_falcon, heavy_hex_rows, octagon_lattice, xtree};
+pub use standard::StandardTopology;
+pub use topology::{Topology, TopologyKind};

@@ -1,0 +1,129 @@
+//! The standard six-topology evaluation suite (paper Table I).
+
+use crate::{generators, Topology};
+use std::fmt;
+
+/// The six device topologies of the paper's evaluation (Table I).
+///
+/// # Example
+///
+/// ```
+/// use qgdp_topology::StandardTopology;
+///
+/// let sizes: Vec<usize> = StandardTopology::all()
+///     .iter()
+///     .map(|t| t.build().num_qubits())
+///     .collect();
+/// assert_eq!(sizes, vec![25, 53, 27, 127, 40, 80]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StandardTopology {
+    /// 25-qubit square grid (QEC-friendly architecture).
+    Grid,
+    /// 53-qubit Xtree (Pauli-string-efficient architecture, level 3).
+    Xtree,
+    /// 27-qubit IBM Falcon heavy-hex processor.
+    Falcon,
+    /// 127-qubit IBM Eagle heavy-hex processor.
+    Eagle,
+    /// 40-qubit Rigetti Aspen-11 octagon lattice.
+    Aspen11,
+    /// 80-qubit Rigetti Aspen-M octagon lattice.
+    AspenM,
+}
+
+impl StandardTopology {
+    /// All six topologies in the order the paper reports them (Fig. 9 / Table III).
+    #[must_use]
+    pub fn all() -> [StandardTopology; 6] {
+        [
+            StandardTopology::Grid,
+            StandardTopology::Xtree,
+            StandardTopology::Falcon,
+            StandardTopology::Eagle,
+            StandardTopology::Aspen11,
+            StandardTopology::AspenM,
+        ]
+    }
+
+    /// The display name used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StandardTopology::Grid => "Grid",
+            StandardTopology::Xtree => "Xtree",
+            StandardTopology::Falcon => "Falcon",
+            StandardTopology::Eagle => "Eagle",
+            StandardTopology::Aspen11 => "Aspen-11",
+            StandardTopology::AspenM => "Aspen-M",
+        }
+    }
+
+    /// Number of physical qubits (Table I).
+    #[must_use]
+    pub fn num_qubits(self) -> usize {
+        match self {
+            StandardTopology::Grid => 25,
+            StandardTopology::Xtree => 53,
+            StandardTopology::Falcon => 27,
+            StandardTopology::Eagle => 127,
+            StandardTopology::Aspen11 => 40,
+            StandardTopology::AspenM => 80,
+        }
+    }
+
+    /// Builds the concrete [`Topology`].
+    #[must_use]
+    pub fn build(self) -> Topology {
+        match self {
+            StandardTopology::Grid => generators::grid(5, 5).with_name("Grid"),
+            StandardTopology::Xtree => generators::xtree(3).with_name("Xtree"),
+            StandardTopology::Falcon => generators::heavy_hex_falcon(),
+            StandardTopology::Eagle => generators::heavy_hex_eagle(),
+            StandardTopology::Aspen11 => generators::octagon_lattice(1, 5).with_name("Aspen-11"),
+            StandardTopology::AspenM => generators::octagon_lattice(2, 5).with_name("Aspen-M"),
+        }
+    }
+}
+
+impl fmt::Display for StandardTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_match_declared_sizes() {
+        for t in StandardTopology::all() {
+            let topo = t.build();
+            assert_eq!(topo.num_qubits(), t.num_qubits(), "{t} qubit count");
+            assert!(topo.is_connected(), "{t} must be connected");
+            assert_eq!(topo.name(), t.name());
+        }
+    }
+
+    #[test]
+    fn coupler_counts_match_paper_table3() {
+        let expected = [
+            (StandardTopology::Grid, 40),
+            (StandardTopology::Xtree, 52),
+            (StandardTopology::Falcon, 28),
+            (StandardTopology::Eagle, 144),
+            (StandardTopology::Aspen11, 48),
+            (StandardTopology::AspenM, 106),
+        ];
+        for (t, couplers) in expected {
+            assert_eq!(t.build().num_couplings(), couplers, "{t} coupler count");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(StandardTopology::Aspen11.to_string(), "Aspen-11");
+        assert_eq!(StandardTopology::Eagle.to_string(), "Eagle");
+    }
+}

@@ -1,0 +1,374 @@
+//! The [`Topology`] type: a device coupling graph plus canonical lattice coordinates.
+
+use qgdp_geometry::Point;
+use qgdp_netlist::{
+    ComponentGeometry, NetModel, NetlistBuilder, NetlistError, QuantumNetlist, QubitId,
+};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The family a topology belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TopologyKind {
+    /// Rectangular grid lattice (surface-code friendly).
+    Grid,
+    /// IBM-style heavy-hexagon lattice.
+    HeavyHex,
+    /// Rigetti-style lattice of octagonal rings.
+    Octagon,
+    /// Tree-shaped Pauli-string-efficient architecture.
+    Xtree,
+    /// Any other hand-built connectivity.
+    Custom,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopologyKind::Grid => "grid",
+            TopologyKind::HeavyHex => "heavy-hex",
+            TopologyKind::Octagon => "octagon",
+            TopologyKind::Xtree => "xtree",
+            TopologyKind::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A device topology: named coupling graph over physical qubits with canonical
+/// (unit-lattice) coordinates for each qubit.
+///
+/// Canonical coordinates are abstract lattice positions (not micrometres); the global
+/// placer scales them onto the die to seed its optimisation, mirroring how the paper's
+/// GP starts from the device's logical arrangement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    name: String,
+    kind: TopologyKind,
+    num_qubits: usize,
+    couplings: Vec<(usize, usize)>,
+    coords: Vec<Point>,
+}
+
+impl Topology {
+    /// Creates a topology from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != num_qubits`, if any coupling references a qubit out
+    /// of range, couples a qubit to itself, or duplicates another coupling.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        kind: TopologyKind,
+        num_qubits: usize,
+        mut couplings: Vec<(usize, usize)>,
+        coords: Vec<Point>,
+    ) -> Self {
+        assert_eq!(
+            coords.len(),
+            num_qubits,
+            "coordinate list must have one entry per qubit"
+        );
+        for c in &mut couplings {
+            assert!(
+                c.0 < num_qubits && c.1 < num_qubits,
+                "coupling ({}, {}) references a qubit outside 0..{num_qubits}",
+                c.0,
+                c.1
+            );
+            assert_ne!(c.0, c.1, "self-coupling on qubit {}", c.0);
+            if c.0 > c.1 {
+                *c = (c.1, c.0);
+            }
+        }
+        let mut sorted = couplings.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            couplings.len(),
+            "duplicate couplings in topology {}",
+            name.into()
+        );
+        Topology {
+            name: String::new(),
+            kind,
+            num_qubits,
+            couplings,
+            coords,
+        }
+        .with_name_internal()
+    }
+
+    // `new` consumed `name` in the duplicate-check message; rebuild it lazily.
+    fn with_name_internal(mut self) -> Self {
+        if self.name.is_empty() {
+            self.name = format!("{}-{}", self.kind, self.num_qubits);
+        }
+        self
+    }
+
+    /// Overrides the display name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The topology's display name (e.g. `"Falcon"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The topology family.
+    #[must_use]
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of physical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of couplings (resonator edges).
+    #[must_use]
+    pub fn num_couplings(&self) -> usize {
+        self.couplings.len()
+    }
+
+    /// The coupling edges as index pairs (each with `a < b`).
+    #[must_use]
+    pub fn couplings(&self) -> &[(usize, usize)] {
+        &self.couplings
+    }
+
+    /// Canonical lattice coordinate of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn coord(&self, q: QubitId) -> Point {
+        self.coords[q.index()]
+    }
+
+    /// All canonical coordinates, indexed by qubit id.
+    #[must_use]
+    pub fn coords(&self) -> &[Point] {
+        &self.coords
+    }
+
+    /// Degree (number of coupled neighbours) of qubit `q`.
+    #[must_use]
+    pub fn degree(&self, q: QubitId) -> usize {
+        self.couplings
+            .iter()
+            .filter(|&&(a, b)| a == q.index() || b == q.index())
+            .count()
+    }
+
+    /// Adjacency list representation of the coupling graph.
+    #[must_use]
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_qubits];
+        for &(a, b) in &self.couplings {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// Returns `true` if the coupling graph is connected (or has at most one qubit).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits <= 1 {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.num_qubits];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.num_qubits
+    }
+
+    /// All-pairs shortest-path lengths (in hops) over the coupling graph, computed by
+    /// BFS from every qubit.  Unreachable pairs get `usize::MAX`.
+    #[must_use]
+    pub fn shortest_path_lengths(&self) -> Vec<Vec<usize>> {
+        let adj = self.adjacency();
+        let mut dist = vec![vec![usize::MAX; self.num_qubits]; self.num_qubits];
+        for start in 0..self.num_qubits {
+            dist[start][start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if dist[start][v] == usize::MAX {
+                        dist[start][v] = dist[start][u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Builds a [`QuantumNetlist`] over this topology's coupling graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from the netlist builder (e.g. invalid geometry).
+    pub fn to_netlist(
+        &self,
+        geometry: ComponentGeometry,
+        net_model: NetModel,
+    ) -> Result<QuantumNetlist, NetlistError> {
+        NetlistBuilder::new(geometry)
+            .qubits(self.num_qubits)
+            .couple_all(self.couplings.iter().copied())
+            .net_model(net_model)
+            .build()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} couplers, {})",
+            self.name,
+            self.num_qubits,
+            self.couplings.len(),
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Topology {
+        Topology::new(
+            "square",
+            TopologyKind::Custom,
+            4,
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 1.0),
+            ],
+        )
+        .with_name("square")
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = square();
+        assert_eq!(t.name(), "square");
+        assert_eq!(t.num_qubits(), 4);
+        assert_eq!(t.num_couplings(), 4);
+        assert_eq!(t.degree(QubitId(0)), 2);
+        assert_eq!(t.coord(QubitId(2)), Point::new(1.0, 1.0));
+        assert!(t.is_connected());
+        assert!(t.to_string().contains("4 qubits"));
+    }
+
+    #[test]
+    fn shortest_paths_on_a_ring() {
+        let t = square();
+        let d = t.shortest_path_lengths();
+        assert_eq!(d[0][0], 0);
+        assert_eq!(d[0][1], 1);
+        assert_eq!(d[0][2], 2);
+        assert_eq!(d[0][3], 1);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::new(
+            "disc",
+            TopologyKind::Custom,
+            4,
+            vec![(0, 1), (2, 3)],
+            vec![Point::ORIGIN; 4],
+        );
+        assert!(!t.is_connected());
+        let d = t.shortest_path_lengths();
+        assert_eq!(d[0][2], usize::MAX);
+    }
+
+    #[test]
+    fn couplings_are_normalised() {
+        let t = Topology::new(
+            "norm",
+            TopologyKind::Custom,
+            3,
+            vec![(2, 0), (1, 0)],
+            vec![Point::ORIGIN; 3],
+        );
+        assert_eq!(t.couplings(), &[(0, 2), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn self_coupling_panics() {
+        let _ = Topology::new(
+            "bad",
+            TopologyKind::Custom,
+            2,
+            vec![(1, 1)],
+            vec![Point::ORIGIN; 2],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate couplings")]
+    fn duplicate_coupling_panics() {
+        let _ = Topology::new(
+            "bad",
+            TopologyKind::Custom,
+            2,
+            vec![(0, 1), (1, 0)],
+            vec![Point::ORIGIN; 2],
+        );
+    }
+
+    #[test]
+    fn to_netlist_builds() {
+        let t = square();
+        let netlist = t
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .expect("netlist builds");
+        assert_eq!(netlist.num_qubits(), 4);
+        assert_eq!(netlist.num_resonators(), 4);
+    }
+
+    #[test]
+    fn default_name_derived_from_kind() {
+        let t = Topology::new(
+            "",
+            TopologyKind::Grid,
+            1,
+            vec![],
+            vec![Point::ORIGIN],
+        );
+        assert_eq!(t.name(), "grid-1");
+    }
+}

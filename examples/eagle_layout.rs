@@ -1,0 +1,75 @@
+//! Legalize the 127-qubit IBM Eagle-scale heavy-hex device — the paper's largest
+//! topology — and render a coarse ASCII picture of the resulting floor plan.
+//!
+//! ```bash
+//! cargo run --release -p qgdp --example eagle_layout
+//! ```
+
+use qgdp::prelude::*;
+
+/// Renders the layout as an ASCII grid: `Q` = qubit, `#` = wire block, `.` = empty.
+fn render(result: &FlowResult, cols: usize) -> String {
+    let die = result.die;
+    let rows = (cols as f64 * die.height() / die.width()).round().max(1.0) as usize;
+    let mut canvas = vec![vec!['.'; cols]; rows];
+    let plot = |canvas: &mut Vec<Vec<char>>, p: Point, ch: char| {
+        let c = ((p.x - die.left()) / die.width() * cols as f64).floor() as i64;
+        let r = ((p.y - die.bottom()) / die.height() * rows as f64).floor() as i64;
+        let c = c.clamp(0, cols as i64 - 1) as usize;
+        let r = r.clamp(0, rows as i64 - 1) as usize;
+        // Qubits win over wire blocks when both map to the same character cell.
+        if canvas[r][c] != 'Q' {
+            canvas[r][c] = ch;
+        }
+    };
+    let placement = result.final_placement();
+    for s in result.netlist.segment_ids() {
+        plot(&mut canvas, placement.segment(s), '#');
+    }
+    for q in result.netlist.qubit_ids() {
+        plot(&mut canvas, placement.qubit(q), 'Q');
+    }
+    canvas
+        .into_iter()
+        .rev() // y grows upward; print top row first
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() -> Result<(), FlowError> {
+    let topology = StandardTopology::Eagle.build();
+    println!("device: {topology}");
+
+    let result = run_flow(
+        &topology,
+        LegalizationStrategy::Qgdp,
+        &FlowConfig::default()
+            .with_seed(2025)
+            .with_detailed_placement(true),
+    )?;
+
+    println!(
+        "die {:.0} x {:.0} µm, {} cells, legal: {}",
+        result.die.width(),
+        result.die.height(),
+        result.netlist.num_components(),
+        result.is_legal()
+    );
+    let report = result.final_report();
+    println!(
+        "I_edge {}   crossings {}   P_h {:.3} %   H_Q {}",
+        report.integration_ratio(),
+        report.crossings,
+        report.hotspot_proportion_percent,
+        report.hotspot_qubits
+    );
+    println!(
+        "runtime: qubit LG {:.2} ms, resonator LG {:.2} ms",
+        result.timing.qubit_legalization.as_secs_f64() * 1e3,
+        result.timing.resonator_legalization.as_secs_f64() * 1e3,
+    );
+    println!();
+    println!("{}", render(&result, 96));
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run the full qGDP flow on the 25-qubit grid device and print the layout
+//! quality before and after each stage.
+//!
+//! ```bash
+//! cargo run --release -p qgdp --example quickstart
+//! ```
+
+use qgdp::prelude::*;
+
+fn main() -> Result<(), FlowError> {
+    // 1. Pick a device topology (Table I of the paper) and build its quantum netlist.
+    let topology = StandardTopology::Grid.build();
+    println!("device   : {topology}");
+
+    // 2. Run the full flow: global placement -> qubit legalization -> integration-aware
+    //    resonator legalization -> detailed placement.
+    let config = FlowConfig::default()
+        .with_seed(42)
+        .with_detailed_placement(true);
+    let result = run_flow(&topology, LegalizationStrategy::Qgdp, &config)?;
+
+    println!("die      : {:.0} x {:.0} µm", result.die.width(), result.die.height());
+    println!("cells    : {}", result.netlist.num_components());
+    println!();
+    println!("stage            | I_edge  |  X | P_h (%) | H_Q");
+    println!("-----------------+---------+----+---------+----");
+    let row = |name: &str, report: &LayoutReport| {
+        println!(
+            "{name:<17}| {:>7} | {:>2} | {:>7.3} | {:>3}",
+            report.integration_ratio(),
+            report.crossings,
+            report.hotspot_proportion_percent,
+            report.hotspot_qubits
+        );
+    };
+    row("global placement", &result.gp_report);
+    row("qGDP-LG", &result.legalized_report);
+    if let Some(dp) = &result.detailed_report {
+        row("qGDP-DP", dp);
+    }
+
+    // 3. Estimate the program fidelity of a NISQ benchmark on the final layout,
+    //    averaged over random qubit mappings (the Fig. 8 protocol).
+    let noise = NoiseModel::default();
+    println!();
+    println!("benchmark fidelity on the final layout (20 mappings each):");
+    for benchmark in [Benchmark::Bv4, Benchmark::Qaoa4, Benchmark::Qgan4] {
+        let f = result.mean_benchmark_fidelity(benchmark, 20, &noise, 7);
+        println!("  {:<8} {f:.4}", benchmark.name());
+    }
+
+    // 4. Stage runtimes (the quantities of Table II).
+    println!();
+    println!(
+        "runtime: GP {:.1} ms, qubit LG {:.3} ms, resonator LG {:.3} ms, DP {:.3} ms",
+        result.timing.global_placement.as_secs_f64() * 1e3,
+        result.timing.qubit_legalization.as_secs_f64() * 1e3,
+        result.timing.resonator_legalization.as_secs_f64() * 1e3,
+        result
+            .timing
+            .detailed_placement
+            .map_or(0.0, |d| d.as_secs_f64() * 1e3)
+    );
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests of the qGDP flow across crates: topology generation,
+//! netlist construction, global placement, both legalization stages, detailed
+//! placement and metric evaluation all exercised together.
+
+use qgdp::prelude::*;
+
+fn flow(topology: StandardTopology, strategy: LegalizationStrategy, dp: bool) -> FlowResult {
+    let topo = topology.build();
+    run_flow(
+        &topo,
+        strategy,
+        &FlowConfig::default()
+            .with_seed(2024)
+            .with_detailed_placement(dp),
+    )
+    .expect("flow succeeds")
+}
+
+#[test]
+fn qgdp_flow_is_legal_on_every_standard_topology() {
+    for topology in StandardTopology::all() {
+        let result = flow(topology, LegalizationStrategy::Qgdp, false);
+        assert!(
+            result.is_legal(),
+            "{topology:?}: qGDP-LG produced an illegal layout"
+        );
+        assert_eq!(result.netlist.num_qubits(), topology.num_qubits());
+    }
+}
+
+#[test]
+fn gp_layout_is_illegal_but_legalization_fixes_it() {
+    let result = flow(StandardTopology::Falcon, LegalizationStrategy::Qgdp, false);
+    // The GP layout is expected to contain overlaps (that is the point of legalizing).
+    let gp_overlaps = result.gp_placement.count_overlaps(&result.netlist);
+    let lg_overlaps = result.legalized.count_overlaps(&result.netlist);
+    assert!(gp_overlaps > 0, "GP should leave overlaps for LG to fix");
+    assert_eq!(lg_overlaps, 0, "legalization must remove every overlap");
+}
+
+#[test]
+fn legalization_preserves_gp_structure() {
+    // Legalization should displace components, not scramble them: the total
+    // displacement per component must stay well below the die diagonal.
+    let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
+    let per_component = result.legalized.total_displacement_from(&result.gp_placement)
+        / result.netlist.num_components() as f64;
+    let diagonal = (result.die.width().powi(2) + result.die.height().powi(2)).sqrt();
+    assert!(
+        per_component < diagonal * 0.25,
+        "average displacement {per_component:.1} µm vs die diagonal {diagonal:.1} µm"
+    );
+}
+
+#[test]
+fn detailed_placement_only_improves_the_layout() {
+    for topology in [
+        StandardTopology::Grid,
+        StandardTopology::Xtree,
+        StandardTopology::Aspen11,
+    ] {
+        let result = flow(topology, LegalizationStrategy::Qgdp, true);
+        let lg = &result.legalized_report;
+        let dp = result.detailed_report.as_ref().expect("DP ran");
+        assert!(result.is_legal(), "{topology:?}: DP output illegal");
+        assert!(
+            dp.total_clusters <= lg.total_clusters,
+            "{topology:?}: DP increased cluster count"
+        );
+        assert!(
+            dp.unified_resonators >= lg.unified_resonators,
+            "{topology:?}: DP reduced I_edge"
+        );
+        assert!(
+            dp.hotspot_proportion_percent <= lg.hotspot_proportion_percent + 1e-9,
+            "{topology:?}: DP increased P_h"
+        );
+        assert!(
+            dp.hotspot_qubits <= lg.hotspot_qubits,
+            "{topology:?}: DP increased H_Q"
+        );
+    }
+}
+
+#[test]
+fn detailed_placement_never_moves_qubits() {
+    let result = flow(StandardTopology::Aspen11, LegalizationStrategy::Qgdp, true);
+    let dp = result.detailed.as_ref().expect("DP ran");
+    for q in result.netlist.qubit_ids() {
+        assert_eq!(dp.qubit(q), result.legalized.qubit(q));
+    }
+}
+
+#[test]
+fn quantum_qubit_legalizer_enforces_min_spacing_on_real_gp() {
+    let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
+    let netlist = &result.netlist;
+    let spacing = netlist.geometry().min_qubit_spacing();
+    let mut min_gap = f64::INFINITY;
+    let qubits: Vec<QubitId> = netlist.qubit_ids().collect();
+    for (i, &a) in qubits.iter().enumerate() {
+        for &b in &qubits[i + 1..] {
+            let ra = netlist.qubit(a).rect_at(result.legalized.qubit(a));
+            let rb = netlist.qubit(b).rect_at(result.legalized.qubit(b));
+            min_gap = min_gap.min(ra.gap(&rb));
+        }
+    }
+    assert!(
+        min_gap >= spacing - 1e-6,
+        "minimum qubit gap {min_gap:.2} µm below the {spacing:.2} µm requirement"
+    );
+}
+
+#[test]
+fn fidelity_pipeline_produces_sane_numbers() {
+    let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, true);
+    let noise = NoiseModel::default();
+    let f_small = result.mean_benchmark_fidelity(Benchmark::Bv4, 5, &noise, 42);
+    let f_large = result.mean_benchmark_fidelity(Benchmark::Bv16, 5, &noise, 42);
+    assert!(f_small > 0.0 && f_small <= 1.0);
+    assert!(f_large > 0.0 && f_large <= 1.0);
+    assert!(
+        f_large < f_small,
+        "bv-16 ({f_large:.4}) should have lower fidelity than bv-4 ({f_small:.4})"
+    );
+}
+
+#[test]
+fn stage_timings_are_recorded() {
+    let result = flow(StandardTopology::Falcon, LegalizationStrategy::Qgdp, true);
+    assert!(result.timing.global_placement.as_nanos() > 0);
+    assert!(result.timing.qubit_legalization.as_nanos() > 0);
+    assert!(result.timing.resonator_legalization.as_nanos() > 0);
+    assert!(result.timing.detailed_placement.is_some());
+}
+
+#[test]
+fn chain_net_model_also_flows_end_to_end() {
+    let topo = StandardTopology::Grid.build();
+    let result = run_flow(
+        &topo,
+        LegalizationStrategy::Qgdp,
+        &FlowConfig::default()
+            .with_seed(77)
+            .with_net_model(NetModel::Chain),
+    )
+    .expect("chain-model flow succeeds");
+    assert!(result.is_legal());
+}

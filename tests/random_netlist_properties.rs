@@ -1,0 +1,169 @@
+//! Property-based integration tests over randomly generated device netlists.
+//!
+//! The standard-topology tests exercise the six fixed devices of the paper; these
+//! properties instead draw random connected coupling graphs and random global
+//! placements and assert the invariants every stage of the flow must uphold:
+//! legalizers always emit legal layouts (or a clean error), qubit positions are never
+//! touched by the cell stages, cluster analysis partitions the segment set, and the
+//! detailed placer never regresses its guarded metrics.
+
+use proptest::prelude::*;
+use qgdp::prelude::*;
+use qgdp::{DetailedPlacer, QuantumQubitLegalizer, ResonatorLegalizer};
+use qgdp_legalize::{is_legal, CellLegalizer as _, QubitLegalizer as _};
+
+/// A random connected coupling graph over `n` qubits: a random spanning tree plus a few
+/// extra chords.
+fn random_device(n: usize, extra_edges: &[(usize, usize)]) -> Topology {
+    let mut couplings: Vec<(usize, usize)> = (1..n).map(|i| (i, i / 2)).collect(); // binary-tree spanning tree
+    for &(a, b) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a != b
+            && !couplings.contains(&(a.min(b), a.max(b)))
+            && !couplings.contains(&(a, b))
+            && !couplings.contains(&(b, a))
+        {
+            couplings.push((a.min(b), a.max(b)));
+        }
+    }
+    let coords = (0..n)
+        .map(|i| qgdp::geometry::Point::new((i % 4) as f64, (i / 4) as f64))
+        .collect();
+    Topology::new(
+        format!("random-{n}"),
+        qgdp::topology::TopologyKind::Custom,
+        n,
+        couplings,
+        coords,
+    )
+}
+
+/// Builds a netlist plus a seeded random (illegal) placement inside a generous die.
+fn random_instance(
+    n: usize,
+    extra_edges: &[(usize, usize)],
+    positions: &[(f64, f64)],
+) -> (QuantumNetlist, Rect, Placement) {
+    let device = random_device(n, extra_edges);
+    let netlist = device
+        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+        .expect("netlist builds");
+    let die = netlist.suggested_die(0.35);
+    let mut placement = Placement::new(&netlist);
+    for (k, id) in netlist.component_ids().enumerate() {
+        let (fx, fy) = positions[k % positions.len()];
+        placement.set_component(
+            id,
+            Point::new(die.left() + fx * die.width(), die.bottom() + fy * die.height()),
+        );
+    }
+    placement.clamp_within(&netlist, &die);
+    (netlist, die, placement)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn qgdp_legalization_is_always_legal(
+        n in 3usize..8,
+        extra in proptest::collection::vec((0usize..8, 0usize..8), 0..4),
+        positions in proptest::collection::vec((0.05f64..0.95, 0.05f64..0.95), 8..40),
+    ) {
+        let (netlist, die, gp) = random_instance(n, &extra, &positions);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .expect("qubit legalization succeeds on a 35%-utilised die");
+        let legal = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &die, &qubits)
+            .expect("resonator legalization succeeds");
+        prop_assert!(is_legal(&netlist, &die, &legal));
+        // Qubit positions from the qubit stage are preserved by the cell stage.
+        for q in netlist.qubit_ids() {
+            prop_assert_eq!(legal.qubit(q), qubits.qubit(q));
+        }
+    }
+
+    #[test]
+    fn classical_baselines_are_legal_but_may_fragment(
+        n in 3usize..7,
+        extra in proptest::collection::vec((0usize..7, 0usize..7), 0..3),
+        positions in proptest::collection::vec((0.05f64..0.95, 0.05f64..0.95), 8..40),
+    ) {
+        let (netlist, die, gp) = random_instance(n, &extra, &positions);
+        let qubits = MacroLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .expect("macro legalization succeeds");
+        for legalizer in [
+            Box::new(TetrisLegalizer::new()) as Box<dyn qgdp::legalize::CellLegalizer>,
+            Box::new(AbacusLegalizer::new()) as Box<dyn qgdp::legalize::CellLegalizer>,
+        ] {
+            let legal = legalizer
+                .legalize_cells(&netlist, &die, &qubits)
+                .expect("cell legalization succeeds");
+            prop_assert!(is_legal(&netlist, &die, &legal), "{} illegal", legalizer.name());
+            // Cluster analysis always partitions the segment set, fragmented or not.
+            let report = ClusterReport::analyze(&netlist, &legal);
+            prop_assert_eq!(report.total_resonators(), netlist.num_resonators());
+            prop_assert!(report.total_clusters() >= netlist.num_resonators());
+            prop_assert!(report.total_clusters() <= netlist.num_segments());
+        }
+    }
+
+    #[test]
+    fn detailed_placement_never_regresses_on_random_instances(
+        n in 3usize..7,
+        extra in proptest::collection::vec((0usize..7, 0usize..7), 0..3),
+        positions in proptest::collection::vec((0.05f64..0.95, 0.05f64..0.95), 8..40),
+    ) {
+        let (netlist, die, gp) = random_instance(n, &extra, &positions);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .expect("qubit legalization succeeds");
+        let legal = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &die, &qubits)
+            .expect("resonator legalization succeeds");
+        let crosstalk = CrosstalkConfig::default();
+        let before = LayoutReport::evaluate(&netlist, &legal, &crosstalk);
+        let outcome = DetailedPlacer::new().place(&netlist, &die, &legal);
+        let after = LayoutReport::evaluate(&netlist, &outcome.placement, &crosstalk);
+        prop_assert!(is_legal(&netlist, &die, &outcome.placement));
+        prop_assert!(after.total_clusters <= before.total_clusters);
+        prop_assert!(after.hotspot_proportion_percent <= before.hotspot_proportion_percent + 1e-9);
+        prop_assert!(outcome.windows_accepted <= outcome.windows_processed);
+        for q in netlist.qubit_ids() {
+            prop_assert_eq!(outcome.placement.qubit(q), legal.qubit(q));
+        }
+    }
+
+    #[test]
+    fn fidelity_is_always_a_probability_on_random_instances(
+        n in 4usize..7,
+        extra in proptest::collection::vec((0usize..7, 0usize..7), 0..3),
+        positions in proptest::collection::vec((0.05f64..0.95, 0.05f64..0.95), 8..40),
+        seed in 0u64..1_000,
+    ) {
+        let (netlist, die, gp) = random_instance(n, &extra, &positions);
+        let device = random_device(n, &extra);
+        let qubits = QuantumQubitLegalizer::new()
+            .legalize_qubits(&netlist, &die, &gp)
+            .expect("qubit legalization succeeds");
+        let legal = ResonatorLegalizer::new()
+            .legalize_cells(&netlist, &die, &qubits)
+            .expect("resonator legalization succeeds");
+        let circuit = qgdp::circuits::benchmarks::qaoa_ring(n.min(4), 1);
+        let mapped = map_circuit(&circuit, &device, seed);
+        let report = estimate_fidelity(
+            &netlist,
+            &legal,
+            &mapped,
+            &NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+        prop_assert!(report.fidelity > 0.0 && report.fidelity <= 1.0);
+        prop_assert!(report.gate_fidelity <= 1.0);
+        prop_assert!(report.decoherence_fidelity <= 1.0);
+        prop_assert!(report.qubit_crosstalk_fidelity <= 1.0);
+        prop_assert!(report.resonator_crosstalk_fidelity <= 1.0);
+    }
+}
