@@ -1,0 +1,432 @@
+//! Offline API-subset shim for the `proptest` crate (mirrors the `proptest` 1.x
+//! surface the qGDP workspace uses).
+//!
+//! Supports the [`proptest!`] macro (with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header), range and tuple
+//! strategies, [`collection::vec`] / [`collection::hash_set`], and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] assertion macros. Case generation is
+//! deterministic per test name (FNV-seeded). Failing cases report their inputs but
+//! are **not** shrunk. See `vendor/README.md`.
+
+#![deny(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A strategy produces random values of an output type.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a strategy is
+    /// just a deterministic-per-rng generator.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value: core::fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_f64(self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_strategy_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_u64(self.start as u64, self.end as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_uint_range!(usize, u64, u32, u8);
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + core::fmt::Debug>(pub T);
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections with random sizes.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<T>` with a size drawn from a range. Created by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy generating vectors whose elements come from `element`
+    /// and whose length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_u64(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>` with a size drawn from a range. Created by
+    /// [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy generating hash sets whose elements come from `element`
+    /// and whose size is *at most* the upper end of `size` (duplicates collapse,
+    /// mirroring upstream's behaviour of retrying only a bounded number of times).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash + core::fmt::Debug,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_u64(self.size.start as u64, self.size.end as u64) as usize;
+            let mut out = HashSet::with_capacity(target);
+            // Bounded retries so strategies whose domain is smaller than the
+            // requested size still terminate.
+            let mut attempts = 0;
+            while out.len() < target && attempts < target.saturating_mul(16) + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test runner: configuration, RNG and failure plumbing.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream proptest's default.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A property-level failure (what `prop_assert!` produces).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        #[must_use]
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// The deterministic RNG driving case generation (xorshift-style, FNV-seeded
+    /// from the test name so every property gets an independent stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates the RNG for the named test.
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name; deterministic across runs and platforms.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(hash | 1)
+        }
+
+        fn next(&mut self) -> u64 {
+            // SplitMix64.
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[lo, hi)`.
+        pub fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+
+        /// Uniform `u64` in `[lo, hi)`; returns `lo` for empty ranges.
+        pub fn gen_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            if hi <= lo {
+                return lo;
+            }
+            lo + self.next() % (hi - lo)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// Mirrors upstream `proptest!`: an optional
+/// `#![proptest_config(..)]` header followed by `#[test] fn name(arg in strategy, ..)
+/// { body }` items. Each property runs `cases` deterministic random cases; a failing
+/// case panics with the property's inputs rendered via `Debug`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each property item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = (&$strategy).generate(&mut rng);)+
+                let inputs = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let case_fn = move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(err) = case_fn() {
+                    panic!(
+                        "proptest property {} failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the current case (with the
+/// generated inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0..5.0f64, n in 0usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(n < 10);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec((0.0..1.0f64, 0usize..4), 2..6),
+            s in crate::collection::hash_set(0usize..100, 0..10),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(s.len() < 10);
+            for &(f, u) in &v {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!(u < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1_000) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_u64(0, 1_000_000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_u64(0, 1_000_000)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_u64(0, 1_000_000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest property")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0usize..3) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
