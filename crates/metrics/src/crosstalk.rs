@@ -79,14 +79,20 @@ impl CrosstalkModel {
     ///
     /// The transition probability is `sin²(g_eff · t)` (Eq. 8); because the worst-case
     /// fidelity is wanted, the phase is capped at π/2 so the error grows monotonically
-    /// with exposure and saturates at 1 instead of oscillating.
+    /// with exposure and saturates instead of oscillating.  The saturated error is
+    /// additionally capped strictly below 1: an error of exactly 1 would zero out the
+    /// whole program-fidelity product (Eq. 7) regardless of every other factor, which
+    /// is neither physical for an averaged Rabi transition nor useful for comparing
+    /// layouts that both contain a saturated violation.
     #[must_use]
     pub fn rabi_error(&self, g_eff_mhz: f64, time_ns: f64) -> f64 {
+        /// The saturation ceiling of a single crosstalk error term.
+        const MAX_ERROR: f64 = 1.0 - 1e-6;
         // MHz × ns → 2π-free radians: 1 MHz = 1e-3 rad/ns (up to 2π, absorbed into the
         // calibration of `coupling_mhz_per_ff`).
         let phase = (g_eff_mhz * 1e-3 * time_ns).min(std::f64::consts::FRAC_PI_2);
         let s = phase.sin();
-        s * s
+        (s * s).min(MAX_ERROR)
     }
 
     /// Convenience: the crosstalk error of one crossing point after `time_ns`, given
