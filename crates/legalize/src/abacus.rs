@@ -178,7 +178,7 @@ impl CellLegalizer for AbacusLegalizer {
                     let mut trial = states[r][k].clone();
                     let center_x = trial.insert(sub, (*s, desired_left, lb));
                     let cost = (center_x - desired.x).abs() + dy;
-                    if best.map_or(true, |(bc, ..)| cost < bc - qgdp_geometry::EPS) {
+                    if best.is_none_or(|(bc, ..)| cost < bc - qgdp_geometry::EPS) {
                         best = Some((cost, r, k));
                     }
                 }

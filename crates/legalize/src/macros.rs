@@ -78,16 +78,30 @@ pub fn legalize_macros(
                 let push_y = sep_y - dy.abs();
                 if push_x <= push_y {
                     // Separate along x, preserving order (ties broken by index).
-                    let dir = if dx > 0.0 || (dx == 0.0 && i < j) { 1.0 } else { -1.0 };
+                    let dir = if dx > 0.0 || (dx == 0.0 && i < j) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     centers[i].x -= dir * push_x * 0.5;
                     centers[j].x += dir * push_x * 0.5;
                 } else {
-                    let dir = if dy > 0.0 || (dy == 0.0 && i < j) { 1.0 } else { -1.0 };
+                    let dir = if dy > 0.0 || (dy == 0.0 && i < j) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     centers[i].y -= dir * push_y * 0.5;
                     centers[j].y += dir * push_y * 0.5;
                 }
-                centers[i] = desired[i].with_center(centers[i]).clamped_within(die).center();
-                centers[j] = desired[j].with_center(centers[j]).clamped_within(die).center();
+                centers[i] = desired[i]
+                    .with_center(centers[i])
+                    .clamped_within(die)
+                    .center();
+                centers[j] = desired[j]
+                    .with_center(centers[j])
+                    .clamped_within(die)
+                    .center();
             }
         }
         if !any_violation {
@@ -158,8 +172,7 @@ fn repair_violations(
                     || dy >= desired[v].min_separation_y(&desired[p]) + spacing - qgdp_geometry::EPS
             })
         };
-        let max_radius_steps =
-            ((die.width().max(die.height()) / step).ceil() as i64 + 1).max(1);
+        let max_radius_steps = ((die.width().max(die.height()) / step).ceil() as i64 + 1).max(1);
         let mut found = None;
         'search: for ring in 0..=max_radius_steps {
             // Candidates on the square ring of radius `ring * step` around the target.
@@ -168,7 +181,7 @@ fn repair_violations(
             if ring == 0 {
                 candidates.push(target);
             } else {
-                let steps = (2 * ring) as i64;
+                let steps = 2 * ring;
                 for k in 0..=steps {
                     let t = -r + k as f64 * step;
                     candidates.push(Point::new(target.x + t, target.y - r));
@@ -199,7 +212,11 @@ fn repair_violations(
             }
             None => {
                 return Err(LegalizeError::NoSpace {
-                    component: format!("macro #{v} ({:.0}x{:.0})", desired[v].width(), desired[v].height()),
+                    component: format!(
+                        "macro #{v} ({:.0}x{:.0})",
+                        desired[v].width(),
+                        desired[v].height()
+                    ),
                 })
             }
         }
@@ -296,7 +313,10 @@ mod tests {
         let desired = squares(&[(40.0, 50.0), (60.0, 50.0)], 20.0);
         let out = legalize_macros(&desired, &die(200.0), 10.0).unwrap();
         assert!(macros_are_legal(&desired, &out, &die(200.0), 10.0));
-        assert!((out[1].x - out[0].x).abs() >= 30.0 - 1e-9 || (out[1].y - out[0].y).abs() >= 30.0 - 1e-9);
+        assert!(
+            (out[1].x - out[0].x).abs() >= 30.0 - 1e-9
+                || (out[1].y - out[0].y).abs() >= 30.0 - 1e-9
+        );
     }
 
     #[test]

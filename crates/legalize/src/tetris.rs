@@ -74,7 +74,7 @@ impl CellLegalizer for TetrisLegalizer {
                         .min((sub.x_end - lb).max(frontier));
                     let center = Point::new(left + lb * 0.5, sub.y);
                     let cost = center.manhattan_distance(desired);
-                    if best.map_or(true, |(bc, ..)| cost < bc - qgdp_geometry::EPS) {
+                    if best.is_none_or(|(bc, ..)| cost < bc - qgdp_geometry::EPS) {
                         best = Some((cost, r, k, left));
                     }
                 }
@@ -178,8 +178,7 @@ mod tests {
         let out = TetrisLegalizer::new()
             .legalize_cells(&netlist, &die, &placement)
             .unwrap();
-        let per_block =
-            out.total_displacement_from(&placement) / netlist.num_segments() as f64;
+        let per_block = out.total_displacement_from(&placement) / netlist.num_segments() as f64;
         // With 40% utilisation the average block should not need to travel more than a
         // few block sizes.
         assert!(

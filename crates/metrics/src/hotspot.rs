@@ -107,7 +107,7 @@ pub fn find_violations(
             }
         }
     }
-    out.sort_by(|x, y| (x.a, x.b).cmp(&(y.a, y.b)));
+    out.sort_by_key(|x| (x.a, x.b));
     out
 }
 
@@ -179,7 +179,10 @@ mod tests {
             .unwrap();
         let mut p = Placement::new(&netlist);
         for (i, id) in netlist.component_ids().enumerate() {
-            p.set_component(id, Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0));
+            p.set_component(
+                id,
+                Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0),
+            );
         }
         (netlist, p)
     }
@@ -189,7 +192,10 @@ mod tests {
         let (netlist, p) = spread_layout();
         let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
         assert!(v.is_empty());
-        assert_eq!(hotspot_proportion(&netlist, &p, &CrosstalkConfig::default()), 0.0);
+        assert_eq!(
+            hotspot_proportion(&netlist, &p, &CrosstalkConfig::default()),
+            0.0
+        );
         assert!(hotspot_qubits(&netlist, &v).is_empty());
     }
 
@@ -273,10 +279,9 @@ mod tests {
         p.set_segment(s0, Point::new(3000.0, 3000.0));
         p.set_segment(s1, Point::new(3010.0, 3000.0)); // abutting
         let v = find_violations(&netlist, &p, &CrosstalkConfig::default());
-        assert!(v
-            .iter()
-            .any(|v| (v.a == ComponentId::Segment(s0) && v.b == ComponentId::Segment(s1))
-                || (v.a == ComponentId::Segment(s1) && v.b == ComponentId::Segment(s0))));
+        assert!(v.iter().any(|v| (v.a == ComponentId::Segment(s0)
+            && v.b == ComponentId::Segment(s1))
+            || (v.a == ComponentId::Segment(s1) && v.b == ComponentId::Segment(s0))));
         let hq = hotspot_qubits(&netlist, &v);
         // Endpoints of both resonators are flagged.
         assert!(hq.len() >= 3);

@@ -300,8 +300,10 @@ mod tests {
 
     #[test]
     fn geometry_validation_rejects_nonpositive() {
-        let mut geom = ComponentGeometry::default();
-        geom.wire_block_size = 0.0;
+        let geom = ComponentGeometry {
+            wire_block_size: 0.0,
+            ..ComponentGeometry::default()
+        };
         assert_eq!(
             geom.validate(),
             Err(NetlistError::InvalidGeometry {
@@ -309,20 +311,26 @@ mod tests {
                 value: 0.0
             })
         );
-        let mut geom = ComponentGeometry::default();
-        geom.qubit_width = f64::NAN;
+        let geom = ComponentGeometry {
+            qubit_width: f64::NAN,
+            ..ComponentGeometry::default()
+        };
         assert!(geom.validate().is_err());
-        let mut geom = ComponentGeometry::default();
-        geom.min_qubit_spacing_cells = -1.0;
+        let geom = ComponentGeometry {
+            min_qubit_spacing_cells: -1.0,
+            ..ComponentGeometry::default()
+        };
         assert!(geom.validate().is_err());
     }
 
     #[test]
     fn partition_count_follows_eq6() {
-        let mut geom = ComponentGeometry::default();
-        geom.padding_length = 5.0;
-        geom.resonator_wirelength = 120.0;
-        geom.wire_block_size = 10.0;
+        let mut geom = ComponentGeometry {
+            padding_length: 5.0,
+            resonator_wirelength: 120.0,
+            wire_block_size: 10.0,
+            ..ComponentGeometry::default()
+        };
         // 5 * 120 / 100 = 6 — the n = 6 example of Fig. 5.
         assert_eq!(geom.segments_per_resonator(), 6);
         geom.resonator_wirelength = 121.0;

@@ -464,7 +464,10 @@ mod tests {
                 );
             }
         }
-        assert_eq!(netlist.owning_resonator(ComponentId::Qubit(QubitId(0))), None);
+        assert_eq!(
+            netlist.owning_resonator(ComponentId::Qubit(QubitId(0))),
+            None
+        );
     }
 
     #[test]
@@ -513,8 +516,10 @@ mod tests {
                 .unwrap_err(),
             NetlistError::DuplicateCoupling { .. }
         ));
-        let mut bad_geom = ComponentGeometry::default();
-        bad_geom.resonator_wirelength = -3.0;
+        let bad_geom = ComponentGeometry {
+            resonator_wirelength: -3.0,
+            ..ComponentGeometry::default()
+        };
         assert!(matches!(
             NetlistBuilder::new(bad_geom).qubits(2).build().unwrap_err(),
             NetlistError::InvalidGeometry { .. }

@@ -125,13 +125,16 @@ impl DensityGrid {
         for (dc, dr) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
             let nc = col as i64 + dc;
             let nr = row as i64 + dr;
-            if nc < 0 || nr < 0 || nc as usize >= self.bins_per_side || nr as usize >= self.bins_per_side
+            if nc < 0
+                || nr < 0
+                || nc as usize >= self.bins_per_side
+                || nr as usize >= self.bins_per_side
             {
                 continue;
             }
             let (nc, nr) = (nc as usize, nr as usize);
             let d = self.area[self.bin_index(nc, nr)] / (self.bin_w * self.bin_h);
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, self.bin_center(nc, nr)));
             }
         }

@@ -212,13 +212,13 @@ impl Topology {
     pub fn shortest_path_lengths(&self) -> Vec<Vec<usize>> {
         let adj = self.adjacency();
         let mut dist = vec![vec![usize::MAX; self.num_qubits]; self.num_qubits];
-        for start in 0..self.num_qubits {
-            dist[start][start] = 0;
+        for (start, row) in dist.iter_mut().enumerate() {
+            row[start] = 0;
             let mut queue = VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
                 for &v in &adj[u] {
-                    if dist[start][v] == usize::MAX {
-                        dist[start][v] = dist[start][u] + 1;
+                    if row[v] == usize::MAX {
+                        row[v] = row[u] + 1;
                         queue.push_back(v);
                     }
                 }
@@ -362,13 +362,7 @@ mod tests {
 
     #[test]
     fn default_name_derived_from_kind() {
-        let t = Topology::new(
-            "",
-            TopologyKind::Grid,
-            1,
-            vec![],
-            vec![Point::ORIGIN],
-        );
+        let t = Topology::new("", TopologyKind::Grid, 1, vec![], vec![Point::ORIGIN]);
         assert_eq!(t.name(), "grid-1");
     }
 }
