@@ -50,18 +50,22 @@ fn bench_full_flow(c: &mut Criterion) {
     group.sample_size(10);
     for topology in [StandardTopology::Grid, StandardTopology::Falcon] {
         let topo = topology.build();
-        group.bench_with_input(BenchmarkId::from_parameter(topology.name()), &topo, |b, topo| {
-            b.iter(|| {
-                run_flow(
-                    topo,
-                    LegalizationStrategy::Qgdp,
-                    &FlowConfig::default()
-                        .with_seed(EXPERIMENT_SEED)
-                        .with_detailed_placement(true),
-                )
-                .expect("flow succeeds")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topology.name()),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    run_flow(
+                        topo,
+                        LegalizationStrategy::Qgdp,
+                        &FlowConfig::default()
+                            .with_seed(EXPERIMENT_SEED)
+                            .with_detailed_placement(true),
+                    )
+                    .expect("flow succeeds")
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -40,8 +40,14 @@ fn bench_qubit_legalization(c: &mut Criterion) {
     for topology in StandardTopology::all() {
         let prepared = prepare(topology);
         for (name, legalizer) in [
-            ("quantum", Box::new(qgdp::QuantumQubitLegalizer::new()) as Box<dyn QubitLegalizer>),
-            ("macro", Box::new(MacroLegalizer::new()) as Box<dyn QubitLegalizer>),
+            (
+                "quantum",
+                Box::new(qgdp::QuantumQubitLegalizer::new()) as Box<dyn QubitLegalizer>,
+            ),
+            (
+                "macro",
+                Box::new(MacroLegalizer::new()) as Box<dyn QubitLegalizer>,
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, topology.name()),
@@ -69,8 +75,14 @@ fn bench_resonator_legalization(c: &mut Criterion) {
                 "qgdp",
                 Box::new(qgdp::ResonatorLegalizer::new()) as Box<dyn CellLegalizer>,
             ),
-            ("tetris", Box::new(TetrisLegalizer::new()) as Box<dyn CellLegalizer>),
-            ("abacus", Box::new(AbacusLegalizer::new()) as Box<dyn CellLegalizer>),
+            (
+                "tetris",
+                Box::new(TetrisLegalizer::new()) as Box<dyn CellLegalizer>,
+            ),
+            (
+                "abacus",
+                Box::new(AbacusLegalizer::new()) as Box<dyn CellLegalizer>,
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, topology.name()),
@@ -88,5 +100,9 @@ fn bench_resonator_legalization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qubit_legalization, bench_resonator_legalization);
+criterion_group!(
+    benches,
+    bench_qubit_legalization,
+    bench_resonator_legalization
+);
 criterion_main!(benches);

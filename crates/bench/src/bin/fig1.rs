@@ -17,9 +17,17 @@ fn main() {
     let topo = topology.build();
     let mappings = mappings_per_benchmark();
     let noise = NoiseModel::default();
-    let maps = random_mappings(&Benchmark::Qaoa4.circuit(), &topo, mappings, EXPERIMENT_SEED);
+    let maps = random_mappings(
+        &Benchmark::Qaoa4.circuit(),
+        &topo,
+        mappings,
+        EXPERIMENT_SEED,
+    );
 
-    println!("FIG. 1: layout quality vs placement stage on {} (qaoa-4, {mappings} mappings)", topology.name());
+    println!(
+        "FIG. 1: layout quality vs placement stage on {} (qaoa-4, {mappings} mappings)",
+        topology.name()
+    );
     println!();
     println!(
         "{:<28} {:>10} {:>9} {:>12}",
@@ -33,13 +41,13 @@ fn main() {
         &experiment_config().with_detailed_placement(true),
     )
     .expect("qGDP flow");
-    let classic = run_flow(&topo, LegalizationStrategy::Tetris, &experiment_config())
-        .expect("Tetris flow");
+    let classic =
+        run_flow(&topo, LegalizationStrategy::Tetris, &experiment_config()).expect("Tetris flow");
 
     let evaluate = |placement: &Placement, result: &FlowResult| -> (f64, f64) {
         let report = LayoutReport::evaluate(&result.netlist, placement, &result.crosstalk);
-        let fidelity =
-            FidelityEvaluator::new(&result.netlist, placement, noise, &result.crosstalk).mean(&maps);
+        let fidelity = FidelityEvaluator::new(&result.netlist, placement, noise, &result.crosstalk)
+            .mean(&maps);
         (fidelity, report.hotspot_proportion_percent)
     };
 

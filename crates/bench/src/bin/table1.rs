@@ -9,15 +9,36 @@ use qgdp::prelude::*;
 fn main() {
     println!("TABLE I: TOPOLOGIES AND BENCHMARKS");
     println!();
-    println!("{:<10} {:>7} {:>9} {:>7}  description", "Topology", "Qubits", "Couplers", "Cells");
+    println!(
+        "{:<10} {:>7} {:>9} {:>7}  description",
+        "Topology", "Qubits", "Couplers", "Cells"
+    );
     println!("{}", "-".repeat(76));
     let descriptions = [
-        (StandardTopology::Grid, "Quantum error correction friendly architecture"),
-        (StandardTopology::Falcon, "Falcon processor from IBM (heavy hex)"),
-        (StandardTopology::Eagle, "Eagle processor from IBM (heavy hex)"),
-        (StandardTopology::Aspen11, "Aspen-11 processor from Rigetti (octagon)"),
-        (StandardTopology::AspenM, "Aspen-M processor from Rigetti (octagon)"),
-        (StandardTopology::Xtree, "Pauli-string efficient architecture, level 3"),
+        (
+            StandardTopology::Grid,
+            "Quantum error correction friendly architecture",
+        ),
+        (
+            StandardTopology::Falcon,
+            "Falcon processor from IBM (heavy hex)",
+        ),
+        (
+            StandardTopology::Eagle,
+            "Eagle processor from IBM (heavy hex)",
+        ),
+        (
+            StandardTopology::Aspen11,
+            "Aspen-11 processor from Rigetti (octagon)",
+        ),
+        (
+            StandardTopology::AspenM,
+            "Aspen-M processor from Rigetti (octagon)",
+        ),
+        (
+            StandardTopology::Xtree,
+            "Pauli-string efficient architecture, level 3",
+        ),
     ];
     for (t, desc) in descriptions {
         let topo = t.build();
@@ -34,14 +55,23 @@ fn main() {
     }
 
     println!();
-    println!("{:<10} {:>7} {:>9} {:>6}  description", "Benchmark", "Qubits", "2q gates", "depth");
+    println!(
+        "{:<10} {:>7} {:>9} {:>6}  description",
+        "Benchmark", "Qubits", "2q gates", "depth"
+    );
     println!("{}", "-".repeat(76));
     let descriptions = [
         (Benchmark::Bv4, "Bernstein-Vazirani algorithm"),
         (Benchmark::Bv9, "Bernstein-Vazirani algorithm"),
         (Benchmark::Bv16, "Bernstein-Vazirani algorithm"),
-        (Benchmark::Qaoa4, "Quantum Approximate Optimization Algorithm"),
-        (Benchmark::Ising4, "Linear Ising model simulation of spin chain"),
+        (
+            Benchmark::Qaoa4,
+            "Quantum Approximate Optimization Algorithm",
+        ),
+        (
+            Benchmark::Ising4,
+            "Linear Ising model simulation of spin chain",
+        ),
         (Benchmark::Qgan4, "Quantum Generative Adversarial Network"),
         (Benchmark::Qgan9, "Quantum Generative Adversarial Network"),
     ];

@@ -152,7 +152,10 @@ pub fn qaoa_ring(n: usize, p: usize) -> Circuit {
 #[must_use]
 pub fn ising_chain(n: usize, steps: usize) -> Circuit {
     assert!(n >= 2, "Ising chain needs at least two qubits");
-    assert!(steps >= 1, "Ising simulation needs at least one Trotter step");
+    assert!(
+        steps >= 1,
+        "Ising simulation needs at least one Trotter step"
+    );
     let dt = 0.1;
     let j = 1.0;
     let h = 0.8;

@@ -368,7 +368,10 @@ mod tests {
         let circuit = Benchmark::Bv9.circuit();
         let topo = StandardTopology::Falcon.build();
         let mapped = map_circuit(&circuit, &topo, 3);
-        assert_eq!(mapped.single_qubit_gate_count(), circuit.single_qubit_gate_count());
+        assert_eq!(
+            mapped.single_qubit_gate_count(),
+            circuit.single_qubit_gate_count()
+        );
         // Every inserted SWAP adds exactly 3 CX.
         assert_eq!(
             mapped.two_qubit_gate_count(),

@@ -264,7 +264,12 @@ impl DetailedPlacer {
 
         // Re-place the problem resonator first, then its window neighbours.
         let mut order: Vec<ResonatorId> = vec![resonator];
-        order.extend(window_resonators.iter().copied().filter(|&r| r != resonator));
+        order.extend(
+            window_resonators
+                .iter()
+                .copied()
+                .filter(|&r| r != resonator),
+        );
         let mut ok = true;
         for r in order {
             if !self.reroute_resonator(netlist, &mut grid, placement, r) {

@@ -48,7 +48,7 @@ pub mod qubit_lg;
 pub mod resonator_lg;
 pub mod strategy;
 
-pub use detail::{DetailedPlacer, DetailedPlacerConfig, DetailedPlacementOutcome};
+pub use detail::{DetailedPlacementOutcome, DetailedPlacer, DetailedPlacerConfig};
 pub use error::FlowError;
 pub use pipeline::{run_flow, FlowConfig, FlowResult, StageTiming};
 pub use qubit_lg::QuantumQubitLegalizer;

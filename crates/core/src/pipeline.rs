@@ -124,7 +124,9 @@ impl FlowResult {
     /// The layout report of the final placement.
     #[must_use]
     pub fn final_report(&self) -> &LayoutReport {
-        self.detailed_report.as_ref().unwrap_or(&self.legalized_report)
+        self.detailed_report
+            .as_ref()
+            .unwrap_or(&self.legalized_report)
     }
 
     /// Returns `true` if the final placement is fully legal (inside the die, no
@@ -176,16 +178,18 @@ pub fn run_flow(
 
     // Qubit legalization.
     let q_start = Instant::now();
-    let qubit_legalized = strategy
-        .qubit_legalizer()
-        .legalize_qubits(&netlist, &gp.die, &gp.placement)?;
+    let qubit_legalized =
+        strategy
+            .qubit_legalizer()
+            .legalize_qubits(&netlist, &gp.die, &gp.placement)?;
     let q_time = q_start.elapsed();
 
     // Wire-block (resonator) legalization.
     let e_start = Instant::now();
-    let legalized = strategy
-        .cell_legalizer()
-        .legalize_cells(&netlist, &gp.die, &qubit_legalized)?;
+    let legalized =
+        strategy
+            .cell_legalizer()
+            .legalize_cells(&netlist, &gp.die, &qubit_legalized)?;
     let e_time = e_start.elapsed();
 
     // Detailed placement (optional).
@@ -249,7 +253,9 @@ mod tests {
     #[test]
     fn flow_with_detailed_placement_never_regresses() {
         let topo = StandardTopology::Grid.build();
-        let cfg = FlowConfig::default().with_detailed_placement(true).with_seed(5);
+        let cfg = FlowConfig::default()
+            .with_detailed_placement(true)
+            .with_seed(5);
         let result = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
         assert!(result.is_legal());
         let dp = result.detailed_report.as_ref().expect("DP ran");

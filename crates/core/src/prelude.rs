@@ -7,7 +7,7 @@
 //! assert_eq!(topology.num_qubits(), 27);
 //! ```
 
-pub use crate::detail::{DetailedPlacer, DetailedPlacerConfig, DetailedPlacementOutcome};
+pub use crate::detail::{DetailedPlacementOutcome, DetailedPlacer, DetailedPlacerConfig};
 pub use crate::error::FlowError;
 pub use crate::pipeline::{run_flow, FlowConfig, FlowResult, StageTiming};
 pub use crate::qubit_lg::QuantumQubitLegalizer;

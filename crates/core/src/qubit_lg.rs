@@ -229,7 +229,10 @@ mod tests {
             .legalize_with_spacing(&netlist, &die, &gp)
             .unwrap();
         let per_qubit = out.qubit_displacement_from(&gp) / 6.0;
-        assert!(per_qubit < 200.0, "average qubit displacement {per_qubit:.1} µm too large");
+        assert!(
+            per_qubit < 200.0,
+            "average qubit displacement {per_qubit:.1} µm too large"
+        );
         // Wire blocks are untouched by qubit legalization.
         for s in netlist.segment_ids() {
             assert_eq!(out.segment(s), gp.segment(s));

@@ -121,10 +121,7 @@ impl ResonatorLegalizer {
             for n in grid.neighbors4(bin) {
                 if let Some(&other) = occupied_by.get(&n) {
                     if other != resonator
-                        && netlist
-                            .resonator(other)
-                            .frequency()
-                            .detuning(own_freq)
+                        && netlist.resonator(other).frequency().detuning(own_freq)
                             <= self.detuning_threshold_ghz
                     {
                         cost += self.frequency_penalty_cells * lb;

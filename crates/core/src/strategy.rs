@@ -1,7 +1,9 @@
 //! The five-way legalization strategy matrix of the paper's evaluation.
 
 use crate::{QuantumQubitLegalizer, ResonatorLegalizer};
-use qgdp_legalize::{AbacusLegalizer, CellLegalizer, MacroLegalizer, QubitLegalizer, TetrisLegalizer};
+use qgdp_legalize::{
+    AbacusLegalizer, CellLegalizer, MacroLegalizer, QubitLegalizer, TetrisLegalizer,
+};
 use std::fmt;
 
 /// The legalization strategies compared in Figs. 8–9 and Table II.
@@ -116,11 +118,26 @@ mod tests {
 
     #[test]
     fn legalizer_names_match_strategy_components() {
-        assert_eq!(LegalizationStrategy::Qgdp.cell_legalizer().name(), "qgdp-resonator-lg");
-        assert_eq!(LegalizationStrategy::Tetris.cell_legalizer().name(), "tetris");
-        assert_eq!(LegalizationStrategy::QAbacus.cell_legalizer().name(), "abacus");
-        assert_eq!(LegalizationStrategy::Tetris.qubit_legalizer().name(), "macro-lg");
-        assert_eq!(LegalizationStrategy::Qgdp.qubit_legalizer().name(), "q-macro-lg");
+        assert_eq!(
+            LegalizationStrategy::Qgdp.cell_legalizer().name(),
+            "qgdp-resonator-lg"
+        );
+        assert_eq!(
+            LegalizationStrategy::Tetris.cell_legalizer().name(),
+            "tetris"
+        );
+        assert_eq!(
+            LegalizationStrategy::QAbacus.cell_legalizer().name(),
+            "abacus"
+        );
+        assert_eq!(
+            LegalizationStrategy::Tetris.qubit_legalizer().name(),
+            "macro-lg"
+        );
+        assert_eq!(
+            LegalizationStrategy::Qgdp.qubit_legalizer().name(),
+            "q-macro-lg"
+        );
         assert_eq!(LegalizationStrategy::Qgdp.to_string(), "qGDP-LG");
     }
 }

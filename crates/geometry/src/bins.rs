@@ -386,8 +386,8 @@ impl FreeBinIndex {
                 }
                 if let Some((dist, bin)) = self.nearest_in_row(row, target, dy) {
                     match best {
-                        Some((best_d, best_bin)) if dist > best_d
-                            || (dist == best_d && bin >= best_bin) => {}
+                        Some((best_d, best_bin))
+                            if dist > best_d || (dist == best_d && bin >= best_bin) => {}
                         _ => best = Some((dist, bin)),
                     }
                 }
@@ -486,14 +486,8 @@ mod tests {
     #[test]
     fn bin_at_clamps_out_of_range_points() {
         let grid = BinGrid::new(&die(10.0, 10.0), 1.0);
-        assert_eq!(
-            grid.bin_at(Point::new(-5.0, -5.0)),
-            grid.bin_id(0, 0)
-        );
-        assert_eq!(
-            grid.bin_at(Point::new(50.0, 50.0)),
-            grid.bin_id(9, 9)
-        );
+        assert_eq!(grid.bin_at(Point::new(-5.0, -5.0)), grid.bin_id(0, 0));
+        assert_eq!(grid.bin_at(Point::new(50.0, 50.0)), grid.bin_id(9, 9));
         assert_eq!(grid.bin_at(Point::new(2.5, 7.5)), grid.bin_id(2, 7));
     }
 

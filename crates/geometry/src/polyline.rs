@@ -198,12 +198,7 @@ mod tests {
     #[test]
     fn self_crossing_detection() {
         // A figure that crosses itself once.
-        let pl = Polyline::new(vec![
-            p(0.0, 0.0),
-            p(4.0, 0.0),
-            p(4.0, 4.0),
-            p(2.0, -2.0),
-        ]);
+        let pl = Polyline::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(2.0, -2.0)]);
         assert_eq!(pl.self_crossings(), 1);
         let straight = Polyline::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]);
         assert_eq!(straight.self_crossings(), 0);

@@ -372,7 +372,10 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.lower_left(), Point::new(-1.0, -1.0));
         assert_eq!(u.upper_right(), Point::new(11.0, 11.0));
-        assert_eq!(Rect::bounding_box([&a, &b].into_iter().copied().collect::<Vec<_>>().iter()), Some(u));
+        assert_eq!(
+            Rect::bounding_box([&a, &b].into_iter().copied().collect::<Vec<_>>().iter()),
+            Some(u)
+        );
         assert_eq!(Rect::bounding_box(std::iter::empty()), None);
     }
 

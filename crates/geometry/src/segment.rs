@@ -97,8 +97,12 @@ impl Segment {
         let o3 = Orientation::of(other.a, other.b, self.a);
         let o4 = Orientation::of(other.a, other.b, self.b);
 
-        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        if o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
         {
             return true;
         }

@@ -71,7 +71,10 @@ impl RowGrid {
             // Collect the x-intervals blocked in this row.
             let mut blocked: Vec<(f64, f64)> = blockages
                 .iter()
-                .filter(|b| b.bottom() < y_top - qgdp_geometry::EPS && b.top() > y_bottom + qgdp_geometry::EPS)
+                .filter(|b| {
+                    b.bottom() < y_top - qgdp_geometry::EPS
+                        && b.top() > y_bottom + qgdp_geometry::EPS
+                })
                 .map(|b| (b.left().max(die.left()), b.right().min(die.right())))
                 .filter(|(l, r)| r > l)
                 .collect();

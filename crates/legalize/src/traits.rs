@@ -74,7 +74,10 @@ mod tests {
         assert!(!is_legal(&netlist, &die, &p));
         // Spread far apart inside the die.
         for (i, id) in netlist.component_ids().enumerate() {
-            p.set_component(id, Point::new(60.0 + 45.0 * (i % 20) as f64, 60.0 + 45.0 * (i / 20) as f64));
+            p.set_component(
+                id,
+                Point::new(60.0 + 45.0 * (i % 20) as f64, 60.0 + 45.0 * (i / 20) as f64),
+            );
         }
         assert!(is_legal(&netlist, &die, &p));
     }

@@ -178,7 +178,10 @@ mod tests {
         // Fragment resonator 0 into scattered singleton clusters.
         let segs = netlist.resonator(ResonatorId(0)).segments().to_vec();
         for (k, &s) in segs.iter().enumerate() {
-            p.set_segment(s, Point::new(150.0 + 37.0 * k as f64, 150.0 + 29.0 * (k % 5) as f64));
+            p.set_segment(
+                s,
+                Point::new(150.0 + 37.0 * k as f64, 150.0 + 29.0 * (k % 5) as f64),
+            );
         }
         let route = resonator_route(&netlist, &p, ResonatorId(0));
         assert_eq!(route.len(), 2 + segs.len());

@@ -233,7 +233,11 @@ impl<'a> FidelityEvaluator<'a> {
         if mappings.is_empty() {
             return 0.0;
         }
-        mappings.iter().map(|m| self.evaluate(m).fidelity).sum::<f64>() / mappings.len() as f64
+        mappings
+            .iter()
+            .map(|m| self.evaluate(m).fidelity)
+            .sum::<f64>()
+            / mappings.len() as f64
     }
 }
 
@@ -354,7 +358,10 @@ mod tests {
         for (k, s) in netlist.segment_ids().enumerate() {
             bad.set_segment(
                 s,
-                Point::new(100.0 + (k % 10) as f64 * 10.0, 100.0 + (k / 10) as f64 * 10.0),
+                Point::new(
+                    100.0 + (k % 10) as f64 * 10.0,
+                    100.0 + (k / 10) as f64 * 10.0,
+                ),
             );
         }
         let mapped = map_circuit(&Benchmark::Qaoa4.circuit(), &topo, 3);

@@ -41,7 +41,9 @@ pub mod report;
 
 pub use crossings::{count_crossings, crossing_pairs, resonator_route};
 pub use crosstalk::{CrosstalkConfig, CrosstalkModel};
-pub use fidelity::{estimate_fidelity, mean_fidelity, FidelityEvaluator, FidelityReport, NoiseModel};
+pub use fidelity::{
+    estimate_fidelity, mean_fidelity, FidelityEvaluator, FidelityReport, NoiseModel,
+};
 pub use hotspot::{find_violations, hotspot_proportion, hotspot_qubits, SpatialViolation};
 pub use report::LayoutReport;
 

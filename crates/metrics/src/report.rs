@@ -101,7 +101,10 @@ mod tests {
     fn spread(netlist: &QuantumNetlist) -> Placement {
         let mut p = Placement::new(netlist);
         for (i, id) in netlist.component_ids().enumerate() {
-            p.set_component(id, Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0));
+            p.set_component(
+                id,
+                Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0),
+            );
         }
         p
     }
@@ -131,7 +134,10 @@ mod tests {
         for r in nl.resonator_ids() {
             let res = nl.resonator(r);
             for (k, &s) in res.segments().iter().enumerate() {
-                p.set_segment(s, Point::new(2000.0 + 10.0 * k as f64, 2000.0 + 300.0 * r.index() as f64));
+                p.set_segment(
+                    s,
+                    Point::new(2000.0 + 10.0 * k as f64, 2000.0 + 300.0 * r.index() as f64),
+                );
             }
         }
         let unified = LayoutReport::evaluate(&nl, &p, &CrosstalkConfig::default());

@@ -57,7 +57,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "duplicate resonator between {a} and {b}")
             }
             NetlistError::InvalidGeometry { parameter, value } => {
-                write!(f, "geometry parameter `{parameter}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "geometry parameter `{parameter}` must be positive and finite, got {value}"
+                )
             }
             NetlistError::EmptyResonator { resonator } => {
                 write!(f, "resonator {resonator} has no wire-block segments")

@@ -257,7 +257,10 @@ mod tests {
         let qf = alloc.assign_qubits(4, &[(QubitId(0), QubitId(1))]);
         let max_q = qf.iter().map(|f| f.as_ghz()).fold(0.0f64, f64::max);
         for f in &rf {
-            assert!(f.as_ghz() > max_q, "resonators must sit above the qubit band");
+            assert!(
+                f.as_ghz() > max_q,
+                "resonators must sit above the qubit band"
+            );
         }
         assert_eq!(alloc.resonator_frequency(ResonatorId(3)), rf[3]);
     }

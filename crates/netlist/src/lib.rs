@@ -50,8 +50,8 @@ pub mod components;
 pub mod error;
 pub mod frequency;
 pub mod ids;
-pub mod nets;
 pub mod netlist;
+pub mod nets;
 pub mod placement;
 
 pub use clusters::{resonator_clusters, ClusterReport};
@@ -59,6 +59,6 @@ pub use components::{ComponentGeometry, Qubit, Resonator, WireBlock};
 pub use error::NetlistError;
 pub use frequency::{Frequency, FrequencyAllocator, FrequencyPlan};
 pub use ids::{ComponentId, QubitId, ResonatorId, SegmentId};
-pub use nets::{Net, NetModel};
 pub use netlist::{NetlistBuilder, QuantumNetlist};
+pub use nets::{Net, NetModel};
 pub use placement::Placement;

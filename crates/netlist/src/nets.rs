@@ -115,9 +115,7 @@ pub fn resonator_nets(
 ) -> Vec<Net> {
     let mut nets = Vec::new();
     if segments.is_empty() {
-        nets.push(
-            Net::two_pin(qa.into(), qb.into(), CHAIN_NET_WEIGHT).with_resonator(resonator),
-        );
+        nets.push(Net::two_pin(qa.into(), qb.into(), CHAIN_NET_WEIGHT).with_resonator(resonator));
         return nets;
     }
 
@@ -186,7 +184,13 @@ mod tests {
 
     #[test]
     fn chain_model_builds_backbone_only() {
-        let nets = resonator_nets(ResonatorId(0), QubitId(0), QubitId(1), &segs(4), NetModel::Chain);
+        let nets = resonator_nets(
+            ResonatorId(0),
+            QubitId(0),
+            QubitId(1),
+            &segs(4),
+            NetModel::Chain,
+        );
         // qa-s0, s0-s1, s1-s2, s2-s3, s3-qb
         assert_eq!(nets.len(), 5);
         assert!(nets.iter().all(|n| !n.is_pseudo()));
@@ -196,13 +200,28 @@ mod tests {
 
     #[test]
     fn pseudo_model_adds_grid_adjacency() {
-        let chain = resonator_nets(ResonatorId(0), QubitId(0), QubitId(1), &segs(6), NetModel::Chain);
-        let pseudo = resonator_nets(ResonatorId(0), QubitId(0), QubitId(1), &segs(6), NetModel::Pseudo);
+        let chain = resonator_nets(
+            ResonatorId(0),
+            QubitId(0),
+            QubitId(1),
+            &segs(6),
+            NetModel::Chain,
+        );
+        let pseudo = resonator_nets(
+            ResonatorId(0),
+            QubitId(0),
+            QubitId(1),
+            &segs(6),
+            NetModel::Pseudo,
+        );
         assert!(pseudo.len() > chain.len());
         let pseudo_count = pseudo.iter().filter(|n| n.is_pseudo()).count();
         // 6 blocks on a 3x2 virtual grid: 3 vertical links per column pair boundary...
         // at minimum the vertical links (n - cols) exist.
-        assert!(pseudo_count >= 3, "expected vertical pseudo links, got {pseudo_count}");
+        assert!(
+            pseudo_count >= 3,
+            "expected vertical pseudo links, got {pseudo_count}"
+        );
         for net in pseudo.iter().filter(|n| n.is_pseudo()) {
             assert_eq!(net.weight(), PSEUDO_NET_WEIGHT);
         }
@@ -210,23 +229,44 @@ mod tests {
 
     #[test]
     fn empty_resonator_still_connects_endpoints() {
-        let nets = resonator_nets(ResonatorId(2), QubitId(3), QubitId(4), &[], NetModel::Pseudo);
+        let nets = resonator_nets(
+            ResonatorId(2),
+            QubitId(3),
+            QubitId(4),
+            &[],
+            NetModel::Pseudo,
+        );
         assert_eq!(nets.len(), 1);
         assert_eq!(
             nets[0].components(),
-            &[ComponentId::Qubit(QubitId(3)), ComponentId::Qubit(QubitId(4))]
+            &[
+                ComponentId::Qubit(QubitId(3)),
+                ComponentId::Qubit(QubitId(4))
+            ]
         );
     }
 
     #[test]
     fn single_segment_resonator() {
-        let nets = resonator_nets(ResonatorId(0), QubitId(0), QubitId(1), &segs(1), NetModel::Pseudo);
+        let nets = resonator_nets(
+            ResonatorId(0),
+            QubitId(0),
+            QubitId(1),
+            &segs(1),
+            NetModel::Pseudo,
+        );
         assert_eq!(nets.len(), 2);
     }
 
     #[test]
     fn pseudo_nets_never_duplicate_chain_links() {
-        let nets = resonator_nets(ResonatorId(0), QubitId(0), QubitId(1), &segs(9), NetModel::Pseudo);
+        let nets = resonator_nets(
+            ResonatorId(0),
+            QubitId(0),
+            QubitId(1),
+            &segs(9),
+            NetModel::Pseudo,
+        );
         for net in nets.iter().filter(|n| n.is_pseudo()) {
             let c = net.components();
             let (a, b) = (c[0], c[1]);

@@ -186,7 +186,11 @@ impl Placement {
         self.qubit_positions
             .iter()
             .zip(&reference.qubit_positions)
-            .chain(self.segment_positions.iter().zip(&reference.segment_positions))
+            .chain(
+                self.segment_positions
+                    .iter()
+                    .zip(&reference.segment_positions),
+            )
             .map(|(a, b)| a.distance(*b))
             .fold(0.0, f64::max)
     }
@@ -241,7 +245,10 @@ mod tests {
         p.set_segment(SegmentId(3), Point::new(1.0, 2.0));
         assert_eq!(p.qubit(QubitId(1)), Point::new(5.0, 6.0));
         assert_eq!(p.segment(SegmentId(3)), Point::new(1.0, 2.0));
-        assert_eq!(p.component(ComponentId::Qubit(QubitId(1))), Point::new(5.0, 6.0));
+        assert_eq!(
+            p.component(ComponentId::Qubit(QubitId(1))),
+            Point::new(5.0, 6.0)
+        );
         p.set_component(ComponentId::Segment(SegmentId(0)), Point::new(9.0, 9.0));
         assert_eq!(p.segment(SegmentId(0)), Point::new(9.0, 9.0));
     }

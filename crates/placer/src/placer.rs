@@ -164,8 +164,12 @@ impl GlobalPlacer {
 
         // Scale canonical coordinates onto the die with a margin.
         let coords = topology.coords();
-        let (mut min_x, mut max_x, mut min_y, mut max_y) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for p in coords {
             min_x = min_x.min(p.x);
             max_x = max_x.max(p.x);
@@ -174,7 +178,10 @@ impl GlobalPlacer {
         }
         let span_x = (max_x - min_x).max(1.0);
         let span_y = (max_y - min_y).max(1.0);
-        let margin = netlist.geometry().qubit_width.max(netlist.geometry().qubit_height);
+        let margin = netlist
+            .geometry()
+            .qubit_width
+            .max(netlist.geometry().qubit_height);
         let usable_w = (die.width() - 2.0 * margin).max(1.0);
         let usable_h = (die.height() - 2.0 * margin).max(1.0);
 
@@ -254,7 +261,11 @@ mod tests {
     use qgdp_netlist::{ComponentGeometry, NetModel, QubitId};
     use qgdp_topology::StandardTopology;
 
-    fn place(topology: StandardTopology, model: NetModel, seed: u64) -> (QuantumNetlist, GlobalPlacement) {
+    fn place(
+        topology: StandardTopology,
+        model: NetModel,
+        seed: u64,
+    ) -> (QuantumNetlist, GlobalPlacement) {
         let topo = topology.build();
         let netlist = topo
             .to_netlist(ComponentGeometry::default(), model)
@@ -321,7 +332,10 @@ mod tests {
         // GP output is intentionally not legal: on a realistic utilization there are
         // overlapping wire blocks, which is what the legalizer resolves.
         let (_, gp) = place(StandardTopology::Aspen11, NetModel::Pseudo, 3);
-        assert!(gp.stats.overlaps > 0, "expected an overlapping (illegal) GP layout");
+        assert!(
+            gp.stats.overlaps > 0,
+            "expected an overlapping (illegal) GP layout"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub fn grid(rows: usize, cols: usize) -> Topology {
 /// Panics if `long_rows` is zero or `row_len` is zero.
 #[must_use]
 pub fn heavy_hex_rows(long_rows: usize, row_len: usize) -> Topology {
-    assert!(long_rows > 0 && row_len > 0, "heavy-hex needs at least one row and column");
+    assert!(
+        long_rows > 0 && row_len > 0,
+        "heavy-hex needs at least one row and column"
+    );
     let mut couplings = Vec::new();
     let mut coords = Vec::new();
     // Ids of the qubits in each long row.
@@ -130,33 +133,33 @@ pub fn heavy_hex_falcon() -> Topology {
     // Canonical coordinates following the published Falcon floor plan (three horizontal
     // runs joined by vertical bridges).
     let coords = vec![
-        Point::new(0.0, 0.0),  // 0
-        Point::new(1.0, 0.0),  // 1
-        Point::new(2.0, 0.0),  // 2
-        Point::new(3.0, 0.0),  // 3
-        Point::new(1.0, 1.0),  // 4
-        Point::new(3.0, 1.0),  // 5
-        Point::new(0.0, 2.0),  // 6
-        Point::new(1.0, 2.0),  // 7
-        Point::new(3.0, 2.0),  // 8
-        Point::new(4.0, 2.0),  // 9
-        Point::new(1.5, 3.0),  // 10
-        Point::new(3.0, 3.0),  // 11
-        Point::new(1.5, 4.0),  // 12
-        Point::new(2.5, 4.5),  // 13
-        Point::new(3.0, 4.0),  // 14
-        Point::new(1.0, 5.0),  // 15
-        Point::new(3.5, 5.0),  // 16
-        Point::new(0.0, 6.0),  // 17
-        Point::new(1.0, 6.0),  // 18
-        Point::new(3.5, 6.0),  // 19
-        Point::new(4.5, 6.0),  // 20
-        Point::new(1.5, 7.0),  // 21
-        Point::new(3.5, 7.0),  // 22
-        Point::new(1.5, 8.0),  // 23
-        Point::new(2.5, 8.0),  // 24
-        Point::new(3.5, 8.0),  // 25
-        Point::new(4.5, 8.5),  // 26
+        Point::new(0.0, 0.0), // 0
+        Point::new(1.0, 0.0), // 1
+        Point::new(2.0, 0.0), // 2
+        Point::new(3.0, 0.0), // 3
+        Point::new(1.0, 1.0), // 4
+        Point::new(3.0, 1.0), // 5
+        Point::new(0.0, 2.0), // 6
+        Point::new(1.0, 2.0), // 7
+        Point::new(3.0, 2.0), // 8
+        Point::new(4.0, 2.0), // 9
+        Point::new(1.5, 3.0), // 10
+        Point::new(3.0, 3.0), // 11
+        Point::new(1.5, 4.0), // 12
+        Point::new(2.5, 4.5), // 13
+        Point::new(3.0, 4.0), // 14
+        Point::new(1.0, 5.0), // 15
+        Point::new(3.5, 5.0), // 16
+        Point::new(0.0, 6.0), // 17
+        Point::new(1.0, 6.0), // 18
+        Point::new(3.5, 6.0), // 19
+        Point::new(4.5, 6.0), // 20
+        Point::new(1.5, 7.0), // 21
+        Point::new(3.5, 7.0), // 22
+        Point::new(1.5, 8.0), // 23
+        Point::new(2.5, 8.0), // 24
+        Point::new(3.5, 8.0), // 25
+        Point::new(4.5, 8.5), // 26
     ];
     Topology::new("", TopologyKind::HeavyHex, 27, couplings, coords).with_name("Falcon")
 }
@@ -236,7 +239,10 @@ pub fn heavy_hex_eagle() -> Topology {
 /// Panics if `rows` or `cols` is zero.
 #[must_use]
 pub fn octagon_lattice(rows: usize, cols: usize) -> Topology {
-    assert!(rows > 0 && cols > 0, "octagon lattice needs at least one cell");
+    assert!(
+        rows > 0 && cols > 0,
+        "octagon lattice needs at least one cell"
+    );
     let num_qubits = rows * cols * 8;
     let cell_base = |r: usize, c: usize| (r * cols + c) * 8;
     let mut couplings = Vec::new();
@@ -348,7 +354,10 @@ mod tests {
         assert_eq!(f.name(), "Falcon");
         // Heavy-hex degree bound.
         for q in 0..27 {
-            assert!(f.degree(QubitId(q)) <= 3, "qubit {q} exceeds heavy-hex degree");
+            assert!(
+                f.degree(QubitId(q)) <= 3,
+                "qubit {q} exceeds heavy-hex degree"
+            );
         }
     }
 
@@ -359,7 +368,10 @@ mod tests {
         assert_eq!(e.num_couplings(), 144);
         assert!(e.is_connected());
         for q in 0..127 {
-            assert!(e.degree(QubitId(q)) <= 3, "qubit {q} exceeds heavy-hex degree");
+            assert!(
+                e.degree(QubitId(q)) <= 3,
+                "qubit {q} exceeds heavy-hex degree"
+            );
         }
     }
 

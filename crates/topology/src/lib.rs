@@ -27,6 +27,8 @@ pub mod generators;
 pub mod standard;
 pub mod topology;
 
-pub use generators::{grid, heavy_hex_eagle, heavy_hex_falcon, heavy_hex_rows, octagon_lattice, xtree};
+pub use generators::{
+    grid, heavy_hex_eagle, heavy_hex_falcon, heavy_hex_rows, octagon_lattice, xtree,
+};
 pub use standard::StandardTopology;
 pub use topology::{Topology, TopologyKind};

@@ -37,7 +37,10 @@ fn main() -> Result<(), FlowError> {
     for r in fragmented.iter().take(8) {
         let res = netlist.resonator(*r);
         let (a, b) = res.endpoints();
-        println!("  {r}: couples {a} and {b}, {} wire blocks", res.num_segments());
+        println!(
+            "  {r}: couples {a} and {b}, {} wire blocks",
+            res.num_segments()
+        );
     }
     if fragmented.len() > 8 {
         println!("  ... and {} more", fragmented.len() - 8);

@@ -19,7 +19,11 @@ fn main() -> Result<(), FlowError> {
         .with_detailed_placement(true);
     let result = run_flow(&topology, LegalizationStrategy::Qgdp, &config)?;
 
-    println!("die      : {:.0} x {:.0} µm", result.die.width(), result.die.height());
+    println!(
+        "die      : {:.0} x {:.0} µm",
+        result.die.width(),
+        result.die.height()
+    );
     println!("cells    : {}", result.netlist.num_components());
     println!();
     println!("stage            | I_edge  |  X | P_h (%) | H_Q");

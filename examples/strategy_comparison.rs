@@ -60,9 +60,7 @@ fn main() -> Result<(), FlowError> {
         );
     }
     println!();
-    println!(
-        "(higher fidelity and I_edge are better; lower X, P_h and H_Q are better — the"
-    );
+    println!("(higher fidelity and I_edge are better; lower X, P_h and H_Q are better — the");
     println!(" same conventions as Figs. 8–9 of the paper)");
     Ok(())
 }

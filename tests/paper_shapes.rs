@@ -37,7 +37,10 @@ fn table1_benchmark_inventory_matches() {
     ];
     for &(b, n) in expected {
         assert_eq!(b.num_qubits(), n, "{b} qubit count");
-        assert!(b.circuit().two_qubit_gate_count() > 0, "{b} has no 2q gates");
+        assert!(
+            b.circuit().two_qubit_gate_count() > 0,
+            "{b} has no 2q gates"
+        );
     }
 }
 
@@ -81,8 +84,7 @@ fn evaluate(
             .with_detailed_placement(strategy == LegalizationStrategy::Qgdp),
     )
     .expect("flow succeeds");
-    let fidelity =
-        result.mean_benchmark_fidelity(Benchmark::Qaoa4, 10, &NoiseModel::default(), 5);
+    let fidelity = result.mean_benchmark_fidelity(Benchmark::Qaoa4, 10, &NoiseModel::default(), 5);
     (
         result.legalized_report.clone(),
         result.detailed_report.clone(),
@@ -142,7 +144,10 @@ fn table3_shape_dp_improves_every_reported_metric() {
     for topology in [StandardTopology::Grid, StandardTopology::Xtree] {
         let (lg, dp, _) = evaluate(topology, LegalizationStrategy::Qgdp);
         let dp = dp.expect("DP ran for qGDP");
-        assert!(dp.unified_resonators >= lg.unified_resonators, "{topology:?} I_edge");
+        assert!(
+            dp.unified_resonators >= lg.unified_resonators,
+            "{topology:?} I_edge"
+        );
         assert!(dp.crossings <= lg.crossings, "{topology:?} X");
         assert!(
             dp.hotspot_proportion_percent <= lg.hotspot_proportion_percent + 1e-9,
@@ -158,14 +163,22 @@ fn larger_devices_have_lower_fidelity_for_the_same_benchmark() {
     // topologies (Eagle) score below small ones (Grid).
     let grid = {
         let topo = StandardTopology::Grid.build();
-        let r = run_flow(&topo, LegalizationStrategy::Qgdp, &FlowConfig::default().with_seed(8))
-            .unwrap();
+        let r = run_flow(
+            &topo,
+            LegalizationStrategy::Qgdp,
+            &FlowConfig::default().with_seed(8),
+        )
+        .unwrap();
         r.mean_benchmark_fidelity(Benchmark::Bv9, 8, &NoiseModel::default(), 3)
     };
     let eagle = {
         let topo = StandardTopology::Eagle.build();
-        let r = run_flow(&topo, LegalizationStrategy::Qgdp, &FlowConfig::default().with_seed(8))
-            .unwrap();
+        let r = run_flow(
+            &topo,
+            LegalizationStrategy::Qgdp,
+            &FlowConfig::default().with_seed(8),
+        )
+        .unwrap();
         r.mean_benchmark_fidelity(Benchmark::Bv9, 8, &NoiseModel::default(), 3)
     };
     assert!(

@@ -43,7 +43,9 @@ fn legalization_preserves_gp_structure() {
     // Legalization should displace components, not scramble them: the total
     // displacement per component must stay well below the die diagonal.
     let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
-    let per_component = result.legalized.total_displacement_from(&result.gp_placement)
+    let per_component = result
+        .legalized
+        .total_displacement_from(&result.gp_placement)
         / result.netlist.num_components() as f64;
     let diagonal = (result.die.width().powi(2) + result.die.height().powi(2)).sqrt();
     assert!(

@@ -54,7 +54,10 @@ fn random_instance(
         let (fx, fy) = positions[k % positions.len()];
         placement.set_component(
             id,
-            Point::new(die.left() + fx * die.width(), die.bottom() + fy * die.height()),
+            Point::new(
+                die.left() + fx * die.width(),
+                die.bottom() + fy * die.height(),
+            ),
         );
     }
     placement.clamp_within(&netlist, &die);

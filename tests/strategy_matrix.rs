@@ -50,7 +50,9 @@ fn qgdp_has_no_more_hotspots_than_classical_baselines() {
         .legalized_report
         .hotspot_proportion_percent;
     for strategy in [LegalizationStrategy::Tetris, LegalizationStrategy::Abacus] {
-        let classical = results[&strategy].legalized_report.hotspot_proportion_percent;
+        let classical = results[&strategy]
+            .legalized_report
+            .hotspot_proportion_percent;
         assert!(
             qgdp <= classical + 1e-9,
             "qGDP P_h {qgdp:.3}% vs {strategy} {classical:.3}%"
@@ -72,8 +74,10 @@ fn quantum_qubit_stage_reduces_qubit_hotspots() {
             .filter(|v| v.a.is_qubit() && v.b.is_qubit())
             .count()
     };
-    assert!(qubit_violations(LegalizationStrategy::QTetris)
-        <= qubit_violations(LegalizationStrategy::Tetris));
+    assert!(
+        qubit_violations(LegalizationStrategy::QTetris)
+            <= qubit_violations(LegalizationStrategy::Tetris)
+    );
 
     // Minimum spacing holds for the quantum qubit stage.
     let r = &results[&LegalizationStrategy::QTetris];
