@@ -6,14 +6,12 @@
 //! cargo run --release -p qgdp-bench --bin fig8
 //! ```
 
-use qgdp::metrics::FidelityEvaluator;
 use qgdp::prelude::*;
-use qgdp_bench::{experiment_config, format_fidelity, mappings_per_benchmark, EXPERIMENT_SEED};
+use qgdp_bench::{fig8_series, format_fidelity, mappings_per_benchmark};
 
 fn main() {
     let mappings = mappings_per_benchmark();
     let benchmarks = Benchmark::all();
-    let noise = NoiseModel::default();
     println!(
         "FIG. 8: fidelity per topology x benchmark x legalization strategy ({mappings} mappings each)"
     );
@@ -27,22 +25,9 @@ fn main() {
         StandardTopology::Aspen11,
         StandardTopology::AspenM,
     ];
+    // One fig8_series call per topology so each panel prints as soon as it is
+    // computed (a full 50-mapping sweep runs for minutes).
     for topology in panels {
-        let topo = topology.build();
-        // One set of mappings per (topology, benchmark), shared across strategies so
-        // the comparison isolates the legalizer.
-        let mapping_sets: Vec<Vec<MappedCircuit>> = benchmarks
-            .iter()
-            .map(|b| {
-                random_mappings(
-                    &b.circuit(),
-                    &topo,
-                    mappings,
-                    EXPERIMENT_SEED ^ b.num_qubits() as u64,
-                )
-            })
-            .collect();
-
         println!();
         println!("=== {} ===", topology.name());
         print!("{:<10}", "strategy");
@@ -50,22 +35,12 @@ fn main() {
             print!(" {:>8}", b.name());
         }
         println!(" {:>8}", "Mean");
-        for strategy in LegalizationStrategy::all() {
-            let result = run_flow(&topo, strategy, &experiment_config())
-                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
-            let evaluator = FidelityEvaluator::new(
-                &result.netlist,
-                result.final_placement(),
-                noise,
-                &result.crosstalk,
-            );
-            let fidelities: Vec<f64> = mapping_sets.iter().map(|maps| evaluator.mean(maps)).collect();
-            let mean = fidelities.iter().sum::<f64>() / fidelities.len() as f64;
-            print!("{:<10}", strategy.name());
-            for f in &fidelities {
-                print!(" {:>8}", format_fidelity(*f));
+        for series in fig8_series(&[topology], mappings) {
+            print!("{:<10}", series.strategy.name());
+            for &(_, f) in &series.per_benchmark {
+                print!(" {:>8}", format_fidelity(f));
             }
-            println!(" {:>8}", format_fidelity(mean));
+            println!(" {:>8}", format_fidelity(series.mean()));
         }
     }
 }

@@ -6,66 +6,24 @@
 //! cargo run --release -p qgdp-bench --bin fig9
 //! ```
 
-use qgdp::metrics::FidelityEvaluator;
 use qgdp::prelude::*;
-use qgdp_bench::{experiment_config, mappings_per_benchmark, EXPERIMENT_SEED};
+use qgdp_bench::{fig9_series, mappings_per_benchmark, Fig9Point};
 use std::collections::BTreeMap;
-
-struct Row {
-    fidelity: f64,
-    ph: f64,
-    crossings: usize,
-}
 
 fn main() {
     let mappings = mappings_per_benchmark();
-    let noise = NoiseModel::default();
     let topologies = StandardTopology::all();
     let strategies = LegalizationStrategy::all();
     println!("FIG. 9: mean fidelity, hotspot proportion Ph and coupler crossings X per strategy");
     println!("({mappings} mappings per benchmark, averaged over the 7-benchmark suite)");
 
-    let mut data: BTreeMap<(LegalizationStrategy, StandardTopology), Row> = BTreeMap::new();
-    for topology in topologies {
-        let topo = topology.build();
-        let mapping_sets: Vec<Vec<MappedCircuit>> = Benchmark::all()
-            .iter()
-            .map(|b| {
-                random_mappings(
-                    &b.circuit(),
-                    &topo,
-                    mappings,
-                    EXPERIMENT_SEED ^ b.num_qubits() as u64,
-                )
-            })
+    let data: BTreeMap<(LegalizationStrategy, StandardTopology), Fig9Point> =
+        fig9_series(&topologies, mappings)
+            .into_iter()
+            .map(|p| ((p.strategy, p.topology), p))
             .collect();
-        for strategy in strategies {
-            let result = run_flow(&topo, strategy, &experiment_config())
-                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
-            let evaluator = FidelityEvaluator::new(
-                &result.netlist,
-                result.final_placement(),
-                noise,
-                &result.crosstalk,
-            );
-            let fidelity = mapping_sets
-                .iter()
-                .map(|maps| evaluator.mean(maps))
-                .sum::<f64>()
-                / mapping_sets.len() as f64;
-            let report = result.final_report();
-            data.insert(
-                (strategy, topology),
-                Row {
-                    fidelity,
-                    ph: report.hotspot_proportion_percent,
-                    crossings: report.crossings,
-                },
-            );
-        }
-    }
 
-    let print_section = |title: &str, select: &dyn Fn(&Row) -> String| {
+    let print_section = |title: &str, select: &dyn Fn(&Fig9Point) -> String| {
         println!();
         println!("--- {title} ---");
         print!("{:<10}", "strategy");
@@ -77,21 +35,23 @@ fn main() {
             print!("{:<10}", strategy.name());
             let mut numeric_mean = 0.0;
             for t in topologies {
-                let row = &data[&(strategy, t)];
-                print!(" {:>9}", select(row));
+                let point = &data[&(strategy, t)];
+                print!(" {:>9}", select(point));
                 numeric_mean += match title {
-                    "Average program fidelity" => row.fidelity,
-                    "Frequency hotspot proportion Ph (%)" => row.ph,
-                    _ => row.crossings as f64,
+                    "Average program fidelity" => point.fidelity,
+                    "Frequency hotspot proportion Ph (%)" => point.hotspot_percent,
+                    _ => point.crossings as f64,
                 };
             }
             println!(" {:>9.3}", numeric_mean / topologies.len() as f64);
         }
     };
 
-    print_section("Average program fidelity", &|r| format!("{:.4}", r.fidelity));
-    print_section("Frequency hotspot proportion Ph (%)", &|r| {
-        format!("{:.2}", r.ph)
+    print_section("Average program fidelity", &|p| {
+        format!("{:.4}", p.fidelity)
     });
-    print_section("Coupler crossings X", &|r| r.crossings.to_string());
+    print_section("Frequency hotspot proportion Ph (%)", &|p| {
+        format!("{:.2}", p.hotspot_percent)
+    });
+    print_section("Coupler crossings X", &|p| p.crossings.to_string());
 }

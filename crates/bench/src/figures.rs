@@ -1,0 +1,212 @@
+//! Shared series computation behind the `fig8` and `fig9` binaries.
+//!
+//! The figure binaries only format and print; the actual sweeps live here so that
+//! `cargo test -p qgdp-bench` covers them (with a small topology subset and mapping
+//! count) and the generators cannot silently bit-rot between releases.
+
+use crate::{experiment_config, EXPERIMENT_SEED};
+use qgdp::metrics::FidelityEvaluator;
+use qgdp::prelude::*;
+
+/// One Fig. 8 series: the mean worst-case fidelity of every benchmark for a
+/// (topology, strategy) combination.
+#[derive(Debug, Clone)]
+pub struct Fig8Series {
+    /// The device topology of this panel.
+    pub topology: StandardTopology,
+    /// The legalization strategy of this series.
+    pub strategy: LegalizationStrategy,
+    /// Mean fidelity per benchmark, in [`Benchmark::all`] order.
+    pub per_benchmark: Vec<(Benchmark, f64)>,
+}
+
+impl Fig8Series {
+    /// The mean fidelity across the benchmark suite (the figure's `Mean` column).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.per_benchmark.is_empty() {
+            return 0.0;
+        }
+        self.per_benchmark.iter().map(|&(_, f)| f).sum::<f64>() / self.per_benchmark.len() as f64
+    }
+}
+
+/// One Fig. 9 data point: suite-averaged fidelity, hotspot proportion and crossings
+/// for a (topology, strategy) combination.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// The device topology.
+    pub topology: StandardTopology,
+    /// The legalization strategy.
+    pub strategy: LegalizationStrategy,
+    /// Mean program fidelity over the whole benchmark suite (panel a).
+    pub fidelity: f64,
+    /// Frequency-hotspot proportion `P_h` of the final layout, in percent (panel b).
+    pub hotspot_percent: f64,
+    /// Resonator coupler crossings `X` of the final layout (panel c).
+    pub crossings: usize,
+}
+
+/// The per-benchmark mapping sets of one topology, shared across strategies so the
+/// comparison isolates the legalizer (the paper's protocol).
+fn mapping_sets(topo: &Topology, mappings: usize) -> Vec<(Benchmark, Vec<MappedCircuit>)> {
+    Benchmark::all()
+        .iter()
+        .map(|b| {
+            (
+                *b,
+                random_mappings(
+                    &b.circuit(),
+                    topo,
+                    mappings,
+                    EXPERIMENT_SEED ^ b.num_qubits() as u64,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// One strategy's evaluation on a topology: the per-benchmark mean fidelities (in
+/// [`Benchmark::all`] order) and the flow result they were computed on.
+struct StrategyEvaluation {
+    strategy: LegalizationStrategy,
+    per_benchmark: Vec<(Benchmark, f64)>,
+    result: FlowResult,
+}
+
+/// Evaluates every strategy on one topology.  Both figure series are thin
+/// projections of this shared core, so they can never diverge on protocol details
+/// (mapping seeds, flow configuration, evaluation order).
+fn evaluate_strategies(topology: StandardTopology, mappings: usize) -> Vec<StrategyEvaluation> {
+    let topo = topology.build();
+    let sets = mapping_sets(&topo, mappings);
+    LegalizationStrategy::all()
+        .into_iter()
+        .map(|strategy| {
+            let result = run_flow(&topo, strategy, &experiment_config())
+                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+            let evaluator = FidelityEvaluator::new(
+                &result.netlist,
+                result.final_placement(),
+                NoiseModel::default(),
+                &result.crosstalk,
+            );
+            let per_benchmark = sets
+                .iter()
+                .map(|(b, maps)| (*b, evaluator.mean(maps)))
+                .collect();
+            StrategyEvaluation {
+                strategy,
+                per_benchmark,
+                result,
+            }
+        })
+        .collect()
+}
+
+/// Computes the Fig. 8 series for `topologies`, with `mappings` random qubit mappings
+/// per benchmark.
+///
+/// Series are returned grouped by topology (in input order), then by strategy (in
+/// [`LegalizationStrategy::all`] order).  The work is proportional to the topology
+/// count, so callers that want incremental output (like the `fig8` binary) should
+/// call this once per topology.
+///
+/// # Panics
+///
+/// Panics if a flow fails (it never should for the standard topologies).
+#[must_use]
+pub fn fig8_series(topologies: &[StandardTopology], mappings: usize) -> Vec<Fig8Series> {
+    topologies
+        .iter()
+        .flat_map(|&topology| {
+            evaluate_strategies(topology, mappings)
+                .into_iter()
+                .map(move |eval| Fig8Series {
+                    topology,
+                    strategy: eval.strategy,
+                    per_benchmark: eval.per_benchmark,
+                })
+        })
+        .collect()
+}
+
+/// Computes the Fig. 9 data points for `topologies`, with `mappings` random qubit
+/// mappings per benchmark.
+///
+/// Points are returned grouped by topology (in input order), then by strategy (in
+/// [`LegalizationStrategy::all`] order).
+///
+/// # Panics
+///
+/// Panics if a flow fails (it never should for the standard topologies).
+#[must_use]
+pub fn fig9_series(topologies: &[StandardTopology], mappings: usize) -> Vec<Fig9Point> {
+    topologies
+        .iter()
+        .flat_map(|&topology| {
+            evaluate_strategies(topology, mappings)
+                .into_iter()
+                .map(move |eval| {
+                    let report = eval.result.final_report();
+                    let series = Fig8Series {
+                        topology,
+                        strategy: eval.strategy,
+                        per_benchmark: eval.per_benchmark,
+                    };
+                    Fig9Point {
+                        topology,
+                        strategy: series.strategy,
+                        fidelity: series.mean(),
+                        hotspot_percent: report.hotspot_proportion_percent,
+                        crossings: report.crossings,
+                    }
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke coverage for the Fig. 8 generator: every (strategy, benchmark) cell must
+    /// exist and hold a finite probability, so `cargo test` catches a broken sweep
+    /// without running the full 6-topology × 50-mapping binary.
+    #[test]
+    fn fig8_series_are_nonempty_and_finite() {
+        let series = fig8_series(&[StandardTopology::Grid], 2);
+        assert_eq!(series.len(), LegalizationStrategy::all().len());
+        for s in &series {
+            assert_eq!(s.per_benchmark.len(), Benchmark::all().len());
+            for &(b, f) in &s.per_benchmark {
+                assert!(
+                    f.is_finite() && (0.0..=1.0).contains(&f),
+                    "{} / {} / {}: fidelity {f} is not a finite probability",
+                    s.topology.name(),
+                    s.strategy.name(),
+                    b.name()
+                );
+            }
+            assert!(s.mean().is_finite());
+        }
+    }
+
+    /// Smoke coverage for the Fig. 9 generator: one point per strategy with finite
+    /// fidelity and hotspot metrics.
+    #[test]
+    fn fig9_series_are_nonempty_and_finite() {
+        let points = fig9_series(&[StandardTopology::Grid], 2);
+        assert_eq!(points.len(), LegalizationStrategy::all().len());
+        for p in &points {
+            assert!(
+                p.fidelity.is_finite() && (0.0..=1.0).contains(&p.fidelity),
+                "{} / {}: fidelity {} is not a finite probability",
+                p.topology.name(),
+                p.strategy.name(),
+                p.fidelity
+            );
+            assert!(p.hotspot_percent.is_finite() && p.hotspot_percent >= 0.0);
+        }
+    }
+}

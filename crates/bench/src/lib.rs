@@ -25,6 +25,10 @@
 
 use qgdp::prelude::*;
 
+pub mod figures;
+
+pub use figures::{fig8_series, fig9_series, Fig8Series, Fig9Point};
+
 /// The GP seed shared by every experiment, so all strategies and artifacts see the
 /// same global placements (the paper's "all comparisons are based on the same GP
 /// positions").
