@@ -10,6 +10,17 @@
 use qgdp::prelude::*;
 use qgdp_bench::run_strategy;
 
+/// Runs the qGDP-DP flow for every topology on [`worker_threads`] scoped workers,
+/// returning results in [`StandardTopology::all`] order (each flow is an independent
+/// seed-deterministic computation, so the table is identical for any worker count).
+fn run_all_topologies() -> Vec<(StandardTopology, FlowResult)> {
+    let topologies = StandardTopology::all();
+    let results = parallel_map(&topologies, worker_threads(), |&topology| {
+        run_strategy(topology, LegalizationStrategy::Qgdp, true)
+    });
+    topologies.into_iter().zip(results).collect()
+}
+
 fn main() {
     println!("TABLE III: detailed placement evaluation (qGDP-LG vs qGDP-DP)");
     println!();
@@ -22,8 +33,7 @@ fn main() {
         "", "", "qGDP-LG", "qGDP-DP"
     );
     println!("{}", "-".repeat(78));
-    for topology in StandardTopology::all() {
-        let result = run_strategy(topology, LegalizationStrategy::Qgdp, true);
+    for (topology, result) in run_all_topologies() {
         let lg = &result.legalized_report;
         let dp = result.detailed_report.as_ref().expect("DP ran");
         println!(

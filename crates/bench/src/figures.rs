@@ -3,9 +3,26 @@
 //! The figure binaries only format and print; the actual sweeps live here so that
 //! `cargo test -p qgdp-bench` covers them (with a small topology subset and mapping
 //! count) and the generators cannot silently bit-rot between releases.
+//!
+//! # Parallelism
+//!
+//! A sweep fans out twice, splitting one `QGDP_THREADS` worker budget
+//! ([`qgdp::metrics::worker_threads`]) between the levels rather than multiplying it:
+//!
+//! 1. the five legalization strategies of one topology run on concurrent workers
+//!    (each `run_flow` is an independent, seed-deterministic computation), collected
+//!    into [`LegalizationStrategy::all`] order regardless of completion order;
+//! 2. inside each strategy worker, the mapping-set evaluation gets the budget left
+//!    over after the strategy fan-out (`budget / strategy workers`, at least 1), so
+//!    at most ~`QGDP_THREADS` evaluation threads ever run at once.
+//!
+//! Every number is computed by a deterministic function of (topology, strategy,
+//! seed), and all collection points are index-ordered, so the emitted series are
+//! byte-identical for every `QGDP_THREADS` value — CI diffs a `QGDP_THREADS=1`
+//! against a `QGDP_THREADS=4` run to keep it that way.
 
 use crate::{experiment_config, EXPERIMENT_SEED};
-use qgdp::metrics::FidelityEvaluator;
+use qgdp::metrics::{parallel_map, worker_threads, FidelityEvaluator};
 use qgdp::prelude::*;
 
 /// One Fig. 8 series: the mean worst-case fidelity of every benchmark for a
@@ -77,31 +94,39 @@ struct StrategyEvaluation {
 /// Evaluates every strategy on one topology.  Both figure series are thin
 /// projections of this shared core, so they can never diverge on protocol details
 /// (mapping seeds, flow configuration, evaluation order).
+///
+/// The five strategies are spread over [`worker_threads`] scoped workers (each flow
+/// is an independent seed-deterministic computation) and collected back into
+/// [`LegalizationStrategy::all`] order, so the output does not depend on the worker
+/// count — see the [module-level notes](self#parallelism).
 fn evaluate_strategies(topology: StandardTopology, mappings: usize) -> Vec<StrategyEvaluation> {
     let topo = topology.build();
     let sets = mapping_sets(&topo, mappings);
-    LegalizationStrategy::all()
-        .into_iter()
-        .map(|strategy| {
-            let result = run_flow(&topo, strategy, &experiment_config())
-                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
-            let evaluator = FidelityEvaluator::new(
-                &result.netlist,
-                result.final_placement(),
-                NoiseModel::default(),
-                &result.crosstalk,
-            );
-            let per_benchmark = sets
-                .iter()
-                .map(|(b, maps)| (*b, evaluator.mean(maps)))
-                .collect();
-            StrategyEvaluation {
-                strategy,
-                per_benchmark,
-                result,
-            }
-        })
-        .collect()
+    let strategies = LegalizationStrategy::all();
+    // Split the worker budget between the strategy fan-out and the per-strategy
+    // mapping-set evaluation instead of multiplying the two levels.
+    let budget = worker_threads();
+    let outer = budget.min(strategies.len());
+    let inner = (budget / outer).max(1);
+    parallel_map(&strategies, outer, |&strategy| {
+        let result = run_flow(&topo, strategy, &experiment_config())
+            .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+        let evaluator = FidelityEvaluator::new(
+            &result.netlist,
+            result.final_placement(),
+            NoiseModel::default(),
+            &result.crosstalk,
+        );
+        let per_benchmark = sets
+            .iter()
+            .map(|(b, maps)| (*b, evaluator.mean_with_threads(maps, inner)))
+            .collect();
+        StrategyEvaluation {
+            strategy,
+            per_benchmark,
+            result,
+        }
+    })
 }
 
 /// Computes the Fig. 8 series for `topologies`, with `mappings` random qubit mappings

@@ -220,8 +220,11 @@ pub fn map_circuit(circuit: &Circuit, topology: &Topology, seed: u64) -> MappedC
         topology.num_qubits()
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Both the adjacency list and the all-pairs distance matrix are cached on the
+    // topology, so mapping the same device repeatedly (the 50-mappings protocol)
+    // costs no per-call BFS and no per-call O(V²) allocation.
     let adjacency = topology.adjacency();
-    let dist = topology.shortest_path_lengths();
+    let dist = topology.distance_matrix();
     let n_phys = topology.num_qubits();
     let n_logical = circuit.num_qubits();
 
@@ -273,14 +276,15 @@ pub fn map_circuit(circuit: &Circuit, topology: &Topology, seed: u64) -> MappedC
         loop {
             let pa = l2p[la];
             let pb = l2p[lb];
-            if dist[pa][pb] <= 1 {
+            if dist.get(pa, pb) <= 1 {
                 break;
             }
-            // Step to any neighbour of pa strictly closer to pb.
+            // Step to any neighbour of pa strictly closer to pb (`checked_add` keeps
+            // unreachable neighbours, encoded as `u32::MAX`, out of the candidates).
             let next = adjacency[pa]
                 .iter()
                 .copied()
-                .filter(|&v| dist[v][pb] + 1 == dist[pa][pb])
+                .filter(|&v| dist.get(v, pb).checked_add(1) == Some(dist.get(pa, pb)))
                 .min()
                 .expect("shortest path step exists on a connected graph");
             // Emit the SWAP as three CNOTs.

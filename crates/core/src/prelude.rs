@@ -18,11 +18,12 @@ pub use qgdp_circuits::{map_circuit, random_mappings, Benchmark, Circuit, Mapped
 pub use qgdp_geometry::{Point, Rect};
 pub use qgdp_legalize::{AbacusLegalizer, MacroLegalizer, TetrisLegalizer};
 pub use qgdp_metrics::{
-    estimate_fidelity, mean_fidelity, CrosstalkConfig, CrosstalkModel, LayoutReport, NoiseModel,
+    estimate_fidelity, mean_fidelity, parallel_map, worker_threads, CrosstalkConfig,
+    CrosstalkModel, FidelityEvaluator, LayoutReport, NoiseModel,
 };
 pub use qgdp_netlist::{
     ClusterReport, ComponentGeometry, NetModel, NetlistBuilder, Placement, QuantumNetlist, QubitId,
     ResonatorId, SegmentId,
 };
 pub use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
-pub use qgdp_topology::{StandardTopology, Topology};
+pub use qgdp_topology::{DistanceMatrix, StandardTopology, Topology};

@@ -1,5 +1,29 @@
 //! Program-fidelity estimation (Eq. 7 of the paper).
+//!
+//! # Performance
+//!
+//! Evaluating a mapping set is embarrassingly parallel: each call to
+//! [`FidelityEvaluator::evaluate`] is a pure function of one mapped circuit and the
+//! (immutable) precomputed layout scan.  [`FidelityEvaluator::mean`] and [`mean_fidelity`]
+//! therefore fan the set out over the shared worker pool ([`crate::parallel`]) — one
+//! contiguous chunk of the mapping slice per scoped `std::thread` worker — sized by
+//! the `QGDP_THREADS` environment variable (default:
+//! [`std::thread::available_parallelism`]).
+//!
+//! **Determinism contract:** the parallel path is *bit-identical* to the serial one,
+//! for any thread count.  Workers only write per-mapping fidelities into disjoint,
+//! index-aligned slots of one output buffer; the reduction to a mean then runs
+//! serially over that buffer in mapping-index order, so the floating-point additions
+//! happen in exactly the same order as `mappings.iter().map(evaluate).sum()`.  No
+//! chunk-level partial sums are ever combined (floating-point addition is not
+//! associative, so that *would* change low-order bits).  `QGDP_THREADS=1` and
+//! `QGDP_THREADS=64` must — and are regression-tested to — produce equal bits.
+//!
+//! If a worker panics (e.g. a mapping targets the wrong device), the scope joins all
+//! workers and re-raises the panic on the caller's thread: a poisoned chunk surfaces
+//! immediately instead of hanging the pool or silently skipping mappings.
 
+use crate::parallel::{parallel_map, worker_threads};
 use crate::{crossing_pairs, find_violations, CrosstalkConfig, CrosstalkModel};
 use qgdp_circuits::{GateKind, GateTimes, MappedCircuit, PhysicalOp};
 use qgdp_netlist::{ComponentId, Placement, QuantumNetlist, QubitId, ResonatorId};
@@ -227,15 +251,51 @@ impl<'a> FidelityEvaluator<'a> {
         }
     }
 
-    /// Mean fidelity over a set of mappings.
+    /// Per-mapping fidelities, evaluated on [`worker_threads`] worker threads.
+    ///
+    /// `fidelities(mappings)[i]` is exactly `evaluate(&mappings[i]).fidelity` — see
+    /// the module-level [performance notes](self#performance) for the determinism
+    /// contract.
+    #[must_use]
+    pub fn fidelities(&self, mappings: &[MappedCircuit]) -> Vec<f64> {
+        self.fidelities_with_threads(mappings, worker_threads())
+    }
+
+    /// Per-mapping fidelities on an explicit number of worker threads.
+    ///
+    /// The output is bit-identical for every `threads` value; the parameter only
+    /// controls how the work is spread.  Thread counts of 0 or 1 (or a single-mapping
+    /// set) run inline without spawning.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises, on the calling thread, any panic raised inside a worker (e.g. a
+    /// mapping whose device size does not match the netlist).
+    #[must_use]
+    pub fn fidelities_with_threads(&self, mappings: &[MappedCircuit], threads: usize) -> Vec<f64> {
+        parallel_map(mappings, threads, |m| self.evaluate(m).fidelity)
+    }
+
+    /// Mean fidelity over a set of mappings, evaluated on [`worker_threads`] worker
+    /// threads (bit-identical to a serial evaluation; see the module-level
+    /// [performance notes](self#performance)).
     #[must_use]
     pub fn mean(&self, mappings: &[MappedCircuit]) -> f64 {
+        self.mean_with_threads(mappings, worker_threads())
+    }
+
+    /// Mean fidelity on an explicit number of worker threads.
+    ///
+    /// Returns 0.0 for an empty mapping set.  The reduction is serial and in mapping
+    /// order regardless of `threads`, so the result is bit-identical for every thread
+    /// count.
+    #[must_use]
+    pub fn mean_with_threads(&self, mappings: &[MappedCircuit], threads: usize) -> f64 {
         if mappings.is_empty() {
             return 0.0;
         }
-        mappings
+        self.fidelities_with_threads(mappings, threads)
             .iter()
-            .map(|m| self.evaluate(m).fidelity)
             .sum::<f64>()
             / mappings.len() as f64
     }
@@ -266,6 +326,10 @@ pub fn estimate_fidelity(
 }
 
 /// Mean fidelity over a set of mappings (the paper averages 50 mappings per benchmark).
+///
+/// Evaluation runs on [`worker_threads`] worker threads with a serial in-order
+/// reduction, so the result is bit-identical to a single-threaded run (see the
+/// module-level [performance notes](self#performance)).
 #[must_use]
 pub fn mean_fidelity(
     netlist: &QuantumNetlist,
@@ -414,6 +478,79 @@ mod tests {
             .collect();
         assert!(mean <= singles.iter().copied().fold(f64::MIN, f64::max) + 1e-12);
         assert!(mean >= singles.iter().copied().fold(f64::MAX, f64::min) - 1e-12);
+    }
+
+    #[test]
+    fn parallel_mean_is_bit_identical_for_any_thread_count() {
+        let (netlist, p, topo) = grid_layout();
+        let evaluator = FidelityEvaluator::new(
+            &netlist,
+            &p,
+            NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+        let maps = qgdp_circuits::random_mappings(&Benchmark::Qaoa4.circuit(), &topo, 9, 13);
+        let serial = evaluator.mean_with_threads(&maps, 1);
+        for threads in [2, 3, 4, 9, 64] {
+            let parallel = evaluator.mean_with_threads(&maps, threads);
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "threads={threads}: {serial:e} != {parallel:e}"
+            );
+        }
+        let per_mapping = evaluator.fidelities_with_threads(&maps, 4);
+        assert_eq!(per_mapping.len(), maps.len());
+        for (f, m) in per_mapping.iter().zip(&maps) {
+            assert_eq!(f.to_bits(), evaluator.evaluate(m).fidelity.to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_pool_edge_cases() {
+        let (netlist, p, topo) = grid_layout();
+        let evaluator = FidelityEvaluator::new(
+            &netlist,
+            &p,
+            NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+        // Empty mapping set: defined as 0.0 on every thread count, no spawning.
+        assert_eq!(evaluator.mean_with_threads(&[], 1), 0.0);
+        assert_eq!(evaluator.mean_with_threads(&[], 8), 0.0);
+        assert!(evaluator.fidelities_with_threads(&[], 8).is_empty());
+        // Fewer mappings than threads: the pool clamps to one mapping per worker.
+        let maps = qgdp_circuits::random_mappings(&Benchmark::Bv4.circuit(), &topo, 2, 3);
+        assert_eq!(
+            evaluator.mean_with_threads(&maps, 16).to_bits(),
+            evaluator.mean_with_threads(&maps, 1).to_bits()
+        );
+        // Thread count 0 behaves like 1 rather than dividing by zero.
+        assert_eq!(
+            evaluator.mean_with_threads(&maps, 0).to_bits(),
+            evaluator.mean_with_threads(&maps, 1).to_bits()
+        );
+    }
+
+    #[test]
+    fn poisoned_worker_surfaces_panic_instead_of_hanging() {
+        let (netlist, p, topo) = grid_layout();
+        let evaluator = FidelityEvaluator::new(
+            &netlist,
+            &p,
+            NoiseModel::default(),
+            &CrosstalkConfig::default(),
+        );
+        // One chunk holds a mapping for the wrong device: its worker panics, and the
+        // scope must re-raise that panic on the caller (not deadlock, not return a
+        // partial mean).
+        let other = StandardTopology::Falcon.build();
+        let mut maps = qgdp_circuits::random_mappings(&Benchmark::Bv4.circuit(), &topo, 6, 3);
+        maps.push(map_circuit(&Benchmark::Bv4.circuit(), &other, 0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluator.mean_with_threads(&maps, 4)
+        }));
+        assert!(result.is_err(), "worker panic must propagate to the caller");
     }
 
     #[test]

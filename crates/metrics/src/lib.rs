@@ -37,6 +37,7 @@ pub mod crossings;
 pub mod crosstalk;
 pub mod fidelity;
 pub mod hotspot;
+pub mod parallel;
 pub mod report;
 
 pub use crossings::{count_crossings, crossing_pairs, resonator_route};
@@ -45,6 +46,7 @@ pub use fidelity::{
     estimate_fidelity, mean_fidelity, FidelityEvaluator, FidelityReport, NoiseModel,
 };
 pub use hotspot::{find_violations, hotspot_proportion, hotspot_qubits, SpatialViolation};
+pub use parallel::{parallel_map, worker_threads};
 pub use report::LayoutReport;
 
 // Re-exported so benchmark code can depend on one crate for topology-independent use.

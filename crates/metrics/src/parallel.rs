@@ -1,0 +1,103 @@
+//! The scoped-thread worker pool shared by the batch-evaluation paths.
+//!
+//! One chunked fan-out implementation serves every parallel surface of the harness
+//! (per-mapping fidelities, per-strategy figure sweeps, per-topology table runs), so
+//! the chunk geometry and panic behaviour cannot drift between call sites.
+
+/// Number of worker threads used by the batch-evaluation entry points.
+///
+/// Reads the `QGDP_THREADS` environment variable on every call (so one process can
+/// flip it between runs); anything unset, unparsable or zero falls back to
+/// [`std::thread::available_parallelism`] (itself falling back to 1).
+#[must_use]
+pub fn worker_threads() -> usize {
+    match std::env::var("QGDP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Applies `f` to every item of `items` on up to `threads` scoped workers and returns
+/// the results in item order.
+///
+/// Worker `k` owns the `k`-th contiguous chunk of `items` and writes each result into
+/// the slot matching its item's index, so the output is identical — element for
+/// element — to `items.iter().map(f).collect()` no matter how many workers run or how
+/// they interleave.  Thread counts of 0 or 1 (or a single-item slice) run inline
+/// without spawning.
+///
+/// # Panics
+///
+/// If a worker panics, the scope joins all workers and re-raises the panic on the
+/// calling thread: a poisoned chunk surfaces immediately instead of hanging the pool.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is filled by its chunk's worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [0, 1, 2, 3, 8, 37, 100] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x * x),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing_and_returns_empty() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 8, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<usize> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                assert!(x != 5, "poisoned item");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_threads_is_at_least_one() {
+        assert!(worker_threads() >= 1);
+    }
+}

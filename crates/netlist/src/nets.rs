@@ -11,7 +11,7 @@ use crate::{ComponentId, QubitId, ResonatorId, SegmentId};
 /// compact, legalization-friendly clumps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NetModel {
-    /// Snake-like chain: `q_a — s_1 — s_2 — … — s_n — q_b` (the baseline of [12]).
+    /// Snake-like chain: `q_a — s_1 — s_2 — … — s_n — q_b` (the baseline of \[12\]).
     Chain,
     /// Chain plus pseudo connections between all virtually-adjacent blocks (the
     /// paper's approach; default).

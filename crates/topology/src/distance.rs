@@ -1,0 +1,157 @@
+//! The [`DistanceMatrix`] type: flat all-pairs hop distances over a coupling graph.
+//!
+//! The Fig. 8 harness maps 50 mappings × 7 benchmarks per topology, and every mapping
+//! needs the all-pairs shortest-path table to route SWAPs.  Recomputing the table per
+//! mapping (as the pre-cache harness did) costs O(V·E) BFS work and O(V²) fresh
+//! allocations each time; this module stores the table once, in a single row-major
+//! `Vec<u32>` so lookups are one multiply-add away and the whole matrix lives in one
+//! cache-friendly allocation instead of `V` scattered rows.
+
+use std::collections::VecDeque;
+use std::ops::Index;
+
+/// All-pairs shortest-path lengths (in hops) over a coupling graph, stored row-major
+/// in one flat allocation.
+///
+/// Entry `(a, b)` is the BFS hop count from qubit `a` to qubit `b`;
+/// [`DistanceMatrix::UNREACHABLE`] marks pairs in different connected components.
+/// Index with [`DistanceMatrix::get`] or `matrix[(a, b)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    dim: usize,
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// The distance reported for pairs with no connecting path.
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// Computes the matrix by BFS from every vertex of `adjacency` (one neighbour list
+    /// per vertex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbour index is out of range.
+    #[must_use]
+    pub fn from_adjacency(adjacency: &[Vec<usize>]) -> Self {
+        let dim = adjacency.len();
+        let mut data = vec![Self::UNREACHABLE; dim * dim];
+        let mut queue = VecDeque::new();
+        for start in 0..dim {
+            let row = &mut data[start * dim..(start + 1) * dim];
+            row[start] = 0;
+            queue.clear();
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adjacency[u] {
+                    if row[v] == Self::UNREACHABLE {
+                        row[v] = row[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        DistanceMatrix { dim, data }
+    }
+
+    /// Number of vertices (the matrix is `dim × dim`).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hop distance from `a` to `b` ([`DistanceMatrix::UNREACHABLE`] if disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.dim && b < self.dim, "index out of range");
+        self.data[a * self.dim + b]
+    }
+
+    /// Returns `true` if a path exists from `a` to `b`.
+    #[must_use]
+    pub fn is_reachable(&self, a: usize, b: usize) -> bool {
+        self.get(a, b) != Self::UNREACHABLE
+    }
+
+    /// The distances from `a` to every vertex, as one borrowed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[must_use]
+    pub fn row(&self, a: usize) -> &[u32] {
+        assert!(a < self.dim, "index out of range");
+        &self.data[a * self.dim..(a + 1) * self.dim]
+    }
+
+    /// The largest finite distance in the matrix (the graph diameter), or `None` when
+    /// the matrix is empty or every off-diagonal pair is unreachable.
+    #[must_use]
+    pub fn diameter(&self) -> Option<u32> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d != Self::UNREACHABLE && d > 0)
+            .max()
+    }
+}
+
+impl Index<(usize, usize)> for DistanceMatrix {
+    type Output = u32;
+
+    fn index(&self, (a, b): (usize, usize)) -> &u32 {
+        assert!(a < self.dim && b < self.dim, "index out of range");
+        &self.data[a * self.dim + b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring4() -> DistanceMatrix {
+        DistanceMatrix::from_adjacency(&[vec![1, 3], vec![0, 2], vec![1, 3], vec![2, 0]])
+    }
+
+    #[test]
+    fn ring_distances() {
+        let d = ring4();
+        assert_eq!(d.dim(), 4);
+        assert_eq!(d.get(0, 0), 0);
+        assert_eq!(d.get(0, 1), 1);
+        assert_eq!(d[(0, 2)], 2);
+        assert_eq!(d.get(0, 3), 1);
+        assert_eq!(d.diameter(), Some(2));
+        assert_eq!(d.row(1), &[1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreachable() {
+        let d = DistanceMatrix::from_adjacency(&[vec![1], vec![0], vec![3], vec![2]]);
+        assert_eq!(d.get(0, 2), DistanceMatrix::UNREACHABLE);
+        assert!(!d.is_reachable(1, 3));
+        assert!(d.is_reachable(0, 1));
+        assert_eq!(d.diameter(), Some(1));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = DistanceMatrix::from_adjacency(&[]);
+        assert_eq!(empty.dim(), 0);
+        assert_eq!(empty.diameter(), None);
+        let one = DistanceMatrix::from_adjacency(&[vec![]]);
+        assert_eq!(one.get(0, 0), 0);
+        assert_eq!(one.diameter(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_get_panics() {
+        let _ = ring4().get(0, 4);
+    }
+}

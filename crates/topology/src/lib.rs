@@ -23,10 +23,12 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod distance;
 pub mod generators;
 pub mod standard;
 pub mod topology;
 
+pub use distance::DistanceMatrix;
 pub use generators::{
     grid, heavy_hex_eagle, heavy_hex_falcon, heavy_hex_rows, octagon_lattice, xtree,
 };

@@ -1,11 +1,13 @@
 //! The [`Topology`] type: a device coupling graph plus canonical lattice coordinates.
 
+use crate::DistanceMatrix;
 use qgdp_geometry::Point;
 use qgdp_netlist::{
     ComponentGeometry, NetModel, NetlistBuilder, NetlistError, QuantumNetlist, QubitId,
 };
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The family a topology belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,13 +44,33 @@ impl fmt::Display for TopologyKind {
 /// Canonical coordinates are abstract lattice positions (not micrometres); the global
 /// placer scales them onto the die to seed its optimisation, mirroring how the paper's
 /// GP starts from the device's logical arrangement.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The adjacency list and the all-pairs [`DistanceMatrix`] are computed lazily on
+/// first use and cached for the lifetime of the topology (the coupling graph is
+/// immutable after construction), so harnesses that map thousands of circuits onto
+/// one device never recompute them.  The caches are carried by [`Clone`] when already
+/// populated and ignored by [`PartialEq`].
+#[derive(Debug, Clone)]
 pub struct Topology {
     name: String,
     kind: TopologyKind,
     num_qubits: usize,
     couplings: Vec<(usize, usize)>,
     coords: Vec<Point>,
+    adjacency_cache: OnceLock<Vec<Vec<usize>>>,
+    distance_cache: OnceLock<DistanceMatrix>,
+}
+
+impl PartialEq for Topology {
+    /// Structural equality over the graph and coordinates; the lazy caches are
+    /// derived data and do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.kind == other.kind
+            && self.num_qubits == other.num_qubits
+            && self.couplings == other.couplings
+            && self.coords == other.coords
+    }
 }
 
 impl Topology {
@@ -98,6 +120,8 @@ impl Topology {
             num_qubits,
             couplings,
             coords,
+            adjacency_cache: OnceLock::new(),
+            distance_cache: OnceLock::new(),
         }
         .with_name_internal()
     }
@@ -172,15 +196,18 @@ impl Topology {
             .count()
     }
 
-    /// Adjacency list representation of the coupling graph.
+    /// Adjacency list representation of the coupling graph (computed once per
+    /// topology and cached; neighbour order follows coupling insertion order).
     #[must_use]
-    pub fn adjacency(&self) -> Vec<Vec<usize>> {
-        let mut adj = vec![Vec::new(); self.num_qubits];
-        for &(a, b) in &self.couplings {
-            adj[a].push(b);
-            adj[b].push(a);
-        }
-        adj
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        self.adjacency_cache.get_or_init(|| {
+            let mut adj = vec![Vec::new(); self.num_qubits];
+            for &(a, b) in &self.couplings {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            adj
+        })
     }
 
     /// Returns `true` if the coupling graph is connected (or has at most one qubit).
@@ -206,25 +233,25 @@ impl Topology {
         count == self.num_qubits
     }
 
-    /// All-pairs shortest-path lengths (in hops) over the coupling graph, computed by
-    /// BFS from every qubit.  Unreachable pairs get `usize::MAX`.
+    /// All-pairs shortest-path lengths (in hops) over the coupling graph, as a shared
+    /// flat [`DistanceMatrix`].  Unreachable pairs get [`DistanceMatrix::UNREACHABLE`].
+    ///
+    /// The matrix is computed by BFS from every qubit on first call and cached for the
+    /// lifetime of the topology, so repeated mapping runs (the Fig. 8 protocol maps
+    /// 50 × 7 circuits per device) pay for the O(V·E) sweep exactly once.
     #[must_use]
-    pub fn shortest_path_lengths(&self) -> Vec<Vec<usize>> {
-        let adj = self.adjacency();
-        let mut dist = vec![vec![usize::MAX; self.num_qubits]; self.num_qubits];
-        for (start, row) in dist.iter_mut().enumerate() {
-            row[start] = 0;
-            let mut queue = VecDeque::from([start]);
-            while let Some(u) = queue.pop_front() {
-                for &v in &adj[u] {
-                    if row[v] == usize::MAX {
-                        row[v] = row[u] + 1;
-                        queue.push_back(v);
-                    }
-                }
-            }
-        }
-        dist
+    pub fn distance_matrix(&self) -> &DistanceMatrix {
+        self.distance_cache
+            .get_or_init(|| self.compute_distance_matrix())
+    }
+
+    /// Recomputes the all-pairs distance matrix from scratch, bypassing the cache.
+    ///
+    /// [`Topology::distance_matrix`] is what the hot paths use; this method exists so
+    /// tests can verify the cached matrix against an independent recomputation.
+    #[must_use]
+    pub fn compute_distance_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_adjacency(self.adjacency())
     }
 
     /// Builds a [`QuantumNetlist`] over this topology's coupling graph.
@@ -293,11 +320,25 @@ mod tests {
     #[test]
     fn shortest_paths_on_a_ring() {
         let t = square();
-        let d = t.shortest_path_lengths();
-        assert_eq!(d[0][0], 0);
-        assert_eq!(d[0][1], 1);
-        assert_eq!(d[0][2], 2);
-        assert_eq!(d[0][3], 1);
+        let d = t.distance_matrix();
+        assert_eq!(d.get(0, 0), 0);
+        assert_eq!(d.get(0, 1), 1);
+        assert_eq!(d.get(0, 2), 2);
+        assert_eq!(d.get(0, 3), 1);
+        // The cache returns the same matrix as a fresh recomputation, by reference.
+        assert_eq!(*d, t.compute_distance_matrix());
+        assert!(std::ptr::eq(d, t.distance_matrix()));
+    }
+
+    #[test]
+    fn clone_carries_cache_and_equality_ignores_it() {
+        let t = square();
+        let fresh = t.clone();
+        let _ = t.distance_matrix();
+        let warmed = t.clone();
+        assert_eq!(t, fresh);
+        assert_eq!(t, warmed);
+        assert_eq!(fresh.distance_matrix(), warmed.distance_matrix());
     }
 
     #[test]
@@ -310,8 +351,8 @@ mod tests {
             vec![Point::ORIGIN; 4],
         );
         assert!(!t.is_connected());
-        let d = t.shortest_path_lengths();
-        assert_eq!(d[0][2], usize::MAX);
+        let d = t.distance_matrix();
+        assert_eq!(d.get(0, 2), DistanceMatrix::UNREACHABLE);
     }
 
     #[test]

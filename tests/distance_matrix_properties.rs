@@ -1,0 +1,164 @@
+//! Property-based tests for the cached all-pairs [`DistanceMatrix`] on [`Topology`].
+//!
+//! The mapping hot path trusts the lazily-cached matrix completely (it never
+//! re-runs BFS), so these properties pin down everything a distance table must
+//! satisfy: agreement with an independent BFS written from scratch in this file,
+//! agreement with an explicit cache-bypassing recomputation, symmetry, a zero
+//! diagonal, the triangle inequality, and the single-edge distance of every coupling.
+//! Both connected (spanning tree + chords) and deliberately disconnected graphs are
+//! drawn.
+
+use proptest::prelude::*;
+use qgdp::prelude::*;
+use qgdp::topology::TopologyKind;
+use std::collections::VecDeque;
+
+/// A random connected coupling graph over `n` qubits: a binary-tree spanning tree plus
+/// a few extra chords (the same shape the flow-level property suite draws).
+fn random_connected_device(n: usize, extra_edges: &[(usize, usize)]) -> Topology {
+    let mut couplings: Vec<(usize, usize)> = (1..n).map(|i| (i, i / 2)).collect();
+    for &(a, b) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a != b
+            && !couplings.contains(&(a.min(b), a.max(b)))
+            && !couplings.contains(&(a.max(b), a.min(b)))
+        {
+            couplings.push((a.min(b), a.max(b)));
+        }
+    }
+    build_device(n, couplings)
+}
+
+/// Two disjoint connected halves: qubits `0..split` and `split..n`, no bridge.
+fn random_disconnected_device(n: usize, split: usize) -> Topology {
+    let mut couplings: Vec<(usize, usize)> = (1..split).map(|i| (i, i - 1)).collect();
+    couplings.extend((split + 1..n).map(|i| (i, i - 1)));
+    build_device(n, couplings)
+}
+
+fn build_device(n: usize, couplings: Vec<(usize, usize)>) -> Topology {
+    let coords = (0..n)
+        .map(|i| Point::new((i % 4) as f64, (i / 4) as f64))
+        .collect();
+    Topology::new(
+        format!("random-{n}"),
+        TopologyKind::Custom,
+        n,
+        couplings,
+        coords,
+    )
+}
+
+/// An independent BFS oracle, deliberately *not* sharing code with the library
+/// implementation: nested `Vec<Vec<Option<u32>>>`, adjacency rebuilt from the raw
+/// coupling list.
+fn bfs_oracle(topo: &Topology) -> Vec<Vec<Option<u32>>> {
+    let n = topo.num_qubits();
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in topo.couplings() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    (0..n)
+        .map(|start| {
+            let mut row = vec![None; n];
+            row[start] = Some(0u32);
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if row[v].is_none() {
+                        row[v] = Some(row[u].unwrap() + 1);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Asserts every invariant a hop-distance matrix must satisfy for `topo`.
+fn assert_matrix_invariants(topo: &Topology) -> Result<(), TestCaseError> {
+    let n = topo.num_qubits();
+    let cached = topo.distance_matrix();
+    let oracle = bfs_oracle(topo);
+
+    prop_assert_eq!(cached.dim(), n);
+    // The cache equals a from-scratch recomputation and the independent oracle.
+    prop_assert_eq!(cached, &topo.compute_distance_matrix());
+    for (a, oracle_row) in oracle.iter().enumerate() {
+        for (b, &cell) in oracle_row.iter().enumerate() {
+            let expected = cell.unwrap_or(DistanceMatrix::UNREACHABLE);
+            prop_assert_eq!(cached.get(a, b), expected);
+            // Symmetry (the coupling graph is undirected).
+            prop_assert_eq!(cached.get(a, b), cached.get(b, a));
+            prop_assert_eq!(cached.is_reachable(a, b), cell.is_some());
+        }
+        // Zero diagonal, full rows.
+        prop_assert_eq!(cached.get(a, a), 0);
+        prop_assert_eq!(cached.row(a).len(), n);
+    }
+    // Triangle inequality over every reachable triple (saturating: an unreachable leg
+    // gives an infinite bound, which never constrains).
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                let ab = cached.get(a, b) as u64;
+                let ac = cached.get(a, c) as u64;
+                let cb = cached.get(c, b) as u64;
+                prop_assert!(
+                    ab <= ac.saturating_add(cb),
+                    "d({a},{b})={ab} > d({a},{c})={ac} + d({c},{b})={cb}"
+                );
+            }
+        }
+    }
+    // Every coupling is a distance-1 pair.
+    for &(a, b) in topo.couplings() {
+        prop_assert_eq!(cached.get(a, b), 1);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_matrix_matches_fresh_bfs_on_connected_graphs(
+        n in 2usize..12,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..6),
+    ) {
+        let topo = random_connected_device(n, &extra);
+        prop_assert!(topo.is_connected());
+        assert_matrix_invariants(&topo)?;
+        // On a connected graph every pair is reachable and the diameter is finite.
+        let d = topo.distance_matrix();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert!(d.is_reachable(a, b));
+            }
+        }
+        prop_assert!(d.diameter().unwrap_or(0) < n as u32);
+    }
+
+    #[test]
+    fn cached_matrix_matches_fresh_bfs_on_disconnected_graphs(
+        n in 4usize..12,
+        split_frac in 0.2f64..0.8,
+    ) {
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n - 1);
+        let topo = random_disconnected_device(n, split);
+        prop_assert!(!topo.is_connected());
+        assert_matrix_invariants(&topo)?;
+        // Cross-component pairs are unreachable in both directions.
+        let d = topo.distance_matrix();
+        prop_assert_eq!(d.get(0, split), DistanceMatrix::UNREACHABLE);
+        prop_assert_eq!(d.get(split, 0), DistanceMatrix::UNREACHABLE);
+    }
+
+    #[test]
+    fn standard_topologies_satisfy_matrix_invariants(which in 0usize..6) {
+        let topo = StandardTopology::all()[which].build();
+        assert_matrix_invariants(&topo)?;
+    }
+}
