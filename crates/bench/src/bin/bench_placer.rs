@@ -1,0 +1,181 @@
+//! Measures the optimized global-placer hot path against the reference formulation
+//! (per-iteration density rebuild + per-net clique expansion) and records the result
+//! in `BENCH_placer.json`.
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin bench_placer
+//! ```
+//!
+//! For every benched topology the two implementations run on identical inputs (same
+//! netlist, same seed) and the final HPWL is compared: on the pseudo net model the
+//! optimized path must be *bit-identical*, on the clique net model (star-decomposed
+//! hypernets) it must agree within floating-point round-off.  Override the output
+//! path with `QGDP_BENCH_OUT`, the topology panel with `QGDP_BENCH_TOPOLOGIES`
+//! (comma-separated names) and repetitions with `QGDP_BENCH_REPS` (fastest rep is
+//! reported, criterion-style).
+
+use qgdp::prelude::*;
+use qgdp_placer::hpwl;
+use std::time::Instant;
+
+/// One measured topology × net-model cell.
+struct Record {
+    topology: String,
+    model: &'static str,
+    components: usize,
+    iterations: usize,
+    optimized_ms: f64,
+    reference_ms: f64,
+    hpwl_rel_diff: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.optimized_ms
+    }
+
+    fn optimized_iters_per_sec(&self) -> f64 {
+        self.iterations as f64 / (self.optimized_ms / 1e3)
+    }
+
+    fn reference_iters_per_sec(&self) -> f64 {
+        self.iterations as f64 / (self.reference_ms / 1e3)
+    }
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps.max(1))
+        .map(|_| run())
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_cell(
+    topology: StandardTopology,
+    model: NetModel,
+    model_name: &'static str,
+    reps: usize,
+) -> Record {
+    let topo = topology.build();
+    let netlist = topo
+        .to_netlist(ComponentGeometry::default(), model)
+        .unwrap_or_else(|e| panic!("netlist for {topology}: {e}"));
+    let cfg = GlobalPlacerConfig::default();
+    let placer = GlobalPlacer::new(cfg);
+
+    let optimized_ms = best_of(reps, || {
+        let start = Instant::now();
+        std::hint::black_box(placer.place(&netlist, &topo));
+        start.elapsed().as_secs_f64() * 1e3
+    });
+    let reference_ms = best_of(reps, || {
+        let start = Instant::now();
+        std::hint::black_box(placer.place_reference(&netlist, &topo));
+        start.elapsed().as_secs_f64() * 1e3
+    });
+
+    let optimized = placer.place(&netlist, &topo);
+    let reference = placer.place_reference(&netlist, &topo);
+    let h_opt = hpwl(&netlist, &optimized.placement);
+    let h_ref = hpwl(&netlist, &reference.placement);
+    let hpwl_rel_diff = ((h_opt - h_ref) / h_ref).abs();
+    match model {
+        NetModel::Pseudo | NetModel::Chain => assert_eq!(
+            optimized, reference,
+            "optimized placer must be bit-identical to the reference on 2-pin nets \
+             ({topology}, {model_name})"
+        ),
+        NetModel::Clique => assert!(
+            hpwl_rel_diff < 1e-9,
+            "star-decomposed placement drifted {hpwl_rel_diff:e} from the clique \
+             reference on {topology}"
+        ),
+    }
+
+    Record {
+        topology: topology.name().to_string(),
+        model: model_name,
+        components: netlist.num_components(),
+        iterations: cfg.iterations,
+        optimized_ms,
+        reference_ms,
+        hpwl_rel_diff,
+    }
+}
+
+fn main() {
+    let reps = std::env::var("QGDP_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let default_panel = [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ];
+    let all = StandardTopology::all();
+    let topologies: Vec<StandardTopology> = match std::env::var("QGDP_BENCH_TOPOLOGIES") {
+        Ok(names) => names
+            .split(',')
+            .map(|name| {
+                *all.iter()
+                    .find(|t| t.name().eq_ignore_ascii_case(name.trim()))
+                    .unwrap_or_else(|| panic!("unknown topology {name:?}"))
+            })
+            .collect(),
+        Err(_) => default_panel.to_vec(),
+    };
+
+    let mut records = Vec::new();
+    for &topology in &topologies {
+        records.push(bench_cell(topology, NetModel::Pseudo, "pseudo", reps));
+        records.push(bench_cell(topology, NetModel::Clique, "clique-star", reps));
+    }
+
+    let mut rows = String::new();
+    for r in &records {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"net_model\": \"{}\", \"components\": {}, \
+             \"iterations\": {}, \"optimized_ms\": {:.2}, \"reference_ms\": {:.2}, \
+             \"speedup\": {:.2}, \"optimized_iters_per_sec\": {:.0}, \
+             \"reference_iters_per_sec\": {:.0}, \"hpwl_rel_diff\": {:.3e} }}",
+            r.topology,
+            r.model,
+            r.components,
+            r.iterations,
+            r.optimized_ms,
+            r.reference_ms,
+            r.speedup(),
+            r.optimized_iters_per_sec(),
+            r.reference_iters_per_sec(),
+            r.hpwl_rel_diff,
+        ));
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"global placement: compiled star-net forces + \
+         incremental density vs reference rebuild\",\n  \"reps\": {reps},\n  \
+         \"host_cpus\": {host_cpus},\n  \"records\": [\n{rows}\n  ]\n}}\n"
+    );
+    let out_path =
+        std::env::var("QGDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_placer.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    for r in &records {
+        println!(
+            "{:>8} {:>11}: {:>7.2}ms -> {:>6.2}ms ({:.2}x, {:.0} -> {:.0} iters/s, \
+             hpwl rel diff {:.1e})",
+            r.topology,
+            r.model,
+            r.reference_ms,
+            r.optimized_ms,
+            r.speedup(),
+            r.reference_iters_per_sec(),
+            r.optimized_iters_per_sec(),
+            r.hpwl_rel_diff,
+        );
+    }
+    println!("recorded in {out_path}");
+}

@@ -19,6 +19,18 @@
 //!
 //! The number of random mappings per benchmark defaults to the paper's 50 and can be
 //! overridden with the `QGDP_MAPPINGS` environment variable (useful for quick runs).
+//!
+//! Two additional binaries track this repository's own hot paths rather than a paper
+//! artifact: `bench_fidelity` (serial vs parallel fidelity sweep →
+//! `BENCH_fidelity.json`) and `bench_placer` (optimized vs reference global placer →
+//! `BENCH_placer.json`).
+//!
+//! # Paper map
+//!
+//! Tables I–III and Figs. 8–9: the evaluation protocol itself.  Every run drives
+//! the full flow through [`qgdp::prelude::run_flow`] (§III-C/D/E via the `qgdp`
+//! core crate), sharing one GP seed ([`EXPERIMENT_SEED`]) so all strategies score
+//! the same global placements, and scores layouts with `qgdp-metrics` (Eq. 4/7).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -27,6 +27,15 @@
 //! assert!(mapped.two_qubit_gate_count() >= 3);
 //! assert!(mapped.active_qubits().len() >= 4);
 //! ```
+//!
+//! # Paper map
+//!
+//! §III preliminaries and Table I: the seven NISQ benchmark circuits and the
+//! 50-random-mappings transpilation protocol of the Fig. 8 fidelity evaluation.
+//! Devices come from [`qgdp_topology`] (coupling graphs + cached
+//! [`qgdp_topology::DistanceMatrix`] for SWAP routing); the per-qubit/per-coupler
+//! gate counts a [`MappedCircuit`] exposes are exactly what the Eq. 7 fidelity
+//! estimator in `qgdp-metrics` consumes.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

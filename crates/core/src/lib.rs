@@ -36,6 +36,20 @@
 //! assert!(result.is_legal());
 //! # Ok::<(), qgdp::FlowError>(())
 //! ```
+//!
+//! # Paper map
+//!
+//! The paper's own contributions, §III-C through §III-E: qubit legalization
+//! ([`QuantumQubitLegalizer`]), integration-aware resonator legalization
+//! (Algorithm 1, [`ResonatorLegalizer`]) and detailed placement (Algorithm 2,
+//! [`DetailedPlacer`]) — together the qGDP-LG and qGDP-DP flows of the evaluation.
+//! The crate composes the whole workspace: global placement from [`qgdp_placer`]
+//! (with the §III-D pseudo connections from [`qgdp_netlist`]), classical baselines
+//! from [`qgdp_legalize`], devices from [`qgdp_topology`] (Table I), benchmarks
+//! from [`qgdp_circuits`] and metrics from [`qgdp_metrics`] (Eq. 4/7).  The
+//! substrate crates are re-exported under stable names ([`geometry`], [`netlist`],
+//! [`topology`], [`circuits`], [`legalize`], [`placer`], [`metrics`]) so
+//! downstream users can depend on `qgdp` alone.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

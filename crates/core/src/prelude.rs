@@ -25,5 +25,5 @@ pub use qgdp_netlist::{
     ClusterReport, ComponentGeometry, NetModel, NetlistBuilder, Placement, QuantumNetlist, QubitId,
     ResonatorId, SegmentId,
 };
-pub use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+pub use qgdp_placer::{hpwl, GlobalPlacer, GlobalPlacerConfig, NetForceField};
 pub use qgdp_topology::{DistanceMatrix, StandardTopology, Topology};

@@ -563,6 +563,78 @@ mod tests {
         }
     }
 
+    #[test]
+    fn point_exactly_on_a_bin_boundary_lands_in_the_upper_bin() {
+        let grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        // A shared edge belongs to the bin on its upper/right side (floor semantics),
+        // except at the grid's outer boundary where clamping keeps it in range.
+        assert_eq!(grid.bin_at(Point::new(3.0, 5.0)), grid.bin_id(3, 5));
+        assert_eq!(grid.bin_at(Point::new(0.0, 0.0)), grid.bin_id(0, 0));
+        assert_eq!(grid.bin_at(Point::new(10.0, 10.0)), grid.bin_id(9, 9));
+    }
+
+    #[test]
+    fn rect_exactly_on_bin_boundaries_blocks_only_interior_overlaps() {
+        // A rect whose edges coincide with bin boundaries covers exactly those bins:
+        // the neighbours merely *touch* it (zero-area overlap) and stay free.
+        let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid.block_rect(&Rect::from_lower_left(Point::new(3.0, 3.0), 2.0, 2.0));
+        assert_eq!(grid.count(BinState::Blocked), 4);
+        for (col, row) in [(3, 3), (4, 3), (3, 4), (4, 4)] {
+            assert_eq!(
+                grid.state(grid.bin_id(col, row).unwrap()),
+                BinState::Blocked
+            );
+        }
+        assert_eq!(grid.state(grid.bin_id(2, 3).unwrap()), BinState::Free);
+        assert_eq!(grid.state(grid.bin_id(5, 4).unwrap()), BinState::Free);
+    }
+
+    #[test]
+    fn zero_area_rect_blocks_nothing() {
+        // Degenerate (zero-area) components must not consume free space.
+        let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid.block_rect(&Rect::from_center(Point::new(4.5, 4.5), 0.0, 0.0));
+        assert_eq!(grid.count(BinState::Blocked), 0);
+        // Zero width but finite height: still zero area, still nothing blocked.
+        grid.block_rect(&Rect::from_center(Point::new(4.5, 4.5), 0.0, 3.0));
+        assert_eq!(grid.count(BinState::Blocked), 0);
+    }
+
+    #[test]
+    fn block_rect_entirely_outside_the_die_is_a_noop() {
+        let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid.block_rect(&Rect::from_center(Point::new(50.0, 50.0), 4.0, 4.0));
+        grid.block_rect(&Rect::from_center(Point::new(-50.0, 5.0), 4.0, 4.0));
+        assert_eq!(grid.count(BinState::Blocked), 0);
+        assert_eq!(grid.count(BinState::Free), 100);
+    }
+
+    #[test]
+    fn queries_outside_the_grid_extent_clamp_and_answer() {
+        let mut grid = BinGrid::new(&die(10.0, 10.0), 1.0);
+        grid.block_rect(&Rect::from_lower_left(Point::ORIGIN, 10.0, 10.0));
+        let corner = grid.bin_id(9, 9).unwrap();
+        grid.set_state(corner, BinState::Free);
+        let index = grid.free_index();
+        // Far-outside targets clamp to the nearest edge bin and still resolve.
+        assert_eq!(index.nearest_free(Point::new(1e6, 1e6)), Some(corner));
+        assert_eq!(index.nearest_free(Point::new(-1e6, -1e6)), Some(corner));
+        assert_eq!(grid.bin_at(Point::new(1e6, -1e6)), grid.bin_id(9, 0));
+    }
+
+    #[test]
+    fn die_smaller_than_one_bin_has_no_bins() {
+        // Partial bins are dropped, so a die narrower than the bin size yields an
+        // empty grid that still answers queries gracefully.
+        let grid = BinGrid::new(&die(0.5, 0.5), 1.0);
+        assert_eq!(grid.num_bins(), 0);
+        assert!(grid.bin_at(Point::new(0.2, 0.2)).is_none());
+        let index = grid.free_index();
+        assert!(index.is_empty());
+        assert!(index.nearest_free(Point::new(0.2, 0.2)).is_none());
+    }
+
     proptest! {
         #[test]
         fn prop_nearest_free_matches_bruteforce(

@@ -27,6 +27,17 @@
 //! assert!(q0.overlaps(&q1));
 //! assert_eq!(q0.overlap_area(&q1), 3.0 * 8.0);
 //! ```
+//!
+//! # Paper map
+//!
+//! §III preliminaries: the rectilinear layout model behind the non-overlap and
+//! border constraints (Eq. 1–2) and the facing-length/centroid-distance terms of the
+//! hotspot metric (Eq. 4), plus the §III-D "bin-aided" free-space index
+//! ([`FreeBinIndex`]) that keeps the resonator legalizer's nearest-free-space
+//! queries `O(log n)`.  This is the root of the workspace crate graph: every other
+//! crate builds on these primitives (`qgdp-netlist` for the component model,
+//! `qgdp-placer`/`qgdp-legalize`/`qgdp` for the placement stages, `qgdp-metrics`
+//! for crossing detection via [`Polyline`]).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -36,6 +36,15 @@
 //! assert_eq!(all_legal.count_overlaps(&netlist), 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Paper map
+//!
+//! §IV evaluation baselines: the classical macro/Tetris/Abacus legalizers that the
+//! paper's qGDP-LG (§III-C/D, implemented in the `qgdp` core crate) is compared
+//! against in Tables II–III, plus the [`QubitLegalizer`]/[`CellLegalizer`] traits
+//! and row infrastructure ([`RowGrid`]) both sides share.  Inputs are
+//! [`qgdp_netlist::Placement`] solutions over the [`qgdp_netlist`] model (§III),
+//! with geometric predicates from [`qgdp_geometry`].
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

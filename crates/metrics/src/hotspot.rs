@@ -43,67 +43,66 @@ pub fn find_violations(
         .collect();
     let owners: Vec<_> = ids.iter().map(|&id| netlist.owning_resonator(id)).collect();
 
-    // Coarse spatial hashing so the scan is not O(n²) on large layouts.
-    let cell = (config.proximity_threshold
-        + rects
-            .iter()
-            .map(|r| r.width().max(r.height()))
-            .fold(0.0f64, f64::max))
-    .max(1.0);
+    // Spatial hashing so the scan is not O(n²) on large layouts.  Cells are sized by
+    // the *wire-block* layer (the dominant population) rather than the largest
+    // component: each rectangle, inflated by half the proximity threshold, is
+    // rasterised into every cell it overlaps, so a large qubit macro simply spans a
+    // few cells instead of inflating the cell size — which used to funnel hundreds of
+    // blocks from a wire-block-dense region into one bucket.  Two components whose
+    // edge-to-edge gap is below the threshold have overlapping inflated rectangles
+    // and therefore always share a cell, so the candidate set is exact.
+    let lb = netlist.geometry().wire_block_size;
+    let inflate = config.proximity_threshold * 0.5;
+    let cell = (config.proximity_threshold + lb).max(1.0);
     let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
         std::collections::HashMap::new();
     for (i, r) in rects.iter().enumerate() {
-        let key = (
-            (r.center().x / cell).floor() as i64,
-            (r.center().y / cell).floor() as i64,
-        );
-        buckets.entry(key).or_default().push(i);
+        let r = r.inflated(inflate);
+        let lo_x = (r.left() / cell).floor() as i64;
+        let hi_x = (r.right() / cell).floor() as i64;
+        let lo_y = (r.bottom() / cell).floor() as i64;
+        let hi_y = (r.top() / cell).floor() as i64;
+        for cx in lo_x..=hi_x {
+            for cy in lo_y..=hi_y {
+                buckets.entry((cx, cy)).or_default().push(i);
+            }
+        }
     }
 
     let mut out = Vec::new();
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
-    for (&(bx, by), members) in &buckets {
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                let Some(neighbors) = buckets.get(&(bx + dx, by + dy)) else {
+    for members in buckets.values() {
+        for (m, &i) in members.iter().enumerate() {
+            for &j in &members[(m + 1)..] {
+                let (i, j) = (i.min(j), i.max(j));
+                if !seen.insert((i, j)) {
                     continue;
-                };
-                for &i in members {
-                    for &j in neighbors {
-                        if j <= i {
-                            continue;
-                        }
-                        if !seen.insert((i, j)) {
-                            continue;
-                        }
-                        // Same resonator: integration, not a violation.
-                        if owners[i].is_some() && owners[i] == owners[j] {
-                            continue;
-                        }
-                        let detuning = freqs[i].detuning(freqs[j]);
-                        if detuning > config.detuning_threshold_ghz {
-                            continue;
-                        }
-                        let gap = rects[i].gap(&rects[j]);
-                        if gap >= config.proximity_threshold {
-                            continue;
-                        }
-                        let inflate = config.proximity_threshold * 0.5;
-                        let adjacency_length = rects[i]
-                            .inflated(inflate)
-                            .contact_length(&rects[j].inflated(inflate));
-                        if adjacency_length <= 0.0 {
-                            continue;
-                        }
-                        out.push(SpatialViolation {
-                            a: ids[i],
-                            b: ids[j],
-                            adjacency_length,
-                            centroid_distance: rects[i].centroid_distance(&rects[j]),
-                            detuning_ghz: detuning,
-                        });
-                    }
                 }
+                // Same resonator: integration, not a violation.
+                if owners[i].is_some() && owners[i] == owners[j] {
+                    continue;
+                }
+                let detuning = freqs[i].detuning(freqs[j]);
+                if detuning > config.detuning_threshold_ghz {
+                    continue;
+                }
+                let gap = rects[i].gap(&rects[j]);
+                if gap >= config.proximity_threshold {
+                    continue;
+                }
+                let adjacency_length = rects[i]
+                    .inflated(inflate)
+                    .contact_length(&rects[j].inflated(inflate));
+                if adjacency_length <= 0.0 {
+                    continue;
+                }
+                out.push(SpatialViolation {
+                    a: ids[i],
+                    b: ids[j],
+                    adjacency_length,
+                    centroid_distance: rects[i].centroid_distance(&rects[j]),
+                    detuning_ghz: detuning,
+                });
             }
         }
     }
@@ -285,6 +284,105 @@ mod tests {
         let hq = hotspot_qubits(&netlist, &v);
         // Endpoints of both resonators are flagged.
         assert!(hq.len() >= 3);
+    }
+
+    /// Brute-force O(n²) oracle applying exactly the documented violation filters.
+    fn bruteforce_violations(
+        netlist: &QuantumNetlist,
+        placement: &Placement,
+        config: &CrosstalkConfig,
+    ) -> Vec<(ComponentId, ComponentId)> {
+        let ids: Vec<ComponentId> = netlist.component_ids().collect();
+        let mut out = Vec::new();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let (a, b) = (ids[i], ids[j]);
+                let (oa, ob) = (netlist.owning_resonator(a), netlist.owning_resonator(b));
+                if oa.is_some() && oa == ob {
+                    continue;
+                }
+                if netlist
+                    .component_frequency(a)
+                    .detuning(netlist.component_frequency(b))
+                    > config.detuning_threshold_ghz
+                {
+                    continue;
+                }
+                let (ra, rb) = (placement.rect(netlist, a), placement.rect(netlist, b));
+                if ra.gap(&rb) >= config.proximity_threshold {
+                    continue;
+                }
+                let inflate = config.proximity_threshold * 0.5;
+                if ra.inflated(inflate).contact_length(&rb.inflated(inflate)) <= 0.0 {
+                    continue;
+                }
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn wire_block_dense_region_matches_bruteforce_oracle() {
+        // Regression for the spatial-hash cell sizing: the old hash sized cells by
+        // the *largest* component (the qubit), funnelling every block of a dense
+        // wire-block region into one bucket.  Pack the blocks of several resonators
+        // into one tight cluster (plus spread-out qubits) and check the hashed scan
+        // returns exactly the brute-force pair set.
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(8)
+            .couple_all((0..7).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        for (i, q) in netlist.qubit_ids().enumerate() {
+            p.set_qubit(q, Point::new(i as f64 * 300.0, 2000.0));
+        }
+        // All 84 wire blocks packed into an abutting grid at wire-block pitch.
+        let lb = netlist.geometry().wire_block_size;
+        for (k, s) in netlist.segment_ids().enumerate() {
+            p.set_segment(
+                s,
+                Point::new(500.0 + (k % 10) as f64 * lb, 500.0 + (k / 10) as f64 * lb),
+            );
+        }
+        let cfg = CrosstalkConfig::default();
+        let hashed: Vec<(ComponentId, ComponentId)> = find_violations(&netlist, &p, &cfg)
+            .iter()
+            .map(|v| (v.a, v.b))
+            .collect();
+        let oracle = bruteforce_violations(&netlist, &p, &cfg);
+        assert!(
+            !oracle.is_empty(),
+            "the dense cluster must produce cross-resonator violations"
+        );
+        assert_eq!(hashed, oracle);
+    }
+
+    #[test]
+    fn qubit_macros_spanning_many_hash_cells_are_still_caught() {
+        // A qubit is several hash cells wide under wire-block-sized cells; a block
+        // parked right next to it must still be detected if frequencies collide.
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(1, 2)
+            .couple(2, 3)
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        for (i, id) in netlist.component_ids().enumerate() {
+            p.set_component(
+                id,
+                Point::new((i % 8) as f64 * 200.0, (i / 8) as f64 * 200.0),
+            );
+        }
+        let cfg = CrosstalkConfig::default();
+        let hashed: Vec<_> = find_violations(&netlist, &p, &cfg)
+            .iter()
+            .map(|v| (v.a, v.b))
+            .collect();
+        assert_eq!(hashed, bruteforce_violations(&netlist, &p, &cfg));
     }
 
     #[test]

@@ -29,6 +29,17 @@
 //! assert!(report.violations > 0);
 //! # Ok::<(), qgdp_netlist::NetlistError>(())
 //! ```
+//!
+//! # Paper map
+//!
+//! The paper's quality metrics: program fidelity `F` (Eq. 7) with the Rabi-swap
+//! qubit-crosstalk error (Eq. 8), the frequency-hotspot proportion `P_h` (Eq. 4)
+//! with its derived `H_Q`, and the airbridge crossing count `X` — the quantities of
+//! Tables II–III and Figs. 8–9.  Layouts are [`qgdp_netlist::Placement`] solutions
+//! (§III), mapped benchmark workloads come from [`qgdp_circuits`] (Table I), and
+//! crossing detection uses [`qgdp_geometry::Polyline`] routes.  The
+//! [`parallel_map`] worker pool (sized by `QGDP_THREADS`) fans mapping sets out
+//! with a bit-deterministic serial reduction.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

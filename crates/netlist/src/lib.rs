@@ -22,7 +22,19 @@
 //! * connectivity nets for the global placer, including the paper's **pseudo
 //!   connections** (§III-D) that bias GP towards rectangular resonator clumps,
 //! * cluster analysis ([`clusters::resonator_clusters`]) implementing the
-//!   `C¹ ∪ C² ∪ … = S_e` decomposition used by the integration objective (Eq. 3).
+//!   `C¹ ∪ C² ∪ … = S_e` decomposition used by the integration objective (Eq. 3),
+//! * the clique→star decomposition machinery for high-degree nets
+//!   ([`NetDecomposition`], [`star_forces`], [`clique_forces`]) used by the global
+//!   placer's quadratic force model.
+//!
+//! # Paper map
+//!
+//! §III preliminaries: the quantum netlist `G(Q, E)`, the Eq. 6 wire-block
+//! partitioning, the Eq. 3 cluster decomposition, and the §III-D pseudo connections
+//! (Fig. 5).  Geometry primitives come from [`qgdp_geometry`] (§III layout model);
+//! the placement engines consuming this model live downstream in `qgdp-placer`
+//! (global placement substrate), `qgdp-legalize` (classical baselines) and the
+//! `qgdp` core crate (§III-C/D/E).
 //!
 //! # Example
 //!
@@ -60,5 +72,8 @@ pub use error::NetlistError;
 pub use frequency::{Frequency, FrequencyAllocator, FrequencyPlan};
 pub use ids::{ComponentId, QubitId, ResonatorId, SegmentId};
 pub use netlist::{NetlistBuilder, QuantumNetlist};
-pub use nets::{Net, NetModel};
+pub use nets::{
+    clique_forces, pin_centroid, quadratic_wirelength, star_forces, star_wirelength, Net,
+    NetDecomposition, NetModel,
+};
 pub use placement::Placement;

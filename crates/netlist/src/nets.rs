@@ -1,6 +1,8 @@
-//! Connectivity nets used by the global placer, including pseudo connections.
+//! Connectivity nets used by the global placer, including pseudo connections and the
+//! clique→star decomposition of high-degree nets.
 
 use crate::{ComponentId, QubitId, ResonatorId, SegmentId};
+use qgdp_geometry::{Point, Vector};
 
 /// How a resonator's wire blocks are wired into nets for global placement.
 ///
@@ -17,6 +19,16 @@ pub enum NetModel {
     /// paper's approach; default).
     #[default]
     Pseudo,
+    /// Chain plus one high-degree hypernet per resonator joining both endpoint qubits
+    /// and every wire block.
+    ///
+    /// The hypernet has clique semantics — every pin attracts every other pin — which
+    /// pulls each block towards the resonator centroid instead of towards its virtual
+    /// grid neighbours.  A naive pairwise expansion of a `k`-pin clique costs
+    /// `O(k²)` per placement iteration; the placer decomposes cliques above its
+    /// configured `star_threshold` into the exactly-equivalent star form (see
+    /// [`star_forces`]), which costs `O(k)`.
+    Clique,
 }
 
 /// A (hyper)net connecting two or more placeable components.
@@ -92,6 +104,134 @@ impl Net {
     pub fn is_pseudo(&self) -> bool {
         self.pseudo
     }
+
+    /// Number of pins on this net.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.components.len()
+    }
+
+    /// How the global placer should expand this net into force terms, given its
+    /// clique→star threshold.
+    #[must_use]
+    pub fn decomposition(&self, star_threshold: usize) -> NetDecomposition {
+        NetDecomposition::for_degree(self.degree(), star_threshold)
+    }
+}
+
+/// How a net is expanded into placement force/wirelength terms.
+///
+/// Small nets use the exact pairwise (clique) form; nets whose degree exceeds the
+/// placer's `star_threshold` use the star form, which for the quadratic wirelength
+/// model is *analytically identical* to the clique form (see [`star_forces`]) but costs
+/// `O(k)` instead of `O(k²)` per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetDecomposition {
+    /// Exact pairwise expansion: `k(k−1)/2` spring terms.
+    Clique,
+    /// Star expansion: `k` spoke terms against the pin centroid.
+    Star,
+}
+
+impl NetDecomposition {
+    /// Chooses the decomposition for a net of `degree` pins under `star_threshold`:
+    /// nets with more than `star_threshold` pins are decomposed clique→star.
+    #[must_use]
+    pub fn for_degree(degree: usize, star_threshold: usize) -> Self {
+        if degree > star_threshold {
+            NetDecomposition::Star
+        } else {
+            NetDecomposition::Clique
+        }
+    }
+}
+
+/// Quadratic wirelength of a net under the clique model:
+/// `W = w · Σ_{i<j} |p_i − p_j|²`.
+#[must_use]
+pub fn quadratic_wirelength(points: &[Point], weight: f64) -> f64 {
+    let mut total = 0.0;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            total += points[i].distance_squared(points[j]);
+        }
+    }
+    weight * total
+}
+
+/// Quadratic wirelength of a net under the star model:
+/// `W = w · k · Σ_i |p_i − x̄|²` where `x̄` is the pin centroid.
+///
+/// By the standard variance identity `Σ_{i<j} |p_i − p_j|² = k · Σ_i |p_i − x̄|²`,
+/// this equals [`quadratic_wirelength`] exactly (up to floating-point rounding) while
+/// costing `O(k)` instead of `O(k²)`.
+#[must_use]
+pub fn star_wirelength(points: &[Point], weight: f64) -> f64 {
+    let Some(centroid) = pin_centroid(points) else {
+        return 0.0;
+    };
+    let k = points.len() as f64;
+    weight
+        * k
+        * points
+            .iter()
+            .map(|p| p.distance_squared(centroid))
+            .sum::<f64>()
+}
+
+/// Accumulates the clique-model attraction force of one net into `forces`:
+/// `F_i += w · Σ_{j≠i} (p_j − p_i)`, the negative gradient of
+/// `½ · w · Σ_{i<j} |p_i − p_j|²`.
+///
+/// `forces` must have the same length as `points`.
+///
+/// # Panics
+///
+/// Panics if `forces.len() != points.len()`.
+pub fn clique_forces(points: &[Point], weight: f64, forces: &mut [Vector]) {
+    assert_eq!(points.len(), forces.len(), "one force slot per pin");
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let pull = (points[j] - points[i]) * weight;
+            forces[i] += pull;
+            forces[j] -= pull;
+        }
+    }
+}
+
+/// Accumulates the star-model attraction force of one net into `forces`:
+/// `F_i += w · k · (x̄ − p_i)` where `x̄` is the pin centroid.
+///
+/// For the quadratic model this is *exactly* the clique force: summing the pairwise
+/// pulls on pin `i` gives `w · Σ_j (p_j − p_i) = w · (S − k·p_i) = w · k · (x̄ − p_i)`,
+/// so the star spoke with weight `w · k` reproduces the clique gradient without
+/// enumerating the `k(k−1)/2` pairs.
+///
+/// # Panics
+///
+/// Panics if `forces.len() != points.len()`.
+pub fn star_forces(points: &[Point], weight: f64, forces: &mut [Vector]) {
+    assert_eq!(points.len(), forces.len(), "one force slot per pin");
+    let Some(centroid) = pin_centroid(points) else {
+        return;
+    };
+    let spoke = weight * points.len() as f64;
+    for (p, f) in points.iter().zip(forces.iter_mut()) {
+        *f += (centroid - *p) * spoke;
+    }
+}
+
+/// The centroid `x̄ = Σ p_i / k` of a pin list, or `None` when the list is empty.
+#[must_use]
+pub fn pin_centroid(points: &[Point]) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let (sx, sy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    let k = points.len() as f64;
+    Some(Point::new(sx / k, sy / k))
 }
 
 /// Default weight of a real (chain) net.
@@ -105,6 +245,11 @@ pub const PSEUDO_NET_WEIGHT: f64 = 0.5;
 /// qubits.  In [`NetModel::Pseudo`] the blocks are laid out on a virtual
 /// `rows × cols` grid (rows ≈ √n) and every horizontally- or vertically-adjacent pair
 /// receives an extra pseudo net, exactly the red dotted arrows of the paper's Fig. 5-d.
+/// In [`NetModel::Clique`] the pseudo mesh is replaced by one high-degree hypernet over
+/// the endpoints and every block, with its per-pair weight normalised by the degree so
+/// the centroid pull on each pin stays comparable to two pseudo links
+/// (`w = 2·`[`PSEUDO_NET_WEIGHT`]`/k` gives a spoke force of
+/// `2·`[`PSEUDO_NET_WEIGHT`]`·(x̄ − p)` under the star identity of [`star_forces`]).
 #[must_use]
 pub fn resonator_nets(
     resonator: ResonatorId,
@@ -137,6 +282,15 @@ pub fn resonator_nets(
         )
         .with_resonator(resonator),
     );
+
+    if model == NetModel::Clique {
+        let mut pins: Vec<ComponentId> = Vec::with_capacity(segments.len() + 2);
+        pins.push(qa.into());
+        pins.extend(segments.iter().map(|&s| ComponentId::from(s)));
+        pins.push(qb.into());
+        let weight = 2.0 * PSEUDO_NET_WEIGHT / pins.len() as f64;
+        nets.push(Net::new(pins, weight).with_resonator(resonator).as_pseudo());
+    }
 
     if model == NetModel::Pseudo {
         let n = segments.len();
@@ -256,6 +410,90 @@ mod tests {
             NetModel::Pseudo,
         );
         assert_eq!(nets.len(), 2);
+    }
+
+    #[test]
+    fn clique_model_builds_backbone_plus_one_hypernet() {
+        let nets = resonator_nets(
+            ResonatorId(0),
+            QubitId(0),
+            QubitId(1),
+            &segs(6),
+            NetModel::Clique,
+        );
+        // 7 chain nets + 1 hypernet.
+        assert_eq!(nets.len(), 8);
+        let hyper: Vec<_> = nets.iter().filter(|n| n.degree() > 2).collect();
+        assert_eq!(hyper.len(), 1);
+        assert_eq!(hyper[0].degree(), 8); // qa + 6 segments + qb
+        assert!(hyper[0].is_pseudo());
+        assert!((hyper[0].weight() - 2.0 * PSEUDO_NET_WEIGHT / 8.0).abs() < 1e-12);
+        assert_eq!(hyper[0].decomposition(4), NetDecomposition::Star);
+        assert_eq!(hyper[0].decomposition(8), NetDecomposition::Clique);
+    }
+
+    #[test]
+    fn decomposition_threshold_is_exclusive() {
+        assert_eq!(NetDecomposition::for_degree(2, 4), NetDecomposition::Clique);
+        assert_eq!(NetDecomposition::for_degree(4, 4), NetDecomposition::Clique);
+        assert_eq!(NetDecomposition::for_degree(5, 4), NetDecomposition::Star);
+    }
+
+    fn sample_pins(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Point::new(3.0 * t - 0.7 * t * t, 40.0 - 5.0 * t + 0.3 * t * t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn star_wirelength_equals_clique_wirelength() {
+        for n in [0usize, 1, 2, 3, 7, 14, 30] {
+            let pins = sample_pins(n);
+            let clique = quadratic_wirelength(&pins, 0.37);
+            let star = star_wirelength(&pins, 0.37);
+            assert!(
+                (clique - star).abs() <= 1e-9 * clique.abs().max(1.0),
+                "degree {n}: clique {clique} vs star {star}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_forces_equal_clique_forces() {
+        for n in [1usize, 2, 3, 7, 14, 30] {
+            let pins = sample_pins(n);
+            let mut clique = vec![Vector::ZERO; n];
+            let mut star = vec![Vector::ZERO; n];
+            clique_forces(&pins, 0.42, &mut clique);
+            star_forces(&pins, 0.42, &mut star);
+            for (i, (c, s)) in clique.iter().zip(&star).enumerate() {
+                let d = (*c - *s).length();
+                assert!(
+                    d <= 1e-9 * (c.length().max(1.0)),
+                    "degree {n} pin {i}: clique {c:?} vs star {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_pin_clique_force_is_a_plain_spring() {
+        let pins = [Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
+        let mut f = vec![Vector::ZERO; 2];
+        clique_forces(&pins, 0.5, &mut f);
+        assert!((f[0].dx - 2.0).abs() < 1e-12 && f[0].dy.abs() < 1e-12);
+        assert!((f[1].dx + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pin_centroid_of_empty_list_is_none() {
+        assert!(pin_centroid(&[]).is_none());
+        let mut f: Vec<Vector> = Vec::new();
+        star_forces(&[], 1.0, &mut f); // must not panic
+        assert_eq!(star_wirelength(&[], 1.0), 0.0);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct GlobalPlacerConfig {
     /// Extra clearance (in wire-block units) added around qubits when computing
     /// repulsion — the GP-side *padding* discussed in §III-C.
     pub qubit_padding_cells: f64,
+    /// Nets with more than this many pins are decomposed clique→star
+    /// ([`qgdp_netlist::NetDecomposition`]): the star form is analytically identical
+    /// for the quadratic force model but costs `O(k)` instead of `O(k²)` per
+    /// iteration.  Nets at or below the threshold use the exact pairwise expansion.
+    pub star_threshold: usize,
     /// RNG seed; the placer is fully deterministic for a given seed.
     pub seed: u64,
 }
@@ -42,6 +47,7 @@ impl GlobalPlacerConfig {
             damping: 0.8,
             jitter: 0.6,
             qubit_padding_cells: 1.0,
+            star_threshold: DEFAULT_STAR_THRESHOLD,
             seed: DEFAULT_SEED,
         }
     }
@@ -57,6 +63,22 @@ impl GlobalPlacerConfig {
     #[must_use]
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different clique→star decomposition threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `star_threshold` is below 2 (a 2-pin net cannot be decomposed
+    /// further).
+    #[must_use]
+    pub fn with_star_threshold(mut self, star_threshold: usize) -> Self {
+        assert!(
+            star_threshold >= 2,
+            "star threshold must be at least 2, got {star_threshold}"
+        );
+        self.star_threshold = star_threshold;
         self
     }
 
@@ -78,6 +100,12 @@ impl GlobalPlacerConfig {
 
 /// RNG seed used by [`GlobalPlacerConfig::default`].
 pub const DEFAULT_SEED: u64 = 0x5eed_0001;
+
+/// Default clique→star threshold: nets with more than this many pins use the star
+/// form.  Every net the standard [`qgdp_netlist::NetModel::Pseudo`] model produces is
+/// 2-pin, so the default only kicks in for hypernets
+/// ([`qgdp_netlist::NetModel::Clique`] or hand-built multi-pin nets).
+pub const DEFAULT_STAR_THRESHOLD: usize = 4;
 
 impl Default for GlobalPlacerConfig {
     fn default() -> Self {
@@ -112,5 +140,21 @@ mod tests {
     #[should_panic(expected = "utilization must be in (0, 1]")]
     fn bad_utilization_panics() {
         let _ = GlobalPlacerConfig::default().with_utilization(1.5);
+    }
+
+    #[test]
+    fn star_threshold_builder() {
+        let c = GlobalPlacerConfig::default().with_star_threshold(9);
+        assert_eq!(c.star_threshold, 9);
+        assert_eq!(
+            GlobalPlacerConfig::default().star_threshold,
+            DEFAULT_STAR_THRESHOLD
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "star threshold must be at least 2")]
+    fn tiny_star_threshold_panics() {
+        let _ = GlobalPlacerConfig::default().with_star_threshold(1);
     }
 }

@@ -1,9 +1,17 @@
-//! Coarse density grid used for the global placer's spreading force.
+//! Coarse density grid used for the global placer's spreading force, maintained
+//! incrementally across placement iterations.
 
 use qgdp_geometry::{Point, Rect};
 
 /// A coarse grid accumulating component area per bin, used to compute the local
 /// density (spreading) force during global placement.
+///
+/// The grid supports *incremental* maintenance: instead of rebuilding the whole field
+/// every iteration, the placer calls [`DensityGrid::move_area`] for each component
+/// move (remove-at-old / add-at-new, a no-op when the move stays inside one bin).
+/// Incremental updates accumulate floating-point round-off relative to a from-scratch
+/// rebuild; [`DensityGrid::max_abs_bin_diff`] lets debug builds bound that drift
+/// against a freshly rebuilt grid.
 ///
 /// # Example
 ///
@@ -86,9 +94,59 @@ impl DensityGrid {
     /// bins it overlaps) is a deliberate simplification: the grid is coarse and only
     /// steers a spreading force, so per-bin exactness does not matter.
     pub fn deposit(&mut self, rect: &Rect) {
-        let (col, row) = self.bin_of(rect.center());
+        self.add_area(rect.center(), rect.area());
+    }
+
+    /// Adds `area` to the bin containing `center`.
+    pub fn add_area(&mut self, center: Point, area: f64) {
+        let (col, row) = self.bin_of(center);
         let idx = self.bin_index(col, row);
-        self.area[idx] += rect.area();
+        self.area[idx] += area;
+    }
+
+    /// Removes `area` from the bin containing `center` (the inverse of
+    /// [`DensityGrid::add_area`]).
+    pub fn remove_area(&mut self, center: Point, area: f64) {
+        let (col, row) = self.bin_of(center);
+        let idx = self.bin_index(col, row);
+        self.area[idx] -= area;
+    }
+
+    /// Incrementally moves `area` from the bin containing `from` to the bin containing
+    /// `to`.  A move that stays inside one bin leaves the field bit-unchanged.
+    pub fn move_area(&mut self, from: Point, to: Point, area: f64) {
+        let old = self.bin_of(from);
+        let new = self.bin_of(to);
+        if old == new {
+            return;
+        }
+        let old_idx = self.bin_index(old.0, old.1);
+        let new_idx = self.bin_index(new.0, new.1);
+        self.area[old_idx] -= area;
+        self.area[new_idx] += area;
+    }
+
+    /// The largest absolute per-bin area difference against `other`.
+    ///
+    /// Used by the placer's debug-build checksum: after a run of incremental
+    /// [`DensityGrid::move_area`] updates, the field must agree with a from-scratch
+    /// rebuild up to floating-point round-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two grids have different bin counts.
+    #[must_use]
+    pub fn max_abs_bin_diff(&self, other: &DensityGrid) -> f64 {
+        assert_eq!(
+            self.area.len(),
+            other.area.len(),
+            "grids must have the same bin count"
+        );
+        self.area
+            .iter()
+            .zip(&other.area)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
     }
 
     /// The density (accumulated area / bin area) of the bin containing `point`.
@@ -107,17 +165,39 @@ impl DensityGrid {
             .fold(0.0, f64::max)
     }
 
-    /// The spreading force at `point`: a vector pointing from the centre of the
-    /// over-filled neighbourhood towards lower density, scaled by how much the local
-    /// density exceeds `target_density`.
+    /// The dense (linear, row-major) index of the bin containing `point`, clamped to
+    /// the grid for out-of-die points.
     ///
-    /// Returns the zero vector when the local density is at or below the target.
+    /// Pairs with [`DensityGrid::transfer_area`] and [`SpreadingField::force_at`] so
+    /// the placer's hot loop can track each component's bin instead of re-deriving it
+    /// from coordinates every iteration.
     #[must_use]
-    pub fn spreading_force(&self, point: Point, target_density: f64) -> qgdp_geometry::Vector {
+    pub fn bin_index_of(&self, point: Point) -> usize {
         let (col, row) = self.bin_of(point);
-        let here = self.area[self.bin_index(col, row)] / (self.bin_w * self.bin_h);
+        self.bin_index(col, row)
+    }
+
+    /// Incrementally moves `area` between two bins given their linear indices (the
+    /// index-based twin of [`DensityGrid::move_area`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn transfer_area(&mut self, from_bin: usize, to_bin: usize, area: f64) {
+        if from_bin == to_bin {
+            return;
+        }
+        self.area[from_bin] -= area;
+        self.area[to_bin] += area;
+    }
+
+    /// The per-bin spreading directive: everything about the spreading force that does
+    /// not depend on the exact query point.
+    fn directive(&self, col: usize, row: usize, target_density: f64) -> SpreadDirective {
+        let bin_area = self.bin_w * self.bin_h;
+        let here = self.area[self.bin_index(col, row)] / bin_area;
         if here <= target_density {
-            return qgdp_geometry::Vector::ZERO;
+            return SpreadDirective::Calm;
         }
         // Push towards the least dense of the 4-neighbours (or away from the bin
         // centre when all neighbours are equally dense).
@@ -141,14 +221,94 @@ impl DensityGrid {
         let overflow = here - target_density;
         match best {
             Some((neighbor_density, target)) if neighbor_density < here => {
-                (target - point).normalized() * overflow
+                SpreadDirective::Toward { target, overflow }
             }
-            _ => {
-                // Locally flat: nudge away from the bin centre to break ties.
-                let away = point - self.bin_center(col, row);
-                away.normalized() * overflow
+            _ => SpreadDirective::Flat {
+                center: self.bin_center(col, row),
+                overflow,
+            },
+        }
+    }
+
+    /// The spreading force at `point`: a vector pointing from the centre of the
+    /// over-filled neighbourhood towards lower density, scaled by how much the local
+    /// density exceeds `target_density`.
+    ///
+    /// Returns the zero vector when the local density is at or below the target.
+    #[must_use]
+    pub fn spreading_force(&self, point: Point, target_density: f64) -> qgdp_geometry::Vector {
+        let (col, row) = self.bin_of(point);
+        self.directive(col, row, target_density).force_at(point)
+    }
+
+    /// Snapshots the spreading directive of *every* bin for the current density state.
+    ///
+    /// The placer evaluates all spreading forces of one iteration against the same
+    /// density snapshot, so components sharing a bin (wire-block clumps routinely do)
+    /// can share one neighbour scan: querying the field via
+    /// [`SpreadingField::force_at`] is bit-identical to calling
+    /// [`DensityGrid::spreading_force`] on the grid the field was built from.
+    #[must_use]
+    pub fn spreading_field(&self, target_density: f64) -> SpreadingField {
+        let mut directives = Vec::with_capacity(self.area.len());
+        for row in 0..self.bins_per_side {
+            for col in 0..self.bins_per_side {
+                directives.push(self.directive(col, row, target_density));
             }
         }
+        SpreadingField { directives }
+    }
+}
+
+/// The point-independent part of one bin's spreading force.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SpreadDirective {
+    /// Density at or below target: no force.
+    Calm,
+    /// Push towards the least dense 4-neighbour's centre.
+    Toward {
+        /// Centre of the least dense neighbour.
+        target: Point,
+        /// How much the local density exceeds the target.
+        overflow: f64,
+    },
+    /// Locally flat: nudge away from the bin centre to break ties.
+    Flat {
+        /// Centre of the overfull bin itself.
+        center: Point,
+        /// How much the local density exceeds the target.
+        overflow: f64,
+    },
+}
+
+impl SpreadDirective {
+    fn force_at(self, point: Point) -> qgdp_geometry::Vector {
+        match self {
+            SpreadDirective::Calm => qgdp_geometry::Vector::ZERO,
+            SpreadDirective::Toward { target, overflow } => {
+                (target - point).normalized() * overflow
+            }
+            SpreadDirective::Flat { center, overflow } => (point - center).normalized() * overflow,
+        }
+    }
+}
+
+/// A per-bin snapshot of spreading directives (see [`DensityGrid::spreading_field`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadingField {
+    directives: Vec<SpreadDirective>,
+}
+
+impl SpreadingField {
+    /// The spreading force at `point`, which must lie in the bin with linear index
+    /// `bin` (as returned by [`DensityGrid::bin_index_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    #[must_use]
+    pub fn force_at(&self, bin: usize, point: Point) -> qgdp_geometry::Vector {
+        self.directives[bin].force_at(point)
     }
 }
 
@@ -185,6 +345,77 @@ mod tests {
         // Below target: no force.
         let calm = g.spreading_force(Point::new(85.0, 85.0), 1.0);
         assert_eq!(calm, qgdp_geometry::Vector::ZERO);
+    }
+
+    #[test]
+    fn move_area_matches_remove_then_add() {
+        let mut incremental = DensityGrid::new(&die(), 10);
+        let mut rebuilt = DensityGrid::new(&die(), 10);
+        let a = Point::new(15.0, 15.0);
+        let b = Point::new(75.0, 35.0);
+        incremental.add_area(a, 120.0);
+        incremental.move_area(a, b, 120.0);
+        rebuilt.add_area(b, 120.0);
+        assert!(incremental.max_abs_bin_diff(&rebuilt) < 1e-12);
+        // Intra-bin move: bit-identical, nothing touched.
+        let before = incremental.clone();
+        incremental.move_area(b, Point::new(75.2, 35.1), 120.0);
+        assert_eq!(incremental, before);
+    }
+
+    #[test]
+    fn max_abs_bin_diff_detects_divergence() {
+        let mut a = DensityGrid::new(&die(), 4);
+        let b = DensityGrid::new(&die(), 4);
+        assert_eq!(a.max_abs_bin_diff(&b), 0.0);
+        a.add_area(Point::new(50.0, 50.0), 7.5);
+        assert!((a.max_abs_bin_diff(&b) - 7.5).abs() < 1e-12);
+        a.remove_area(Point::new(50.0, 50.0), 7.5);
+        assert!(a.max_abs_bin_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same bin count")]
+    fn bin_diff_requires_matching_grids() {
+        let a = DensityGrid::new(&die(), 4);
+        let b = DensityGrid::new(&die(), 5);
+        let _ = a.max_abs_bin_diff(&b);
+    }
+
+    #[test]
+    fn spreading_field_is_bit_identical_to_spreading_force() {
+        let mut g = DensityGrid::new(&die(), 10);
+        // An irregular density landscape: clumps, a ridge, and calm regions.
+        for i in 0..40 {
+            let x = 5.0 + (i % 7) as f64 * 13.0;
+            let y = 5.0 + (i % 5) as f64 * 19.0;
+            g.deposit(&Rect::from_center(Point::new(x, y), 12.0, 9.0));
+        }
+        let field = g.spreading_field(1.0);
+        for i in 0..200 {
+            let p = Point::new((i % 20) as f64 * 5.0 + 1.3, (i / 20) as f64 * 9.7 + 0.4);
+            let direct = g.spreading_force(p, 1.0);
+            let cached = field.force_at(g.bin_index_of(p), p);
+            assert_eq!(direct, cached, "divergence at {p}");
+        }
+    }
+
+    #[test]
+    fn transfer_area_matches_move_area() {
+        let mut by_point = DensityGrid::new(&die(), 8);
+        let mut by_index = DensityGrid::new(&die(), 8);
+        let a = Point::new(12.0, 12.0);
+        let b = Point::new(88.0, 43.0);
+        by_point.add_area(a, 55.0);
+        by_index.add_area(a, 55.0);
+        by_point.move_area(a, b, 55.0);
+        by_index.transfer_area(by_index.bin_index_of(a), by_index.bin_index_of(b), 55.0);
+        assert_eq!(by_point, by_index);
+        // Same-bin transfer is a no-op.
+        let before = by_index.clone();
+        let bin = by_index.bin_index_of(b);
+        by_index.transfer_area(bin, bin, 55.0);
+        assert_eq!(by_index, before);
     }
 
     #[test]

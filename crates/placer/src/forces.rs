@@ -1,0 +1,290 @@
+//! The compiled net force field: clique→star expansion of the netlist into flat,
+//! index-based spring terms.
+//!
+//! The placer's original attraction loop re-walked every [`qgdp_netlist::Net`] each
+//! iteration, resolving [`ComponentId`]s through enum matches and expanding every net
+//! as a pairwise clique — `O(Σ pins²)` per iteration.  [`NetForceField::compile`]
+//! performs that expansion *once* per placement:
+//!
+//! * nets at or below the configured star threshold become flat `(a, b, w)` pair
+//!   terms with the `attraction × net.weight` product pre-multiplied;
+//! * larger nets become star terms — one centroid evaluation and `k` spokes — which
+//!   for the quadratic force model is analytically identical to the clique expansion
+//!   (see [`qgdp_netlist::star_forces`]) at `O(k)` instead of `O(k²)` cost.
+//!
+//! Per iteration only [`NetForceField::accumulate`] runs: tight loops over dense
+//! `u32` indices with no id resolution and no allocation.
+
+use qgdp_geometry::{Point, Vector};
+use qgdp_netlist::{ComponentId, NetDecomposition, QuantumNetlist};
+
+/// One exact pairwise spring term: pins `a` and `b` pull each other with `weight`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PairTerm {
+    a: u32,
+    b: u32,
+    weight: f64,
+}
+
+/// One star term: the pins in `star_pins[start..end]` are pulled towards their
+/// centroid with spoke weight `weight × k` (the clique-equivalent scaling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StarTerm {
+    start: u32,
+    end: u32,
+    weight: f64,
+}
+
+/// The netlist's nets compiled into flat force terms over dense component indices
+/// (qubits first, then segments — the same order as
+/// [`QuantumNetlist::component_ids`]).
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Vector};
+/// use qgdp_netlist::{ComponentGeometry, NetModel, NetlistBuilder};
+/// use qgdp_placer::NetForceField;
+///
+/// let netlist = NetlistBuilder::new(ComponentGeometry::default())
+///     .qubits(2)
+///     .couple(0, 1)
+///     .build()?;
+/// let field = NetForceField::compile(&netlist, 0.1, 4);
+/// let positions = vec![Point::ORIGIN; netlist.num_components()];
+/// let mut forces = vec![Vector::ZERO; netlist.num_components()];
+/// field.accumulate(&positions, &mut forces); // all-coincident pins: zero force
+/// assert!(forces.iter().all(|f| f.length() == 0.0));
+/// # Ok::<(), qgdp_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetForceField {
+    pairs: Vec<PairTerm>,
+    stars: Vec<StarTerm>,
+    star_pins: Vec<u32>,
+}
+
+impl NetForceField {
+    /// Compiles every net of `netlist` into force terms.
+    ///
+    /// `attraction` is the placer's spring constant (pre-multiplied into every term so
+    /// the per-iteration loop performs no extra work); nets with more than
+    /// `star_threshold` pins are decomposed clique→star.
+    ///
+    /// Pair terms are emitted in net order with pins expanded `i < j`, matching the
+    /// evaluation order of the original nested attraction loop bit-for-bit.
+    #[must_use]
+    pub fn compile(netlist: &QuantumNetlist, attraction: f64, star_threshold: usize) -> Self {
+        let num_qubits = netlist.num_qubits();
+        let dense = |id: ComponentId| -> u32 {
+            match id {
+                ComponentId::Qubit(q) => q.index() as u32,
+                ComponentId::Segment(s) => (num_qubits + s.index()) as u32,
+            }
+        };
+
+        let mut pairs = Vec::new();
+        let mut stars = Vec::new();
+        let mut star_pins: Vec<u32> = Vec::new();
+        for net in netlist.nets() {
+            let weight = attraction * net.weight();
+            let pins = net.components();
+            match net.decomposition(star_threshold) {
+                NetDecomposition::Clique => {
+                    for i in 0..pins.len() {
+                        for j in (i + 1)..pins.len() {
+                            pairs.push(PairTerm {
+                                a: dense(pins[i]),
+                                b: dense(pins[j]),
+                                weight,
+                            });
+                        }
+                    }
+                }
+                NetDecomposition::Star => {
+                    let start = star_pins.len() as u32;
+                    star_pins.extend(pins.iter().map(|&p| dense(p)));
+                    stars.push(StarTerm {
+                        start,
+                        end: star_pins.len() as u32,
+                        weight,
+                    });
+                }
+            }
+        }
+        NetForceField {
+            pairs,
+            stars,
+            star_pins,
+        }
+    }
+
+    /// Number of exact pairwise terms.
+    #[must_use]
+    pub fn num_pair_terms(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of star (decomposed high-degree) terms.
+    #[must_use]
+    pub fn num_star_terms(&self) -> usize {
+        self.stars.len()
+    }
+
+    /// Accumulates the attraction force of every term into `forces`.
+    ///
+    /// `positions` and `forces` are indexed by dense component index; `forces` is not
+    /// cleared first, so the caller can fold several fields (or other forces) into the
+    /// same buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `positions` or `forces` are shorter than the
+    /// largest pin index seen at compile time.
+    pub fn accumulate(&self, positions: &[Point], forces: &mut [Vector]) {
+        for term in &self.pairs {
+            let (a, b) = (term.a as usize, term.b as usize);
+            let pull = (positions[b] - positions[a]) * term.weight;
+            forces[a] += pull;
+            forces[b] -= pull;
+        }
+        for star in &self.stars {
+            let pins = &self.star_pins[star.start as usize..star.end as usize];
+            let k = pins.len() as f64;
+            let (sx, sy) = pins.iter().fold((0.0, 0.0), |(sx, sy), &p| {
+                let pos = positions[p as usize];
+                (sx + pos.x, sy + pos.y)
+            });
+            let centroid = Point::new(sx / k, sy / k);
+            let spoke = star.weight * k;
+            for &p in pins {
+                let p = p as usize;
+                forces[p] += (centroid - positions[p]) * spoke;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_netlist::{clique_forces, ComponentGeometry, NetModel, NetlistBuilder};
+
+    fn path_netlist(model: NetModel) -> QuantumNetlist {
+        NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(3)
+            .couple(0, 1)
+            .couple(1, 2)
+            .net_model(model)
+            .build()
+            .expect("valid netlist")
+    }
+
+    /// Reference evaluation: the original per-net nested loop over `Net` records.
+    fn reference_forces(netlist: &QuantumNetlist, positions: &[Point]) -> Vec<Vector> {
+        let mut forces = vec![Vector::ZERO; positions.len()];
+        let nq = netlist.num_qubits();
+        let dense = |id: ComponentId| -> usize {
+            match id {
+                ComponentId::Qubit(q) => q.index(),
+                ComponentId::Segment(s) => nq + s.index(),
+            }
+        };
+        for net in netlist.nets() {
+            let pins = net.components();
+            let mut local = vec![Vector::ZERO; pins.len()];
+            let pts: Vec<Point> = pins.iter().map(|&p| positions[dense(p)]).collect();
+            clique_forces(&pts, 0.1 * net.weight(), &mut local);
+            for (&pin, f) in pins.iter().zip(&local) {
+                forces[dense(pin)] += *f;
+            }
+        }
+        forces
+    }
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Point::new(
+                    17.0 * (t * 0.37).sin() * t.sqrt(),
+                    13.0 * (t * 0.71).cos() * t,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pseudo_model_compiles_to_pairs_only() {
+        let netlist = path_netlist(NetModel::Pseudo);
+        let field = NetForceField::compile(&netlist, 0.1, 4);
+        assert_eq!(field.num_pair_terms(), netlist.nets().len());
+        assert_eq!(field.num_star_terms(), 0);
+    }
+
+    #[test]
+    fn clique_model_compiles_hypernets_to_stars() {
+        let netlist = path_netlist(NetModel::Clique);
+        let field = NetForceField::compile(&netlist, 0.1, 4);
+        assert_eq!(field.num_star_terms(), netlist.num_resonators());
+        // Chain backbone stays exact.
+        assert!(field.num_pair_terms() > 0);
+        // A huge threshold keeps every hypernet exact instead.
+        let exact = NetForceField::compile(&netlist, 0.1, 1_000);
+        assert_eq!(exact.num_star_terms(), 0);
+    }
+
+    #[test]
+    fn compiled_field_matches_per_net_reference() {
+        for model in [NetModel::Chain, NetModel::Pseudo, NetModel::Clique] {
+            let netlist = path_netlist(model);
+            let positions = scatter(netlist.num_components());
+            let expected = reference_forces(&netlist, &positions);
+
+            for threshold in [2usize, 4, 64] {
+                let field = NetForceField::compile(&netlist, 0.1, threshold);
+                let mut forces = vec![Vector::ZERO; positions.len()];
+                field.accumulate(&positions, &mut forces);
+                for (k, (got, want)) in forces.iter().zip(&expected).enumerate() {
+                    let d = (*got - *want).length();
+                    assert!(
+                        d <= 1e-9 * want.length().max(1.0),
+                        "{model:?} threshold {threshold} pin {k}: {got:?} vs {want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_on_top_of_existing_forces() {
+        let netlist = path_netlist(NetModel::Pseudo);
+        let positions = scatter(netlist.num_components());
+        let field = NetForceField::compile(&netlist, 0.1, 4);
+        let mut once = vec![Vector::ZERO; positions.len()];
+        field.accumulate(&positions, &mut once);
+        let mut twice = vec![Vector::ZERO; positions.len()];
+        field.accumulate(&positions, &mut twice);
+        field.accumulate(&positions, &mut twice);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((*b - *a - *a).length() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn net_internal_forces_cancel() {
+        // Attraction is net-internal: over all pins the pulls sum to zero, for both
+        // the pairwise and the star expansion.
+        let clique = path_netlist(NetModel::Clique);
+        let positions = scatter(clique.num_components());
+        let field = NetForceField::compile(&clique, 0.1, 4);
+        assert!(field.num_star_terms() > 0, "star path must be exercised");
+        let mut forces = vec![Vector::ZERO; positions.len()];
+        field.accumulate(&positions, &mut forces);
+        let total: Vector = forces.iter().fold(Vector::ZERO, |acc, f| acc + *f);
+        assert!(
+            total.length() < 1e-9,
+            "net-internal forces must cancel, residual {total:?}"
+        );
+    }
+}

@@ -19,6 +19,29 @@
 //! The result is a [`GlobalPlacement`]: the placement, the die outline and a few
 //! quality statistics.  Legalizers take it from there.
 //!
+//! # Architecture
+//!
+//! The hot path ([`GlobalPlacer::place`]) compiles the netlist's
+//! [`qgdp_netlist::Net`] list once into a [`NetForceField`] — small nets expanded
+//! into exact pairwise spring terms, nets above
+//! [`GlobalPlacerConfig::star_threshold`] decomposed clique→star
+//! ([`qgdp_netlist::NetDecomposition`], an exact identity for the quadratic force
+//! model) — and maintains the [`DensityGrid`] incrementally per component move
+//! instead of rebuilding it every iteration.  The original formulation is retained
+//! as [`GlobalPlacer::place_reference`], the executable specification that the
+//! equivalence tests and the `bench_placer` binary measure against; on the default
+//! integer-area geometry the two are bit-identical.
+//!
+//! # Paper map
+//!
+//! This crate reproduces the *global placement substrate* the paper's §III
+//! preliminaries assume as input (QPlacer's electrostatic GP with the §III-D pseudo
+//! connections): every downstream stage — qubit legalization (§III-C), resonator
+//! legalization (§III-D, Algorithm 1) and detailed placement (§III-E, Algorithm 2)
+//! in the `qgdp` core crate — consumes the [`GlobalPlacement`] produced here.  The
+//! netlist model it places is [`qgdp_netlist`] (§III, Eq. 6), seeded from
+//! [`qgdp_topology`] lattice coordinates (Table I).
+//!
 //! # Example
 //!
 //! ```
@@ -38,8 +61,10 @@
 
 pub mod config;
 pub mod density;
+pub mod forces;
 pub mod placer;
 
 pub use config::GlobalPlacerConfig;
-pub use density::DensityGrid;
-pub use placer::{GlobalPlacement, GlobalPlacer, GpStats};
+pub use density::{DensityGrid, SpreadingField};
+pub use forces::NetForceField;
+pub use placer::{hpwl, GlobalPlacement, GlobalPlacer, GpStats};

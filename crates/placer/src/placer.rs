@@ -1,11 +1,30 @@
 //! The force-directed global placer.
+//!
+//! Two implementations share the same physics:
+//!
+//! * [`GlobalPlacer::place`] — the production hot path: nets compiled once into a
+//!   [`NetForceField`] (clique→star decomposed), positions and forces in flat arrays,
+//!   and the density field maintained incrementally via [`DensityGrid::move_area`];
+//! * [`GlobalPlacer::place_reference`] — the original per-iteration formulation
+//!   (re-walk every net, rebuild the density grid from scratch), kept as the
+//!   executable specification the equivalence tests and the `bench_placer` binary
+//!   measure against.
+//!
+//! In debug builds the optimized path periodically rebuilds the density field from
+//! scratch and asserts the incremental state agrees bin-for-bin within floating-point
+//! round-off.
 
-use crate::{DensityGrid, GlobalPlacerConfig};
+use crate::{DensityGrid, GlobalPlacerConfig, NetForceField};
 use qgdp_geometry::{Point, Rect, Vector};
 use qgdp_netlist::{ComponentId, Placement, QuantumNetlist};
 use qgdp_topology::Topology;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Debug builds rebuild the density grid from scratch every this many iterations and
+/// assert the incremental field matches (see [`DensityGrid::max_abs_bin_diff`]).
+#[cfg(debug_assertions)]
+const DENSITY_CHECK_INTERVAL: usize = 16;
 
 /// Quality statistics of a global placement.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -51,11 +70,171 @@ impl GlobalPlacer {
     /// Runs global placement for `netlist`, seeding qubits from `topology`'s canonical
     /// coordinates.
     ///
+    /// This is the optimized hot path: nets are compiled once into a
+    /// [`NetForceField`] and the density field is maintained incrementally across
+    /// iterations.  [`GlobalPlacer::place_reference`] computes the same physics the
+    /// original quadratic way; final layouts agree up to floating-point round-off in
+    /// the incremental density bookkeeping (the golden quality tests bound the drift).
+    ///
     /// # Panics
     ///
     /// Panics if the netlist and topology disagree on the number of qubits.
     #[must_use]
     pub fn place(&self, netlist: &QuantumNetlist, topology: &Topology) -> GlobalPlacement {
+        assert_eq!(
+            netlist.num_qubits(),
+            topology.num_qubits(),
+            "netlist and topology must describe the same device"
+        );
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let die = netlist.suggested_die(cfg.utilization);
+        let lb = netlist.geometry().wire_block_size;
+
+        let seeds = self.seed_positions(netlist, topology, &die, &mut rng);
+        let mut placement = seeds.clone();
+        placement.clamp_within(netlist, &die);
+
+        let num_qubits = netlist.num_qubits();
+        let ids: Vec<ComponentId> = netlist.component_ids().collect();
+        let n = ids.len();
+
+        // Flat per-component state, indexed densely (qubits first, then segments).
+        let mut pos: Vec<Point> = ids.iter().map(|&id| placement.component(id)).collect();
+        let seed_pos: Vec<Point> = pos.clone();
+        // Deposited area and die-clamp bounds per component are constant across
+        // iterations: the component rect (qubits inflated by the GP-side padding)
+        // only translates.  The clamp bounds replicate `Rect::clamped_within`'s
+        // interval arithmetic exactly.
+        let mut deposited_area = Vec::with_capacity(n);
+        let mut clamp_x = Vec::with_capacity(n);
+        let mut clamp_y = Vec::with_capacity(n);
+        for &id in &ids {
+            let rect = netlist.component_rect_at(id, Point::ORIGIN);
+            let deposit_rect = if id.is_qubit() {
+                rect.inflated(cfg.qubit_padding_cells * lb)
+            } else {
+                rect
+            };
+            deposited_area.push(deposit_rect.area());
+            clamp_x.push((
+                die.left() + rect.width() * 0.5,
+                die.right() - rect.width() * 0.5,
+            ));
+            clamp_y.push((
+                die.bottom() + rect.height() * 0.5,
+                die.top() - rect.height() * 0.5,
+            ));
+        }
+
+        let field = NetForceField::compile(netlist, cfg.attraction, cfg.star_threshold);
+
+        let mut density = DensityGrid::new(&die, 16.max(num_qubits / 4));
+        let mut bin: Vec<u32> = Vec::with_capacity(n);
+        for k in 0..n {
+            density.add_area(pos[k], deposited_area[k]);
+            bin.push(density.bin_index_of(pos[k]) as u32);
+        }
+
+        let mut forces = vec![Vector::ZERO; n];
+        // The reported max density matches the reference formulation, whose grid is
+        // last rebuilt at the top of the final iteration (before its moves).
+        let mut final_max_density = 0.0;
+        for _iteration in 0..cfg.iterations {
+            if _iteration + 1 == cfg.iterations {
+                final_max_density = density.max_density();
+            }
+            #[cfg(debug_assertions)]
+            if _iteration % DENSITY_CHECK_INTERVAL == 0 {
+                let mut rebuilt = DensityGrid::new(&die, density.bins_per_side());
+                for k in 0..n {
+                    rebuilt.add_area(pos[k], deposited_area[k]);
+                }
+                let drift = density.max_abs_bin_diff(&rebuilt);
+                let budget = 1e-9 * deposited_area.iter().sum::<f64>().max(1.0);
+                debug_assert!(
+                    drift <= budget,
+                    "incremental density drifted {drift:e} µm² from a rebuild \
+                     (budget {budget:e}) at iteration {_iteration}"
+                );
+            }
+
+            // Net attraction over the compiled force field.
+            forces.fill(Vector::ZERO);
+            field.accumulate(&pos, &mut forces);
+
+            // Anchor to seed and density spreading.  All spreading forces of one
+            // iteration read the same density snapshot, so the per-bin directives are
+            // computed once per bin instead of once per component.
+            let spread = density.spreading_field(1.0);
+            for k in 0..n {
+                let anchor_strength = if k < num_qubits {
+                    cfg.anchor * 4.0
+                } else {
+                    cfg.anchor
+                };
+                forces[k] += (seed_pos[k] - pos[k]) * anchor_strength;
+                forces[k] += spread.force_at(bin[k] as usize, pos[k]) * (cfg.repulsion * lb);
+            }
+
+            // Apply damped moves; qubits move more slowly than wire blocks (they are
+            // macros and the topology seed is already close to final).  Each move
+            // updates the density field incrementally (no-op within one bin).
+            for k in 0..n {
+                let scale = if k < num_qubits { 0.4 } else { 1.0 };
+                let step = forces[k] * (cfg.damping * scale);
+                let max_step = 4.0 * lb;
+                let step = if step.length() > max_step {
+                    step.normalized() * max_step
+                } else {
+                    step
+                };
+                let new_pos = pos[k] + step;
+                let new_center = Point::new(
+                    qgdp_geometry::clamp_interval(new_pos.x, clamp_x[k].0, clamp_x[k].1),
+                    qgdp_geometry::clamp_interval(new_pos.y, clamp_y[k].0, clamp_y[k].1),
+                );
+                let new_bin = density.bin_index_of(new_center) as u32;
+                if new_bin != bin[k] {
+                    density.transfer_area(bin[k] as usize, new_bin as usize, deposited_area[k]);
+                    bin[k] = new_bin;
+                }
+                pos[k] = new_center;
+            }
+        }
+
+        for (k, &id) in ids.iter().enumerate() {
+            placement.set_component(id, pos[k]);
+        }
+        let stats = GpStats {
+            hpwl: hpwl(netlist, &placement),
+            overlaps: placement.count_overlaps(netlist),
+            max_density: final_max_density,
+        };
+        GlobalPlacement {
+            placement,
+            die,
+            stats,
+        }
+    }
+
+    /// The original per-iteration formulation of [`GlobalPlacer::place`]: re-walks
+    /// every net as a pairwise clique and rebuilds the density grid from scratch each
+    /// iteration.
+    ///
+    /// Kept as the executable specification of the placer physics — the equivalence
+    /// tests and the `bench_placer` binary run it against the optimized hot path.  It
+    /// ignores [`GlobalPlacerConfig::star_threshold`] (every net is expanded exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist and topology disagree on the number of qubits.
+    #[must_use]
+    pub fn place_reference(
+        &self,
+        netlist: &QuantumNetlist,
+        topology: &Topology,
+    ) -> GlobalPlacement {
         assert_eq!(
             netlist.num_qubits(),
             topology.num_qubits(),
@@ -336,6 +515,87 @@ mod tests {
             gp.stats.overlaps > 0,
             "expected an overlapping (illegal) GP layout"
         );
+    }
+
+    #[test]
+    fn optimized_place_matches_reference_on_pseudo_nets() {
+        // With the default geometry every deposited area is an exactly-representable
+        // integer, so the incremental density bookkeeping is exact and the optimized
+        // hot path reproduces the reference formulation bit-for-bit.
+        for topology in [StandardTopology::Grid, StandardTopology::Falcon] {
+            let topo = topology.build();
+            let netlist = topo
+                .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+                .unwrap();
+            let placer = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(60));
+            let optimized = placer.place(&netlist, &topo);
+            let reference = placer.place_reference(&netlist, &topo);
+            // Full-value equality: placement, die and every GpStats field (including
+            // max_density, whose reporting point matches the reference formulation).
+            assert_eq!(
+                optimized, reference,
+                "optimized placer diverged from the reference on {topology:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_place_matches_reference_on_star_decomposed_hypernets() {
+        // NetModel::Clique produces one high-degree hypernet per resonator; the
+        // optimized path decomposes them clique→star, which is analytically identical
+        // but not bit-identical, so compare within a tight tolerance.
+        let topo = StandardTopology::Grid.build();
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Clique)
+            .unwrap();
+        let placer = GlobalPlacer::new(GlobalPlacerConfig::default().with_iterations(60));
+        let optimized = placer.place(&netlist, &topo);
+        let reference = placer.place_reference(&netlist, &topo);
+        let max_dist = netlist
+            .component_ids()
+            .map(|id| {
+                optimized
+                    .placement
+                    .component(id)
+                    .distance(reference.placement.component(id))
+            })
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_dist < 1e-6,
+            "star-decomposed placement drifted {max_dist:e} µm from the clique reference"
+        );
+        let rel = (optimized.stats.hpwl - reference.stats.hpwl).abs() / reference.stats.hpwl;
+        assert!(rel < 1e-9, "HPWL drifted by {rel:e}");
+        // A threshold above every net degree forces the exact clique expansion, which
+        // must then be bit-identical to the reference.
+        let exact = GlobalPlacer::new(
+            GlobalPlacerConfig::default()
+                .with_iterations(60)
+                .with_star_threshold(1_000),
+        );
+        let exact_gp = exact.place(&netlist, &topo);
+        let exact_ref = exact.place_reference(&netlist, &topo);
+        assert_eq!(exact_gp, exact_ref);
+    }
+
+    #[test]
+    fn clique_model_wire_blocks_cluster_near_their_resonator() {
+        // The star-decomposed hypernet must still pull each resonator's blocks into a
+        // clump around its endpoints, like the pseudo mesh does.
+        let (netlist, gp) = place(StandardTopology::Grid, NetModel::Clique, 2);
+        for r in netlist.resonator_ids() {
+            let res = netlist.resonator(r);
+            let (qa, qb) = res.endpoints();
+            let mid = gp.placement.qubit(qa).midpoint(gp.placement.qubit(qb));
+            let endpoint_span = gp.placement.qubit(qa).distance(gp.placement.qubit(qb));
+            for &s in res.segments() {
+                let d = gp.placement.segment(s).distance(mid);
+                assert!(
+                    d <= endpoint_span + 12.0 * netlist.geometry().wire_block_size,
+                    "segment {s} drifted {d:.1} µm from its resonator midpoint"
+                );
+            }
+        }
     }
 
     #[test]

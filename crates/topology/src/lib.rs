@@ -19,6 +19,14 @@
 //! assert_eq!(falcon.num_couplings(), 28);
 //! assert!(falcon.is_connected());
 //! ```
+//!
+//! # Paper map
+//!
+//! §III preliminaries and Table I: the six evaluated device topologies, their
+//! canonical lattice coordinates (the global placer's seed positions) and the
+//! all-pairs coupling-graph distances ([`DistanceMatrix`], cached per device) that
+//! the benchmark mapper's SWAP insertion relies on.  [`Topology::to_netlist`]
+//! bridges into the [`qgdp_netlist`] component model (Eq. 6 partitioning).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
