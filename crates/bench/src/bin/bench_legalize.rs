@@ -1,0 +1,249 @@
+//! Measures the spatial-index overlap-detection stack against its retained O(n²)
+//! references and records the result in `BENCH_legalize.json`.
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin bench_legalize
+//! ```
+//!
+//! Three kinds of rows are recorded:
+//!
+//! * `qubit-lg` — the full quantum qubit-legalization path (§III-C relaxation loop)
+//!   on the global placement of each benched topology: indexed engine vs
+//!   [`qgdp::QuantumQubitLegalizer::legalize_with_spacing_reference`].
+//! * `overlap-stats` — the placement overlap statistic on the same GP layout:
+//!   sweepline `count_overlaps` vs the brute-force reference.
+//! * `qubit-lg-synthetic` — the bare macro engine on uniform-random macro sets well
+//!   beyond the paper's device sizes, demonstrating the super-quadratic scaling gap
+//!   (the reference grows ~n², the indexed path near-linearly).
+//!
+//! Every row asserts the optimized and reference outputs are **bit-identical**
+//! before timing is reported.  Override the output path with `QGDP_BENCH_OUT`, the
+//! topology panel with `QGDP_BENCH_TOPOLOGIES` (comma-separated names) and
+//! repetitions with `QGDP_BENCH_REPS` (fastest rep is reported, criterion-style).
+
+use qgdp::legalize::{legalize_macros, legalize_macros_reference, macros_are_legal};
+use qgdp::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// One measured workload.
+struct Record {
+    kind: &'static str,
+    workload: String,
+    /// Problem size: macros for legalization rows, components for overlap rows.
+    size: usize,
+    spacing: f64,
+    optimized_ms: f64,
+    reference_ms: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.optimized_ms
+    }
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps.max(1))
+        .map(|_| run())
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn time_ms<T, F: FnMut() -> T>(mut run: F) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(run());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// GP input for one topology.
+struct GpCase {
+    netlist: QuantumNetlist,
+    die: Rect,
+    gp: Placement,
+}
+
+fn gp_case(topology: StandardTopology) -> GpCase {
+    let topo = topology.build();
+    let netlist = topo
+        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+        .unwrap_or_else(|e| panic!("netlist for {topology}: {e}"));
+    let placed = GlobalPlacer::new(GlobalPlacerConfig::default()).place(&netlist, &topo);
+    GpCase {
+        netlist,
+        die: placed.die,
+        gp: placed.placement,
+    }
+}
+
+/// The §III-C qubit-LG path (relaxation loop + engine), optimized vs reference.
+fn bench_qubit_lg(topology: StandardTopology, case: &GpCase, reps: usize) -> Record {
+    let lg = QuantumQubitLegalizer::new();
+    let optimized = lg
+        .legalize_with_spacing(&case.netlist, &case.die, &case.gp)
+        .unwrap_or_else(|e| panic!("{topology}: qubit legalization failed: {e}"));
+    let reference = lg
+        .legalize_with_spacing_reference(&case.netlist, &case.die, &case.gp)
+        .unwrap_or_else(|e| panic!("{topology}: reference legalization failed: {e}"));
+    assert_eq!(
+        optimized, reference,
+        "{topology}: indexed qubit-LG path must be bit-identical to the reference"
+    );
+
+    let optimized_ms = best_of(reps, || {
+        time_ms(|| lg.legalize_with_spacing(&case.netlist, &case.die, &case.gp))
+    });
+    let reference_ms = best_of(reps, || {
+        time_ms(|| lg.legalize_with_spacing_reference(&case.netlist, &case.die, &case.gp))
+    });
+    Record {
+        kind: "qubit-lg",
+        workload: topology.name().to_string(),
+        size: case.netlist.num_qubits(),
+        spacing: optimized.1,
+        optimized_ms,
+        reference_ms,
+    }
+}
+
+/// The GP overlap statistic (GpStats.overlaps), sweepline vs brute force.
+fn bench_overlap_stats(topology: StandardTopology, case: &GpCase, reps: usize) -> Record {
+    let fast = case.gp.count_overlaps(&case.netlist);
+    let brute = case.gp.count_overlaps_reference(&case.netlist);
+    assert_eq!(
+        fast, brute,
+        "{topology}: sweepline overlap count must equal the reference"
+    );
+    let optimized_ms = best_of(reps, || time_ms(|| case.gp.count_overlaps(&case.netlist)));
+    let reference_ms = best_of(reps, || {
+        time_ms(|| case.gp.count_overlaps_reference(&case.netlist))
+    });
+    Record {
+        kind: "overlap-stats",
+        workload: topology.name().to_string(),
+        size: case.netlist.num_components(),
+        spacing: 0.0,
+        optimized_ms,
+        reference_ms,
+    }
+}
+
+/// The bare macro engine on a uniform-random macro set of `n` 40×40 macros at ~35%
+/// spacing-inflated utilization — the scaling row.
+fn bench_synthetic(n: usize, reps: usize) -> Record {
+    let size = 40.0;
+    let spacing = 10.0;
+    let side = ((n as f64) * (size + spacing) * (size + spacing) / 0.35).sqrt();
+    let die = Rect::from_lower_left(Point::new(0.0, 0.0), side, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE ^ n as u64);
+    let desired: Vec<Rect> = (0..n)
+        .map(|_| {
+            let x = rng.gen_range(size * 0.5..side - size * 0.5);
+            let y = rng.gen_range(size * 0.5..side - size * 0.5);
+            Rect::from_center(Point::new(x, y), size, size)
+        })
+        .collect();
+
+    let optimized = legalize_macros(&desired, &die, spacing)
+        .unwrap_or_else(|e| panic!("synthetic-{n}: indexed engine failed: {e}"));
+    let reference = legalize_macros_reference(&desired, &die, spacing)
+        .unwrap_or_else(|e| panic!("synthetic-{n}: reference engine failed: {e}"));
+    assert_eq!(
+        optimized, reference,
+        "synthetic-{n}: engines must be bit-identical"
+    );
+    assert!(
+        macros_are_legal(&desired, &optimized, &die, spacing),
+        "synthetic-{n}: result fails the legality oracle"
+    );
+
+    let optimized_ms = best_of(reps, || {
+        time_ms(|| legalize_macros(&desired, &die, spacing))
+    });
+    let reference_ms = best_of(reps, || {
+        time_ms(|| legalize_macros_reference(&desired, &die, spacing))
+    });
+    Record {
+        kind: "qubit-lg-synthetic",
+        workload: format!("synthetic-{n}"),
+        size: n,
+        spacing,
+        optimized_ms,
+        reference_ms,
+    }
+}
+
+fn main() {
+    let reps = std::env::var("QGDP_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let default_panel = [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ];
+    let all = StandardTopology::all();
+    let topologies: Vec<StandardTopology> = match std::env::var("QGDP_BENCH_TOPOLOGIES") {
+        Ok(names) => names
+            .split(',')
+            .map(|name| {
+                *all.iter()
+                    .find(|t| t.name().eq_ignore_ascii_case(name.trim()))
+                    .unwrap_or_else(|| panic!("unknown topology {name:?}"))
+            })
+            .collect(),
+        Err(_) => default_panel.to_vec(),
+    };
+
+    let mut records = Vec::new();
+    for &topology in &topologies {
+        let case = gp_case(topology);
+        records.push(bench_qubit_lg(topology, &case, reps));
+        records.push(bench_overlap_stats(topology, &case, reps));
+    }
+    for n in [400, 800, 1600] {
+        records.push(bench_synthetic(n, reps));
+    }
+
+    let mut rows = String::new();
+    for r in &records {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"kind\": \"{}\", \"workload\": \"{}\", \"size\": {}, \
+             \"spacing\": {:.2}, \"optimized_ms\": {:.3}, \"reference_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"bit_identical\": true }}",
+            r.kind,
+            r.workload,
+            r.size,
+            r.spacing,
+            r.optimized_ms,
+            r.reference_ms,
+            r.speedup(),
+        ));
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"qubit legalization + overlap stats: spatial index / \
+         sweepline vs O(n^2) reference\",\n  \"reps\": {reps},\n  \
+         \"host_cpus\": {host_cpus},\n  \"records\": [\n{rows}\n  ]\n}}\n"
+    );
+    let out_path =
+        std::env::var("QGDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_legalize.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    for r in &records {
+        println!(
+            "{:>18} {:>14} (n={:>5}): {:>9.3}ms -> {:>8.3}ms ({:.2}x, bit-identical)",
+            r.kind,
+            r.workload,
+            r.size,
+            r.reference_ms,
+            r.optimized_ms,
+            r.speedup(),
+        );
+    }
+    println!("recorded in {out_path}");
+}

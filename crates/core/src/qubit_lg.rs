@@ -10,10 +10,20 @@
 //! the "start with stringent constraints and relax them only when necessary" loop the
 //! paper describes.  Displacement from the GP positions is minimised throughout
 //! (Eq. 5).
+//!
+//! The underlying engine ([`legalize_macros`]) detects spacing violations through a
+//! spatial index of spacing-inflated rectangles, so each relaxation step is
+//! near-linear in the number of qubits; the retained reference path
+//! ([`QuantumQubitLegalizer::legalize_with_spacing_reference`]) replays the same
+//! loop on the O(n²) engine and is bit-identical by construction.
 
-use qgdp_geometry::Rect;
-use qgdp_legalize::{legalize_macros, LegalizeError, QubitLegalizer};
+use qgdp_geometry::{Point, Rect};
+use qgdp_legalize::{legalize_macros, legalize_macros_reference, LegalizeError, QubitLegalizer};
 use qgdp_netlist::{Placement, QuantumNetlist};
+
+/// The macro-legalization engine signature shared by the indexed hot path and the
+/// retained O(n²) reference.
+type MacroEngine = fn(&[Rect], &Rect, f64) -> Result<Vec<Point>, LegalizeError>;
 
 /// The quantum-aware qubit legalizer.
 ///
@@ -53,6 +63,10 @@ impl QuantumQubitLegalizer {
 
     /// Legalizes the qubits and also reports the spacing that was finally achieved.
     ///
+    /// Each relaxation step re-runs the shared macro engine, so with the default
+    /// budget the spatial-index speedup of [`legalize_macros`] compounds up to five
+    /// times per call.
+    ///
     /// # Errors
     ///
     /// Returns a [`LegalizeError`] when even zero extra spacing cannot be satisfied.
@@ -62,6 +76,38 @@ impl QuantumQubitLegalizer {
         die: &Rect,
         gp: &Placement,
     ) -> Result<(Placement, f64), LegalizeError> {
+        self.relaxation_loop(netlist, die, gp, legalize_macros)
+    }
+
+    /// [`legalize_with_spacing`](QuantumQubitLegalizer::legalize_with_spacing) driven
+    /// by the retained O(n²) engine
+    /// ([`legalize_macros_reference`]) — the executable
+    /// specification of the qubit-LG path.  Equivalence tests and the
+    /// `bench_legalize` record assert its output is bit-identical to the indexed
+    /// hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`legalize_with_spacing`](QuantumQubitLegalizer::legalize_with_spacing).
+    pub fn legalize_with_spacing_reference(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        gp: &Placement,
+    ) -> Result<(Placement, f64), LegalizeError> {
+        self.relaxation_loop(netlist, die, gp, legalize_macros_reference)
+    }
+
+    /// The greedy relaxation loop shared by the hot path and the reference path;
+    /// `engine` is the macro-legalization implementation to drive.
+    fn relaxation_loop(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        gp: &Placement,
+        engine: MacroEngine,
+    ) -> Result<(Placement, f64), LegalizeError> {
         let desired: Vec<Rect> = netlist
             .qubit_ids()
             .map(|q| netlist.qubit(q).rect_at(gp.qubit(q)))
@@ -69,7 +115,7 @@ impl QuantumQubitLegalizer {
         let mut spacing = netlist.geometry().min_qubit_spacing();
         let mut last_err: Option<LegalizeError> = None;
         for step in 0..=self.max_relaxations {
-            match legalize_macros(&desired, die, spacing) {
+            match engine(&desired, die, spacing) {
                 Ok(centers) => {
                     let mut out = gp.clone();
                     for (q, c) in netlist.qubit_ids().zip(centers) {
@@ -243,5 +289,32 @@ mod tests {
     fn trait_name() {
         use qgdp_legalize::QubitLegalizer as _;
         assert_eq!(QuantumQubitLegalizer::new().name(), "q-macro-lg");
+    }
+
+    #[test]
+    fn reference_relaxation_loop_is_bit_identical() {
+        // Same clumped input on both the fast-spacing and the relaxation paths.
+        for (n, die_side) in [(4usize, 600.0), (4, 95.0), (6, 800.0)] {
+            let netlist = path_netlist(n);
+            let die = Rect::from_lower_left(Point::ORIGIN, die_side, die_side);
+            let mut gp = Placement::new(&netlist);
+            for q in netlist.qubit_ids() {
+                gp.set_qubit(
+                    q,
+                    Point::new(
+                        die_side * 0.4 + 9.0 * q.index() as f64,
+                        die_side * 0.4 + (q.index() % 2) as f64,
+                    ),
+                );
+            }
+            let lg = QuantumQubitLegalizer::new();
+            let optimized = lg.legalize_with_spacing(&netlist, &die, &gp);
+            let reference = lg.legalize_with_spacing_reference(&netlist, &die, &gp);
+            match (optimized, reference) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "core paths diverged (n={n})"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("core paths disagree on outcome: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

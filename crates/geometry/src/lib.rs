@@ -15,6 +15,9 @@
 //!   detection,
 //! * [`BinGrid`] and [`FreeBinIndex`] — the "bin-aided" free-space index used by the
 //!   integration-aware resonator legalizer (paper §III-D),
+//! * [`SpatialGrid`] and [`count_overlapping_pairs`] — the uniform-cell candidate
+//!   index and sort-by-x sweepline that make the qubit legalizer's violation sweeps
+//!   and the placement overlap statistic near-linear instead of O(n²),
 //! * small numeric helpers shared by the placement and legalization crates.
 //!
 //! # Example
@@ -34,7 +37,9 @@
 //! border constraints (Eq. 1–2) and the facing-length/centroid-distance terms of the
 //! hotspot metric (Eq. 4), plus the §III-D "bin-aided" free-space index
 //! ([`FreeBinIndex`]) that keeps the resonator legalizer's nearest-free-space
-//! queries `O(log n)`.  This is the root of the workspace crate graph: every other
+//! queries `O(log n)`, and the [`SpatialGrid`] candidate index behind the §III-C
+//! qubit legalizer's near-linear separation sweeps.  This is the root of the
+//! workspace crate graph: every other
 //! crate builds on these primitives (`qgdp-netlist` for the component model,
 //! `qgdp-placer`/`qgdp-legalize`/`qgdp` for the placement stages, `qgdp-metrics`
 //! for crossing detection via [`Polyline`]).
@@ -47,12 +52,14 @@ pub mod point;
 pub mod polyline;
 pub mod rect;
 pub mod segment;
+pub mod spatial;
 
 pub use bins::{BinGrid, BinId, BinState, FreeBinIndex};
 pub use point::{Point, Vector};
 pub use polyline::Polyline;
 pub use rect::Rect;
 pub use segment::{segments_properly_intersect, Orientation, Segment};
+pub use spatial::{count_overlapping_pairs, SpatialGrid};
 
 /// Numerical tolerance used by geometric predicates throughout the workspace.
 ///

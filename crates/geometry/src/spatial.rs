@@ -1,0 +1,495 @@
+//! Spatial indexing for near-linear overlap detection.
+//!
+//! Two complementary tools replace the workspace's O(n²) pairwise sweeps:
+//!
+//! * [`SpatialGrid`] — a uniform-cell candidate index over movable rectangles.  Each
+//!   item is rasterised into every cell its rectangle covers, so any two overlapping
+//!   rectangles are guaranteed to share at least one cell; a candidate query therefore
+//!   returns a conservative superset of the true overlap partners.  Items can be
+//!   re-inserted incrementally as they move ([`SpatialGrid::relocate`] is a no-op when
+//!   the covered cell span is unchanged), and every query returns ids in ascending
+//!   order, which lets callers replay pairwise algorithms in exactly the order a
+//!   brute-force `(i, j)` double loop would visit them.
+//! * [`count_overlapping_pairs`] — a sort-by-x sweepline that counts overlapping
+//!   rectangle pairs in `O(n log n + n·k)` (k = average x-overlap depth) with exactly
+//!   the same [`Rect::overlaps`] predicate as the brute-force double loop.
+//!
+//! The macro legalizer (`qgdp-legalize`) drives [`SpatialGrid`] with
+//! spacing-inflated rectangles so that "closer than the minimum spacing" becomes
+//! plain rectangle overlap, and `qgdp_netlist::Placement::count_overlaps` is the
+//! sweepline's main consumer.
+
+use crate::{Point, Rect};
+
+/// Covered cell range of one indexed item (inclusive on both ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CellSpan {
+    lo_col: u32,
+    hi_col: u32,
+    lo_row: u32,
+    hi_row: u32,
+}
+
+/// A uniform-cell spatial hash over movable, indexable rectangles.
+///
+/// Unlike [`crate::BinGrid`] (which tracks per-bin *occupancy state* for the
+/// free-space search of §III-D), `SpatialGrid` tracks *which items* cover each cell
+/// and answers neighbour-candidate queries.  The guarantee callers rely on:
+///
+/// > If two inserted rectangles overlap (in the [`Rect::overlaps`] sense — their
+/// > interiors intersect with positive measure), each appears in the candidate set
+/// > of a query with the other's rectangle.
+///
+/// This holds for any rectangle positions — the positive-area overlap region always
+/// lands inside some cell both rectangles rasterise into, and coordinates outside
+/// the grid extent clamp monotonically to the boundary cells.  Rectangles that
+/// merely *touch* may fall in adjacent cells when the shared edge lies exactly on a
+/// cell boundary, so touching is **not** guaranteed to be reported.  Queries return
+/// a **sorted, deduplicated** id list, making downstream iteration order
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Rect, SpatialGrid};
+///
+/// let bounds = Rect::from_lower_left(Point::ORIGIN, 100.0, 100.0);
+/// let mut grid = SpatialGrid::new(&bounds, 10.0, 2);
+/// grid.insert(0, &Rect::from_center(Point::new(20.0, 20.0), 8.0, 8.0));
+/// grid.insert(1, &Rect::from_center(Point::new(24.0, 20.0), 8.0, 8.0)); // overlaps 0
+/// let mut out = Vec::new();
+/// grid.candidates(&Rect::from_center(Point::new(20.0, 20.0), 8.0, 8.0), &mut out);
+/// assert_eq!(out, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    origin: Point,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    /// Item ids present in each cell (row-major), unsorted within a cell.
+    cells: Vec<Vec<u32>>,
+    /// Covered span per item id; `None` when the id is not currently inserted.
+    spans: Vec<Option<CellSpan>>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid of square cells of side `cell_size` covering `bounds`.
+    ///
+    /// The grid extends past the top/right edges so that `bounds` is fully covered
+    /// (at least one cell per axis); rectangles outside `bounds` clamp to the
+    /// boundary cells.  `capacity` pre-sizes the per-item span table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(bounds: &Rect, cell_size: f64, capacity: usize) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite (got {cell_size})"
+        );
+        let cols = ((bounds.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell_size).ceil() as usize).max(1);
+        SpatialGrid {
+            origin: bounds.lower_left(),
+            cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            spans: vec![None; capacity],
+        }
+    }
+
+    /// Number of cell columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of cell rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Side length of each (square) cell.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Returns `true` if `item` is currently inserted.
+    #[must_use]
+    pub fn contains(&self, item: usize) -> bool {
+        self.spans.get(item).is_some_and(Option::is_some)
+    }
+
+    /// The cell span covered by `rect`, clamped to the grid extent.
+    fn span_of(&self, rect: &Rect) -> CellSpan {
+        let max_col = self.cols as i64 - 1;
+        let max_row = self.rows as i64 - 1;
+        let lo_col =
+            (((rect.left() - self.origin.x) / self.cell_size).floor() as i64).clamp(0, max_col);
+        let hi_col = ((((rect.right() - self.origin.x) / self.cell_size).ceil() as i64) - 1)
+            .clamp(lo_col, max_col);
+        let lo_row =
+            (((rect.bottom() - self.origin.y) / self.cell_size).floor() as i64).clamp(0, max_row);
+        let hi_row = ((((rect.top() - self.origin.y) / self.cell_size).ceil() as i64) - 1)
+            .clamp(lo_row, max_row);
+        CellSpan {
+            lo_col: lo_col as u32,
+            hi_col: hi_col as u32,
+            lo_row: lo_row as u32,
+            hi_row: hi_row as u32,
+        }
+    }
+
+    fn push_to_cells(&mut self, item: u32, span: CellSpan) {
+        for row in span.lo_row..=span.hi_row {
+            for col in span.lo_col..=span.hi_col {
+                self.cells[row as usize * self.cols + col as usize].push(item);
+            }
+        }
+    }
+
+    fn remove_from_cells(&mut self, item: u32, span: CellSpan) {
+        for row in span.lo_row..=span.hi_row {
+            for col in span.lo_col..=span.hi_col {
+                let cell = &mut self.cells[row as usize * self.cols + col as usize];
+                if let Some(pos) = cell.iter().position(|&x| x == item) {
+                    cell.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Inserts `item` covering `rect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is already inserted (use [`SpatialGrid::relocate`] to move it).
+    pub fn insert(&mut self, item: usize, rect: &Rect) {
+        if item >= self.spans.len() {
+            self.spans.resize(item + 1, None);
+        }
+        assert!(
+            self.spans[item].is_none(),
+            "item {item} is already in the index"
+        );
+        let span = self.span_of(rect);
+        self.spans[item] = Some(span);
+        self.push_to_cells(item as u32, span);
+    }
+
+    /// Removes `item` from the index.  A no-op when the item is not inserted.
+    pub fn remove(&mut self, item: usize) {
+        if let Some(span) = self.spans.get_mut(item).and_then(Option::take) {
+            self.remove_from_cells(item as u32, span);
+        }
+    }
+
+    /// Re-inserts `item` at its new rectangle (incremental move).
+    ///
+    /// When the covered cell span is unchanged this is a no-op, so small moves — the
+    /// common case in a separation sweep — cost nothing.  Items not yet inserted are
+    /// simply inserted.
+    pub fn relocate(&mut self, item: usize, rect: &Rect) {
+        if item >= self.spans.len() {
+            self.spans.resize(item + 1, None);
+        }
+        let new_span = self.span_of(rect);
+        match self.spans[item] {
+            Some(old) if old == new_span => {}
+            Some(old) => {
+                self.remove_from_cells(item as u32, old);
+                self.spans[item] = Some(new_span);
+                self.push_to_cells(item as u32, new_span);
+            }
+            None => {
+                self.spans[item] = Some(new_span);
+                self.push_to_cells(item as u32, new_span);
+            }
+        }
+    }
+
+    /// Collects into `out` the ids of every inserted item whose rectangle *may*
+    /// overlap `rect` (all items sharing a cell with it), **sorted ascending and
+    /// deduplicated**.  The query rectangle itself need not be inserted; an inserted
+    /// item queried with its own rectangle appears in its own candidate list.
+    pub fn candidates(&self, rect: &Rect, out: &mut Vec<u32>) {
+        out.clear();
+        let span = self.span_of(rect);
+        for row in span.lo_row..=span.hi_row {
+            for col in span.lo_col..=span.hi_col {
+                out.extend_from_slice(&self.cells[row as usize * self.cols + col as usize]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Collects into `out` every unordered candidate pair `(i, j)` with `i < j` that
+    /// shares at least one cell, sorted ascending by `(i, j)` and deduplicated — a
+    /// conservative superset of all overlapping pairs, in exactly the order a
+    /// brute-force double loop visits them.
+    pub fn candidate_pairs(&self, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        for cell in &self.cells {
+            for (a, &i) in cell.iter().enumerate() {
+                for &j in &cell[a + 1..] {
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// Counts pairs of overlapping rectangles with a sort-by-x sweepline.
+///
+/// Exactly equivalent to the brute-force double loop over [`Rect::overlaps`] — the
+/// sweep merely skips pairs whose x-projections are provably disjoint — but runs in
+/// `O(n log n + n·k)` where `k` is the average number of x-overlapping neighbours,
+/// instead of O(n²).  Legal or near-legal placements have small `k`, making the
+/// overlap statistic near-linear.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{count_overlapping_pairs, Point, Rect};
+///
+/// let rects = vec![
+///     Rect::from_center(Point::new(0.0, 0.0), 10.0, 10.0),
+///     Rect::from_center(Point::new(8.0, 0.0), 10.0, 10.0),  // overlaps the first
+///     Rect::from_center(Point::new(30.0, 0.0), 10.0, 10.0), // disjoint
+/// ];
+/// assert_eq!(count_overlapping_pairs(&rects), 1);
+/// ```
+#[must_use]
+pub fn count_overlapping_pairs(rects: &[Rect]) -> usize {
+    let mut order: Vec<u32> = (0..rects.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        rects[a as usize]
+            .left()
+            .total_cmp(&rects[b as usize].left())
+            .then(a.cmp(&b))
+    });
+    let mut active: Vec<u32> = Vec::new();
+    let mut count = 0;
+    for &i in &order {
+        let rect = &rects[i as usize];
+        // Anything whose right edge is at or before our left edge (within EPS) can
+        // never overlap this rectangle or any later one (lefts are non-decreasing).
+        active.retain(|&a| rects[a as usize].right() - rect.left() > crate::EPS);
+        count += active
+            .iter()
+            .filter(|&&a| rects[a as usize].overlaps(rect))
+            .count();
+        active.push(i);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bounds(side: f64) -> Rect {
+        Rect::from_lower_left(Point::ORIGIN, side, side)
+    }
+
+    fn brute_force_pairs(rects: &[Rect]) -> usize {
+        let mut count = 0;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                if rects[i].overlaps(&rects[j]) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduplicated() {
+        let mut grid = SpatialGrid::new(&bounds(100.0), 10.0, 4);
+        // A large rect covering many cells, inserted after the others, so raw cell
+        // order would be interleaved.
+        grid.insert(2, &Rect::from_center(Point::new(50.0, 50.0), 60.0, 60.0));
+        grid.insert(0, &Rect::from_center(Point::new(45.0, 45.0), 8.0, 8.0));
+        grid.insert(1, &Rect::from_center(Point::new(55.0, 55.0), 8.0, 8.0));
+        let mut out = Vec::new();
+        grid.candidates(
+            &Rect::from_center(Point::new(50.0, 50.0), 30.0, 30.0),
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn relocate_moves_and_self_relocate_is_noop() {
+        let mut grid = SpatialGrid::new(&bounds(100.0), 10.0, 1);
+        let a = Rect::from_center(Point::new(15.0, 15.0), 8.0, 8.0);
+        grid.insert(0, &a);
+        let mut out = Vec::new();
+        grid.candidates(&a, &mut out);
+        assert_eq!(out, vec![0]);
+        // Move far away: old location no longer reports it.
+        let b = Rect::from_center(Point::new(85.0, 85.0), 8.0, 8.0);
+        grid.relocate(0, &b);
+        grid.candidates(&a, &mut out);
+        assert!(out.is_empty());
+        grid.candidates(&b, &mut out);
+        assert_eq!(out, vec![0]);
+        // Tiny move within the same cells keeps the entry intact.
+        grid.relocate(0, &b.translated(crate::Vector::new(0.1, 0.1)));
+        grid.candidates(&b, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn remove_clears_every_covered_cell() {
+        let mut grid = SpatialGrid::new(&bounds(100.0), 10.0, 1);
+        let big = Rect::from_center(Point::new(50.0, 50.0), 70.0, 70.0);
+        grid.insert(0, &big);
+        assert!(grid.contains(0));
+        grid.remove(0);
+        assert!(!grid.contains(0));
+        let mut out = Vec::new();
+        grid.candidates(&big, &mut out);
+        assert!(out.is_empty());
+        // Removing again is a no-op.
+        grid.remove(0);
+    }
+
+    #[test]
+    fn out_of_bounds_rects_clamp_to_boundary_cells() {
+        let mut grid = SpatialGrid::new(&bounds(100.0), 10.0, 2);
+        // Both rects live beyond the right edge and overlap each other.
+        grid.insert(0, &Rect::from_center(Point::new(150.0, 50.0), 8.0, 8.0));
+        grid.insert(1, &Rect::from_center(Point::new(153.0, 52.0), 8.0, 8.0));
+        let mut out = Vec::new();
+        grid.candidates(
+            &Rect::from_center(Point::new(150.0, 50.0), 8.0, 8.0),
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn candidate_pairs_in_ascending_order() {
+        let mut grid = SpatialGrid::new(&bounds(100.0), 10.0, 3);
+        grid.insert(2, &Rect::from_center(Point::new(15.0, 15.0), 8.0, 8.0));
+        grid.insert(0, &Rect::from_center(Point::new(18.0, 15.0), 8.0, 8.0));
+        grid.insert(1, &Rect::from_center(Point::new(85.0, 85.0), 8.0, 8.0));
+        let mut pairs = Vec::new();
+        grid.candidate_pairs(&mut pairs);
+        assert_eq!(pairs, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn sweepline_empty_and_single() {
+        assert_eq!(count_overlapping_pairs(&[]), 0);
+        assert_eq!(
+            count_overlapping_pairs(&[Rect::from_center(Point::ORIGIN, 5.0, 5.0)]),
+            0
+        );
+    }
+
+    #[test]
+    fn sweepline_touching_rects_do_not_count() {
+        let a = Rect::from_center(Point::new(0.0, 0.0), 10.0, 10.0);
+        let b = Rect::from_center(Point::new(10.0, 0.0), 10.0, 10.0); // abuts exactly
+        assert_eq!(count_overlapping_pairs(&[a, b]), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sweepline_matches_brute_force(
+            rects in proptest::collection::vec(
+                (0.0..200.0f64, 0.0..200.0f64, 0.5..40.0f64, 0.5..40.0f64),
+                0..40,
+            ),
+        ) {
+            let rects: Vec<Rect> = rects
+                .into_iter()
+                .map(|(x, y, w, h)| Rect::from_center(Point::new(x, y), w, h))
+                .collect();
+            prop_assert_eq!(count_overlapping_pairs(&rects), brute_force_pairs(&rects));
+        }
+
+        #[test]
+        fn prop_candidates_cover_all_overlapping_pairs(
+            rects in proptest::collection::vec(
+                (-20.0..220.0f64, -20.0..220.0f64, 0.5..50.0f64, 0.5..50.0f64),
+                1..30,
+            ),
+            cell in 5.0..60.0f64,
+        ) {
+            let rects: Vec<Rect> = rects
+                .into_iter()
+                .map(|(x, y, w, h)| Rect::from_center(Point::new(x, y), w, h))
+                .collect();
+            let mut grid = SpatialGrid::new(&bounds(200.0), cell, rects.len());
+            for (k, r) in rects.iter().enumerate() {
+                grid.insert(k, r);
+            }
+            let mut out = Vec::new();
+            let mut pairs = Vec::new();
+            grid.candidate_pairs(&mut pairs);
+            for i in 0..rects.len() {
+                grid.candidates(&rects[i], &mut out);
+                // Deterministic ordering.
+                let mut sorted = out.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(&out, &sorted);
+                prop_assert!(out.contains(&(i as u32)));
+                for j in (i + 1)..rects.len() {
+                    if rects[i].overlaps(&rects[j]) {
+                        prop_assert!(
+                            out.contains(&(j as u32)),
+                            "overlapping pair ({}, {}) missing from candidates", i, j
+                        );
+                        prop_assert!(
+                            pairs.binary_search(&(i as u32, j as u32)).is_ok(),
+                            "overlapping pair ({}, {}) missing from candidate_pairs", i, j
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_relocate_preserves_coverage(
+            moves in proptest::collection::vec(
+                (0usize..8, 0.0..200.0f64, 0.0..200.0f64),
+                1..40,
+            ),
+        ) {
+            // Eight items random-walking; after every move the index must still
+            // answer exactly like a fresh insert of the current rectangles.
+            let mut grid = SpatialGrid::new(&bounds(200.0), 25.0, 8);
+            let mut current: Vec<Option<Rect>> = vec![None; 8];
+            for (item, x, y) in moves {
+                let rect = Rect::from_center(Point::new(x, y), 12.0, 12.0);
+                grid.relocate(item, &rect);
+                current[item] = Some(rect);
+                let mut fresh = SpatialGrid::new(&bounds(200.0), 25.0, 8);
+                for (k, r) in current.iter().enumerate() {
+                    if let Some(r) = r {
+                        fresh.insert(k, r);
+                    }
+                }
+                let probe = Rect::from_center(Point::new(100.0, 100.0), 200.0, 200.0);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                grid.candidates(&probe, &mut a);
+                fresh.candidates(&probe, &mut b);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -45,6 +45,14 @@
 //! and row infrastructure ([`RowGrid`]) both sides share.  Inputs are
 //! [`qgdp_netlist::Placement`] solutions over the [`qgdp_netlist`] model (§III),
 //! with geometric predicates from [`qgdp_geometry`].
+//!
+//! The §III-C macro engine ([`legalize_macros`]) runs its separation sweeps,
+//! violator scans and repair `fits` tests against a
+//! [`qgdp_geometry::SpatialGrid`] of spacing-inflated rectangles, visiting
+//! candidate pairs in ascending `(i, j)` order so the result stays bit-identical
+//! to the retained O(n²) executable specification
+//! ([`legalize_macros_reference`]) while the Table II runtimes scale
+//! near-linearly — see the design note in [`macros`].
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -58,7 +66,7 @@ pub mod traits;
 
 pub use abacus::AbacusLegalizer;
 pub use error::LegalizeError;
-pub use macros::{legalize_macros, MacroLegalizer};
+pub use macros::{legalize_macros, legalize_macros_reference, macros_are_legal, MacroLegalizer};
 pub use rows::{RowGrid, SubRow};
 pub use tetris::TetrisLegalizer;
 pub use traits::{is_legal, CellLegalizer, QubitLegalizer};

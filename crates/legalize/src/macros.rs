@@ -14,22 +14,200 @@
 //!    nearest legal site found by an outward ring search, guaranteeing legality
 //!    whenever space exists.
 //!
+//! # Spatial-index design (§III-C at scale)
+//!
+//! Every inner check of the engine — the phase-1 separation sweeps, the violator
+//! scan, and the repair phase's `fits` test — is a question of the form *"which
+//! macros are closer than the minimum spacing to this one?"*.  The hot path answers
+//! it with a [`qgdp_geometry::SpatialGrid`]: each macro is inserted with its
+//! rectangle **inflated by the spacing** (width + `spacing`, height + `spacing`), so
+//! "pair in violation" becomes plain rectangle overlap, and overlap implies sharing
+//! a grid cell.  Macros are re-inserted incrementally as the sweep pushes them
+//! (a no-op while they stay inside the same cells), and candidate queries return ids
+//! in ascending order, so the indexed sweep visits exactly the pairs the brute-force
+//! `(i, j)` double loop would visit, in the same order, with the same floating-point
+//! arithmetic — the result is **bit-identical** to [`legalize_macros_reference`],
+//! the retained O(n²) formulation that serves as the executable specification
+//! (asserted in unit, property and golden tests, and by the `bench_legalize`
+//! record).  This is the same locality argument Abacus makes with per-row clusters,
+//! applied to 2-D macro legalization.
+//!
 //! The classical baseline [`MacroLegalizer`] simply calls the engine with zero extra
 //! spacing; the quantum qubit legalizer in the `qgdp` crate calls it with the
 //! one-standard-cell spacing and a greedy relaxation loop.
 
 use crate::{LegalizeError, QubitLegalizer};
-use qgdp_geometry::{Point, Rect};
+use qgdp_geometry::{Point, Rect, SpatialGrid};
 use qgdp_netlist::{Placement, QuantumNetlist};
 
 /// Maximum number of pairwise-separation sweeps before falling back to repair.
 const MAX_SWEEPS: usize = 200;
+
+/// Rejects inputs whose spacing-inflated macro area provably exceeds the die.
+fn check_required_area(desired: &[Rect], die: &Rect, spacing: f64) -> Result<(), LegalizeError> {
+    let required_area: f64 = desired
+        .iter()
+        .map(|r| (r.width() + spacing) * (r.height() + spacing))
+        .sum();
+    if required_area > die.area() * 1.000_001 {
+        return Err(LegalizeError::DieTooSmall {
+            required_area,
+            die_area: die.area(),
+        });
+    }
+    Ok(())
+}
+
+/// Desired centres clamped inside the die — the common starting point of both engines.
+fn initial_centers(desired: &[Rect], die: &Rect) -> Vec<Point> {
+    desired
+        .iter()
+        .map(|r| r.clamped_within(die).center())
+        .collect()
+}
+
+/// Checks the ordered pair `(i, j)` against Eq. 1 + `spacing` and, when violating,
+/// pushes the two macros apart along the axis needing the smaller move (order
+/// preserved, ties broken by index) and re-clamps both inside the die.  Returns
+/// `true` when a push happened.
+///
+/// Shared verbatim by the indexed hot path and [`legalize_macros_reference`], so the
+/// two produce bit-identical centre sequences whenever they visit the same pairs in
+/// the same order.
+#[inline]
+fn separate_pair(
+    desired: &[Rect],
+    die: &Rect,
+    spacing: f64,
+    centers: &mut [Point],
+    i: usize,
+    j: usize,
+) -> bool {
+    let sep_x = desired[i].min_separation_x(&desired[j]) + spacing;
+    let sep_y = desired[i].min_separation_y(&desired[j]) + spacing;
+    let dx = centers[j].x - centers[i].x;
+    let dy = centers[j].y - centers[i].y;
+    if dx.abs() >= sep_x - qgdp_geometry::EPS || dy.abs() >= sep_y - qgdp_geometry::EPS {
+        return false;
+    }
+    let push_x = sep_x - dx.abs();
+    let push_y = sep_y - dy.abs();
+    if push_x <= push_y {
+        // Separate along x, preserving order (ties broken by index).
+        let dir = if dx > 0.0 || (dx == 0.0 && i < j) {
+            1.0
+        } else {
+            -1.0
+        };
+        centers[i].x -= dir * push_x * 0.5;
+        centers[j].x += dir * push_x * 0.5;
+    } else {
+        let dir = if dy > 0.0 || (dy == 0.0 && i < j) {
+            1.0
+        } else {
+            -1.0
+        };
+        centers[i].y -= dir * push_y * 0.5;
+        centers[j].y += dir * push_y * 0.5;
+    }
+    centers[i] = desired[i]
+        .with_center(centers[i])
+        .clamped_within(die)
+        .center();
+    centers[j] = desired[j]
+        .with_center(centers[j])
+        .clamped_within(die)
+        .center();
+    true
+}
+
+/// The violation test of [`separate_pair`] without the push — the predicate shared by
+/// the violator scans of both engines.
+#[inline]
+fn pair_violates(desired: &[Rect], centers: &[Point], spacing: f64, i: usize, j: usize) -> bool {
+    let sep_x = desired[i].min_separation_x(&desired[j]) + spacing;
+    let sep_y = desired[i].min_separation_y(&desired[j]) + spacing;
+    let dx = (centers[j].x - centers[i].x).abs();
+    let dy = (centers[j].y - centers[i].y).abs();
+    dx < sep_x - qgdp_geometry::EPS && dy < sep_y - qgdp_geometry::EPS
+}
+
+/// The spacing-inflated candidate index over the macro set.
+///
+/// Each macro `k` is tracked with the rectangle `(w_k + spacing) × (h_k + spacing)`
+/// centred at its current position, so two macros violate the spacing constraint
+/// exactly when their tracked rectangles overlap — which guarantees they share a
+/// [`SpatialGrid`] cell and therefore appear in each other's candidate lists.
+struct MacroIndex {
+    grid: SpatialGrid,
+    widths: Vec<f64>,
+    heights: Vec<f64>,
+}
+
+impl MacroIndex {
+    /// Builds an empty index sized for the macro set.  `bounds` only anchors the cell
+    /// grid — rectangles outside it clamp to boundary cells and stay conservative.
+    fn empty(desired: &[Rect], spacing: f64, bounds: &Rect) -> Self {
+        let widths: Vec<f64> = desired.iter().map(|r| r.width() + spacing).collect();
+        let heights: Vec<f64> = desired.iter().map(|r| r.height() + spacing).collect();
+        let max_dim = widths
+            .iter()
+            .chain(heights.iter())
+            .fold(0.0_f64, |acc, &d| acc.max(d));
+        // Cells at least as large as the largest inflated macro (so overlap partners
+        // are always in adjacent cells) but no finer than ~2 cells per macro.
+        let occupancy_floor = (bounds.area() / (2 * desired.len() + 16) as f64).sqrt();
+        let mut cell = max_dim.max(occupancy_floor);
+        if !(cell > 0.0 && cell.is_finite()) {
+            cell = 1.0;
+        }
+        MacroIndex {
+            grid: SpatialGrid::new(bounds, cell, desired.len()),
+            widths,
+            heights,
+        }
+    }
+
+    /// Builds the index with every macro inserted at its current centre.
+    fn full(desired: &[Rect], centers: &[Point], spacing: f64, bounds: &Rect) -> Self {
+        let mut index = MacroIndex::empty(desired, spacing, bounds);
+        for (k, &c) in centers.iter().enumerate() {
+            index.insert(k, c);
+        }
+        index
+    }
+
+    /// The tracked (spacing-inflated) rectangle of macro `k` at `center`.
+    fn rect_at(&self, k: usize, center: Point) -> Rect {
+        Rect::from_center(center, self.widths[k], self.heights[k])
+    }
+
+    fn insert(&mut self, k: usize, center: Point) {
+        self.grid.insert(k, &self.rect_at(k, center));
+    }
+
+    fn relocate(&mut self, k: usize, center: Point) {
+        self.grid.relocate(k, &self.rect_at(k, center));
+    }
+
+    /// Sorted, deduplicated ids of every indexed macro that may violate spacing
+    /// against macro `k` placed at `center` (includes `k` itself when indexed).
+    fn candidates_at(&self, k: usize, center: Point, out: &mut Vec<u32>) {
+        self.grid.candidates(&self.rect_at(k, center), out);
+    }
+}
 
 /// Legalizes a set of macros with a minimum edge-to-edge `spacing`, minimising
 /// displacement from the desired positions.
 ///
 /// `desired` holds each macro's desired rectangle (global-placement centre and its
 /// dimensions).  The returned vector holds the legalized centres in the same order.
+///
+/// This is the spatial-index hot path: candidate pairs come from a
+/// [`SpatialGrid`] over spacing-inflated rectangles and are visited in ascending
+/// `(i, j)` order, so the result is bit-identical to
+/// [`legalize_macros_reference`] at near-linear instead of quadratic cost (see the
+/// module-level design note).
 ///
 /// # Errors
 ///
@@ -44,64 +222,38 @@ pub fn legalize_macros(
     if desired.is_empty() {
         return Ok(Vec::new());
     }
-    let required_area: f64 = desired
-        .iter()
-        .map(|r| (r.width() + spacing) * (r.height() + spacing))
-        .sum();
-    if required_area > die.area() * 1.000_001 {
-        return Err(LegalizeError::DieTooSmall {
-            required_area,
-            die_area: die.area(),
-        });
-    }
+    check_required_area(desired, die, spacing)?;
+    let mut centers = initial_centers(desired, die);
 
-    let mut centers: Vec<Point> = desired
-        .iter()
-        .map(|r| r.clamped_within(die).center())
-        .collect();
-
-    // Phase 1: pairwise separation sweeps.
+    // Phase 1: pairwise separation sweeps over index candidates only.  After every
+    // push the moved macros are re-indexed and the scan resumes from the next index,
+    // so the sequence of pushes matches the reference's exhaustive (i, j) loop.
+    let mut index = MacroIndex::full(desired, &centers, spacing, die);
+    let mut scratch: Vec<u32> = Vec::new();
     for _ in 0..MAX_SWEEPS {
         let mut any_violation = false;
         for i in 0..desired.len() {
-            for j in (i + 1)..desired.len() {
-                let sep_x = desired[i].min_separation_x(&desired[j]) + spacing;
-                let sep_y = desired[i].min_separation_y(&desired[j]) + spacing;
-                let dx = centers[j].x - centers[i].x;
-                let dy = centers[j].y - centers[i].y;
-                if dx.abs() >= sep_x - qgdp_geometry::EPS || dy.abs() >= sep_y - qgdp_geometry::EPS
-                {
-                    continue;
+            let mut next_j = i + 1;
+            loop {
+                index.candidates_at(i, centers[i], &mut scratch);
+                let mut pushed = false;
+                for &j in &scratch {
+                    let j = j as usize;
+                    if j < next_j {
+                        continue;
+                    }
+                    if separate_pair(desired, die, spacing, &mut centers, i, j) {
+                        index.relocate(i, centers[i]);
+                        index.relocate(j, centers[j]);
+                        any_violation = true;
+                        next_j = j + 1;
+                        pushed = true;
+                        break;
+                    }
                 }
-                any_violation = true;
-                let push_x = sep_x - dx.abs();
-                let push_y = sep_y - dy.abs();
-                if push_x <= push_y {
-                    // Separate along x, preserving order (ties broken by index).
-                    let dir = if dx > 0.0 || (dx == 0.0 && i < j) {
-                        1.0
-                    } else {
-                        -1.0
-                    };
-                    centers[i].x -= dir * push_x * 0.5;
-                    centers[j].x += dir * push_x * 0.5;
-                } else {
-                    let dir = if dy > 0.0 || (dy == 0.0 && i < j) {
-                        1.0
-                    } else {
-                        -1.0
-                    };
-                    centers[i].y -= dir * push_y * 0.5;
-                    centers[j].y += dir * push_y * 0.5;
+                if !pushed {
+                    break;
                 }
-                centers[i] = desired[i]
-                    .with_center(centers[i])
-                    .clamped_within(die)
-                    .center();
-                centers[j] = desired[j]
-                    .with_center(centers[j])
-                    .clamped_within(die)
-                    .center();
             }
         }
         if !any_violation {
@@ -114,16 +266,80 @@ pub fn legalize_macros(
     Ok(centers)
 }
 
-/// Returns the indices of macros that violate spacing against any other macro.
+/// The original O(n²) formulation of [`legalize_macros`]: exhaustive pairwise
+/// separation sweeps and linear-scan repair checks.
+///
+/// Kept as the executable specification of the engine — the equivalence tests and
+/// the `bench_legalize` binary run it against the indexed hot path and assert the
+/// outputs are bit-identical.
+///
+/// # Errors
+///
+/// Same contract as [`legalize_macros`].
+pub fn legalize_macros_reference(
+    desired: &[Rect],
+    die: &Rect,
+    spacing: f64,
+) -> Result<Vec<Point>, LegalizeError> {
+    if desired.is_empty() {
+        return Ok(Vec::new());
+    }
+    check_required_area(desired, die, spacing)?;
+    let mut centers = initial_centers(desired, die);
+
+    // Phase 1: pairwise separation sweeps.
+    for _ in 0..MAX_SWEEPS {
+        let mut any_violation = false;
+        for i in 0..desired.len() {
+            for j in (i + 1)..desired.len() {
+                if separate_pair(desired, die, spacing, &mut centers, i, j) {
+                    any_violation = true;
+                }
+            }
+        }
+        if !any_violation {
+            return Ok(centers);
+        }
+    }
+
+    // Phase 2: deterministic repair of the remaining violators.
+    repair_violations_reference(desired, die, spacing, &mut centers)?;
+    Ok(centers)
+}
+
+/// Returns the indices of macros that violate spacing against any other macro,
+/// collecting candidate pairs from a spacing-inflated index.
 fn violating_indices(desired: &[Rect], centers: &[Point], spacing: f64) -> Vec<usize> {
+    let mut bad = std::collections::BTreeSet::new();
+    if desired.len() > 1 {
+        let placed: Vec<Rect> = desired
+            .iter()
+            .zip(centers)
+            .map(|(r, &c)| r.with_center(c))
+            .collect();
+        let bounds = Rect::bounding_box(placed.iter()).expect("non-empty macro set");
+        let index = MacroIndex::full(desired, centers, spacing, &bounds);
+        let mut scratch: Vec<u32> = Vec::new();
+        for i in 0..desired.len() {
+            index.candidates_at(i, centers[i], &mut scratch);
+            for &j in &scratch {
+                let j = j as usize;
+                if j > i && pair_violates(desired, centers, spacing, i, j) {
+                    bad.insert(i);
+                    bad.insert(j);
+                }
+            }
+        }
+    }
+    bad.into_iter().collect()
+}
+
+/// The O(n²) scan behind [`violating_indices`], retained for equivalence tests.
+fn violating_indices_reference(desired: &[Rect], centers: &[Point], spacing: f64) -> Vec<usize> {
     let mut bad = std::collections::BTreeSet::new();
     for i in 0..desired.len() {
         for j in (i + 1)..desired.len() {
-            let sep_x = desired[i].min_separation_x(&desired[j]) + spacing;
-            let sep_y = desired[i].min_separation_y(&desired[j]) + spacing;
-            let dx = (centers[j].x - centers[i].x).abs();
-            let dy = (centers[j].y - centers[i].y).abs();
-            if dx < sep_x - qgdp_geometry::EPS && dy < sep_y - qgdp_geometry::EPS {
+            if pair_violates(desired, centers, spacing, i, j) {
                 bad.insert(i);
                 bad.insert(j);
             }
@@ -132,35 +348,163 @@ fn violating_indices(desired: &[Rect], centers: &[Point], spacing: f64) -> Vec<u
     bad.into_iter().collect()
 }
 
-/// Re-places every violating macro at the nearest legal site (outward ring search).
-fn repair_violations(
-    desired: &[Rect],
-    die: &Rect,
-    spacing: f64,
-    centers: &mut [Point],
-) -> Result<(), LegalizeError> {
-    let mut violators = violating_indices(desired, centers, spacing);
-    // Larger macros first: they are hardest to fit.
+/// Violators sorted hardest-to-fit first (larger macros first, ties by index) — the
+/// processing order of the repair phase, shared by both engines.
+fn sorted_violators(desired: &[Rect], violators: Vec<usize>) -> Vec<usize> {
+    let mut violators = violators;
     violators.sort_by(|&a, &b| {
         desired[b]
             .area()
             .total_cmp(&desired[a].area())
             .then(a.cmp(&b))
     });
-    let violator_set: std::collections::BTreeSet<usize> = violators.iter().copied().collect();
-    let mut placed: Vec<usize> = (0..desired.len())
-        .filter(|i| !violator_set.contains(i))
-        .collect();
+    violators
+}
 
+/// Ring-search step size: half the smallest macro side, floored by the die resolution.
+fn repair_step(desired: &[Rect], die: &Rect) -> f64 {
     let min_side = desired
         .iter()
         .map(|r| r.width().min(r.height()))
         .fold(f64::INFINITY, f64::min);
-    let step = (min_side * 0.5).max(die.width() / 512.0);
+    (min_side * 0.5).max(die.width() / 512.0)
+}
+
+/// Candidate points on the square ring of radius `ring * step` around `target`,
+/// nearest-to-target first.
+///
+/// Each ring corner is produced by two of the four edge loops, so exact duplicates
+/// are removed after the deterministic sort (they are adjacent by then); the search
+/// outcome is unchanged — only the redundant `fits` probes go away.
+fn ring_candidates(target: Point, ring: i64, step: f64) -> Vec<Point> {
+    let r = ring as f64 * step;
+    let mut candidates = Vec::new();
+    if ring == 0 {
+        candidates.push(target);
+    } else {
+        let steps = 2 * ring;
+        for k in 0..=steps {
+            let t = -r + k as f64 * step;
+            candidates.push(Point::new(target.x + t, target.y - r));
+            candidates.push(Point::new(target.x + t, target.y + r));
+            candidates.push(Point::new(target.x - r, target.y + t));
+            candidates.push(Point::new(target.x + r, target.y + t));
+        }
+    }
+    // Deterministic preference: nearest to target first.
+    candidates.sort_by(|a, b| {
+        a.distance_squared(target)
+            .total_cmp(&b.distance_squared(target))
+            .then(a.x.total_cmp(&b.x))
+            .then(a.y.total_cmp(&b.y))
+    });
+    candidates.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    candidates
+}
+
+/// Runs the outward ring search for macro `v`, returning the first candidate centre
+/// (die-clamped) accepted by `fits`.  The ring schedule and ordering are shared by
+/// both repair implementations.
+fn find_repair_site(
+    desired: &[Rect],
+    die: &Rect,
+    v: usize,
+    step: f64,
+    mut fits: impl FnMut(Point) -> bool,
+) -> Option<Point> {
+    let target = desired[v].center();
+    let max_radius_steps = ((die.width().max(die.height()) / step).ceil() as i64 + 1).max(1);
+    for ring in 0..=max_radius_steps {
+        for c in ring_candidates(target, ring, step) {
+            let clamped = desired[v].with_center(c).clamped_within(die).center();
+            if fits(clamped) {
+                return Some(clamped);
+            }
+        }
+    }
+    None
+}
+
+fn no_space_error(desired: &[Rect], v: usize) -> LegalizeError {
+    LegalizeError::NoSpace {
+        component: format!(
+            "macro #{v} ({:.0}x{:.0})",
+            desired[v].width(),
+            desired[v].height()
+        ),
+    }
+}
+
+/// Re-places every violating macro at the nearest legal site (outward ring search),
+/// consulting the spacing-inflated index for the `fits` test.
+fn repair_violations(
+    desired: &[Rect],
+    die: &Rect,
+    spacing: f64,
+    centers: &mut [Point],
+) -> Result<(), LegalizeError> {
+    let violators = sorted_violators(desired, violating_indices(desired, centers, spacing));
+    let violator_set: std::collections::BTreeSet<usize> = violators.iter().copied().collect();
+    let step = repair_step(desired, die);
+
+    // Index the macros that already sit at legal positions; each repaired violator
+    // joins them incrementally.
+    let mut index = MacroIndex::empty(desired, spacing, die);
+    for (k, &c) in centers.iter().enumerate() {
+        if !violator_set.contains(&k) {
+            index.insert(k, c);
+        }
+    }
+
+    let mut scratch: Vec<u32> = Vec::new();
+    for &v in &violators {
+        let found = find_repair_site(desired, die, v, step, |candidate| {
+            let rect = desired[v].with_center(candidate);
+            if !die.contains_rect(&rect) {
+                return false;
+            }
+            // Only indexed macros sharing a cell with the inflated candidate rect can
+            // violate the separation condition; everything else passes trivially.
+            index.candidates_at(v, candidate, &mut scratch);
+            scratch.iter().all(|&p| {
+                let p = p as usize;
+                let dx = (centers[p].x - candidate.x).abs();
+                let dy = (centers[p].y - candidate.y).abs();
+                dx >= desired[v].min_separation_x(&desired[p]) + spacing - qgdp_geometry::EPS
+                    || dy >= desired[v].min_separation_y(&desired[p]) + spacing - qgdp_geometry::EPS
+            })
+        });
+        match found {
+            Some(p) => {
+                centers[v] = p;
+                index.insert(v, p);
+            }
+            None => return Err(no_space_error(desired, v)),
+        }
+    }
+    Ok(())
+}
+
+/// The linear-scan repair of [`legalize_macros_reference`]: identical ring search,
+/// `fits` checked against every placed macro.
+fn repair_violations_reference(
+    desired: &[Rect],
+    die: &Rect,
+    spacing: f64,
+    centers: &mut [Point],
+) -> Result<(), LegalizeError> {
+    let violators = sorted_violators(
+        desired,
+        violating_indices_reference(desired, centers, spacing),
+    );
+    let violator_set: std::collections::BTreeSet<usize> = violators.iter().copied().collect();
+    let mut placed: Vec<usize> = (0..desired.len())
+        .filter(|i| !violator_set.contains(i))
+        .collect();
+    let step = repair_step(desired, die);
 
     for &v in &violators {
-        let target = desired[v].center();
-        let fits = |candidate: Point| -> bool {
+        let found = find_repair_site(desired, die, v, step, |candidate| {
             let rect = desired[v].with_center(candidate);
             if !die.contains_rect(&rect) {
                 return false;
@@ -171,67 +515,30 @@ fn repair_violations(
                 dx >= desired[v].min_separation_x(&desired[p]) + spacing - qgdp_geometry::EPS
                     || dy >= desired[v].min_separation_y(&desired[p]) + spacing - qgdp_geometry::EPS
             })
-        };
-        let max_radius_steps = ((die.width().max(die.height()) / step).ceil() as i64 + 1).max(1);
-        let mut found = None;
-        'search: for ring in 0..=max_radius_steps {
-            // Candidates on the square ring of radius `ring * step` around the target.
-            let r = ring as f64 * step;
-            let mut candidates = Vec::new();
-            if ring == 0 {
-                candidates.push(target);
-            } else {
-                let steps = 2 * ring;
-                for k in 0..=steps {
-                    let t = -r + k as f64 * step;
-                    candidates.push(Point::new(target.x + t, target.y - r));
-                    candidates.push(Point::new(target.x + t, target.y + r));
-                    candidates.push(Point::new(target.x - r, target.y + t));
-                    candidates.push(Point::new(target.x + r, target.y + t));
-                }
-            }
-            // Deterministic preference: nearest to target first.
-            candidates.sort_by(|a, b| {
-                a.distance_squared(target)
-                    .total_cmp(&b.distance_squared(target))
-                    .then(a.x.total_cmp(&b.x))
-                    .then(a.y.total_cmp(&b.y))
-            });
-            for c in candidates {
-                let clamped = desired[v].with_center(c).clamped_within(die).center();
-                if fits(clamped) {
-                    found = Some(clamped);
-                    break 'search;
-                }
-            }
-        }
+        });
         match found {
             Some(p) => {
                 centers[v] = p;
                 placed.push(v);
             }
-            None => {
-                return Err(LegalizeError::NoSpace {
-                    component: format!(
-                        "macro #{v} ({:.0}x{:.0})",
-                        desired[v].width(),
-                        desired[v].height()
-                    ),
-                })
-            }
+            None => return Err(no_space_error(desired, v)),
         }
     }
     Ok(())
 }
 
 /// Returns `true` if the macro set satisfies pairwise spacing and the border constraint.
+///
+/// Deliberately runs the brute-force violator scan, not the spatial index: this is
+/// the legality *oracle* the equivalence tests and benches trust, so it must stay
+/// independent of the index machinery it validates.
 #[must_use]
 pub fn macros_are_legal(desired: &[Rect], centers: &[Point], die: &Rect, spacing: f64) -> bool {
     centers
         .iter()
         .enumerate()
         .all(|(i, &c)| die.contains_rect(&desired[i].with_center(c)))
-        && violating_indices(desired, centers, spacing).is_empty()
+        && violating_indices_reference(desired, centers, spacing).is_empty()
 }
 
 /// The classical macro legalizer baseline: displacement-minimising legalization of the
@@ -288,10 +595,27 @@ mod tests {
             .collect()
     }
 
+    /// Runs both engines and asserts their outputs (or errors) are bit-identical,
+    /// returning the optimized result.
+    fn legalize_both(
+        desired: &[Rect],
+        d: &Rect,
+        spacing: f64,
+    ) -> Result<Vec<Point>, LegalizeError> {
+        let optimized = legalize_macros(desired, d, spacing);
+        let reference = legalize_macros_reference(desired, d, spacing);
+        match (&optimized, &reference) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "indexed engine diverged from the reference"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("engines disagree on outcome: optimized={a:?} reference={b:?}"),
+        }
+        optimized
+    }
+
     #[test]
     fn already_legal_input_is_untouched() {
         let desired = squares(&[(20.0, 20.0), (60.0, 20.0), (20.0, 60.0)], 20.0);
-        let out = legalize_macros(&desired, &die(100.0), 0.0).unwrap();
+        let out = legalize_both(&desired, &die(100.0), 0.0).unwrap();
         for (r, c) in desired.iter().zip(&out) {
             assert_eq!(r.center(), *c);
         }
@@ -300,7 +624,7 @@ mod tests {
     #[test]
     fn overlapping_pair_gets_separated_minimally() {
         let desired = squares(&[(45.0, 50.0), (55.0, 50.0)], 20.0);
-        let out = legalize_macros(&desired, &die(100.0), 0.0).unwrap();
+        let out = legalize_both(&desired, &die(100.0), 0.0).unwrap();
         assert!(macros_are_legal(&desired, &out, &die(100.0), 0.0));
         // The pair separates along x (the smaller push) and stays near y = 50.
         assert!((out[0].y - 50.0).abs() < 1e-6);
@@ -311,7 +635,7 @@ mod tests {
     #[test]
     fn spacing_is_enforced() {
         let desired = squares(&[(40.0, 50.0), (60.0, 50.0)], 20.0);
-        let out = legalize_macros(&desired, &die(200.0), 10.0).unwrap();
+        let out = legalize_both(&desired, &die(200.0), 10.0).unwrap();
         assert!(macros_are_legal(&desired, &out, &die(200.0), 10.0));
         assert!(
             (out[1].x - out[0].x).abs() >= 30.0 - 1e-9
@@ -321,17 +645,19 @@ mod tests {
 
     #[test]
     fn dense_cluster_is_repaired() {
-        // Nine macros all dumped on the same spot in a die that can hold them.
+        // Nine macros all dumped on the same spot in a die that can hold them: phase 1
+        // cannot untangle a fully degenerate stack, so this exercises the repair phase
+        // of both engines.
         let desired = squares(&[(50.0, 50.0); 9], 20.0);
         let d = die(200.0);
-        let out = legalize_macros(&desired, &d, 0.0).unwrap();
+        let out = legalize_both(&desired, &d, 0.0).unwrap();
         assert!(macros_are_legal(&desired, &out, &d, 0.0));
     }
 
     #[test]
     fn die_too_small_is_reported() {
         let desired = squares(&[(10.0, 10.0), (20.0, 20.0)], 30.0);
-        match legalize_macros(&desired, &die(40.0), 0.0) {
+        match legalize_both(&desired, &die(40.0), 0.0) {
             Err(LegalizeError::DieTooSmall { .. }) => {}
             other => panic!("expected DieTooSmall, got {other:?}"),
         }
@@ -340,6 +666,49 @@ mod tests {
     #[test]
     fn empty_input_is_ok() {
         assert!(legalize_macros(&[], &die(10.0), 0.0).unwrap().is_empty());
+        assert!(legalize_macros_reference(&[], &die(10.0), 0.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn ring_candidates_have_no_duplicate_corners() {
+        // Each ring corner used to be emitted by two of the four edge loops; the
+        // candidate list must now be duplicate-free while still covering the ring.
+        for ring in 0..4i64 {
+            let candidates = ring_candidates(Point::new(10.0, 20.0), ring, 2.5);
+            let expected = if ring == 0 { 1 } else { 8 * ring as usize };
+            assert_eq!(
+                candidates.len(),
+                expected,
+                "ring {ring} should have {expected} unique candidates"
+            );
+            for (a, idx) in candidates.iter().zip(0..) {
+                for b in &candidates[idx + 1..] {
+                    assert!(
+                        a.x != b.x || a.y != b.y,
+                        "duplicate candidate {a} on ring {ring}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn violating_indices_match_reference_on_a_clump() {
+        let desired = squares(
+            &[(50.0, 50.0), (55.0, 50.0), (90.0, 90.0), (52.0, 55.0)],
+            20.0,
+        );
+        let centers: Vec<Point> = desired.iter().map(Rect::center).collect();
+        assert_eq!(
+            violating_indices(&desired, &centers, 5.0),
+            violating_indices_reference(&desired, &centers, 5.0)
+        );
+        assert_eq!(
+            violating_indices(&desired, &centers, 0.0),
+            violating_indices_reference(&desired, &centers, 0.0)
+        );
     }
 
     #[test]
@@ -388,6 +757,46 @@ mod tests {
                 Err(LegalizeError::DieTooSmall { .. }) | Err(LegalizeError::NoSpace { .. }) => {}
                 Err(other) => prop_assert!(false, "unexpected error {other:?}"),
             }
+        }
+
+        #[test]
+        fn prop_indexed_engine_is_bit_identical_to_reference(
+            centers in proptest::collection::vec((10.0..390.0f64, 10.0..390.0f64), 1..16),
+            sizes in proptest::collection::vec(10.0..50.0f64, 1..16),
+            spacing in 0.0..12.0f64,
+        ) {
+            // Mixed-size macro sets at arbitrary density: the indexed engine must
+            // reproduce the reference bit for bit (including which error it returns),
+            // and every accepted result must pass the legality oracle.
+            let desired: Vec<Rect> = centers
+                .iter()
+                .zip(sizes.iter().cycle())
+                .map(|(&(x, y), &s)| Rect::from_center(Point::new(x, y), s, s))
+                .collect();
+            let d = die(400.0);
+            let optimized = legalize_macros(&desired, &d, spacing);
+            let reference = legalize_macros_reference(&desired, &d, spacing);
+            match (optimized, reference) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a, &b);
+                    prop_assert!(macros_are_legal(&desired, &a, &d, spacing));
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "outcomes disagree: {:?} vs {:?}", a, b),
+            }
+        }
+
+        #[test]
+        fn prop_violating_indices_match_reference(
+            centers in proptest::collection::vec((0.0..200.0f64, 0.0..200.0f64), 2..20),
+            spacing in 0.0..15.0f64,
+        ) {
+            let desired = squares(&centers, 25.0);
+            let pts: Vec<Point> = desired.iter().map(Rect::center).collect();
+            prop_assert_eq!(
+                violating_indices(&desired, &pts, spacing),
+                violating_indices_reference(&desired, &pts, spacing)
+            );
         }
 
         #[test]

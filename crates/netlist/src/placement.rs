@@ -203,10 +203,27 @@ impl Placement {
             .all(|id| die.contains_rect(&self.rect(netlist, id)))
     }
 
-    /// Counts pairs of components whose rectangles overlap (a slow O(n²) check used by
-    /// tests and assertions, not by the legalizers themselves).
+    /// Counts pairs of components whose rectangles overlap.
+    ///
+    /// Runs a sort-by-x sweepline ([`qgdp_geometry::count_overlapping_pairs`]), so the
+    /// global-placement overlap statistic costs `O(n log n)` on realistic layouts
+    /// instead of the O(n²) of the retained
+    /// [`count_overlaps_reference`](Placement::count_overlaps_reference) — the two are
+    /// equal by construction (same [`Rect::overlaps`] predicate pair by pair).
     #[must_use]
     pub fn count_overlaps(&self, netlist: &QuantumNetlist) -> usize {
+        let rects: Vec<Rect> = netlist
+            .component_ids()
+            .map(|id| self.rect(netlist, id))
+            .collect();
+        qgdp_geometry::count_overlapping_pairs(&rects)
+    }
+
+    /// The brute-force O(n²) formulation of
+    /// [`count_overlaps`](Placement::count_overlaps), retained as its executable
+    /// specification for equivalence tests and the `bench_legalize` record.
+    #[must_use]
+    pub fn count_overlaps_reference(&self, netlist: &QuantumNetlist) -> usize {
         let ids: Vec<ComponentId> = netlist.component_ids().collect();
         let rects: Vec<Rect> = ids.iter().map(|&id| self.rect(netlist, id)).collect();
         let mut count = 0;
@@ -225,6 +242,7 @@ impl Placement {
 mod tests {
     use super::*;
     use crate::{ComponentGeometry, NetlistBuilder};
+    use proptest::prelude::*;
 
     fn netlist() -> QuantumNetlist {
         NetlistBuilder::new(ComponentGeometry::default())
@@ -283,11 +301,32 @@ mod tests {
         // Everything at the origin overlaps pairwise.
         let n = nl.num_components();
         assert_eq!(p.count_overlaps(&nl), n * (n - 1) / 2);
+        assert_eq!(p.count_overlaps_reference(&nl), n * (n - 1) / 2);
         // Spread the qubits and segments far apart: no overlaps.
         let mut q = Placement::new(&nl);
         for (i, id) in nl.component_ids().enumerate() {
             q.set_component(id, Point::new(i as f64 * 100.0, 0.0));
         }
         assert_eq!(q.count_overlaps(&nl), 0);
+        assert_eq!(q.count_overlaps_reference(&nl), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sweepline_overlaps_match_reference(
+            positions in proptest::collection::vec(
+                (0.0..400.0f64, 0.0..400.0f64),
+                27..28,
+            ),
+        ) {
+            // 3 qubits + 24 wire blocks scattered at random densities: the sweepline
+            // statistic must equal the brute-force reference exactly.
+            let nl = netlist();
+            let mut p = Placement::new(&nl);
+            for (id, &(x, y)) in nl.component_ids().zip(&positions) {
+                p.set_component(id, Point::new(x, y));
+            }
+            prop_assert_eq!(p.count_overlaps(&nl), p.count_overlaps_reference(&nl));
+        }
     }
 }

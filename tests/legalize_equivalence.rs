@@ -1,0 +1,157 @@
+//! Golden equivalence suite for the spatial-index overlap-detection stack.
+//!
+//! The qubit-legalization engine and the placement overlap statistic each ship an
+//! optimized implementation (spatial index / sweepline) and a retained O(n²)
+//! reference.  On realistic inputs — global placements of the paper's standard
+//! topologies — the optimized paths must be **bit-identical** to their references:
+//! same centres, same counts, same achieved spacing, same errors.
+
+use qgdp::legalize::{legalize_macros, legalize_macros_reference, macros_are_legal};
+use qgdp::prelude::*;
+
+/// The GP input each equivalence check runs on.
+struct GpCase {
+    netlist: QuantumNetlist,
+    die: Rect,
+    gp: Placement,
+}
+
+fn gp_case(topology: StandardTopology) -> GpCase {
+    let topo = topology.build();
+    let netlist = topo
+        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+        .expect("netlist builds");
+    let placed = GlobalPlacer::new(GlobalPlacerConfig::default()).place(&netlist, &topo);
+    GpCase {
+        netlist,
+        die: placed.die,
+        gp: placed.placement,
+    }
+}
+
+fn qubit_rects(case: &GpCase) -> Vec<Rect> {
+    case.netlist
+        .qubit_ids()
+        .map(|q| case.netlist.qubit(q).rect_at(case.gp.qubit(q)))
+        .collect()
+}
+
+#[test]
+fn macro_engine_bit_identical_on_standard_topologies() {
+    for topology in [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ] {
+        let case = gp_case(topology);
+        let desired = qubit_rects(&case);
+        let spacing = case.netlist.geometry().min_qubit_spacing();
+        for s in [0.0, spacing * 0.5, spacing] {
+            let optimized = legalize_macros(&desired, &case.die, s);
+            let reference = legalize_macros_reference(&desired, &case.die, s);
+            match (optimized, reference) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{topology}: engines diverged at spacing {s}");
+                    assert!(
+                        macros_are_legal(&desired, &a, &case.die, s),
+                        "{topology}: result fails the legality oracle at spacing {s}"
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{topology}: outcomes disagree: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn quantum_qubit_legalizer_paths_bit_identical() {
+    for topology in [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ] {
+        let case = gp_case(topology);
+        let lg = QuantumQubitLegalizer::new();
+        let (fast, fast_spacing) = lg
+            .legalize_with_spacing(&case.netlist, &case.die, &case.gp)
+            .expect("qubit legalization succeeds on standard topologies");
+        let (reference, reference_spacing) = lg
+            .legalize_with_spacing_reference(&case.netlist, &case.die, &case.gp)
+            .expect("reference path succeeds whenever the hot path does");
+        assert_eq!(fast, reference, "{topology}: legalized placements diverged");
+        assert_eq!(
+            fast_spacing.to_bits(),
+            reference_spacing.to_bits(),
+            "{topology}: achieved spacing diverged"
+        );
+    }
+}
+
+#[test]
+fn overlap_statistic_bit_identical_on_gp_and_legalized_layouts() {
+    for topology in [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ] {
+        let case = gp_case(topology);
+        assert_eq!(
+            case.gp.count_overlaps(&case.netlist),
+            case.gp.count_overlaps_reference(&case.netlist),
+            "{topology}: sweepline diverged from reference on the GP layout"
+        );
+        let (legalized, _) = QuantumQubitLegalizer::new()
+            .legalize_with_spacing(&case.netlist, &case.die, &case.gp)
+            .expect("qubit legalization succeeds");
+        assert_eq!(
+            legalized.count_overlaps(&case.netlist),
+            legalized.count_overlaps_reference(&case.netlist),
+            "{topology}: sweepline diverged from reference on the legalized layout"
+        );
+    }
+}
+
+#[test]
+fn sweepline_matches_reference_on_degenerate_stacks() {
+    // Everything at the origin: maximum overlap depth, the sweepline's worst case.
+    let netlist = NetlistBuilder::new(ComponentGeometry::default())
+        .qubits(4)
+        .couple(0, 1)
+        .couple(1, 2)
+        .couple(2, 3)
+        .build()
+        .expect("netlist builds");
+    let stacked = Placement::new(&netlist);
+    assert_eq!(
+        stacked.count_overlaps(&netlist),
+        stacked.count_overlaps_reference(&netlist)
+    );
+    let n = netlist.num_components();
+    assert_eq!(stacked.count_overlaps(&netlist), n * (n - 1) / 2);
+}
+
+#[test]
+fn engine_agreement_extends_to_synthetic_large_n() {
+    use qgdp_geometry::Point;
+    use rand::{Rng, SeedableRng};
+    // A mid-size uniform-random macro set (larger than any standard topology) keeps
+    // the golden suite honest beyond the device sizes the paper ships.
+    let n = 400;
+    let size = 40.0;
+    let spacing = 10.0;
+    let side = ((n as f64) * (size + spacing) * (size + spacing) / 0.35).sqrt();
+    let die = Rect::from_lower_left(Point::ORIGIN, side, side);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let desired: Vec<Rect> = (0..n)
+        .map(|_| {
+            let x = rng.gen_range(size * 0.5..side - size * 0.5);
+            let y = rng.gen_range(size * 0.5..side - size * 0.5);
+            Rect::from_center(Point::new(x, y), size, size)
+        })
+        .collect();
+    let optimized = legalize_macros(&desired, &die, spacing).expect("legalizes");
+    let reference = legalize_macros_reference(&desired, &die, spacing).expect("legalizes");
+    assert_eq!(optimized, reference, "synthetic large-n run diverged");
+    assert!(macros_are_legal(&desired, &optimized, &die, spacing));
+}
