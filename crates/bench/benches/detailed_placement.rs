@@ -6,22 +6,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qgdp::prelude::*;
 use qgdp::{DetailedPlacer, ResonatorLegalizer};
 use qgdp_bench::EXPERIMENT_SEED;
-use qgdp_legalize::{CellLegalizer, QubitLegalizer};
+use qgdp_legalize::CellLegalizer;
 
-fn legalized(topology: StandardTopology) -> (QuantumNetlist, Rect, Placement) {
-    let topo = topology.build();
-    let netlist = topo
-        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
-        .expect("netlist builds");
-    let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_seed(EXPERIMENT_SEED))
-        .place(&netlist, &topo);
-    let qubits = qgdp::QuantumQubitLegalizer::new()
-        .legalize_qubits(&netlist, &gp.die, &gp.placement)
-        .expect("qubit legalization succeeds");
-    let legal = ResonatorLegalizer::new()
-        .legalize_cells(&netlist, &gp.die, &qubits)
-        .expect("resonator legalization succeeds");
-    (netlist, gp.die, legal)
+/// The qGDP-legalized artifact of one topology, staged through a [`Session`].
+fn legalized(topology: StandardTopology) -> CellLegalized {
+    Session::new(
+        &topology.build(),
+        FlowConfig::default().with_seed(EXPERIMENT_SEED),
+    )
+    .expect("session builds")
+    .global_place()
+    .legalize(LegalizationStrategy::Qgdp)
+    .expect("legalization succeeds")
 }
 
 fn bench_detailed_placement(c: &mut Criterion) {
@@ -33,12 +29,13 @@ fn bench_detailed_placement(c: &mut Criterion) {
         StandardTopology::Aspen11,
         StandardTopology::AspenM,
     ] {
-        let (netlist, die, legal) = legalized(topology);
+        let legal = legalized(topology);
         group.bench_with_input(
             BenchmarkId::from_parameter(topology.name()),
-            &(netlist, die, legal),
-            |b, (netlist, die, legal)| {
-                b.iter(|| DetailedPlacer::new().place(netlist, die, legal));
+            &legal,
+            |b, legal| {
+                let die = legal.die();
+                b.iter(|| DetailedPlacer::new().place(legal.netlist(), &die, legal.placement()));
             },
         );
     }
@@ -76,21 +73,21 @@ fn bench_full_flow(c: &mut Criterion) {
 fn bench_frequency_awareness_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("resonator_lg_frequency_ablation");
     group.sample_size(10);
-    let topo = StandardTopology::Aspen11.build();
-    let netlist = topo
-        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
-        .expect("netlist builds");
-    let gp = GlobalPlacer::new(GlobalPlacerConfig::default().with_seed(EXPERIMENT_SEED))
-        .place(&netlist, &topo);
-    let qubits = qgdp::QuantumQubitLegalizer::new()
-        .legalize_qubits(&netlist, &gp.die, &gp.placement)
-        .expect("qubit legalization succeeds");
+    let qubits = Session::new(
+        &StandardTopology::Aspen11.build(),
+        FlowConfig::default().with_seed(EXPERIMENT_SEED),
+    )
+    .expect("session builds")
+    .global_place()
+    .legalize_qubits(LegalizationStrategy::Qgdp)
+    .expect("qubit legalization succeeds");
+    let die = qubits.die();
     for (name, penalty) in [("frequency_aware", 3.0), ("frequency_blind", 0.0)] {
         group.bench_function(name, |b| {
             let legalizer = ResonatorLegalizer::new().with_frequency_penalty(penalty);
             b.iter(|| {
                 legalizer
-                    .legalize_cells(&netlist, &gp.die, &qubits)
+                    .legalize_cells(qubits.netlist(), &die, qubits.placement())
                     .expect("legal")
             });
         });

@@ -1,0 +1,230 @@
+//! Measures the staged [`Session`] batch path against independent `run_flow` calls
+//! and records the result in `BENCH_flow.json`.
+//!
+//! ```bash
+//! cargo run --release -p qgdp-bench --bin bench_flow
+//! ```
+//!
+//! For every benched topology the five-strategy matrix (Table II / Figs. 8–9 shape)
+//! is produced two ways on identical inputs:
+//!
+//! * **independent** — five separate [`run_flow`] calls, each paying its own
+//!   netlist build, global placement and eager reports (the pre-Session API cost);
+//! * **session** — one [`Session`] whose single [`GlobalPlacement`] artifact is
+//!   fanned over the strategies by [`Session::run_matrix`] on the `QGDP_THREADS`
+//!   worker pool, with the shared GP report computed once and per-strategy reports
+//!   forced afterwards (so both legs deliver the same data).
+//!
+//! Before timing, the binary asserts the session artifacts are **bit-identical** to
+//! the `run_flow` results (placements and reports), and that the batch path is
+//! bit-identical between 1 worker and a multi-worker pool.  Override the output
+//! path with `QGDP_BENCH_OUT`, the topology panel with `QGDP_BENCH_TOPOLOGIES`
+//! (comma-separated names) and repetitions with `QGDP_BENCH_REPS` (fastest rep is
+//! reported, criterion-style).
+
+use qgdp::prelude::*;
+use qgdp_bench::experiment_config;
+use std::time::Instant;
+
+/// One measured topology row.
+struct Record {
+    topology: String,
+    components: usize,
+    strategies: usize,
+    independent_ms: f64,
+    session_ms: f64,
+    gp_ms: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.independent_ms / self.session_ms
+    }
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps.max(1))
+        .map(|_| run())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Asserts the staged artifacts equal the monolithic results bit for bit, and that
+/// the batch fan-out is worker-count-invariant.
+fn verify_bit_identity(topology: StandardTopology, strategies: &[LegalizationStrategy]) {
+    let topo = topology.build();
+    let session = Session::new(&topo, experiment_config()).expect("session builds");
+    let serial = session
+        .run_batch_with_threads(
+            &strategies
+                .iter()
+                .map(|&s| FlowRequest::legalize(s))
+                .collect::<Vec<_>>(),
+            1,
+        )
+        .expect("serial batch succeeds");
+    let parallel = session
+        .run_batch_with_threads(
+            &strategies
+                .iter()
+                .map(|&s| FlowRequest::legalize(s))
+                .collect::<Vec<_>>(),
+            4,
+        )
+        .expect("parallel batch succeeds");
+    for ((&strategy, a), b) in strategies.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(
+            a.final_placement(),
+            b.final_placement(),
+            "{topology}/{strategy}: batch path must be worker-count invariant"
+        );
+        assert_eq!(
+            a.report(),
+            b.report(),
+            "{topology}/{strategy}: batch reports must be worker-count invariant"
+        );
+        let mono = run_flow(&topo, strategy, &experiment_config())
+            .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+        assert_eq!(
+            a.legalized().global().placement(),
+            &mono.gp_placement,
+            "{topology}/{strategy}: shared GP must equal the per-flow GP"
+        );
+        assert_eq!(
+            a.final_placement(),
+            &mono.legalized,
+            "{topology}/{strategy}: staged layout must equal run_flow"
+        );
+        assert_eq!(
+            a.report(),
+            &mono.legalized_report,
+            "{topology}/{strategy}: staged report must equal run_flow"
+        );
+    }
+}
+
+fn bench_topology(
+    topology: StandardTopology,
+    strategies: &[LegalizationStrategy],
+    reps: usize,
+) -> Record {
+    let topo = topology.build();
+    verify_bit_identity(topology, strategies);
+
+    // Independent leg: one full run_flow per strategy (netlist + GP + eager reports
+    // paid five times).
+    let independent_ms = best_of(reps, || {
+        let start = Instant::now();
+        for &strategy in strategies {
+            let result = run_flow(&topo, strategy, &experiment_config())
+                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+            std::hint::black_box(&result.legalized_report);
+        }
+        start.elapsed().as_secs_f64() * 1e3
+    });
+
+    // Session leg: one netlist build, one GP, batched legalizations, shared GP
+    // report computed once, per-strategy reports forced so both legs deliver the
+    // same data to a Table II/III-style consumer.
+    let session_ms = best_of(reps, || {
+        let start = Instant::now();
+        let session = Session::new(&topo, experiment_config()).expect("session builds");
+        let artifacts = session
+            .run_matrix(strategies, &[None])
+            .expect("matrix succeeds");
+        for artifact in &artifacts {
+            std::hint::black_box(artifact.report());
+        }
+        std::hint::black_box(artifacts[0].legalized().global().report());
+        start.elapsed().as_secs_f64() * 1e3
+    });
+
+    let session = Session::new(&topo, experiment_config()).expect("session builds");
+    let gp_ms = best_of(reps, || {
+        let start = Instant::now();
+        std::hint::black_box(session.global_place());
+        start.elapsed().as_secs_f64() * 1e3
+    });
+
+    Record {
+        topology: topology.name().to_string(),
+        components: session.netlist().num_components(),
+        strategies: strategies.len(),
+        independent_ms,
+        session_ms,
+        gp_ms,
+    }
+}
+
+fn main() {
+    let reps = std::env::var("QGDP_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let default_panel = [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ];
+    let all = StandardTopology::all();
+    let topologies: Vec<StandardTopology> = match std::env::var("QGDP_BENCH_TOPOLOGIES") {
+        Ok(names) => names
+            .split(',')
+            .map(|name| {
+                *all.iter()
+                    .find(|t| t.name().eq_ignore_ascii_case(name.trim()))
+                    .unwrap_or_else(|| panic!("unknown topology {name:?}"))
+            })
+            .collect(),
+        Err(_) => default_panel.to_vec(),
+    };
+    let strategies = LegalizationStrategy::all();
+
+    let records: Vec<Record> = topologies
+        .iter()
+        .map(|&t| bench_topology(t, &strategies, reps))
+        .collect();
+
+    let mut rows = String::new();
+    for r in &records {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"components\": {}, \"strategies\": {}, \
+             \"independent_run_flow_ms\": {:.2}, \"session_matrix_ms\": {:.2}, \
+             \"speedup\": {:.2}, \"gp_ms\": {:.2}, \"bit_identical\": true }}",
+            r.topology,
+            r.components,
+            r.strategies,
+            r.independent_ms,
+            r.session_ms,
+            r.speedup(),
+            r.gp_ms,
+        ));
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = worker_threads();
+    let json = format!(
+        "{{\n  \"benchmark\": \"five-strategy matrix: staged Session batch (shared GP \
+         warm start) vs independent run_flow calls\",\n  \"reps\": {reps},\n  \
+         \"threads\": {threads},\n  \"host_cpus\": {host_cpus},\n  \"records\": [\n{rows}\n  ]\n}}\n"
+    );
+    let out_path =
+        std::env::var("QGDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_flow.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    for r in &records {
+        println!(
+            "{:>8} ({} strategies): {:>8.2}ms -> {:>7.2}ms ({:.2}x, one {:.2}ms GP \
+             instead of {}, bit-identical)",
+            r.topology,
+            r.strategies,
+            r.independent_ms,
+            r.session_ms,
+            r.speedup(),
+            r.gp_ms,
+            r.strategies,
+        );
+    }
+    println!("recorded in {out_path}");
+}

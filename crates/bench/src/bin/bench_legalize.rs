@@ -56,34 +56,40 @@ fn time_ms<T, F: FnMut() -> T>(mut run: F) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-/// GP input for one topology.
+/// GP input for one topology: the session and its GP artifact (cheap Arc-shared
+/// handles — the benched engines borrow the netlist/die/positions from them).
 struct GpCase {
-    netlist: QuantumNetlist,
-    die: Rect,
-    gp: Placement,
+    session: Session,
+    placed: GlobalPlacement,
+}
+
+impl GpCase {
+    fn netlist(&self) -> &QuantumNetlist {
+        self.session.netlist()
+    }
+
+    fn gp(&self) -> &Placement {
+        self.placed.placement()
+    }
 }
 
 fn gp_case(topology: StandardTopology) -> GpCase {
-    let topo = topology.build();
-    let netlist = topo
-        .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
-        .unwrap_or_else(|e| panic!("netlist for {topology}: {e}"));
-    let placed = GlobalPlacer::new(GlobalPlacerConfig::default()).place(&netlist, &topo);
-    GpCase {
-        netlist,
-        die: placed.die,
-        gp: placed.placement,
-    }
+    // One staged session per topology: the netlist is built once and the GP
+    // artifact provides the die + positions every benched engine consumes.
+    let session = Session::new(&topology.build(), FlowConfig::default())
+        .unwrap_or_else(|e| panic!("session for {topology}: {e}"));
+    let placed = session.global_place();
+    GpCase { session, placed }
 }
 
 /// The §III-C qubit-LG path (relaxation loop + engine), optimized vs reference.
 fn bench_qubit_lg(topology: StandardTopology, case: &GpCase, reps: usize) -> Record {
     let lg = QuantumQubitLegalizer::new();
     let optimized = lg
-        .legalize_with_spacing(&case.netlist, &case.die, &case.gp)
+        .legalize_with_spacing(case.netlist(), &case.placed.die(), case.gp())
         .unwrap_or_else(|e| panic!("{topology}: qubit legalization failed: {e}"));
     let reference = lg
-        .legalize_with_spacing_reference(&case.netlist, &case.die, &case.gp)
+        .legalize_with_spacing_reference(case.netlist(), &case.placed.die(), case.gp())
         .unwrap_or_else(|e| panic!("{topology}: reference legalization failed: {e}"));
     assert_eq!(
         optimized, reference,
@@ -91,15 +97,17 @@ fn bench_qubit_lg(topology: StandardTopology, case: &GpCase, reps: usize) -> Rec
     );
 
     let optimized_ms = best_of(reps, || {
-        time_ms(|| lg.legalize_with_spacing(&case.netlist, &case.die, &case.gp))
+        time_ms(|| lg.legalize_with_spacing(case.netlist(), &case.placed.die(), case.gp()))
     });
     let reference_ms = best_of(reps, || {
-        time_ms(|| lg.legalize_with_spacing_reference(&case.netlist, &case.die, &case.gp))
+        time_ms(|| {
+            lg.legalize_with_spacing_reference(case.netlist(), &case.placed.die(), case.gp())
+        })
     });
     Record {
         kind: "qubit-lg",
         workload: topology.name().to_string(),
-        size: case.netlist.num_qubits(),
+        size: case.netlist().num_qubits(),
         spacing: optimized.1,
         optimized_ms,
         reference_ms,
@@ -108,20 +116,22 @@ fn bench_qubit_lg(topology: StandardTopology, case: &GpCase, reps: usize) -> Rec
 
 /// The GP overlap statistic (GpStats.overlaps), sweepline vs brute force.
 fn bench_overlap_stats(topology: StandardTopology, case: &GpCase, reps: usize) -> Record {
-    let fast = case.gp.count_overlaps(&case.netlist);
-    let brute = case.gp.count_overlaps_reference(&case.netlist);
+    let fast = case.gp().count_overlaps(case.netlist());
+    let brute = case.gp().count_overlaps_reference(case.netlist());
     assert_eq!(
         fast, brute,
         "{topology}: sweepline overlap count must equal the reference"
     );
-    let optimized_ms = best_of(reps, || time_ms(|| case.gp.count_overlaps(&case.netlist)));
+    let optimized_ms = best_of(reps, || {
+        time_ms(|| case.gp().count_overlaps(case.netlist()))
+    });
     let reference_ms = best_of(reps, || {
-        time_ms(|| case.gp.count_overlaps_reference(&case.netlist))
+        time_ms(|| case.gp().count_overlaps_reference(case.netlist()))
     });
     Record {
         kind: "overlap-stats",
         workload: topology.name().to_string(),
-        size: case.netlist.num_components(),
+        size: case.netlist().num_components(),
         spacing: 0.0,
         optimized_ms,
         reference_ms,

@@ -55,28 +55,34 @@ fn bench_cell(
     model_name: &'static str,
     reps: usize,
 ) -> Record {
-    let topo = topology.build();
-    let netlist = topo
-        .to_netlist(ComponentGeometry::default(), model)
-        .unwrap_or_else(|e| panic!("netlist for {topology}: {e}"));
+    // The session builds (and would share) the netlist; the placer itself is
+    // driven directly because the reference formulation `place_reference` is not
+    // part of the staged artifact surface.
+    let session = Session::new(
+        &topology.build(),
+        FlowConfig::default().with_net_model(model),
+    )
+    .unwrap_or_else(|e| panic!("session for {topology}: {e}"));
+    let topo = session.topology();
+    let netlist = session.netlist();
     let cfg = GlobalPlacerConfig::default();
     let placer = GlobalPlacer::new(cfg);
 
     let optimized_ms = best_of(reps, || {
         let start = Instant::now();
-        std::hint::black_box(placer.place(&netlist, &topo));
+        std::hint::black_box(placer.place(netlist, topo));
         start.elapsed().as_secs_f64() * 1e3
     });
     let reference_ms = best_of(reps, || {
         let start = Instant::now();
-        std::hint::black_box(placer.place_reference(&netlist, &topo));
+        std::hint::black_box(placer.place_reference(netlist, topo));
         start.elapsed().as_secs_f64() * 1e3
     });
 
-    let optimized = placer.place(&netlist, &topo);
-    let reference = placer.place_reference(&netlist, &topo);
-    let h_opt = hpwl(&netlist, &optimized.placement);
-    let h_ref = hpwl(&netlist, &reference.placement);
+    let optimized = placer.place(netlist, topo);
+    let reference = placer.place_reference(netlist, topo);
+    let h_opt = hpwl(netlist, &optimized.placement);
+    let h_ref = hpwl(netlist, &reference.placement);
     let hpwl_rel_diff = ((h_opt - h_ref) / h_ref).abs();
     match model {
         NetModel::Pseudo | NetModel::Chain => assert_eq!(

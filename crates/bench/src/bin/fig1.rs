@@ -4,22 +4,25 @@
 //! stage: global placement, legalization (classic = Tetris vs quantum-aware = qGDP-LG)
 //! and detailed placement.
 //!
+//! Both legalizers fork the *same* [`GlobalPlacement`] artifact of one staged
+//! [`qgdp::Session`], so the contrast isolates the legalizer exactly.
+//!
 //! ```bash
 //! cargo run --release -p qgdp-bench --bin fig1
 //! ```
 
 use qgdp::metrics::{FidelityEvaluator, LayoutReport};
 use qgdp::prelude::*;
-use qgdp_bench::{experiment_config, mappings_per_benchmark, EXPERIMENT_SEED};
+use qgdp_bench::{experiment_session, mappings_per_benchmark, EXPERIMENT_SEED};
 
 fn main() {
     let topology = StandardTopology::Grid;
-    let topo = topology.build();
+    let session = experiment_session(topology);
     let mappings = mappings_per_benchmark();
     let noise = NoiseModel::default();
     let maps = random_mappings(
         &Benchmark::Qaoa4.circuit(),
-        &topo,
+        session.topology(),
         mappings,
         EXPERIMENT_SEED,
     );
@@ -35,61 +38,60 @@ fn main() {
     );
     println!("{}", "-".repeat(64));
 
-    let quantum = run_flow(
-        &topo,
-        LegalizationStrategy::Qgdp,
-        &experiment_config().with_detailed_placement(true),
-    )
-    .expect("qGDP flow");
-    let classic =
-        run_flow(&topo, LegalizationStrategy::Tetris, &experiment_config()).expect("Tetris flow");
+    let gp = session.global_place();
+    let quantum = gp
+        .legalize(LegalizationStrategy::Qgdp)
+        .expect("qGDP legalization");
+    let classic = gp
+        .legalize(LegalizationStrategy::Tetris)
+        .expect("Tetris legalization");
+    let detailed = quantum.detail();
 
-    let evaluate = |placement: &Placement, result: &FlowResult| -> (f64, f64) {
-        let report = LayoutReport::evaluate(&result.netlist, placement, &result.crosstalk);
-        let fidelity = FidelityEvaluator::new(&result.netlist, placement, noise, &result.crosstalk)
-            .mean(&maps);
+    let evaluate = |placement: &Placement| -> (f64, f64) {
+        let report =
+            LayoutReport::evaluate(session.netlist(), placement, &session.config().crosstalk);
+        let fidelity = FidelityEvaluator::new(
+            session.netlist(),
+            placement,
+            noise,
+            &session.config().crosstalk,
+        )
+        .mean(&maps);
         (fidelity, report.hotspot_proportion_percent)
     };
 
-    let (f, ph) = evaluate(&quantum.gp_placement, &quantum);
+    let (f, ph) = evaluate(gp.placement());
     println!(
         "{:<28} {:>10.4} {:>9.2} {:>12.1}",
         "global placement (GP)",
         f,
         ph,
-        quantum.timing.global_placement.as_secs_f64() * 1e3
+        gp.elapsed().as_secs_f64() * 1e3
     );
-    let (f, ph) = evaluate(&classic.legalized, &classic);
+    let (f, ph) = evaluate(classic.placement());
     println!(
         "{:<28} {:>10.4} {:>9.2} {:>12.2}",
         "classic LG (Tetris)",
         f,
         ph,
-        (classic.timing.qubit_legalization + classic.timing.resonator_legalization).as_secs_f64()
-            * 1e3
+        (classic.qubit_stage().elapsed() + classic.elapsed()).as_secs_f64() * 1e3
     );
-    let (f, ph) = evaluate(&quantum.legalized, &quantum);
+    let (f, ph) = evaluate(quantum.placement());
     println!(
         "{:<28} {:>10.4} {:>9.2} {:>12.2}",
         "quantum-aware LG (qGDP-LG)",
         f,
         ph,
-        (quantum.timing.qubit_legalization + quantum.timing.resonator_legalization).as_secs_f64()
-            * 1e3
+        (quantum.qubit_stage().elapsed() + quantum.elapsed()).as_secs_f64() * 1e3
     );
-    if let Some(dp) = &quantum.detailed {
-        let (f, ph) = evaluate(dp, &quantum);
-        println!(
-            "{:<28} {:>10.4} {:>9.2} {:>12.2}",
-            "detailed placement (qGDP-DP)",
-            f,
-            ph,
-            quantum
-                .timing
-                .detailed_placement
-                .map_or(0.0, |d| d.as_secs_f64() * 1e3)
-        );
-    }
+    let (f, ph) = evaluate(detailed.placement());
+    println!(
+        "{:<28} {:>10.4} {:>9.2} {:>12.2}",
+        "detailed placement (qGDP-DP)",
+        f,
+        ph,
+        detailed.elapsed().as_secs_f64() * 1e3
+    );
     println!();
     println!("the gap between the two LG rows is the quality a classic legalizer loses and DP cannot recover");
 }

@@ -1,14 +1,17 @@
 //! Regenerates Table II: qubit (`t_q`) and resonator (`t_e`) legalization runtimes in
-//! milliseconds for every topology and strategy.  Each flow is repeated several times
-//! and the mean stage runtime is reported; `cargo bench -p qgdp-bench` gives the same
-//! quantities with Criterion's statistical treatment.
+//! milliseconds for every topology and strategy.  Each topology builds one staged
+//! [`Session`] whose global-placement artifact is shared by all five strategies (the
+//! paper's "same GP positions" protocol — the GP is not re-run per strategy); each
+//! legalization is repeated several times and the mean stage runtime is reported.
+//! `cargo bench -p qgdp-bench` gives the same quantities with Criterion's statistical
+//! treatment.
 //!
 //! ```bash
 //! cargo run --release -p qgdp-bench --bin table2
 //! ```
 
 use qgdp::prelude::*;
-use qgdp_bench::experiment_config;
+use qgdp_bench::experiment_session;
 
 const REPEATS: usize = 5;
 
@@ -26,16 +29,18 @@ fn main() {
 
     let mut sums = vec![(0.0f64, 0.0f64); strategies.len()];
     for topology in topologies {
-        let topo = topology.build();
+        let session = experiment_session(topology);
+        let gp = session.global_place();
         print!("{:<10}", topology.name());
         for (i, strategy) in strategies.into_iter().enumerate() {
             let mut tq = 0.0;
             let mut te = 0.0;
             for _ in 0..REPEATS {
-                let result = run_flow(&topo, strategy, &experiment_config())
+                let legalized = gp
+                    .legalize(strategy)
                     .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
-                tq += result.timing.qubit_legalization.as_secs_f64() * 1e3;
-                te += result.timing.resonator_legalization.as_secs_f64() * 1e3;
+                tq += legalized.qubit_stage().elapsed().as_secs_f64() * 1e3;
+                te += legalized.elapsed().as_secs_f64() * 1e3;
             }
             tq /= REPEATS as f64;
             te /= REPEATS as f64;

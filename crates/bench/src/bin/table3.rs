@@ -3,6 +3,10 @@
 //! resonators (`I_edge`), coupler crossings (`X`), frequency-hotspot proportion
 //! (`P_h`) and the number of qubits under hotspots (`H_Q`).
 //!
+//! Each flow is one staged [`qgdp::Session`] run whose [`Detailed`] artifact carries
+//! both reports: the qGDP-LG columns come from the legalized artifact the DP stage
+//! forked from, so nothing is recomputed.
+//!
 //! ```bash
 //! cargo run --release -p qgdp-bench --bin table3
 //! ```
@@ -11,9 +15,10 @@ use qgdp::prelude::*;
 use qgdp_bench::run_strategy;
 
 /// Runs the qGDP-DP flow for every topology on [`worker_threads`] scoped workers,
-/// returning results in [`StandardTopology::all`] order (each flow is an independent
-/// seed-deterministic computation, so the table is identical for any worker count).
-fn run_all_topologies() -> Vec<(StandardTopology, FlowResult)> {
+/// returning artifacts in [`StandardTopology::all`] order (each flow is an
+/// independent seed-deterministic computation, so the table is identical for any
+/// worker count).
+fn run_all_topologies() -> Vec<(StandardTopology, FlowArtifact)> {
     let topologies = StandardTopology::all();
     let results = parallel_map(&topologies, worker_threads(), |&topology| {
         run_strategy(topology, LegalizationStrategy::Qgdp, true)
@@ -33,13 +38,13 @@ fn main() {
         "", "", "qGDP-LG", "qGDP-DP"
     );
     println!("{}", "-".repeat(78));
-    for (topology, result) in run_all_topologies() {
-        let lg = &result.legalized_report;
-        let dp = result.detailed_report.as_ref().expect("DP ran");
+    for (topology, artifact) in run_all_topologies() {
+        let lg = artifact.legalized().report();
+        let dp = artifact.detailed().expect("DP ran").report();
         println!(
             "{:<10} {:>6} | {:>8} {:>4} {:>7.2} {:>4} | {:>8} {:>4} {:>7.2} {:>4}",
             topology.name(),
-            result.netlist.num_components(),
+            artifact.netlist().num_components(),
             lg.integration_ratio(),
             lg.crossings,
             lg.hotspot_proportion_percent,

@@ -6,12 +6,16 @@
 //!
 //! # Parallelism
 //!
-//! A sweep fans out twice, splitting one `QGDP_THREADS` worker budget
+//! Each topology's sweep forks one shared [`GlobalPlacement`] artifact (built once
+//! per [`Session`] — the paper's "all comparisons are based on the same GP
+//! positions", now structural rather than re-derived per strategy) and fans out
+//! twice, splitting one `QGDP_THREADS` worker budget
 //! ([`qgdp::metrics::worker_threads`]) between the levels rather than multiplying it:
 //!
-//! 1. the five legalization strategies of one topology run on concurrent workers
-//!    (each `run_flow` is an independent, seed-deterministic computation), collected
-//!    into [`LegalizationStrategy::all`] order regardless of completion order;
+//! 1. the five legalization strategies run on concurrent workers (each legalization
+//!    is an independent, deterministic function of the shared GP artifact),
+//!    collected into [`LegalizationStrategy::all`] order regardless of completion
+//!    order;
 //! 2. inside each strategy worker, the mapping-set evaluation gets the budget left
 //!    over after the strategy fan-out (`budget / strategy workers`, at least 1), so
 //!    at most ~`QGDP_THREADS` evaluation threads ever run at once.
@@ -21,7 +25,7 @@
 //! byte-identical for every `QGDP_THREADS` value — CI diffs a `QGDP_THREADS=1`
 //! against a `QGDP_THREADS=4` run to keep it that way.
 
-use crate::{experiment_config, EXPERIMENT_SEED};
+use crate::{experiment_session, EXPERIMENT_SEED};
 use qgdp::metrics::{parallel_map, worker_threads, FidelityEvaluator};
 use qgdp::prelude::*;
 
@@ -84,24 +88,26 @@ fn mapping_sets(topo: &Topology, mappings: usize) -> Vec<(Benchmark, Vec<MappedC
 }
 
 /// One strategy's evaluation on a topology: the per-benchmark mean fidelities (in
-/// [`Benchmark::all`] order) and the flow result they were computed on.
+/// [`Benchmark::all`] order) and the legalized artifact they were computed on.
 struct StrategyEvaluation {
     strategy: LegalizationStrategy,
     per_benchmark: Vec<(Benchmark, f64)>,
-    result: FlowResult,
+    artifact: CellLegalized,
 }
 
 /// Evaluates every strategy on one topology.  Both figure series are thin
 /// projections of this shared core, so they can never diverge on protocol details
 /// (mapping seeds, flow configuration, evaluation order).
 ///
-/// The five strategies are spread over [`worker_threads`] scoped workers (each flow
-/// is an independent seed-deterministic computation) and collected back into
-/// [`LegalizationStrategy::all`] order, so the output does not depend on the worker
-/// count — see the [module-level notes](self#parallelism).
+/// The global placement runs **once** per topology and its artifact is forked into
+/// the five strategies, which are spread over [`worker_threads`] scoped workers
+/// (each legalization is an independent deterministic computation) and collected
+/// back into [`LegalizationStrategy::all`] order, so the output does not depend on
+/// the worker count — see the [module-level notes](self#parallelism).
 fn evaluate_strategies(topology: StandardTopology, mappings: usize) -> Vec<StrategyEvaluation> {
-    let topo = topology.build();
-    let sets = mapping_sets(&topo, mappings);
+    let session = experiment_session(topology);
+    let sets = mapping_sets(session.topology(), mappings);
+    let gp = session.global_place();
     let strategies = LegalizationStrategy::all();
     // Split the worker budget between the strategy fan-out and the per-strategy
     // mapping-set evaluation instead of multiplying the two levels.
@@ -109,13 +115,14 @@ fn evaluate_strategies(topology: StandardTopology, mappings: usize) -> Vec<Strat
     let outer = budget.min(strategies.len());
     let inner = (budget / outer).max(1);
     parallel_map(&strategies, outer, |&strategy| {
-        let result = run_flow(&topo, strategy, &experiment_config())
+        let artifact = gp
+            .legalize(strategy)
             .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
         let evaluator = FidelityEvaluator::new(
-            &result.netlist,
-            result.final_placement(),
+            session.netlist(),
+            artifact.placement(),
             NoiseModel::default(),
-            &result.crosstalk,
+            &session.config().crosstalk,
         );
         let per_benchmark = sets
             .iter()
@@ -124,7 +131,7 @@ fn evaluate_strategies(topology: StandardTopology, mappings: usize) -> Vec<Strat
         StrategyEvaluation {
             strategy,
             per_benchmark,
-            result,
+            artifact,
         }
     })
 }
@@ -173,7 +180,7 @@ pub fn fig9_series(topologies: &[StandardTopology], mappings: usize) -> Vec<Fig9
             evaluate_strategies(topology, mappings)
                 .into_iter()
                 .map(move |eval| {
-                    let report = eval.result.final_report();
+                    let report = eval.artifact.report();
                     let series = Fig8Series {
                         topology,
                         strategy: eval.strategy,

@@ -20,17 +20,21 @@
 //! The number of random mappings per benchmark defaults to the paper's 50 and can be
 //! overridden with the `QGDP_MAPPINGS` environment variable (useful for quick runs).
 //!
-//! Two additional binaries track this repository's own hot paths rather than a paper
+//! Additional binaries track this repository's own hot paths rather than a paper
 //! artifact: `bench_fidelity` (serial vs parallel fidelity sweep →
-//! `BENCH_fidelity.json`) and `bench_placer` (optimized vs reference global placer →
-//! `BENCH_placer.json`).
+//! `BENCH_fidelity.json`), `bench_placer` (optimized vs reference global placer →
+//! `BENCH_placer.json`), `bench_legalize` (spatial-index legalization vs O(n²)
+//! references → `BENCH_legalize.json`) and `bench_flow` (shared-GP
+//! [`qgdp::Session`] batch vs independent `run_flow` calls → `BENCH_flow.json`).
 //!
 //! # Paper map
 //!
 //! Tables I–III and Figs. 8–9: the evaluation protocol itself.  Every run drives
-//! the full flow through [`qgdp::prelude::run_flow`] (§III-C/D/E via the `qgdp`
-//! core crate), sharing one GP seed ([`EXPERIMENT_SEED`]) so all strategies score
-//! the same global placements, and scores layouts with `qgdp-metrics` (Eq. 4/7).
+//! the staged flow through [`qgdp::Session`] (§III-C/D/E via the `qgdp` core
+//! crate): one session per topology, one shared [`qgdp::GlobalPlacement`] artifact
+//! per sweep (seeded with [`EXPERIMENT_SEED`], so all strategies score the *same*
+//! global placement — the paper's protocol — without recomputing it), and layouts
+//! scored with `qgdp-metrics` (Eq. 4/7).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -63,7 +67,21 @@ pub fn experiment_config() -> FlowConfig {
     FlowConfig::default().with_seed(EXPERIMENT_SEED)
 }
 
-/// Runs one topology under one strategy with the shared experiment configuration.
+/// Builds the staged [`Session`] every experiment drives: the topology's netlist is
+/// constructed once and shared by every artifact forked from the session.
+///
+/// # Panics
+///
+/// Panics if the netlist cannot be built (it never can fail for the standard
+/// topologies).
+#[must_use]
+pub fn experiment_session(topology: StandardTopology) -> Session {
+    Session::new(&topology.build(), experiment_config())
+        .unwrap_or_else(|e| panic!("session for {topology}: {e}"))
+}
+
+/// Runs one topology under one strategy with the shared experiment configuration,
+/// returning the terminal staged artifact.
 ///
 /// # Panics
 ///
@@ -73,14 +91,15 @@ pub fn run_strategy(
     topology: StandardTopology,
     strategy: LegalizationStrategy,
     detailed_placement: bool,
-) -> FlowResult {
-    let topo = topology.build();
-    run_flow(
-        &topo,
-        strategy,
-        &experiment_config().with_detailed_placement(detailed_placement),
+) -> FlowArtifact {
+    let session = Session::new(
+        &topology.build(),
+        experiment_config().with_detailed_placement(detailed_placement),
     )
-    .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"))
+    .unwrap_or_else(|e| panic!("session for {topology}: {e}"));
+    session
+        .run(strategy)
+        .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"))
 }
 
 /// Formats a fidelity value the way the paper's Fig. 8 prints it: values below `1e-4`
@@ -94,11 +113,12 @@ pub fn format_fidelity(f: f64) -> String {
     }
 }
 
-/// Mean worst-case fidelity of `benchmark` on the final layout of `result`, averaged
-/// over `mappings` random mappings generated with the shared experiment seed.
+/// Mean worst-case fidelity of `benchmark` on the final layout of `artifact`,
+/// averaged over `mappings` random mappings generated with the shared experiment
+/// seed.
 #[must_use]
-pub fn benchmark_fidelity(result: &FlowResult, benchmark: Benchmark, mappings: usize) -> f64 {
-    result.mean_benchmark_fidelity(
+pub fn benchmark_fidelity(artifact: &FlowArtifact, benchmark: Benchmark, mappings: usize) -> f64 {
+    artifact.mean_benchmark_fidelity(
         benchmark,
         mappings,
         &NoiseModel::default(),

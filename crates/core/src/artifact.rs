@@ -1,0 +1,831 @@
+//! Typed, immutable stage artifacts of the staged [`Session`](crate::Session) pipeline.
+//!
+//! The paper's flow is explicitly staged — global placement, qubit legalization
+//! (§III-C), resonator legalization (§III-D), detailed placement (§III-E) — and each
+//! stage here produces a dedicated artifact type:
+//!
+//! ```text
+//! Session ──global_place()──▶ GlobalPlacement ──legalize_qubits(s)──▶ QubitLegalized
+//!                                     │                                      │
+//!                                     └────────legalize(s)─────────┐  legalize_cells()
+//!                                                                  ▼         ▼
+//!                                                              CellLegalized ──detail()──▶ Detailed
+//! ```
+//!
+//! Every artifact is a **cheap, forkable handle**: the topology, netlist and stage
+//! placements are shared through [`Arc`], so cloning an artifact or deriving five
+//! legalizations from one [`GlobalPlacement`] never re-runs or deep-copies an earlier
+//! stage.  Reports ([`LayoutReport`]) are computed **lazily** on first call and cached
+//! in the artifact (shared across clones), so callers that only need placements never
+//! pay for metrics.
+//!
+//! Wall-clock cost is traced per stage as [`StageEvent`]s ([`CellLegalized::events`]),
+//! from which the legacy [`StageTiming`] of the [`FlowResult`] compatibility shim is
+//! assembled.
+
+use crate::pipeline::{FlowConfig, FlowResult, StageTiming};
+use crate::session::SessionContext;
+use crate::{DetailedPlacer, DetailedPlacerConfig, FlowError, LegalizationStrategy};
+use qgdp_circuits::{random_mappings, Benchmark};
+use qgdp_geometry::Rect;
+use qgdp_legalize::is_legal;
+use qgdp_metrics::{mean_fidelity, LayoutReport, NoiseModel};
+use qgdp_netlist::{Placement, QuantumNetlist};
+use qgdp_placer::{GlobalPlacer, GpStats};
+use qgdp_topology::Topology;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The pipeline stages, labelling the trace events artifacts record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Force-directed global placement.
+    GlobalPlacement,
+    /// Qubit (macro) legalization — §III-C, `t_q` of Table II.
+    QubitLegalization,
+    /// Resonator (wire-block) legalization — §III-D, `t_e` of Table II.
+    ResonatorLegalization,
+    /// Windowed detailed placement — §III-E.
+    DetailedPlacement,
+}
+
+impl Stage {
+    /// Stable machine-friendly name (used by bench trace records).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::GlobalPlacement => "global-placement",
+            Stage::QubitLegalization => "qubit-legalization",
+            Stage::ResonatorLegalization => "resonator-legalization",
+            Stage::DetailedPlacement => "detailed-placement",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One wall-clock trace event: a pipeline stage and how long it ran.
+///
+/// Artifacts accumulate the events of every stage that produced them (see
+/// [`CellLegalized::events`]); the [`StageTiming`] of the compatibility shim is a
+/// projection of these events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEvent {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+}
+
+/// Evaluates the Fig. 8 protocol on one placement: mean worst-case fidelity of
+/// `benchmark` over `mappings` random qubit mappings.
+fn benchmark_fidelity(
+    ctx: &SessionContext,
+    placement: &Placement,
+    benchmark: Benchmark,
+    mappings: usize,
+    noise: &NoiseModel,
+    seed: u64,
+) -> f64 {
+    let circuit = benchmark.circuit();
+    let maps = random_mappings(&circuit, &ctx.topology, mappings, seed);
+    mean_fidelity(&ctx.netlist, placement, &maps, noise, &ctx.config.crosstalk)
+}
+
+/// The global-placement artifact: GP positions for every component, the die outline
+/// and the placer's quality statistics.
+///
+/// This is the fork point of the staged pipeline: one `GlobalPlacement` can feed any
+/// number of [`legalize`](GlobalPlacement::legalize) calls (the five-strategy matrix
+/// of Table II / Figs. 8–9 shares a single GP run), and cloning the artifact only
+/// bumps reference counts.
+#[derive(Debug, Clone)]
+pub struct GlobalPlacement {
+    ctx: Arc<SessionContext>,
+    die: Rect,
+    placement: Arc<Placement>,
+    stats: GpStats,
+    event: StageEvent,
+    report: Arc<OnceLock<LayoutReport>>,
+}
+
+impl GlobalPlacement {
+    /// Runs the global placer for `ctx` and wraps the result as an artifact.
+    pub(crate) fn compute(ctx: Arc<SessionContext>) -> Self {
+        let start = Instant::now();
+        let gp = GlobalPlacer::new(ctx.config.gp).place(&ctx.netlist, &ctx.topology);
+        let event = StageEvent {
+            stage: Stage::GlobalPlacement,
+            duration: start.elapsed(),
+        };
+        GlobalPlacement {
+            ctx,
+            die: gp.die,
+            placement: Arc::new(gp.placement),
+            stats: gp.stats,
+            event,
+            report: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The device topology the session was built over.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.ctx.topology
+    }
+
+    /// The netlist every stage of this session places.
+    #[must_use]
+    pub fn netlist(&self) -> &QuantumNetlist {
+        &self.ctx.netlist
+    }
+
+    /// The flow configuration of the owning session.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.ctx.config
+    }
+
+    /// The die (placement region) every later stage must stay inside.
+    #[must_use]
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// The GP positions.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The placer's quality statistics (HPWL, overlaps, peak density).
+    #[must_use]
+    pub fn stats(&self) -> GpStats {
+        self.stats
+    }
+
+    /// Wall-clock duration of the global-placement stage.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.event.duration
+    }
+
+    /// The trace events recorded so far (just the GP stage for this artifact).
+    #[must_use]
+    pub fn events(&self) -> Vec<StageEvent> {
+        vec![self.event]
+    }
+
+    /// Layout metrics of the raw global placement, computed lazily on first call and
+    /// cached (shared by every artifact forked from this GP).
+    #[must_use]
+    pub fn report(&self) -> &LayoutReport {
+        self.report.get_or_init(|| {
+            LayoutReport::evaluate(
+                &self.ctx.netlist,
+                &self.placement,
+                &self.ctx.config.crosstalk,
+            )
+        })
+    }
+
+    /// Runs the qubit-legalization stage of `strategy` on this GP (§III-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when the legalizer cannot find a legal qubit layout.
+    pub fn legalize_qubits(
+        &self,
+        strategy: LegalizationStrategy,
+    ) -> Result<QubitLegalized, FlowError> {
+        let start = Instant::now();
+        let placement = strategy.qubit_legalizer().legalize_qubits(
+            &self.ctx.netlist,
+            &self.die,
+            &self.placement,
+        )?;
+        let event = StageEvent {
+            stage: Stage::QubitLegalization,
+            duration: start.elapsed(),
+        };
+        Ok(QubitLegalized {
+            gp: self.clone(),
+            strategy,
+            placement: Arc::new(placement),
+            event,
+        })
+    }
+
+    /// Runs both legalization stages of `strategy` (qubits, then wire blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when either legalization stage fails.
+    pub fn legalize(&self, strategy: LegalizationStrategy) -> Result<CellLegalized, FlowError> {
+        self.legalize_qubits(strategy)?.legalize_cells()
+    }
+}
+
+/// The qubit-legalization artifact (§III-C): qubits at legal, spacing-respecting
+/// positions; wire blocks still at their GP positions.
+#[derive(Debug, Clone)]
+pub struct QubitLegalized {
+    gp: GlobalPlacement,
+    strategy: LegalizationStrategy,
+    placement: Arc<Placement>,
+    event: StageEvent,
+}
+
+impl QubitLegalized {
+    /// The global-placement artifact this stage was derived from.
+    #[must_use]
+    pub fn global(&self) -> &GlobalPlacement {
+        &self.gp
+    }
+
+    /// The legalization strategy that produced this artifact.
+    #[must_use]
+    pub fn strategy(&self) -> LegalizationStrategy {
+        self.strategy
+    }
+
+    /// The netlist every stage of this session places.
+    #[must_use]
+    pub fn netlist(&self) -> &QuantumNetlist {
+        self.gp.netlist()
+    }
+
+    /// The die outline.
+    #[must_use]
+    pub fn die(&self) -> Rect {
+        self.gp.die()
+    }
+
+    /// Positions after qubit legalization (wire blocks untouched).
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Wall-clock duration of the qubit-legalization stage alone (`t_q` of Table II).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.event.duration
+    }
+
+    /// The trace events of every stage up to and including this one.
+    #[must_use]
+    pub fn events(&self) -> Vec<StageEvent> {
+        let mut events = self.gp.events();
+        events.push(self.event);
+        events
+    }
+
+    /// Runs the wire-block (resonator) legalization stage of the strategy (§III-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when the cell legalizer cannot find a legal layout.
+    pub fn legalize_cells(&self) -> Result<CellLegalized, FlowError> {
+        let start = Instant::now();
+        let placement = self.strategy.cell_legalizer().legalize_cells(
+            self.netlist(),
+            &self.gp.die,
+            &self.placement,
+        )?;
+        let event = StageEvent {
+            stage: Stage::ResonatorLegalization,
+            duration: start.elapsed(),
+        };
+        Ok(CellLegalized {
+            qubits: self.clone(),
+            placement: Arc::new(placement),
+            event,
+            report: Arc::new(OnceLock::new()),
+        })
+    }
+}
+
+/// The fully-legalized artifact (§III-C + §III-D): every component at a legal
+/// position.  This is the qGDP-LG result for [`LegalizationStrategy::Qgdp`].
+///
+/// The artifact can be forked into any number of detailed placements
+/// ([`detail_with`](CellLegalized::detail_with)) without re-running legalization.
+#[derive(Debug, Clone)]
+pub struct CellLegalized {
+    qubits: QubitLegalized,
+    placement: Arc<Placement>,
+    event: StageEvent,
+    report: Arc<OnceLock<LayoutReport>>,
+}
+
+impl CellLegalized {
+    /// The global-placement artifact at the root of this derivation.
+    #[must_use]
+    pub fn global(&self) -> &GlobalPlacement {
+        self.qubits.global()
+    }
+
+    /// The intermediate qubit-legalization artifact.
+    #[must_use]
+    pub fn qubit_stage(&self) -> &QubitLegalized {
+        &self.qubits
+    }
+
+    /// The legalization strategy that produced this artifact.
+    #[must_use]
+    pub fn strategy(&self) -> LegalizationStrategy {
+        self.qubits.strategy
+    }
+
+    /// The device topology the session was built over.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.global().topology()
+    }
+
+    /// The netlist every stage of this session places.
+    #[must_use]
+    pub fn netlist(&self) -> &QuantumNetlist {
+        self.qubits.netlist()
+    }
+
+    /// The flow configuration of the owning session.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        self.global().config()
+    }
+
+    /// The die outline.
+    #[must_use]
+    pub fn die(&self) -> Rect {
+        self.qubits.die()
+    }
+
+    /// The legalized positions.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Wall-clock duration of the resonator-legalization stage alone (`t_e` of
+    /// Table II).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.event.duration
+    }
+
+    /// The trace events of every stage up to and including this one.
+    #[must_use]
+    pub fn events(&self) -> Vec<StageEvent> {
+        let mut events = self.qubits.events();
+        events.push(self.event);
+        events
+    }
+
+    /// The per-stage timings as the legacy [`StageTiming`] (no detailed placement).
+    #[must_use]
+    pub fn timing(&self) -> StageTiming {
+        StageTiming {
+            global_placement: self.global().elapsed(),
+            qubit_legalization: self.qubits.elapsed(),
+            resonator_legalization: self.event.duration,
+            detailed_placement: None,
+        }
+    }
+
+    /// Layout metrics of the legalized layout, computed lazily on first call and
+    /// cached (shared across clones of this artifact).
+    #[must_use]
+    pub fn report(&self) -> &LayoutReport {
+        let ctx = &self.qubits.gp;
+        self.report.get_or_init(|| {
+            LayoutReport::evaluate(ctx.netlist(), &self.placement, &ctx.config().crosstalk)
+        })
+    }
+
+    /// Returns `true` if the layout is fully legal (inside the die, no overlaps).
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        is_legal(self.netlist(), &self.die(), &self.placement)
+    }
+
+    /// Mean worst-case program fidelity of `benchmark` on this layout, averaged over
+    /// `mappings` random qubit mappings (the Fig. 8 protocol).
+    #[must_use]
+    pub fn mean_benchmark_fidelity(
+        &self,
+        benchmark: Benchmark,
+        mappings: usize,
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> f64 {
+        benchmark_fidelity(
+            &self.qubits.gp.ctx,
+            &self.placement,
+            benchmark,
+            mappings,
+            noise,
+            seed,
+        )
+    }
+
+    /// Runs detailed placement (§III-E) with the session's configured
+    /// [`DetailedPlacerConfig`].
+    #[must_use]
+    pub fn detail(&self) -> Detailed {
+        self.detail_with(self.config().detail)
+    }
+
+    /// Runs detailed placement (§III-E) with an explicit configuration.  One
+    /// legalized artifact can be forked into many detailed placements.
+    #[must_use]
+    pub fn detail_with(&self, config: DetailedPlacerConfig) -> Detailed {
+        let start = Instant::now();
+        let outcome =
+            DetailedPlacer::with_config(config).place(self.netlist(), &self.die(), &self.placement);
+        let event = StageEvent {
+            stage: Stage::DetailedPlacement,
+            duration: start.elapsed(),
+        };
+        Detailed {
+            legalized: self.clone(),
+            placement: Arc::new(outcome.placement),
+            windows_processed: outcome.windows_processed,
+            windows_accepted: outcome.windows_accepted,
+            event,
+            report: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Assembles the legacy eager [`FlowResult`] view of this artifact (no detailed
+    /// placement).  Reports are forced; placements are copied out of the shared
+    /// handles.  The result is bit-identical to what [`crate::run_flow`] returns for
+    /// the same inputs.
+    #[must_use]
+    pub fn to_flow_result(&self) -> FlowResult {
+        let gp = self.global();
+        FlowResult {
+            topology: Arc::clone(&gp.ctx.topology),
+            strategy: self.strategy(),
+            netlist: Arc::clone(&gp.ctx.netlist),
+            die: self.die(),
+            gp_placement: gp.placement().clone(),
+            qubit_legalized: self.qubits.placement().clone(),
+            legalized: self.placement().clone(),
+            detailed: None,
+            timing: self.timing(),
+            crosstalk: self.config().crosstalk,
+            gp_report: gp.report().clone(),
+            legalized_report: self.report().clone(),
+            detailed_report: None,
+        }
+    }
+}
+
+/// The detailed-placement artifact (§III-E): wire blocks rerouted through windowed
+/// maze re-placement; qubits identical to the legalized layout.
+#[derive(Debug, Clone)]
+pub struct Detailed {
+    legalized: CellLegalized,
+    placement: Arc<Placement>,
+    windows_processed: usize,
+    windows_accepted: usize,
+    event: StageEvent,
+    report: Arc<OnceLock<LayoutReport>>,
+}
+
+impl Detailed {
+    /// The legalized artifact this stage refined.
+    #[must_use]
+    pub fn legalized(&self) -> &CellLegalized {
+        &self.legalized
+    }
+
+    /// The global-placement artifact at the root of this derivation.
+    #[must_use]
+    pub fn global(&self) -> &GlobalPlacement {
+        self.legalized.global()
+    }
+
+    /// The legalization strategy that produced the input layout.
+    #[must_use]
+    pub fn strategy(&self) -> LegalizationStrategy {
+        self.legalized.strategy()
+    }
+
+    /// The netlist every stage of this session places.
+    #[must_use]
+    pub fn netlist(&self) -> &QuantumNetlist {
+        self.legalized.netlist()
+    }
+
+    /// The die outline.
+    #[must_use]
+    pub fn die(&self) -> Rect {
+        self.legalized.die()
+    }
+
+    /// The refined positions.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Number of processing windows examined.
+    #[must_use]
+    pub fn windows_processed(&self) -> usize {
+        self.windows_processed
+    }
+
+    /// Number of windows whose re-placement was accepted.
+    #[must_use]
+    pub fn windows_accepted(&self) -> usize {
+        self.windows_accepted
+    }
+
+    /// Wall-clock duration of the detailed-placement stage alone.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.event.duration
+    }
+
+    /// The trace events of every stage up to and including this one.
+    #[must_use]
+    pub fn events(&self) -> Vec<StageEvent> {
+        let mut events = self.legalized.events();
+        events.push(self.event);
+        events
+    }
+
+    /// The per-stage timings as the legacy [`StageTiming`].
+    #[must_use]
+    pub fn timing(&self) -> StageTiming {
+        StageTiming {
+            detailed_placement: Some(self.event.duration),
+            ..self.legalized.timing()
+        }
+    }
+
+    /// Layout metrics of the refined layout, computed lazily on first call and cached.
+    #[must_use]
+    pub fn report(&self) -> &LayoutReport {
+        self.report.get_or_init(|| {
+            LayoutReport::evaluate(
+                self.netlist(),
+                &self.placement,
+                &self.legalized.config().crosstalk,
+            )
+        })
+    }
+
+    /// Returns `true` if the refined layout is fully legal.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        is_legal(self.netlist(), &self.die(), &self.placement)
+    }
+
+    /// Mean worst-case program fidelity of `benchmark` on this layout (the Fig. 8
+    /// protocol).
+    #[must_use]
+    pub fn mean_benchmark_fidelity(
+        &self,
+        benchmark: Benchmark,
+        mappings: usize,
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> f64 {
+        benchmark_fidelity(
+            &self.legalized.global().ctx,
+            &self.placement,
+            benchmark,
+            mappings,
+            noise,
+            seed,
+        )
+    }
+
+    /// Assembles the legacy eager [`FlowResult`] view of this artifact.  Bit-identical
+    /// to [`crate::run_flow`] with detailed placement enabled on the same inputs.
+    #[must_use]
+    pub fn to_flow_result(&self) -> FlowResult {
+        let mut result = self.legalized.to_flow_result();
+        result.detailed = Some(self.placement().clone());
+        result.timing = self.timing();
+        result.detailed_report = Some(self.report().clone());
+        result
+    }
+}
+
+/// The terminal artifact of one batched flow request: the legalized layout, refined
+/// by detailed placement when the request asked for it.
+#[derive(Debug, Clone)]
+pub enum FlowArtifact {
+    /// The request stopped after legalization.
+    Legalized(CellLegalized),
+    /// The request ran detailed placement on the legalized layout.
+    Detailed(Detailed),
+}
+
+impl FlowArtifact {
+    /// The legalization strategy of this flow.
+    #[must_use]
+    pub fn strategy(&self) -> LegalizationStrategy {
+        self.legalized().strategy()
+    }
+
+    /// The legalized artifact (the DP input when detailed placement ran).
+    #[must_use]
+    pub fn legalized(&self) -> &CellLegalized {
+        match self {
+            FlowArtifact::Legalized(cell) => cell,
+            FlowArtifact::Detailed(dp) => dp.legalized(),
+        }
+    }
+
+    /// The detailed-placement artifact, when that stage ran.
+    #[must_use]
+    pub fn detailed(&self) -> Option<&Detailed> {
+        match self {
+            FlowArtifact::Legalized(_) => None,
+            FlowArtifact::Detailed(dp) => Some(dp),
+        }
+    }
+
+    /// The netlist every stage of this session places.
+    #[must_use]
+    pub fn netlist(&self) -> &QuantumNetlist {
+        self.legalized().netlist()
+    }
+
+    /// The die outline.
+    #[must_use]
+    pub fn die(&self) -> Rect {
+        self.legalized().die()
+    }
+
+    /// The final placement of the flow (detailed when it ran, otherwise legalized).
+    #[must_use]
+    pub fn final_placement(&self) -> &Placement {
+        match self {
+            FlowArtifact::Legalized(cell) => cell.placement(),
+            FlowArtifact::Detailed(dp) => dp.placement(),
+        }
+    }
+
+    /// The layout report of the final placement (lazy, cached).
+    #[must_use]
+    pub fn report(&self) -> &LayoutReport {
+        match self {
+            FlowArtifact::Legalized(cell) => cell.report(),
+            FlowArtifact::Detailed(dp) => dp.report(),
+        }
+    }
+
+    /// Returns `true` if the final placement is fully legal.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        match self {
+            FlowArtifact::Legalized(cell) => cell.is_legal(),
+            FlowArtifact::Detailed(dp) => dp.is_legal(),
+        }
+    }
+
+    /// The trace events of every stage of this flow.
+    #[must_use]
+    pub fn events(&self) -> Vec<StageEvent> {
+        match self {
+            FlowArtifact::Legalized(cell) => cell.events(),
+            FlowArtifact::Detailed(dp) => dp.events(),
+        }
+    }
+
+    /// The per-stage timings as the legacy [`StageTiming`].
+    #[must_use]
+    pub fn timing(&self) -> StageTiming {
+        match self {
+            FlowArtifact::Legalized(cell) => cell.timing(),
+            FlowArtifact::Detailed(dp) => dp.timing(),
+        }
+    }
+
+    /// Mean worst-case program fidelity of `benchmark` on the final layout (the
+    /// Fig. 8 protocol).
+    #[must_use]
+    pub fn mean_benchmark_fidelity(
+        &self,
+        benchmark: Benchmark,
+        mappings: usize,
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> f64 {
+        match self {
+            FlowArtifact::Legalized(cell) => {
+                cell.mean_benchmark_fidelity(benchmark, mappings, noise, seed)
+            }
+            FlowArtifact::Detailed(dp) => {
+                dp.mean_benchmark_fidelity(benchmark, mappings, noise, seed)
+            }
+        }
+    }
+
+    /// Converts into the legacy eager [`FlowResult`] view.
+    #[must_use]
+    pub fn into_flow_result(self) -> FlowResult {
+        match self {
+            FlowArtifact::Legalized(cell) => cell.to_flow_result(),
+            FlowArtifact::Detailed(dp) => dp.to_flow_result(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use qgdp_topology::StandardTopology;
+
+    fn session() -> Session {
+        let topo = StandardTopology::Grid.build();
+        Session::new(&topo, FlowConfig::default().with_seed(3)).expect("session builds")
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::GlobalPlacement.name(), "global-placement");
+        assert_eq!(Stage::QubitLegalization.to_string(), "qubit-legalization");
+        assert_eq!(
+            Stage::ResonatorLegalization.name(),
+            "resonator-legalization"
+        );
+        assert_eq!(Stage::DetailedPlacement.name(), "detailed-placement");
+    }
+
+    #[test]
+    fn artifacts_accumulate_stage_events_in_order() {
+        let gp = session().global_place();
+        let cell = gp.legalize(LegalizationStrategy::Qgdp).unwrap();
+        let dp = cell.detail();
+        let stages: Vec<Stage> = dp.events().iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::GlobalPlacement,
+                Stage::QubitLegalization,
+                Stage::ResonatorLegalization,
+                Stage::DetailedPlacement,
+            ]
+        );
+        let timing = dp.timing();
+        assert_eq!(timing.global_placement, gp.elapsed());
+        assert_eq!(timing.detailed_placement, Some(dp.elapsed()));
+    }
+
+    #[test]
+    fn forked_artifacts_share_the_gp_placement_allocation() {
+        let gp = session().global_place();
+        let a = gp.legalize(LegalizationStrategy::Qgdp).unwrap();
+        let b = gp.legalize(LegalizationStrategy::Tetris).unwrap();
+        assert!(Arc::ptr_eq(&a.global().placement, &b.global().placement));
+        assert!(Arc::ptr_eq(
+            &a.global().ctx.netlist,
+            &b.global().ctx.netlist
+        ));
+        // The lazy GP report cache is shared too: computing it through one fork
+        // makes it visible through the other.
+        let through_a = a.global().report().clone();
+        assert_eq!(b.global().report(), &through_a);
+    }
+
+    #[test]
+    fn lazy_report_is_cached_across_clones() {
+        let cell = session()
+            .global_place()
+            .legalize(LegalizationStrategy::Qgdp)
+            .unwrap();
+        let clone = cell.clone();
+        let first = cell.report() as *const LayoutReport;
+        let second = clone.report() as *const LayoutReport;
+        assert_eq!(first, second, "clones must share one cached report");
+    }
+
+    #[test]
+    fn detail_forks_do_not_mutate_the_legalized_artifact() {
+        let cell = session()
+            .global_place()
+            .legalize(LegalizationStrategy::Qgdp)
+            .unwrap();
+        let before = cell.placement().clone();
+        let a = cell.detail();
+        let b = cell.detail_with(DetailedPlacerConfig::new());
+        assert_eq!(cell.placement(), &before);
+        assert_eq!(a.placement(), b.placement(), "same config, same refinement");
+        assert!(a.is_legal());
+    }
+}

@@ -1,16 +1,33 @@
-//! The end-to-end qGDP flow: GP → qubit LG → resonator LG → (optional) DP → metrics.
+//! The monolithic flow entry point, kept as a thin compatibility shim over the
+//! staged [`Session`] API.
+//!
+//! [`run_flow`] drives GP → qubit LG → resonator LG → (optional) DP → metrics in one
+//! call and returns the eager [`FlowResult`] view.  New code should prefer the
+//! staged API — [`crate::Session`] / [`crate::GlobalPlacement`] /
+//! [`crate::CellLegalized`] — which shares the global placement across strategies,
+//! computes reports lazily and batches strategy matrices over the worker pool; this
+//! module's outputs are bit-identical to the staged path by construction (the
+//! `session_equivalence` golden suite proves it).
 
-use crate::{DetailedPlacer, DetailedPlacerConfig, FlowError, LegalizationStrategy};
-use qgdp_circuits::{random_mappings, Benchmark};
+use crate::{DetailedPlacerConfig, FlowError, LegalizationStrategy, Session};
+use qgdp_circuits::Benchmark;
 use qgdp_geometry::Rect;
 use qgdp_legalize::is_legal;
-use qgdp_metrics::{mean_fidelity, CrosstalkConfig, LayoutReport, NoiseModel};
+use qgdp_metrics::{CrosstalkConfig, LayoutReport, NoiseModel};
 use qgdp_netlist::{ComponentGeometry, NetModel, Placement, QuantumNetlist};
-use qgdp_placer::{GlobalPlacer, GlobalPlacerConfig};
+use qgdp_placer::GlobalPlacerConfig;
 use qgdp_topology::Topology;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Configuration of the full flow.
+/// Configuration of the full flow (and of a [`Session`]).
+///
+/// Every field has a builder-style setter, so no field needs struct-literal access:
+/// [`with_geometry`](FlowConfig::with_geometry), [`with_net_model`](FlowConfig::with_net_model),
+/// [`with_gp`](FlowConfig::with_gp), [`with_crosstalk`](FlowConfig::with_crosstalk),
+/// [`with_detailed_placement`](FlowConfig::with_detailed_placement),
+/// [`with_detail`](FlowConfig::with_detail) and the [`with_seed`](FlowConfig::with_seed)
+/// shorthand.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowConfig {
     /// Component geometry used to build the netlist.
@@ -61,6 +78,35 @@ impl FlowConfig {
         self.net_model = net_model;
         self
     }
+
+    /// Overrides the component geometry used to build the netlist.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: ComponentGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Overrides the whole global-placer configuration.
+    #[must_use]
+    pub fn with_gp(mut self, gp: GlobalPlacerConfig) -> Self {
+        self.gp = gp;
+        self
+    }
+
+    /// Overrides the crosstalk detection thresholds.
+    #[must_use]
+    pub fn with_crosstalk(mut self, crosstalk: CrosstalkConfig) -> Self {
+        self.crosstalk = crosstalk;
+        self
+    }
+
+    /// Overrides the detailed-placer configuration (does not toggle the stage; see
+    /// [`with_detailed_placement`](FlowConfig::with_detailed_placement)).
+    #[must_use]
+    pub fn with_detail(mut self, detail: DetailedPlacerConfig) -> Self {
+        self.detail = detail;
+        self
+    }
 }
 
 impl Default for FlowConfig {
@@ -70,6 +116,11 @@ impl Default for FlowConfig {
 }
 
 /// Wall-clock duration of each stage of the flow (the quantities of Table II).
+///
+/// This is the legacy aggregate view; the staged artifacts record the same
+/// information as [`StageEvent`](crate::StageEvent) traces
+/// ([`CellLegalized::events`](crate::CellLegalized::events)), from which this struct
+/// is assembled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageTiming {
     /// Global placement runtime.
@@ -82,15 +133,21 @@ pub struct StageTiming {
     pub detailed_placement: Option<Duration>,
 }
 
-/// Everything produced by one run of the flow.
+/// Everything produced by one run of the monolithic flow — the eager, owned
+/// compatibility view of the staged artifacts.
+///
+/// The topology and netlist are [`Arc`]-shared with the session that produced the
+/// flow (no per-result deep copies); both deref to the underlying type, so existing
+/// `&result.netlist` / `&result.topology` call sites keep working.  Reports are
+/// computed eagerly here — use the staged API for lazy evaluation.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
-    /// The device topology the flow was run for.
-    pub topology: Topology,
+    /// The device topology the flow was run for (shared, not cloned per flow).
+    pub topology: Arc<Topology>,
     /// The legalization strategy used.
     pub strategy: LegalizationStrategy,
-    /// The netlist built from the topology.
-    pub netlist: QuantumNetlist,
+    /// The netlist built from the topology (shared, not cloned per flow).
+    pub netlist: Arc<QuantumNetlist>,
     /// The die outline.
     pub die: Rect,
     /// The global-placement positions.
@@ -147,8 +204,8 @@ impl FlowResult {
         seed: u64,
     ) -> f64 {
         let circuit = benchmark.circuit();
-        let maps = random_mappings(&circuit, &self.topology, mappings, seed);
-        mean_fidelity(
+        let maps = qgdp_circuits::random_mappings(&circuit, &self.topology, mappings, seed);
+        qgdp_metrics::mean_fidelity(
             &self.netlist,
             self.final_placement(),
             &maps,
@@ -160,6 +217,13 @@ impl FlowResult {
 
 /// Runs the full qGDP flow for `topology` under `strategy`.
 ///
+/// This is a compatibility shim: it builds a one-shot [`Session`], runs the staged
+/// pipeline and converts the terminal artifact into the eager [`FlowResult`] view.
+/// Outputs are bit-identical to driving the stages by hand.  Callers that run more
+/// than one strategy or configuration on the same device should hold a [`Session`]
+/// and fork its [`global_place`](Session::global_place) artifact instead — that
+/// skips the redundant netlist builds and GP runs this shim pays per call.
+///
 /// # Errors
 ///
 /// Returns a [`FlowError`] when the netlist cannot be built or a legalization stage
@@ -169,67 +233,9 @@ pub fn run_flow(
     strategy: LegalizationStrategy,
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
-    let netlist = topology.to_netlist(config.geometry, config.net_model)?;
-
-    // Global placement.
-    let gp_start = Instant::now();
-    let gp = GlobalPlacer::new(config.gp).place(&netlist, topology);
-    let gp_time = gp_start.elapsed();
-
-    // Qubit legalization.
-    let q_start = Instant::now();
-    let qubit_legalized =
-        strategy
-            .qubit_legalizer()
-            .legalize_qubits(&netlist, &gp.die, &gp.placement)?;
-    let q_time = q_start.elapsed();
-
-    // Wire-block (resonator) legalization.
-    let e_start = Instant::now();
-    let legalized =
-        strategy
-            .cell_legalizer()
-            .legalize_cells(&netlist, &gp.die, &qubit_legalized)?;
-    let e_time = e_start.elapsed();
-
-    // Detailed placement (optional).
-    let mut detailed = None;
-    let mut detailed_time = None;
-    if config.detailed_placement {
-        let d_start = Instant::now();
-        let outcome =
-            DetailedPlacer::with_config(config.detail).place(&netlist, &gp.die, &legalized);
-        detailed_time = Some(d_start.elapsed());
-        detailed = Some(outcome.placement);
-    }
-
-    // Reports.
-    let gp_report = LayoutReport::evaluate(&netlist, &gp.placement, &config.crosstalk);
-    let legalized_report = LayoutReport::evaluate(&netlist, &legalized, &config.crosstalk);
-    let detailed_report = detailed
-        .as_ref()
-        .map(|p| LayoutReport::evaluate(&netlist, p, &config.crosstalk));
-
-    Ok(FlowResult {
-        topology: topology.clone(),
-        strategy,
-        netlist,
-        die: gp.die,
-        gp_placement: gp.placement,
-        qubit_legalized,
-        legalized,
-        detailed,
-        timing: StageTiming {
-            global_placement: gp_time,
-            qubit_legalization: q_time,
-            resonator_legalization: e_time,
-            detailed_placement: detailed_time,
-        },
-        crosstalk: config.crosstalk,
-        gp_report,
-        legalized_report,
-        detailed_report,
-    })
+    Session::new(topology, *config)?
+        .run(strategy)
+        .map(crate::FlowArtifact::into_flow_result)
 }
 
 #[cfg(test)]
@@ -298,5 +304,39 @@ mod tests {
         let result = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
         let f = result.mean_benchmark_fidelity(Benchmark::Bv4, 3, &NoiseModel::default(), 1);
         assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn builder_setters_cover_every_field() {
+        let gp = GlobalPlacerConfig::default().with_seed(99);
+        let detail = DetailedPlacerConfig::new();
+        let crosstalk = CrosstalkConfig::default();
+        let geometry = ComponentGeometry::default();
+        let cfg = FlowConfig::new()
+            .with_geometry(geometry)
+            .with_net_model(NetModel::Chain)
+            .with_gp(gp)
+            .with_crosstalk(crosstalk)
+            .with_detailed_placement(true)
+            .with_detail(detail);
+        assert_eq!(cfg.gp.seed, 99);
+        assert_eq!(cfg.net_model, NetModel::Chain);
+        assert!(cfg.detailed_placement);
+        assert_eq!(cfg.detail, detail);
+        assert_eq!(cfg.crosstalk, crosstalk);
+        assert_eq!(cfg.geometry, geometry);
+    }
+
+    #[test]
+    fn flow_result_shares_topology_and_netlist_instead_of_cloning() {
+        let topo = StandardTopology::Grid.build();
+        let cfg = FlowConfig::default().with_seed(29);
+        let result = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).unwrap();
+        // The Arc handles are the only owners the caller sees; cloning the result
+        // must not deep-copy the topology or netlist.
+        let clone = result.clone();
+        assert!(Arc::ptr_eq(&result.topology, &clone.topology));
+        assert!(Arc::ptr_eq(&result.netlist, &clone.netlist));
+        assert_eq!(*result.topology, topo);
     }
 }

@@ -7,11 +7,15 @@
 //! assert_eq!(topology.num_qubits(), 27);
 //! ```
 
+pub use crate::artifact::{
+    CellLegalized, Detailed, FlowArtifact, GlobalPlacement, QubitLegalized, Stage, StageEvent,
+};
 pub use crate::detail::{DetailedPlacementOutcome, DetailedPlacer, DetailedPlacerConfig};
 pub use crate::error::FlowError;
 pub use crate::pipeline::{run_flow, FlowConfig, FlowResult, StageTiming};
 pub use crate::qubit_lg::QuantumQubitLegalizer;
 pub use crate::resonator_lg::{ResonatorLegalizer, ResonatorOrder};
+pub use crate::session::{FlowRequest, Session};
 pub use crate::strategy::LegalizationStrategy;
 
 pub use qgdp_circuits::{map_circuit, random_mappings, Benchmark, Circuit, MappedCircuit};
@@ -25,5 +29,5 @@ pub use qgdp_netlist::{
     ClusterReport, ComponentGeometry, NetModel, NetlistBuilder, Placement, QuantumNetlist, QubitId,
     ResonatorId, SegmentId,
 };
-pub use qgdp_placer::{hpwl, GlobalPlacer, GlobalPlacerConfig, NetForceField};
+pub use qgdp_placer::{hpwl, GlobalPlacer, GlobalPlacerConfig, GpStats, NetForceField};
 pub use qgdp_topology::{DistanceMatrix, StandardTopology, Topology};

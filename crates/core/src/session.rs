@@ -1,0 +1,366 @@
+//! The staged [`Session`] API: build once, fork stage artifacts, batch strategy
+//! matrices.
+//!
+//! A `Session` owns everything that is constant across a device's placement runs —
+//! the [`Topology`], the [`QuantumNetlist`] built from it, and the [`FlowConfig`] —
+//! behind one [`Arc`], so every artifact derived from it is a cheap handle.  The
+//! monolithic [`crate::run_flow`] is a thin compatibility shim over this API.
+//!
+//! ```
+//! use qgdp::prelude::*;
+//!
+//! let topology = StandardTopology::Grid.build();
+//! let session = Session::new(&topology, FlowConfig::default().with_seed(7))?;
+//! let gp = session.global_place();                    // one GP…
+//! let qgdp = gp.legalize(LegalizationStrategy::Qgdp)?; // …feeds any number of
+//! let tetris = gp.legalize(LegalizationStrategy::Tetris)?; // legalizations
+//! assert!(qgdp.is_legal() && tetris.is_legal());
+//! # Ok::<(), qgdp::FlowError>(())
+//! ```
+//!
+//! # Batching
+//!
+//! [`Session::run_batch`] / [`Session::run_matrix`] fan a `(strategy × detail
+//! config)` request set over the `QGDP_THREADS` worker pool
+//! ([`qgdp_metrics::parallel`]): the GP runs once, each distinct strategy is
+//! legalized once, and detailed-placement forks run concurrently.  Results come back
+//! in request order and are bit-identical for every worker count (each stage is a
+//! deterministic function of its inputs and the collection points are
+//! index-ordered).
+
+use crate::artifact::{CellLegalized, FlowArtifact, GlobalPlacement};
+use crate::pipeline::FlowConfig;
+use crate::{DetailedPlacerConfig, FlowError, LegalizationStrategy};
+use qgdp_metrics::{parallel_map, worker_threads};
+use qgdp_netlist::QuantumNetlist;
+use qgdp_topology::Topology;
+use std::sync::Arc;
+
+/// The shared, immutable context of one placement session.
+#[derive(Debug)]
+pub(crate) struct SessionContext {
+    pub(crate) topology: Arc<Topology>,
+    pub(crate) netlist: Arc<QuantumNetlist>,
+    pub(crate) config: FlowConfig,
+}
+
+/// One request of a batched flow: a legalization strategy plus an optional
+/// detailed-placement configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRequest {
+    /// The legalization strategy to run.
+    pub strategy: LegalizationStrategy,
+    /// Detailed-placement configuration; `None` stops after legalization.
+    pub detail: Option<DetailedPlacerConfig>,
+}
+
+impl FlowRequest {
+    /// A request that stops after legalization.
+    #[must_use]
+    pub fn legalize(strategy: LegalizationStrategy) -> Self {
+        FlowRequest {
+            strategy,
+            detail: None,
+        }
+    }
+
+    /// A request that runs detailed placement with `detail` after legalization.
+    #[must_use]
+    pub fn detailed(strategy: LegalizationStrategy, detail: DetailedPlacerConfig) -> Self {
+        FlowRequest {
+            strategy,
+            detail: Some(detail),
+        }
+    }
+}
+
+/// A staged placement session over one device topology (see the [module-level
+/// docs](self)).
+///
+/// Cloning a `Session` is cheap (one `Arc` bump) and every clone shares the same
+/// topology, netlist and config.
+#[derive(Debug, Clone)]
+pub struct Session {
+    ctx: Arc<SessionContext>,
+}
+
+impl Session {
+    /// Builds a session for `topology`: the netlist is constructed once here and
+    /// shared by every artifact the session produces.
+    ///
+    /// The topology is cloned once into shared ownership; use [`Session::over`] to
+    /// avoid even that copy when you already hold an `Arc<Topology>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when the netlist cannot be built from the topology.
+    pub fn new(topology: &Topology, config: FlowConfig) -> Result<Self, FlowError> {
+        Session::over(Arc::new(topology.clone()), config)
+    }
+
+    /// Builds a session over an already-shared topology (no clone).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when the netlist cannot be built from the topology.
+    pub fn over(topology: Arc<Topology>, config: FlowConfig) -> Result<Self, FlowError> {
+        let netlist = Arc::new(topology.to_netlist(config.geometry, config.net_model)?);
+        Ok(Session {
+            ctx: Arc::new(SessionContext {
+                topology,
+                netlist,
+                config,
+            }),
+        })
+    }
+
+    /// The device topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.ctx.topology
+    }
+
+    /// The netlist every stage of this session places.
+    #[must_use]
+    pub fn netlist(&self) -> &QuantumNetlist {
+        &self.ctx.netlist
+    }
+
+    /// The flow configuration.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.ctx.config
+    }
+
+    /// Runs global placement and returns the artifact every later stage forks from.
+    ///
+    /// The placer is seed-deterministic, so repeated calls return bit-identical
+    /// artifacts; run it once and share the handle.
+    #[must_use]
+    pub fn global_place(&self) -> GlobalPlacement {
+        GlobalPlacement::compute(Arc::clone(&self.ctx))
+    }
+
+    /// Runs one full flow for `strategy`, honouring the config's
+    /// `detailed_placement` flag — the staged equivalent of [`crate::run_flow`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when a legalization stage fails.
+    pub fn run(&self, strategy: LegalizationStrategy) -> Result<FlowArtifact, FlowError> {
+        let legalized = self.global_place().legalize(strategy)?;
+        Ok(if self.ctx.config.detailed_placement {
+            FlowArtifact::Detailed(legalized.detail())
+        } else {
+            FlowArtifact::Legalized(legalized)
+        })
+    }
+
+    /// Runs `requests` as one batch off a single shared global placement, fanned
+    /// over the `QGDP_THREADS` worker pool.  See
+    /// [`Session::run_batch_with_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FlowError`] (in strategy order) if a legalization fails.
+    pub fn run_batch(&self, requests: &[FlowRequest]) -> Result<Vec<FlowArtifact>, FlowError> {
+        self.run_batch_with_threads(requests, worker_threads())
+    }
+
+    /// [`Session::run_batch`] with an explicit worker count.
+    ///
+    /// One GP run feeds the whole batch; each *distinct* strategy in `requests` is
+    /// legalized exactly once (concurrently), then the per-request detailed
+    /// placements fork off the shared legalized artifacts (concurrently).  Results
+    /// are returned in request order and are bit-identical for every `threads`
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FlowError`] (in strategy order) if a legalization fails.
+    pub fn run_batch_with_threads(
+        &self,
+        requests: &[FlowRequest],
+        threads: usize,
+    ) -> Result<Vec<FlowArtifact>, FlowError> {
+        let gp = self.global_place();
+        batch_from_gp(&gp, requests, threads)
+    }
+
+    /// Runs the `strategies × details` cross product as one batch (strategy-major
+    /// request order) off a single shared global placement — the Table II/III
+    /// strategy matrix in one call.
+    ///
+    /// Each entry of `details` is `None` to stop after legalization or
+    /// `Some(config)` to run detailed placement with that configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FlowError`] (in strategy order) if a legalization fails.
+    pub fn run_matrix(
+        &self,
+        strategies: &[LegalizationStrategy],
+        details: &[Option<DetailedPlacerConfig>],
+    ) -> Result<Vec<FlowArtifact>, FlowError> {
+        let requests: Vec<FlowRequest> = strategies
+            .iter()
+            .flat_map(|&strategy| {
+                details
+                    .iter()
+                    .map(move |&detail| FlowRequest { strategy, detail })
+            })
+            .collect();
+        self.run_batch(&requests)
+    }
+}
+
+/// The batch engine: legalize each distinct strategy once, then fork the per-request
+/// detailed placements, both levels on up to `threads` workers.
+fn batch_from_gp(
+    gp: &GlobalPlacement,
+    requests: &[FlowRequest],
+    threads: usize,
+) -> Result<Vec<FlowArtifact>, FlowError> {
+    // Distinct strategies in first-appearance order (≤ 5 entries; linear scan keeps
+    // the order deterministic without a hash map).
+    let mut strategies: Vec<LegalizationStrategy> = Vec::new();
+    for request in requests {
+        if !strategies.contains(&request.strategy) {
+            strategies.push(request.strategy);
+        }
+    }
+
+    let legalized: Vec<Result<CellLegalized, FlowError>> =
+        parallel_map(&strategies, threads, |&strategy| gp.legalize(strategy));
+    let mut by_strategy: Vec<(LegalizationStrategy, CellLegalized)> = Vec::new();
+    for (strategy, outcome) in strategies.iter().zip(legalized) {
+        by_strategy.push((*strategy, outcome?));
+    }
+    let lookup = |strategy: LegalizationStrategy| -> &CellLegalized {
+        &by_strategy
+            .iter()
+            .find(|(s, _)| *s == strategy)
+            .expect("every request strategy was legalized")
+            .1
+    };
+
+    // Detail-free requests are pure handle clones — not worth spawning workers for.
+    if requests.iter().all(|r| r.detail.is_none()) {
+        return Ok(requests
+            .iter()
+            .map(|r| FlowArtifact::Legalized(lookup(r.strategy).clone()))
+            .collect());
+    }
+    Ok(parallel_map(requests, threads, |request| {
+        let cell = lookup(request.strategy).clone();
+        match request.detail {
+            None => FlowArtifact::Legalized(cell),
+            Some(config) => FlowArtifact::Detailed(cell.detail_with(config)),
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_topology::StandardTopology;
+
+    fn session() -> Session {
+        let topo = StandardTopology::Grid.build();
+        Session::new(&topo, FlowConfig::default().with_seed(11)).expect("session builds")
+    }
+
+    #[test]
+    fn session_builds_the_netlist_once_and_shares_it() {
+        let s = session();
+        let gp1 = s.global_place();
+        let gp2 = s.global_place();
+        assert!(std::ptr::eq(s.netlist(), gp1.netlist()));
+        assert_eq!(gp1.placement(), gp2.placement(), "GP is seed-deterministic");
+        assert_eq!(s.topology().num_qubits(), 25);
+        assert_eq!(s.config().gp.seed, 11);
+    }
+
+    #[test]
+    fn run_honours_the_detailed_placement_flag() {
+        let topo = StandardTopology::Grid.build();
+        let lg_only = Session::new(&topo, FlowConfig::default().with_seed(5))
+            .unwrap()
+            .run(LegalizationStrategy::Qgdp)
+            .unwrap();
+        assert!(lg_only.detailed().is_none());
+        let with_dp = Session::new(
+            &topo,
+            FlowConfig::default()
+                .with_seed(5)
+                .with_detailed_placement(true),
+        )
+        .unwrap()
+        .run(LegalizationStrategy::Qgdp)
+        .unwrap();
+        assert!(with_dp.detailed().is_some());
+        assert!(with_dp.is_legal());
+    }
+
+    #[test]
+    fn batch_results_come_back_in_request_order() {
+        let s = session();
+        let requests = [
+            FlowRequest::legalize(LegalizationStrategy::Tetris),
+            FlowRequest::detailed(LegalizationStrategy::Qgdp, DetailedPlacerConfig::new()),
+            FlowRequest::legalize(LegalizationStrategy::Qgdp),
+        ];
+        let artifacts = s.run_batch_with_threads(&requests, 2).unwrap();
+        assert_eq!(artifacts.len(), 3);
+        assert_eq!(artifacts[0].strategy(), LegalizationStrategy::Tetris);
+        assert_eq!(artifacts[1].strategy(), LegalizationStrategy::Qgdp);
+        assert!(artifacts[1].detailed().is_some());
+        assert!(artifacts[2].detailed().is_none());
+        // Duplicate-strategy requests share one legalization (same allocation).
+        assert!(std::ptr::eq(
+            artifacts[1].legalized().placement(),
+            artifacts[2].legalized().placement()
+        ));
+    }
+
+    #[test]
+    fn batch_is_bit_identical_for_every_worker_count() {
+        let s = session();
+        let requests: Vec<FlowRequest> = LegalizationStrategy::all()
+            .into_iter()
+            .map(FlowRequest::legalize)
+            .collect();
+        let serial = s.run_batch_with_threads(&requests, 1).unwrap();
+        for threads in [2, 4, 16] {
+            let parallel = s.run_batch_with_threads(&requests, threads).unwrap();
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(
+                    a.final_placement(),
+                    b.final_placement(),
+                    "threads={threads}"
+                );
+                assert_eq!(a.report(), b.report(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_matrix_is_the_strategy_major_cross_product() {
+        let s = session();
+        let strategies = [LegalizationStrategy::Qgdp, LegalizationStrategy::Tetris];
+        let details = [None, Some(DetailedPlacerConfig::new())];
+        let artifacts = s.run_matrix(&strategies, &details).unwrap();
+        assert_eq!(artifacts.len(), 4);
+        assert_eq!(artifacts[0].strategy(), LegalizationStrategy::Qgdp);
+        assert!(artifacts[0].detailed().is_none());
+        assert!(artifacts[1].detailed().is_some());
+        assert_eq!(artifacts[2].strategy(), LegalizationStrategy::Tetris);
+        assert!(artifacts[3].detailed().is_some());
+    }
+
+    #[test]
+    fn empty_batch_is_an_empty_vec() {
+        let artifacts = session().run_batch(&[]).unwrap();
+        assert!(artifacts.is_empty());
+    }
+}

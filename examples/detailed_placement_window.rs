@@ -2,32 +2,32 @@
 //! device, then show how the window-based maze rerouting unifies the remaining
 //! fragmented resonators and removes frequency hotspots.
 //!
+//! The staged API makes this natural: the pipeline stops at the [`CellLegalized`]
+//! artifact, which is inspected and then forked into a detailed placement.
+//!
 //! ```bash
 //! cargo run --release -p qgdp --example detailed_placement_window
 //! ```
 
 use qgdp::prelude::*;
-use qgdp::DetailedPlacer;
 
 fn main() -> Result<(), FlowError> {
     let topology = StandardTopology::AspenM.build();
     println!("device: {topology}");
 
-    // Legalize only (no DP) so we can drive the detailed placer by hand.
-    let result = run_flow(
-        &topology,
-        LegalizationStrategy::Qgdp,
-        &FlowConfig::default().with_seed(9),
-    )?;
-    let netlist = &result.netlist;
-    let crosstalk = CrosstalkConfig::default();
+    // Legalize only (no DP yet) so we can inspect the intermediate artifact.
+    let session = Session::new(&topology, FlowConfig::default().with_seed(9))?;
+    let legalized = session
+        .global_place()
+        .legalize(LegalizationStrategy::Qgdp)?;
+    let netlist = session.netlist();
 
-    let before = LayoutReport::evaluate(netlist, &result.legalized, &crosstalk);
+    let before = legalized.report();
     println!();
     println!("after qGDP-LG : {before}");
 
     // List the problem resonators the detailed placer will attack.
-    let clusters = ClusterReport::analyze(netlist, &result.legalized);
+    let clusters = ClusterReport::analyze(netlist, legalized.placement());
     let fragmented = clusters.non_unified();
     println!(
         "fragmented resonators: {} of {}",
@@ -46,13 +46,14 @@ fn main() -> Result<(), FlowError> {
         println!("  ... and {} more", fragmented.len() - 8);
     }
 
-    // Run the detailed placer and compare.
-    let outcome = DetailedPlacer::new().place(netlist, &result.die, &result.legalized);
-    let after = LayoutReport::evaluate(netlist, &outcome.placement, &crosstalk);
+    // Fork the legalized artifact into a detailed placement and compare.
+    let detailed = legalized.detail();
+    let after = detailed.report();
     println!();
     println!(
         "windows processed: {}, accepted: {}",
-        outcome.windows_processed, outcome.windows_accepted
+        detailed.windows_processed(),
+        detailed.windows_accepted()
     );
     println!("after qGDP-DP : {after}");
     println!();

@@ -8,8 +8,7 @@
 use qgdp::prelude::*;
 
 /// Renders the layout as an ASCII grid: `Q` = qubit, `#` = wire block, `.` = empty.
-fn render(result: &FlowResult, cols: usize) -> String {
-    let die = result.die;
+fn render(netlist: &QuantumNetlist, die: Rect, placement: &Placement, cols: usize) -> String {
     let rows = (cols as f64 * die.height() / die.width()).round().max(1.0) as usize;
     let mut canvas = vec![vec!['.'; cols]; rows];
     let plot = |canvas: &mut Vec<Vec<char>>, p: Point, ch: char| {
@@ -22,11 +21,10 @@ fn render(result: &FlowResult, cols: usize) -> String {
             canvas[r][c] = ch;
         }
     };
-    let placement = result.final_placement();
-    for s in result.netlist.segment_ids() {
+    for s in netlist.segment_ids() {
         plot(&mut canvas, placement.segment(s), '#');
     }
-    for q in result.netlist.qubit_ids() {
+    for q in netlist.qubit_ids() {
         plot(&mut canvas, placement.qubit(q), 'Q');
     }
     canvas
@@ -41,22 +39,20 @@ fn main() -> Result<(), FlowError> {
     let topology = StandardTopology::Eagle.build();
     println!("device: {topology}");
 
-    let result = run_flow(
-        &topology,
-        LegalizationStrategy::Qgdp,
-        &FlowConfig::default()
-            .with_seed(2025)
-            .with_detailed_placement(true),
-    )?;
+    let session = Session::new(&topology, FlowConfig::default().with_seed(2025))?;
+    let legalized = session
+        .global_place()
+        .legalize(LegalizationStrategy::Qgdp)?;
+    let detailed = legalized.detail();
 
     println!(
         "die {:.0} x {:.0} µm, {} cells, legal: {}",
-        result.die.width(),
-        result.die.height(),
-        result.netlist.num_components(),
-        result.is_legal()
+        detailed.die().width(),
+        detailed.die().height(),
+        session.netlist().num_components(),
+        detailed.is_legal()
     );
-    let report = result.final_report();
+    let report = detailed.report();
     println!(
         "I_edge {}   crossings {}   P_h {:.3} %   H_Q {}",
         report.integration_ratio(),
@@ -66,10 +62,13 @@ fn main() -> Result<(), FlowError> {
     );
     println!(
         "runtime: qubit LG {:.2} ms, resonator LG {:.2} ms",
-        result.timing.qubit_legalization.as_secs_f64() * 1e3,
-        result.timing.resonator_legalization.as_secs_f64() * 1e3,
+        legalized.qubit_stage().elapsed().as_secs_f64() * 1e3,
+        legalized.elapsed().as_secs_f64() * 1e3,
     );
     println!();
-    println!("{}", render(&result, 96));
+    println!(
+        "{}",
+        render(session.netlist(), detailed.die(), detailed.placement(), 96)
+    );
     Ok(())
 }

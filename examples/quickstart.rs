@@ -1,5 +1,10 @@
-//! Quickstart: run the full qGDP flow on the 25-qubit grid device and print the layout
-//! quality before and after each stage.
+//! Quickstart: run the staged qGDP pipeline on the 25-qubit grid device and print
+//! the layout quality after each stage.
+//!
+//! The [`Session`] API replaces the old monolithic `run_flow` call: a session
+//! builds the netlist once, `global_place()` produces a forkable GP artifact, and
+//! each later stage is a typed artifact with lazy, cached reports.  (`run_flow`
+//! still works and returns the same bits — it is now a thin shim over this API.)
 //!
 //! ```bash
 //! cargo run --release -p qgdp --example quickstart
@@ -8,23 +13,26 @@
 use qgdp::prelude::*;
 
 fn main() -> Result<(), FlowError> {
-    // 1. Pick a device topology (Table I of the paper) and build its quantum netlist.
+    // 1. Pick a device topology (Table I of the paper) and open a session: the
+    //    quantum netlist is built once here and shared by every stage artifact.
     let topology = StandardTopology::Grid.build();
+    let session = Session::new(&topology, FlowConfig::default().with_seed(42))?;
     println!("device   : {topology}");
 
-    // 2. Run the full flow: global placement -> qubit legalization -> integration-aware
-    //    resonator legalization -> detailed placement.
-    let config = FlowConfig::default()
-        .with_seed(42)
-        .with_detailed_placement(true);
-    let result = run_flow(&topology, LegalizationStrategy::Qgdp, &config)?;
+    // 2. Drive the staged pipeline: global placement -> qubit legalization ->
+    //    integration-aware resonator legalization -> detailed placement.  Each step
+    //    returns an immutable artifact; earlier artifacts stay usable (and can be
+    //    forked into other strategies or configs without recomputing).
+    let gp = session.global_place();
+    let legalized = gp.legalize(LegalizationStrategy::Qgdp)?;
+    let detailed = legalized.detail();
 
     println!(
         "die      : {:.0} x {:.0} µm",
-        result.die.width(),
-        result.die.height()
+        gp.die().width(),
+        gp.die().height()
     );
-    println!("cells    : {}", result.netlist.num_components());
+    println!("cells    : {}", session.netlist().num_components());
     println!();
     println!("stage            | I_edge  |  X | P_h (%) | H_Q");
     println!("-----------------+---------+----+---------+----");
@@ -37,11 +45,10 @@ fn main() -> Result<(), FlowError> {
             report.hotspot_qubits
         );
     };
-    row("global placement", &result.gp_report);
-    row("qGDP-LG", &result.legalized_report);
-    if let Some(dp) = &result.detailed_report {
-        row("qGDP-DP", dp);
-    }
+    // Reports are computed lazily on first call and cached inside the artifact.
+    row("global placement", gp.report());
+    row("qGDP-LG", legalized.report());
+    row("qGDP-DP", detailed.report());
 
     // 3. Estimate the program fidelity of a NISQ benchmark on the final layout,
     //    averaged over random qubit mappings (the Fig. 8 protocol).
@@ -49,21 +56,17 @@ fn main() -> Result<(), FlowError> {
     println!();
     println!("benchmark fidelity on the final layout (20 mappings each):");
     for benchmark in [Benchmark::Bv4, Benchmark::Qaoa4, Benchmark::Qgan4] {
-        let f = result.mean_benchmark_fidelity(benchmark, 20, &noise, 7);
+        let f = detailed.mean_benchmark_fidelity(benchmark, 20, &noise, 7);
         println!("  {:<8} {f:.4}", benchmark.name());
     }
 
-    // 4. Stage runtimes (the quantities of Table II).
+    // 4. Stage runtimes (the quantities of Table II), from the artifact's trace.
     println!();
-    println!(
-        "runtime: GP {:.1} ms, qubit LG {:.3} ms, resonator LG {:.3} ms, DP {:.3} ms",
-        result.timing.global_placement.as_secs_f64() * 1e3,
-        result.timing.qubit_legalization.as_secs_f64() * 1e3,
-        result.timing.resonator_legalization.as_secs_f64() * 1e3,
-        result
-            .timing
-            .detailed_placement
-            .map_or(0.0, |d| d.as_secs_f64() * 1e3)
-    );
+    let runtime: Vec<String> = detailed
+        .events()
+        .iter()
+        .map(|e| format!("{} {:.3} ms", e.stage, e.duration.as_secs_f64() * 1e3))
+        .collect();
+    println!("runtime: {}", runtime.join(", "));
     Ok(())
 }

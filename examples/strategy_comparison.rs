@@ -1,6 +1,10 @@
 //! Compare the five legalization strategies of the paper (qGDP-LG, Q-Abacus, Q-Tetris,
 //! Abacus, Tetris) on one topology: the miniature version of Figs. 8 and 9.
 //!
+//! All five strategies are batched through [`Session::run_matrix`], so the global
+//! placement runs exactly once and its artifact is forked per strategy — the
+//! paper's "same GP positions" protocol, structurally guaranteed.
+//!
 //! Pass a topology name (`grid`, `xtree`, `falcon`, `eagle`, `aspen-11`, `aspen-m`) as
 //! the first argument; the default is `falcon`.
 //!
@@ -28,6 +32,7 @@ fn parse_topology(name: &str) -> StandardTopology {
 fn main() -> Result<(), FlowError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "falcon".into());
     let topology = parse_topology(&name).build();
+    let session = Session::new(&topology, FlowConfig::default().with_seed(1234))?;
     println!("device: {topology}");
     println!();
 
@@ -40,16 +45,17 @@ fn main() -> Result<(), FlowError> {
         "strategy", "I_edge", "X", "P_h (%)", "H_Q", "bv-4", "qaoa-4", "qgan-4"
     );
     println!("{}", "-".repeat(80));
-    for strategy in LegalizationStrategy::all() {
-        let result = run_flow(&topology, strategy, &FlowConfig::default().with_seed(1234))?;
-        let report = &result.legalized_report;
+    // One GP run feeds all five strategies, fanned over the QGDP_THREADS pool.
+    let artifacts = session.run_matrix(&LegalizationStrategy::all(), &[None])?;
+    for artifact in &artifacts {
+        let report = artifact.report();
         let fidelities: Vec<f64> = benchmarks
             .iter()
-            .map(|&b| result.mean_benchmark_fidelity(b, mappings, &noise, 7))
+            .map(|&b| artifact.mean_benchmark_fidelity(b, mappings, &noise, 7))
             .collect();
         println!(
             "{:<10} | {:>8} | {:>3} | {:>7.3} | {:>4} | {:>8.4} | {:>8.4} | {:>8.4}",
-            strategy.name(),
+            artifact.strategy().name(),
             report.integration_ratio(),
             report.crossings,
             report.hotspot_proportion_percent,

@@ -1,39 +1,52 @@
-//! End-to-end integration tests of the qGDP flow across crates: topology generation,
-//! netlist construction, global placement, both legalization stages, detailed
-//! placement and metric evaluation all exercised together.
+//! End-to-end integration tests of the staged qGDP pipeline across crates: topology
+//! generation, netlist construction, global placement, both legalization stages,
+//! detailed placement and metric evaluation all exercised together through the
+//! [`Session`] artifact API (the `run_flow` shim has its own equivalence suite in
+//! `session_equivalence.rs`).
 
 use qgdp::prelude::*;
 
-fn flow(topology: StandardTopology, strategy: LegalizationStrategy, dp: bool) -> FlowResult {
-    let topo = topology.build();
-    run_flow(
-        &topo,
-        strategy,
-        &FlowConfig::default()
-            .with_seed(2024)
-            .with_detailed_placement(dp),
-    )
-    .expect("flow succeeds")
+/// The staged artifacts of one full pipeline run.
+struct Staged {
+    session: Session,
+    gp: GlobalPlacement,
+    legalized: CellLegalized,
+    detailed: Option<Detailed>,
+}
+
+fn flow(topology: StandardTopology, strategy: LegalizationStrategy, dp: bool) -> Staged {
+    let session = Session::new(&topology.build(), FlowConfig::default().with_seed(2024))
+        .expect("session builds");
+    let gp = session.global_place();
+    let legalized = gp.legalize(strategy).expect("legalization succeeds");
+    let detailed = dp.then(|| legalized.detail());
+    Staged {
+        session,
+        gp,
+        legalized,
+        detailed,
+    }
 }
 
 #[test]
 fn qgdp_flow_is_legal_on_every_standard_topology() {
     for topology in StandardTopology::all() {
-        let result = flow(topology, LegalizationStrategy::Qgdp, false);
+        let staged = flow(topology, LegalizationStrategy::Qgdp, false);
         assert!(
-            result.is_legal(),
+            staged.legalized.is_legal(),
             "{topology:?}: qGDP-LG produced an illegal layout"
         );
-        assert_eq!(result.netlist.num_qubits(), topology.num_qubits());
+        assert_eq!(staged.session.netlist().num_qubits(), topology.num_qubits());
     }
 }
 
 #[test]
 fn gp_layout_is_illegal_but_legalization_fixes_it() {
-    let result = flow(StandardTopology::Falcon, LegalizationStrategy::Qgdp, false);
+    let staged = flow(StandardTopology::Falcon, LegalizationStrategy::Qgdp, false);
+    let netlist = staged.session.netlist();
     // The GP layout is expected to contain overlaps (that is the point of legalizing).
-    let gp_overlaps = result.gp_placement.count_overlaps(&result.netlist);
-    let lg_overlaps = result.legalized.count_overlaps(&result.netlist);
+    let gp_overlaps = staged.gp.placement().count_overlaps(netlist);
+    let lg_overlaps = staged.legalized.placement().count_overlaps(netlist);
     assert!(gp_overlaps > 0, "GP should leave overlaps for LG to fix");
     assert_eq!(lg_overlaps, 0, "legalization must remove every overlap");
 }
@@ -42,12 +55,14 @@ fn gp_layout_is_illegal_but_legalization_fixes_it() {
 fn legalization_preserves_gp_structure() {
     // Legalization should displace components, not scramble them: the total
     // displacement per component must stay well below the die diagonal.
-    let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
-    let per_component = result
+    let staged = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
+    let per_component = staged
         .legalized
-        .total_displacement_from(&result.gp_placement)
-        / result.netlist.num_components() as f64;
-    let diagonal = (result.die.width().powi(2) + result.die.height().powi(2)).sqrt();
+        .placement()
+        .total_displacement_from(staged.gp.placement())
+        / staged.session.netlist().num_components() as f64;
+    let die = staged.gp.die();
+    let diagonal = (die.width().powi(2) + die.height().powi(2)).sqrt();
     assert!(
         per_component < diagonal * 0.25,
         "average displacement {per_component:.1} µm vs die diagonal {diagonal:.1} µm"
@@ -61,10 +76,11 @@ fn detailed_placement_only_improves_the_layout() {
         StandardTopology::Xtree,
         StandardTopology::Aspen11,
     ] {
-        let result = flow(topology, LegalizationStrategy::Qgdp, true);
-        let lg = &result.legalized_report;
-        let dp = result.detailed_report.as_ref().expect("DP ran");
-        assert!(result.is_legal(), "{topology:?}: DP output illegal");
+        let staged = flow(topology, LegalizationStrategy::Qgdp, true);
+        let lg = staged.legalized.report();
+        let dp_artifact = staged.detailed.as_ref().expect("DP ran");
+        let dp = dp_artifact.report();
+        assert!(dp_artifact.is_legal(), "{topology:?}: DP output illegal");
         assert!(
             dp.total_clusters <= lg.total_clusters,
             "{topology:?}: DP increased cluster count"
@@ -86,24 +102,28 @@ fn detailed_placement_only_improves_the_layout() {
 
 #[test]
 fn detailed_placement_never_moves_qubits() {
-    let result = flow(StandardTopology::Aspen11, LegalizationStrategy::Qgdp, true);
-    let dp = result.detailed.as_ref().expect("DP ran");
-    for q in result.netlist.qubit_ids() {
-        assert_eq!(dp.qubit(q), result.legalized.qubit(q));
+    let staged = flow(StandardTopology::Aspen11, LegalizationStrategy::Qgdp, true);
+    let dp = staged.detailed.as_ref().expect("DP ran");
+    for q in staged.session.netlist().qubit_ids() {
+        assert_eq!(
+            dp.placement().qubit(q),
+            staged.legalized.placement().qubit(q)
+        );
     }
 }
 
 #[test]
 fn quantum_qubit_legalizer_enforces_min_spacing_on_real_gp() {
-    let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
-    let netlist = &result.netlist;
+    let staged = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, false);
+    let netlist = staged.session.netlist();
     let spacing = netlist.geometry().min_qubit_spacing();
+    let legalized = staged.legalized.placement();
     let mut min_gap = f64::INFINITY;
     let qubits: Vec<QubitId> = netlist.qubit_ids().collect();
     for (i, &a) in qubits.iter().enumerate() {
         for &b in &qubits[i + 1..] {
-            let ra = netlist.qubit(a).rect_at(result.legalized.qubit(a));
-            let rb = netlist.qubit(b).rect_at(result.legalized.qubit(b));
+            let ra = netlist.qubit(a).rect_at(legalized.qubit(a));
+            let rb = netlist.qubit(b).rect_at(legalized.qubit(b));
             min_gap = min_gap.min(ra.gap(&rb));
         }
     }
@@ -115,10 +135,11 @@ fn quantum_qubit_legalizer_enforces_min_spacing_on_real_gp() {
 
 #[test]
 fn fidelity_pipeline_produces_sane_numbers() {
-    let result = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, true);
+    let staged = flow(StandardTopology::Grid, LegalizationStrategy::Qgdp, true);
+    let dp = staged.detailed.as_ref().expect("DP ran");
     let noise = NoiseModel::default();
-    let f_small = result.mean_benchmark_fidelity(Benchmark::Bv4, 5, &noise, 42);
-    let f_large = result.mean_benchmark_fidelity(Benchmark::Bv16, 5, &noise, 42);
+    let f_small = dp.mean_benchmark_fidelity(Benchmark::Bv4, 5, &noise, 42);
+    let f_large = dp.mean_benchmark_fidelity(Benchmark::Bv16, 5, &noise, 42);
     assert!(f_small > 0.0 && f_small <= 1.0);
     assert!(f_large > 0.0 && f_large <= 1.0);
     assert!(
@@ -128,24 +149,50 @@ fn fidelity_pipeline_produces_sane_numbers() {
 }
 
 #[test]
-fn stage_timings_are_recorded() {
-    let result = flow(StandardTopology::Falcon, LegalizationStrategy::Qgdp, true);
-    assert!(result.timing.global_placement.as_nanos() > 0);
-    assert!(result.timing.qubit_legalization.as_nanos() > 0);
-    assert!(result.timing.resonator_legalization.as_nanos() > 0);
-    assert!(result.timing.detailed_placement.is_some());
+fn stage_events_are_recorded_in_pipeline_order() {
+    let staged = flow(StandardTopology::Falcon, LegalizationStrategy::Qgdp, true);
+    let dp = staged.detailed.as_ref().expect("DP ran");
+    let events = dp.events();
+    let stages: Vec<Stage> = events.iter().map(|e| e.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            Stage::GlobalPlacement,
+            Stage::QubitLegalization,
+            Stage::ResonatorLegalization,
+            Stage::DetailedPlacement,
+        ]
+    );
+    for event in &events {
+        assert!(
+            event.duration.as_nanos() > 0,
+            "{} took zero time",
+            event.stage
+        );
+    }
+    // The legacy aggregate view is a projection of the events.
+    let timing = dp.timing();
+    assert_eq!(timing.global_placement, staged.gp.elapsed());
+    assert_eq!(
+        timing.qubit_legalization,
+        staged.legalized.qubit_stage().elapsed()
+    );
+    assert_eq!(timing.resonator_legalization, staged.legalized.elapsed());
+    assert_eq!(timing.detailed_placement, Some(dp.elapsed()));
 }
 
 #[test]
 fn chain_net_model_also_flows_end_to_end() {
     let topo = StandardTopology::Grid.build();
-    let result = run_flow(
+    let session = Session::new(
         &topo,
-        LegalizationStrategy::Qgdp,
-        &FlowConfig::default()
+        FlowConfig::default()
             .with_seed(77)
             .with_net_model(NetModel::Chain),
     )
-    .expect("chain-model flow succeeds");
-    assert!(result.is_legal());
+    .expect("chain-model session builds");
+    let artifact = session
+        .run(LegalizationStrategy::Qgdp)
+        .expect("chain-model flow succeeds");
+    assert!(artifact.is_legal());
 }

@@ -1,0 +1,227 @@
+//! Golden staged-vs-monolithic equivalence suite.
+//!
+//! The staged [`Session`] API must be a pure refactoring of the monolithic
+//! `run_flow`: every artifact the staged pipeline produces — placements, reports,
+//! fidelities — must be **bit-identical** to what `run_flow` returns for the same
+//! inputs, whether the stages are forked from one shared [`GlobalPlacement`]
+//! artifact or recomputed per strategy, and whether the batch surface runs on one
+//! worker or many.
+
+use qgdp::prelude::*;
+
+/// The GP seed shared by every experiment (`qgdp_bench::EXPERIMENT_SEED`).
+const EXPERIMENT_SEED: u64 = 20_250_331;
+
+fn config() -> FlowConfig {
+    FlowConfig::default().with_seed(EXPERIMENT_SEED)
+}
+
+#[test]
+fn staged_artifacts_are_bit_identical_to_run_flow_for_all_strategies() {
+    // One shared GP artifact per topology feeds all five strategies; every staged
+    // output must equal the five independent monolithic flows bit for bit.
+    for topology in [
+        StandardTopology::Grid,
+        StandardTopology::Falcon,
+        StandardTopology::Eagle,
+    ] {
+        let topo = topology.build();
+        let session = Session::new(&topo, config()).expect("session builds");
+        let gp = session.global_place();
+        for strategy in LegalizationStrategy::all() {
+            let staged = gp
+                .legalize(strategy)
+                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+            let mono = run_flow(&topo, strategy, &config())
+                .unwrap_or_else(|e| panic!("{strategy} failed on {topology}: {e}"));
+            assert_eq!(
+                gp.placement(),
+                &mono.gp_placement,
+                "{topology}/{strategy}: GP positions diverged"
+            );
+            assert_eq!(
+                staged.qubit_stage().placement(),
+                &mono.qubit_legalized,
+                "{topology}/{strategy}: qubit-LG positions diverged"
+            );
+            assert_eq!(
+                staged.placement(),
+                &mono.legalized,
+                "{topology}/{strategy}: legalized positions diverged"
+            );
+            assert_eq!(
+                gp.report(),
+                &mono.gp_report,
+                "{topology}/{strategy}: GP report diverged"
+            );
+            assert_eq!(
+                staged.report(),
+                &mono.legalized_report,
+                "{topology}/{strategy}: legalized report diverged"
+            );
+            assert_eq!(
+                staged.die(),
+                mono.die,
+                "{topology}/{strategy}: die diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn staged_detailed_placement_is_bit_identical_to_run_flow() {
+    for topology in [StandardTopology::Grid, StandardTopology::Aspen11] {
+        let topo = topology.build();
+        let cfg = config().with_detailed_placement(true);
+        let staged = Session::new(&topo, cfg)
+            .expect("session builds")
+            .run(LegalizationStrategy::Qgdp)
+            .expect("staged flow succeeds");
+        let dp = staged.detailed().expect("DP ran");
+        let mono = run_flow(&topo, LegalizationStrategy::Qgdp, &cfg).expect("run_flow succeeds");
+        assert_eq!(
+            dp.placement(),
+            mono.detailed.as_ref().expect("DP ran"),
+            "{topology}: DP positions diverged"
+        );
+        assert_eq!(
+            dp.report(),
+            mono.detailed_report.as_ref().expect("DP ran"),
+            "{topology}: DP report diverged"
+        );
+        // The shim conversion round-trips the same bits.
+        let converted = staged.into_flow_result();
+        assert_eq!(converted.detailed, mono.detailed, "{topology}");
+        assert_eq!(converted.legalized, mono.legalized, "{topology}");
+        assert_eq!(
+            converted.detailed_report, mono.detailed_report,
+            "{topology}"
+        );
+    }
+}
+
+#[test]
+fn one_forked_gp_equals_five_independent_flows() {
+    // Fork-reuse: five legalizations off ONE GlobalPlacement artifact must equal
+    // five fully independent sessions each running their own GP.
+    let topo = StandardTopology::Grid.build();
+    let shared_gp = Session::new(&topo, config())
+        .expect("session builds")
+        .global_place();
+    for strategy in LegalizationStrategy::all() {
+        let forked = shared_gp.legalize(strategy).expect("forked legalization");
+        let independent = Session::new(&topo, config())
+            .expect("session builds")
+            .global_place()
+            .legalize(strategy)
+            .expect("independent legalization");
+        assert_eq!(
+            forked.placement(),
+            independent.placement(),
+            "{strategy}: forked and independent layouts diverged"
+        );
+        assert_eq!(
+            forked.report(),
+            independent.report(),
+            "{strategy}: forked and independent reports diverged"
+        );
+    }
+}
+
+#[test]
+fn batch_surface_is_bit_identical_to_serial_staging() {
+    let topo = StandardTopology::Falcon.build();
+    let session = Session::new(&topo, config()).expect("session builds");
+    let requests: Vec<FlowRequest> = LegalizationStrategy::all()
+        .into_iter()
+        .flat_map(|s| {
+            [
+                FlowRequest::legalize(s),
+                FlowRequest::detailed(s, DetailedPlacerConfig::new()),
+            ]
+        })
+        .collect();
+
+    // Serial reference: drive the stages by hand off one GP.
+    let gp = session.global_place();
+    let serial: Vec<(Placement, LayoutReport)> = requests
+        .iter()
+        .map(|req| {
+            let cell = gp.legalize(req.strategy).expect("legalization succeeds");
+            match req.detail {
+                None => (cell.placement().clone(), cell.report().clone()),
+                Some(cfg) => {
+                    let dp = cell.detail_with(cfg);
+                    (dp.placement().clone(), dp.report().clone())
+                }
+            }
+        })
+        .collect();
+
+    for threads in [1, 3, 8] {
+        let batched = session
+            .run_batch_with_threads(&requests, threads)
+            .expect("batch succeeds");
+        assert_eq!(batched.len(), requests.len());
+        for ((req, artifact), (placement, report)) in requests.iter().zip(&batched).zip(&serial) {
+            assert_eq!(
+                artifact.final_placement(),
+                placement,
+                "{}/detail={:?}/threads={threads}: batched placement diverged",
+                req.strategy,
+                req.detail.is_some()
+            );
+            assert_eq!(
+                artifact.report(),
+                report,
+                "{}/detail={:?}/threads={threads}: batched report diverged",
+                req.strategy,
+                req.detail.is_some()
+            );
+        }
+    }
+}
+
+#[test]
+fn artifact_fidelity_matches_flow_result_fidelity_bits() {
+    let topo = StandardTopology::Grid.build();
+    let staged = Session::new(&topo, config())
+        .expect("session builds")
+        .global_place()
+        .legalize(LegalizationStrategy::Qgdp)
+        .expect("legalization succeeds");
+    let mono = run_flow(&topo, LegalizationStrategy::Qgdp, &config()).expect("run_flow succeeds");
+    let noise = NoiseModel::default();
+    for (benchmark, mappings, seed) in [(Benchmark::Bv4, 8, 7u64), (Benchmark::Qaoa4, 5, 99)] {
+        let a = staged.mean_benchmark_fidelity(benchmark, mappings, &noise, seed);
+        let b = mono.mean_benchmark_fidelity(benchmark, mappings, &noise, seed);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{benchmark:?}: staged {a:.17} vs monolithic {b:.17}"
+        );
+    }
+}
+
+#[test]
+fn matrix_artifacts_share_one_gp_and_netlist_allocation() {
+    // The redesign's point: the strategy matrix shares earlier stages instead of
+    // recomputing them.  Assert the sharing structurally (same allocations), not
+    // just value equality.
+    let topo = StandardTopology::Grid.build();
+    let session = Session::new(&topo, config()).expect("session builds");
+    let artifacts = session
+        .run_matrix(&LegalizationStrategy::all(), &[None])
+        .expect("matrix succeeds");
+    let first = artifacts[0].legalized().global();
+    for artifact in &artifacts[1..] {
+        assert!(
+            std::ptr::eq(artifact.legalized().global().placement(), first.placement()),
+            "matrix artifacts must share the GP placement allocation"
+        );
+        assert!(
+            std::ptr::eq(artifact.netlist(), session.netlist()),
+            "matrix artifacts must share the session netlist allocation"
+        );
+    }
+}

@@ -1,38 +1,40 @@
-//! Cross-strategy integration tests: the five legalization strategies of the paper are
-//! all run on the same global placements and compared on legality, integration and
-//! hotspot metrics.
+//! Cross-strategy integration tests: the five legalization strategies of the paper
+//! are batched through [`Session::run_matrix`] — so they share one global placement
+//! structurally — and compared on legality, integration and hotspot metrics.
 
 use qgdp::prelude::*;
 use std::collections::BTreeMap;
 
-/// Runs all five strategies on one topology with a shared GP seed.
-fn run_all(topology: StandardTopology, seed: u64) -> BTreeMap<LegalizationStrategy, FlowResult> {
-    let topo = topology.build();
-    LegalizationStrategy::all()
-        .into_iter()
-        .map(|s| {
-            let result = run_flow(&topo, s, &FlowConfig::default().with_seed(seed))
-                .unwrap_or_else(|e| panic!("{s} failed on {topology:?}: {e}"));
-            (s, result)
-        })
-        .collect()
+/// Runs all five strategies on one topology off one shared GP artifact.
+fn run_all(
+    topology: StandardTopology,
+    seed: u64,
+) -> (Session, BTreeMap<LegalizationStrategy, FlowArtifact>) {
+    let session = Session::new(&topology.build(), FlowConfig::default().with_seed(seed))
+        .unwrap_or_else(|e| panic!("session for {topology:?}: {e}"));
+    let artifacts = session
+        .run_matrix(&LegalizationStrategy::all(), &[None])
+        .unwrap_or_else(|e| panic!("matrix failed on {topology:?}: {e}"));
+    let by_strategy = artifacts.into_iter().map(|a| (a.strategy(), a)).collect();
+    (session, by_strategy)
 }
 
 #[test]
 fn every_strategy_produces_a_legal_layout() {
     for topology in [StandardTopology::Grid, StandardTopology::Xtree] {
-        for (strategy, result) in run_all(topology, 1) {
-            assert!(result.is_legal(), "{strategy} illegal on {topology:?}");
+        let (_, results) = run_all(topology, 1);
+        for (strategy, artifact) in results {
+            assert!(artifact.is_legal(), "{strategy} illegal on {topology:?}");
         }
     }
 }
 
 #[test]
 fn qgdp_has_the_fewest_clusters() {
-    let results = run_all(StandardTopology::Grid, 2);
+    let (_, results) = run_all(StandardTopology::Grid, 2);
     let clusters: BTreeMap<_, _> = results
         .iter()
-        .map(|(s, r)| (*s, r.legalized_report.total_clusters))
+        .map(|(s, a)| (*s, a.report().total_clusters))
         .collect();
     let qgdp = clusters[&LegalizationStrategy::Qgdp];
     for (strategy, &c) in &clusters {
@@ -45,14 +47,12 @@ fn qgdp_has_the_fewest_clusters() {
 
 #[test]
 fn qgdp_has_no_more_hotspots_than_classical_baselines() {
-    let results = run_all(StandardTopology::Aspen11, 3);
+    let (_, results) = run_all(StandardTopology::Aspen11, 3);
     let qgdp = results[&LegalizationStrategy::Qgdp]
-        .legalized_report
+        .report()
         .hotspot_proportion_percent;
     for strategy in [LegalizationStrategy::Tetris, LegalizationStrategy::Abacus] {
-        let classical = results[&strategy]
-            .legalized_report
-            .hotspot_proportion_percent;
+        let classical = results[&strategy].report().hotspot_proportion_percent;
         assert!(
             qgdp <= classical + 1e-9,
             "qGDP P_h {qgdp:.3}% vs {strategy} {classical:.3}%"
@@ -66,13 +66,17 @@ fn quantum_qubit_stage_reduces_qubit_hotspots() {
     // The quantum-aware qubit stage must not increase the number of qubit–qubit
     // spatial violations, and must respect the one-cell minimum spacing.
     use qgdp::metrics::find_violations;
-    let results = run_all(StandardTopology::Grid, 4);
+    let (session, results) = run_all(StandardTopology::Grid, 4);
     let qubit_violations = |strategy: LegalizationStrategy| {
-        let r = &results[&strategy];
-        find_violations(&r.netlist, &r.legalized, &CrosstalkConfig::default())
-            .iter()
-            .filter(|v| v.a.is_qubit() && v.b.is_qubit())
-            .count()
+        let artifact = &results[&strategy];
+        find_violations(
+            session.netlist(),
+            artifact.final_placement(),
+            &CrosstalkConfig::default(),
+        )
+        .iter()
+        .filter(|v| v.a.is_qubit() && v.b.is_qubit())
+        .count()
     };
     assert!(
         qubit_violations(LegalizationStrategy::QTetris)
@@ -80,13 +84,15 @@ fn quantum_qubit_stage_reduces_qubit_hotspots() {
     );
 
     // Minimum spacing holds for the quantum qubit stage.
-    let r = &results[&LegalizationStrategy::QTetris];
-    let spacing = r.netlist.geometry().min_qubit_spacing();
-    let qubits: Vec<QubitId> = r.netlist.qubit_ids().collect();
+    let artifact = &results[&LegalizationStrategy::QTetris];
+    let netlist = session.netlist();
+    let placement = artifact.final_placement();
+    let spacing = netlist.geometry().min_qubit_spacing();
+    let qubits: Vec<QubitId> = netlist.qubit_ids().collect();
     for (i, &a) in qubits.iter().enumerate() {
         for &b in &qubits[i + 1..] {
-            let ra = r.netlist.qubit(a).rect_at(r.legalized.qubit(a));
-            let rb = r.netlist.qubit(b).rect_at(r.legalized.qubit(b));
+            let ra = netlist.qubit(a).rect_at(placement.qubit(a));
+            let rb = netlist.qubit(b).rect_at(placement.qubit(b));
             assert!(
                 ra.gap(&rb) >= spacing - 1e-6,
                 "Q-Tetris left qubits {a} and {b} only {:.2} µm apart",
@@ -98,14 +104,16 @@ fn quantum_qubit_stage_reduces_qubit_hotspots() {
 
 #[test]
 fn all_strategies_fix_every_qubit_inside_the_die() {
-    for (strategy, result) in run_all(StandardTopology::Xtree, 5) {
-        for q in result.netlist.qubit_ids() {
-            let rect = result
-                .netlist
+    let (session, results) = run_all(StandardTopology::Xtree, 5);
+    for (strategy, artifact) in &results {
+        let die = artifact.die();
+        for q in session.netlist().qubit_ids() {
+            let rect = session
+                .netlist()
                 .qubit(q)
-                .rect_at(result.final_placement().qubit(q));
+                .rect_at(artifact.final_placement().qubit(q));
             assert!(
-                result.die.contains_rect(&rect),
+                die.contains_rect(&rect),
                 "{strategy}: qubit {q} outside the die"
             );
         }
@@ -114,22 +122,28 @@ fn all_strategies_fix_every_qubit_inside_the_die() {
 
 #[test]
 fn strategies_share_the_same_gp_input() {
-    // With the same seed, every strategy starts from the same GP positions, so the
-    // comparison is apples-to-apples (the paper's "all comparisons are based on the
-    // same GP positions").
-    let results = run_all(StandardTopology::Grid, 6);
-    let reference = &results[&LegalizationStrategy::Qgdp].gp_placement;
-    for (strategy, result) in &results {
+    // The staged API makes the paper's "all comparisons are based on the same GP
+    // positions" structural: every artifact of the matrix holds the *same* GP
+    // allocation, not a value-equal copy.
+    let (_, results) = run_all(StandardTopology::Grid, 6);
+    let reference = results[&LegalizationStrategy::Qgdp].legalized().global();
+    for (strategy, artifact) in &results {
+        let gp = artifact.legalized().global();
+        assert!(
+            std::ptr::eq(gp.placement(), reference.placement()),
+            "{strategy} saw a different GP allocation"
+        );
         assert_eq!(
-            &result.gp_placement, reference,
-            "{strategy} saw a different GP layout"
+            gp.placement(),
+            reference.placement(),
+            "{strategy} saw different GP positions"
         );
     }
 }
 
 #[test]
 fn fidelity_ordering_qgdp_not_worse_than_classical() {
-    let results = run_all(StandardTopology::Grid, 7);
+    let (_, results) = run_all(StandardTopology::Grid, 7);
     let noise = NoiseModel::default();
     let fidelity = |s: LegalizationStrategy| {
         results[&s].mean_benchmark_fidelity(Benchmark::Qaoa4, 8, &noise, 99)
