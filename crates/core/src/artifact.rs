@@ -15,9 +15,11 @@
 //! Every artifact is a **cheap, forkable handle**: the topology, netlist and stage
 //! placements are shared through [`Arc`], so cloning an artifact or deriving five
 //! legalizations from one [`GlobalPlacement`] never re-runs or deep-copies an earlier
-//! stage.  Reports ([`LayoutReport`]) are computed **lazily** on first call and cached
+//! stage.  Metrics are computed **lazily**: the first call to `scan()`, `report()` or
+//! a fidelity evaluation runs one [`LayoutScan`] of the stage placement and caches it
 //! in the artifact (shared across clones), so callers that only need placements never
-//! pay for metrics.
+//! pay for metrics, and callers that need several metric views of one placement pay
+//! for the layout walk exactly once.
 //!
 //! Wall-clock cost is traced per stage as [`StageEvent`]s ([`CellLegalized::events`]),
 //! from which the legacy [`StageTiming`] of the [`FlowResult`] compatibility shim is
@@ -29,7 +31,7 @@ use crate::{DetailedPlacer, DetailedPlacerConfig, FlowError, LegalizationStrateg
 use qgdp_circuits::{random_mappings, Benchmark};
 use qgdp_geometry::Rect;
 use qgdp_legalize::is_legal;
-use qgdp_metrics::{mean_fidelity, LayoutReport, NoiseModel};
+use qgdp_metrics::{FidelityEvaluator, LayoutReport, LayoutScan, NoiseModel};
 use qgdp_netlist::{Placement, QuantumNetlist};
 use qgdp_placer::{GlobalPlacer, GpStats};
 use qgdp_topology::Topology;
@@ -83,11 +85,16 @@ pub struct StageEvent {
     pub duration: Duration,
 }
 
-/// Evaluates the Fig. 8 protocol on one placement: mean worst-case fidelity of
+/// Evaluates the Fig. 8 protocol on one layout scan: mean worst-case fidelity of
 /// `benchmark` over `mappings` random qubit mappings.
+///
+/// Taking the (cached) [`LayoutScan`] instead of a raw placement means the
+/// violation/crossing walk is shared with the artifact's quality report — the
+/// evaluator construction is bit-identical to a from-scratch scan
+/// ([`FidelityEvaluator::from_scan`]).
 fn benchmark_fidelity(
     ctx: &SessionContext,
-    placement: &Placement,
+    scan: &LayoutScan,
     benchmark: Benchmark,
     mappings: usize,
     noise: &NoiseModel,
@@ -95,7 +102,23 @@ fn benchmark_fidelity(
 ) -> f64 {
     let circuit = benchmark.circuit();
     let maps = random_mappings(&circuit, &ctx.topology, mappings, seed);
-    mean_fidelity(&ctx.netlist, placement, &maps, noise, &ctx.config.crosstalk)
+    FidelityEvaluator::from_scan(&ctx.netlist, *noise, scan).mean(&maps)
+}
+
+/// The context-free result of one global-placement run.
+///
+/// This is what [`SessionContext`](crate::session::SessionContext) caches in its
+/// `gp_cache`: it deliberately holds **no** `Arc<SessionContext>` (an artifact
+/// stored inside the context it points back to would leak as an `Arc` cycle).
+/// [`GlobalPlacement::compute`] re-attaches the context to build the public handle.
+#[derive(Debug, Clone)]
+pub(crate) struct GpData {
+    die: Rect,
+    placement: Arc<Placement>,
+    stats: GpStats,
+    event: StageEvent,
+    report: Arc<OnceLock<LayoutReport>>,
+    scan: Arc<OnceLock<Arc<LayoutScan>>>,
 }
 
 /// The global-placement artifact: GP positions for every component, the die outline
@@ -113,24 +136,41 @@ pub struct GlobalPlacement {
     stats: GpStats,
     event: StageEvent,
     report: Arc<OnceLock<LayoutReport>>,
+    scan: Arc<OnceLock<Arc<LayoutScan>>>,
 }
 
 impl GlobalPlacement {
-    /// Runs the global placer for `ctx` and wraps the result as an artifact.
+    /// Returns the (session-cached) global placement for `ctx` as an artifact.
+    ///
+    /// The placer runs at most once per session: the first call populates the
+    /// context's `gp_cache`, every later call clones the cached handles.
     pub(crate) fn compute(ctx: Arc<SessionContext>) -> Self {
-        let start = Instant::now();
-        let gp = GlobalPlacer::new(ctx.config.gp).place(&ctx.netlist, &ctx.topology);
-        let event = StageEvent {
-            stage: Stage::GlobalPlacement,
-            duration: start.elapsed(),
-        };
+        let data = ctx
+            .gp_cache
+            .get_or_init(|| {
+                let start = Instant::now();
+                let gp = GlobalPlacer::new(ctx.config.gp).place(&ctx.netlist, &ctx.topology);
+                GpData {
+                    die: gp.die,
+                    placement: Arc::new(gp.placement),
+                    stats: gp.stats,
+                    event: StageEvent {
+                        stage: Stage::GlobalPlacement,
+                        duration: start.elapsed(),
+                    },
+                    report: Arc::new(OnceLock::new()),
+                    scan: Arc::new(OnceLock::new()),
+                }
+            })
+            .clone();
         GlobalPlacement {
             ctx,
-            die: gp.die,
-            placement: Arc::new(gp.placement),
-            stats: gp.stats,
-            event,
-            report: Arc::new(OnceLock::new()),
+            die: data.die,
+            placement: data.placement,
+            stats: data.stats,
+            event: data.event,
+            report: data.report,
+            scan: data.scan,
         }
     }
 
@@ -182,17 +222,32 @@ impl GlobalPlacement {
         vec![self.event]
     }
 
-    /// Layout metrics of the raw global placement, computed lazily on first call and
-    /// cached (shared by every artifact forked from this GP).
+    /// The one-pass layout scan of the raw global placement (clusters, violations,
+    /// crossings), computed lazily on first call and cached — the shared input of
+    /// [`GlobalPlacement::report`] and the fidelity evaluations.
     #[must_use]
-    pub fn report(&self) -> &LayoutReport {
-        self.report.get_or_init(|| {
-            LayoutReport::evaluate(
+    pub fn scan(&self) -> &LayoutScan {
+        self.scan_arc()
+    }
+
+    /// The cached scan as its shared handle (crate-internal; lets bench code hold
+    /// the scan past the artifact without re-scanning).
+    pub(crate) fn scan_arc(&self) -> &Arc<LayoutScan> {
+        self.scan.get_or_init(|| {
+            Arc::new(LayoutScan::scan(
                 &self.ctx.netlist,
                 &self.placement,
                 &self.ctx.config.crosstalk,
-            )
+            ))
         })
+    }
+
+    /// Layout metrics of the raw global placement, computed lazily on first call
+    /// and cached (shared by every artifact forked from this GP).
+    #[must_use]
+    pub fn report(&self) -> &LayoutReport {
+        self.report
+            .get_or_init(|| LayoutReport::from_scan(&self.ctx.netlist, self.scan()))
     }
 
     /// Runs the qubit-legalization stage of `strategy` on this GP (§III-C).
@@ -308,6 +363,7 @@ impl QubitLegalized {
             placement: Arc::new(placement),
             event,
             report: Arc::new(OnceLock::new()),
+            scan: Arc::new(OnceLock::new()),
         })
     }
 }
@@ -323,6 +379,7 @@ pub struct CellLegalized {
     placement: Arc<Placement>,
     event: StageEvent,
     report: Arc<OnceLock<LayoutReport>>,
+    scan: Arc<OnceLock<Arc<LayoutScan>>>,
 }
 
 impl CellLegalized {
@@ -400,14 +457,31 @@ impl CellLegalized {
         }
     }
 
+    /// The one-pass layout scan of the legalized layout, computed lazily on first
+    /// call and cached (shared across clones) — one scan feeds both
+    /// [`CellLegalized::report`] and [`CellLegalized::mean_benchmark_fidelity`].
+    #[must_use]
+    pub fn scan(&self) -> &LayoutScan {
+        self.scan_arc()
+    }
+
+    pub(crate) fn scan_arc(&self) -> &Arc<LayoutScan> {
+        let gp = &self.qubits.gp;
+        self.scan.get_or_init(|| {
+            Arc::new(LayoutScan::scan(
+                gp.netlist(),
+                &self.placement,
+                &gp.config().crosstalk,
+            ))
+        })
+    }
+
     /// Layout metrics of the legalized layout, computed lazily on first call and
     /// cached (shared across clones of this artifact).
     #[must_use]
     pub fn report(&self) -> &LayoutReport {
-        let ctx = &self.qubits.gp;
-        self.report.get_or_init(|| {
-            LayoutReport::evaluate(ctx.netlist(), &self.placement, &ctx.config().crosstalk)
-        })
+        self.report
+            .get_or_init(|| LayoutReport::from_scan(self.netlist(), self.scan()))
     }
 
     /// Returns `true` if the layout is fully legal (inside the die, no overlaps).
@@ -428,7 +502,7 @@ impl CellLegalized {
     ) -> f64 {
         benchmark_fidelity(
             &self.qubits.gp.ctx,
-            &self.placement,
+            self.scan(),
             benchmark,
             mappings,
             noise,
@@ -461,6 +535,7 @@ impl CellLegalized {
             windows_accepted: outcome.windows_accepted,
             event,
             report: Arc::new(OnceLock::new()),
+            scan: Arc::new(OnceLock::new()),
         }
     }
 
@@ -499,6 +574,7 @@ pub struct Detailed {
     windows_accepted: usize,
     event: StageEvent,
     report: Arc<OnceLock<LayoutReport>>,
+    scan: Arc<OnceLock<Arc<LayoutScan>>>,
 }
 
 impl Detailed {
@@ -573,16 +649,29 @@ impl Detailed {
         }
     }
 
-    /// Layout metrics of the refined layout, computed lazily on first call and cached.
+    /// The one-pass layout scan of the refined layout, computed lazily on first
+    /// call and cached — one scan feeds both [`Detailed::report`] and
+    /// [`Detailed::mean_benchmark_fidelity`].
     #[must_use]
-    pub fn report(&self) -> &LayoutReport {
-        self.report.get_or_init(|| {
-            LayoutReport::evaluate(
+    pub fn scan(&self) -> &LayoutScan {
+        self.scan_arc()
+    }
+
+    pub(crate) fn scan_arc(&self) -> &Arc<LayoutScan> {
+        self.scan.get_or_init(|| {
+            Arc::new(LayoutScan::scan(
                 self.netlist(),
                 &self.placement,
                 &self.legalized.config().crosstalk,
-            )
+            ))
         })
+    }
+
+    /// Layout metrics of the refined layout, computed lazily on first call and cached.
+    #[must_use]
+    pub fn report(&self) -> &LayoutReport {
+        self.report
+            .get_or_init(|| LayoutReport::from_scan(self.netlist(), self.scan()))
     }
 
     /// Returns `true` if the refined layout is fully legal.
@@ -603,7 +692,7 @@ impl Detailed {
     ) -> f64 {
         benchmark_fidelity(
             &self.legalized.global().ctx,
-            &self.placement,
+            self.scan(),
             benchmark,
             mappings,
             noise,
@@ -813,6 +902,35 @@ mod tests {
         let first = cell.report() as *const LayoutReport;
         let second = clone.report() as *const LayoutReport;
         assert_eq!(first, second, "clones must share one cached report");
+    }
+
+    #[test]
+    fn report_and_fidelity_share_one_cached_scan() {
+        let cell = session()
+            .global_place()
+            .legalize(LegalizationStrategy::Qgdp)
+            .unwrap();
+        let clone = cell.clone();
+        let first = cell.scan() as *const LayoutScan;
+        let report = cell.report().clone();
+        assert_eq!(clone.scan() as *const LayoutScan, first);
+        // The scan-assembled report is bit-identical to a from-scratch evaluate.
+        let fresh =
+            LayoutReport::evaluate(cell.netlist(), cell.placement(), &cell.config().crosstalk);
+        assert_eq!(report, fresh);
+        assert_eq!(
+            report.hotspot_proportion_percent.to_bits(),
+            fresh.hotspot_proportion_percent.to_bits()
+        );
+        // The detailed artifact caches its own scan the same way.
+        let dp = cell.detail();
+        let dp_fresh =
+            LayoutReport::evaluate(dp.netlist(), dp.placement(), &cell.config().crosstalk);
+        assert_eq!(dp.report(), &dp_fresh);
+        assert_eq!(
+            dp.scan() as *const LayoutScan,
+            dp.scan() as *const LayoutScan
+        );
     }
 
     #[test]

@@ -8,13 +8,30 @@
 //! The window is accepted only if neither the cumulative cluster count nor the hotspot
 //! measure got worse — otherwise the previous positions are restored, exactly the
 //! guard of Algorithm 2.
+//!
+//! # Fidelity-guided mode
+//!
+//! With [`DetailedPlacerConfig::fidelity_guided`] set (default **off**), the placer
+//! scores windows through one incrementally-maintained [`ReportDelta`] instead of
+//! re-running the from-scratch violation/crossing scans per window: candidate moves
+//! are mirrored into the delta engine, windows are accepted on the global
+//! `(cluster count, crossing count, crosstalk cost)` triple, and rejected windows are
+//! reverted *through* the delta (a revert is just a move back).  The default-off path
+//! is byte-for-byte the historical algorithm.
 
 use qgdp_geometry::{BinGrid, BinId, BinState, Point, Rect};
-use qgdp_metrics::{find_violations, CrosstalkConfig, SpatialViolation};
+use qgdp_metrics::{
+    find_violations, CrosstalkConfig, CrosstalkModel, ReportDelta, SpatialViolation,
+};
 use qgdp_netlist::{
     resonator_clusters, ComponentId, Placement, QuantumNetlist, ResonatorId, SegmentId,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Exposure time (ns) at which the fidelity-guided mode prices crosstalk: the order
+/// of a deep benchmark's schedule makespan, so the Eq. 8 error terms are weighted as
+/// the fidelity model would weight them.
+const GUIDED_EXPOSURE_NS: f64 = 10_000.0;
 
 /// Configuration of the detailed placer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,10 +46,14 @@ pub struct DetailedPlacerConfig {
     pub passes: usize,
     /// Crosstalk thresholds used to detect hotspots.
     pub crosstalk: CrosstalkConfig,
+    /// Score windows through an incremental [`ReportDelta`] on the global
+    /// `(clusters, crossings, crosstalk cost)` objective instead of the local
+    /// from-scratch measures.  Default **off**: the historical Algorithm 2 guard.
+    pub fidelity_guided: bool,
 }
 
 impl DetailedPlacerConfig {
-    /// The default configuration (4-cell margin, 2 passes).
+    /// The default configuration (4-cell margin, 2 passes, fidelity guidance off).
     #[must_use]
     pub fn new() -> Self {
         DetailedPlacerConfig {
@@ -40,7 +61,15 @@ impl DetailedPlacerConfig {
             max_windows: 4096,
             passes: 2,
             crosstalk: CrosstalkConfig::default(),
+            fidelity_guided: false,
         }
+    }
+
+    /// Toggles [`DetailedPlacerConfig::fidelity_guided`] (builder style).
+    #[must_use]
+    pub fn with_fidelity_guided(mut self, enabled: bool) -> Self {
+        self.fidelity_guided = enabled;
+        self
     }
 }
 
@@ -99,6 +128,9 @@ impl DetailedPlacer {
         die: &Rect,
         legalized: &Placement,
     ) -> DetailedPlacementOutcome {
+        if self.config.fidelity_guided {
+            return self.place_guided(netlist, die, legalized);
+        }
         let mut placement = legalized.clone();
         let mut processed = 0usize;
         let mut accepted = 0usize;
@@ -114,6 +146,55 @@ impl DetailedPlacer {
                 }
                 processed += 1;
                 if self.optimize_window(netlist, die, &mut placement, resonator) {
+                    accepted += 1;
+                }
+            }
+        }
+
+        DetailedPlacementOutcome {
+            placement,
+            windows_processed: processed,
+            windows_accepted: accepted,
+        }
+    }
+
+    /// The fidelity-guided variant of [`DetailedPlacer::place`]: one incremental
+    /// [`ReportDelta`] is threaded through every window, so per-window scoring costs
+    /// only the moved components' spatial neighbourhoods instead of a full layout
+    /// re-scan, and the acceptance guard prices violations and crossings with the
+    /// Eq. 8 physics the fidelity model uses.
+    fn place_guided(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        legalized: &Placement,
+    ) -> DetailedPlacementOutcome {
+        let mut placement = legalized.clone();
+        let mut delta = ReportDelta::new(netlist, &placement, &self.config.crosstalk);
+        let model = CrosstalkModel::default();
+        let mut processed = 0usize;
+        let mut accepted = 0usize;
+
+        for _ in 0..self.config.passes {
+            // The problem set comes straight out of the delta state — no fresh
+            // `find_violations` walk per pass.
+            let problems = self.problem_resonators_from_delta(netlist, &delta);
+            if problems.is_empty() {
+                break;
+            }
+            for &resonator in &problems {
+                if processed >= self.config.max_windows {
+                    break;
+                }
+                processed += 1;
+                if self.optimize_window_guided(
+                    netlist,
+                    die,
+                    &mut placement,
+                    &mut delta,
+                    &model,
+                    resonator,
+                ) {
                     accepted += 1;
                 }
             }
@@ -195,19 +276,43 @@ impl DetailedPlacer {
             .sum()
     }
 
-    /// Processes one window centred on `resonator`.  Returns `true` if the
-    /// re-placement was accepted.
-    fn optimize_window(
+    /// The guided-mode problem set: identical in meaning to
+    /// [`DetailedPlacer::problem_resonators`], but read out of the delta engine's
+    /// incrementally-maintained cluster counts and violation set.
+    fn problem_resonators_from_delta(
         &self,
         netlist: &QuantumNetlist,
-        die: &Rect,
-        placement: &mut Placement,
+        delta: &ReportDelta<'_>,
+    ) -> Vec<ResonatorId> {
+        let scan = delta.to_scan();
+        let mut set: BTreeSet<ResonatorId> = BTreeSet::new();
+        for (i, &count) in scan.clusters.cluster_counts.iter().enumerate() {
+            if count > 1 {
+                set.insert(ResonatorId(i));
+            }
+        }
+        for v in &scan.violations {
+            for id in [v.a, v.b] {
+                if let ComponentId::Segment(s) = id {
+                    set.insert(netlist.block(s).resonator());
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The window around `resonator` — the problem resonator plus every resonator
+    /// with at least one block inside the inflated bounding box of its blocks and
+    /// endpoint qubits — and a rollback snapshot of all window blocks.
+    fn build_window(
+        &self,
+        netlist: &QuantumNetlist,
+        placement: &Placement,
         resonator: ResonatorId,
-    ) -> bool {
+    ) -> Option<(BTreeSet<ResonatorId>, HashMap<SegmentId, Point>)> {
         let lb = netlist.geometry().wire_block_size;
         let margin = self.config.window_margin_cells * lb;
 
-        // Window: bounding box of the resonator's blocks and endpoint qubits, inflated.
         let res = netlist.resonator(resonator);
         let (qa, qb) = res.endpoints();
         let mut rects: Vec<Rect> = res
@@ -217,13 +322,9 @@ impl DetailedPlacer {
             .collect();
         rects.push(placement.rect(netlist, ComponentId::Qubit(qa)));
         rects.push(placement.rect(netlist, ComponentId::Qubit(qb)));
-        let Some(bbox) = Rect::bounding_box(rects.iter()) else {
-            return false;
-        };
+        let bbox = Rect::bounding_box(rects.iter())?;
         let window = bbox.inflated(margin);
 
-        // Window resonators: the problem resonator plus every resonator with at least
-        // one block inside the window.
         let mut window_resonators: BTreeSet<ResonatorId> = BTreeSet::new();
         window_resonators.insert(resonator);
         for r in netlist.resonator_ids() {
@@ -237,17 +338,26 @@ impl DetailedPlacer {
             }
         }
 
-        // Snapshot for rollback and the "before" objective.
         let snapshot: HashMap<SegmentId, Point> = window_resonators
             .iter()
             .flat_map(|&r| netlist.resonator(r).segments().iter().copied())
             .map(|s| (s, placement.segment(s)))
             .collect();
-        let violations_before = find_violations(netlist, placement, &self.config.crosstalk);
-        let clusters_before = Self::local_cluster_count(netlist, placement, &window_resonators);
-        let hotspots_before =
-            Self::local_hotspot_measure(&violations_before, netlist, &window_resonators);
-        let crossings_before = Self::local_crossings(netlist, placement, &window_resonators);
+        Some((window_resonators, snapshot))
+    }
+
+    /// Rips up the window's blocks and re-places each window resonator along a
+    /// maze-routed path (the problem resonator first).  Returns `false` when any
+    /// resonator could not be placed; the caller reverts from its snapshot.
+    fn reroute_window(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &mut Placement,
+        window_resonators: &BTreeSet<ResonatorId>,
+        resonator: ResonatorId,
+    ) -> bool {
+        let lb = netlist.geometry().wire_block_size;
 
         // Occupancy grid: qubits and all blocks outside the window resonators are fixed.
         let mut grid = BinGrid::new(die, lb);
@@ -270,13 +380,36 @@ impl DetailedPlacer {
                 .copied()
                 .filter(|&r| r != resonator),
         );
-        let mut ok = true;
         for r in order {
             if !self.reroute_resonator(netlist, &mut grid, placement, r) {
-                ok = false;
-                break;
+                return false;
             }
         }
+        true
+    }
+
+    /// Processes one window centred on `resonator`.  Returns `true` if the
+    /// re-placement was accepted.
+    fn optimize_window(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &mut Placement,
+        resonator: ResonatorId,
+    ) -> bool {
+        let Some((window_resonators, snapshot)) = self.build_window(netlist, placement, resonator)
+        else {
+            return false;
+        };
+
+        // The "before" objective, from from-scratch scans (the historical path).
+        let violations_before = find_violations(netlist, placement, &self.config.crosstalk);
+        let clusters_before = Self::local_cluster_count(netlist, placement, &window_resonators);
+        let hotspots_before =
+            Self::local_hotspot_measure(&violations_before, netlist, &window_resonators);
+        let crossings_before = Self::local_crossings(netlist, placement, &window_resonators);
+
+        let ok = self.reroute_window(netlist, die, placement, &window_resonators, resonator);
 
         // Evaluate and accept / revert (Algorithm 2, lines 7–9).
         let mut accept = ok;
@@ -297,6 +430,73 @@ impl DetailedPlacer {
         if !accept {
             for (s, p) in snapshot {
                 placement.set_segment(s, p);
+            }
+        }
+        accept
+    }
+
+    /// The guided variant of [`DetailedPlacer::optimize_window`]: the same window
+    /// construction and maze reroute, but scored on the **global**
+    /// `(cluster count, crossing count, crosstalk cost)` triple maintained
+    /// incrementally by `delta`, and reverted through the delta on rejection.
+    fn optimize_window_guided(
+        &self,
+        netlist: &QuantumNetlist,
+        die: &Rect,
+        placement: &mut Placement,
+        delta: &mut ReportDelta<'_>,
+        model: &CrosstalkModel,
+        resonator: ResonatorId,
+    ) -> bool {
+        let Some((window_resonators, snapshot)) = self.build_window(netlist, placement, resonator)
+        else {
+            return false;
+        };
+
+        let clusters_before = delta.total_clusters();
+        let crossings_before = delta.crossing_count();
+        let cost_before = delta.crosstalk_cost(model, GUIDED_EXPOSURE_NS);
+
+        if !self.reroute_window(netlist, die, placement, &window_resonators, resonator) {
+            // Reroute failed part-way: the delta never saw these moves, so only the
+            // placement needs restoring.
+            for (s, p) in snapshot {
+                placement.set_segment(s, p);
+            }
+            return false;
+        }
+
+        // Mirror the accepted-candidate moves into the delta engine.  The final
+        // delta state depends only on the final positions, not on the order the
+        // moves are applied in.
+        let moved: Vec<SegmentId> = snapshot
+            .iter()
+            .filter(|&(&s, &old)| placement.segment(s) != old)
+            .map(|(&s, _)| s)
+            .collect();
+        for &s in &moved {
+            delta.apply_move(ComponentId::Segment(s), placement.segment(s));
+        }
+
+        // Both cost readings are canonical-order sums over the delta's maps, so the
+        // comparison is exact and deterministic — no epsilon guard needed.
+        let clusters_after = delta.total_clusters();
+        let crossings_after = delta.crossing_count();
+        let cost_after = delta.crosstalk_cost(model, GUIDED_EXPOSURE_NS);
+        let not_worse = clusters_after <= clusters_before
+            && crossings_after <= crossings_before
+            && cost_after <= cost_before;
+        let strictly_better = clusters_after < clusters_before
+            || crossings_after < crossings_before
+            || cost_after < cost_before;
+        let accept = not_worse && strictly_better;
+
+        if !accept {
+            // A revert is just a move back — the delta stays exact either way.
+            for &s in &moved {
+                let original = snapshot[&s];
+                delta.apply_move(ComponentId::Segment(s), original);
+                placement.set_segment(s, original);
             }
         }
         accept
@@ -458,6 +658,59 @@ mod tests {
                 "{topology:?}: hotspots regressed"
             );
             assert!(after.unified_resonators >= before.unified_resonators);
+        }
+    }
+
+    #[test]
+    fn fidelity_guided_defaults_off_and_off_path_is_unchanged() {
+        let config = DetailedPlacerConfig::new();
+        assert!(!config.fidelity_guided);
+        assert!(
+            DetailedPlacerConfig::new()
+                .with_fidelity_guided(true)
+                .fidelity_guided
+        );
+        // An explicitly-off config routes through the historical path and matches
+        // the default placer exactly.
+        let (netlist, die, legal) = legalized(StandardTopology::Grid);
+        let default_outcome = DetailedPlacer::new().place(&netlist, &die, &legal);
+        let off_outcome =
+            DetailedPlacer::with_config(DetailedPlacerConfig::new().with_fidelity_guided(false))
+                .place(&netlist, &die, &legal);
+        assert_eq!(default_outcome, off_outcome);
+    }
+
+    #[test]
+    fn fidelity_guided_mode_is_legal_and_never_regresses() {
+        for topology in [StandardTopology::Grid, StandardTopology::Aspen11] {
+            let (netlist, die, legal) = legalized(topology);
+            let config = DetailedPlacerConfig::new().with_fidelity_guided(true);
+            let outcome = DetailedPlacer::with_config(config).place(&netlist, &die, &legal);
+            assert!(
+                is_legal(&netlist, &die, &outcome.placement),
+                "{topology:?}: guided output must stay legal"
+            );
+            for q in netlist.qubit_ids() {
+                assert_eq!(outcome.placement.qubit(q), legal.qubit(q));
+            }
+            assert!(outcome.windows_accepted <= outcome.windows_processed);
+            // The guided guard: clusters, crossings and crosstalk cost never regress.
+            let cfg = CrosstalkConfig::default();
+            let model = CrosstalkModel::default();
+            let before = ReportDelta::new(&netlist, &legal, &cfg);
+            let after = ReportDelta::new(&netlist, &outcome.placement, &cfg);
+            assert!(
+                after.total_clusters() <= before.total_clusters(),
+                "{topology:?}: clusters regressed {} -> {}",
+                before.total_clusters(),
+                after.total_clusters()
+            );
+            assert!(after.crossing_count() <= before.crossing_count());
+            assert!(
+                after.crosstalk_cost(&model, GUIDED_EXPOSURE_NS)
+                    <= before.crosstalk_cost(&model, GUIDED_EXPOSURE_NS),
+                "{topology:?}: crosstalk cost regressed"
+            );
         }
     }
 

@@ -28,13 +28,13 @@
 //! deterministic function of its inputs and the collection points are
 //! index-ordered).
 
-use crate::artifact::{CellLegalized, FlowArtifact, GlobalPlacement};
+use crate::artifact::{CellLegalized, FlowArtifact, GlobalPlacement, GpData};
 use crate::pipeline::FlowConfig;
 use crate::{DetailedPlacerConfig, FlowError, LegalizationStrategy};
 use qgdp_metrics::{parallel_map, worker_threads};
 use qgdp_netlist::QuantumNetlist;
 use qgdp_topology::Topology;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The shared, immutable context of one placement session.
 #[derive(Debug)]
@@ -42,6 +42,12 @@ pub(crate) struct SessionContext {
     pub(crate) topology: Arc<Topology>,
     pub(crate) netlist: Arc<QuantumNetlist>,
     pub(crate) config: FlowConfig,
+    /// One-shot cache of the global-placement run: the GP is a deterministic
+    /// function of the (immutable) context, so every `global_place()` call after
+    /// the first returns a handle to the same cached result.  Holds the
+    /// context-free [`GpData`] rather than a [`GlobalPlacement`] (which owns an
+    /// `Arc<SessionContext>`) to avoid an `Arc` reference cycle.
+    pub(crate) gp_cache: OnceLock<GpData>,
 }
 
 /// One request of a batched flow: a legalization strategy plus an optional
@@ -110,6 +116,7 @@ impl Session {
                 topology,
                 netlist,
                 config,
+                gp_cache: OnceLock::new(),
             }),
         })
     }
@@ -134,8 +141,11 @@ impl Session {
 
     /// Runs global placement and returns the artifact every later stage forks from.
     ///
-    /// The placer is seed-deterministic, so repeated calls return bit-identical
-    /// artifacts; run it once and share the handle.
+    /// The placer is a deterministic function of the session's (immutable) context,
+    /// so the run is cached on the session: the first call pays for the GP, and
+    /// every later call — including the ones inside [`Session::run`] and
+    /// [`Session::run_batch`] — returns a cheap handle to the same shared result,
+    /// bit-identical by construction.
     #[must_use]
     pub fn global_place(&self) -> GlobalPlacement {
         GlobalPlacement::compute(Arc::clone(&self.ctx))
@@ -279,6 +289,26 @@ mod tests {
         assert_eq!(gp1.placement(), gp2.placement(), "GP is seed-deterministic");
         assert_eq!(s.topology().num_qubits(), 25);
         assert_eq!(s.config().gp.seed, 11);
+    }
+
+    #[test]
+    fn global_place_is_cached_on_the_session() {
+        let s = session();
+        let gp1 = s.global_place();
+        let gp2 = s.global_place();
+        // Not merely equal: the same allocation — the second call hit the cache.
+        assert!(std::ptr::eq(gp1.placement(), gp2.placement()));
+        assert_eq!(gp1.elapsed(), gp2.elapsed(), "cached run, cached timing");
+        // Session clones share the cache too (one Arc'd context).
+        let clone = s.clone();
+        assert!(std::ptr::eq(
+            clone.global_place().placement(),
+            gp1.placement()
+        ));
+        // The lazy GP report is shared through the cache as well.
+        let report = gp1.report().clone();
+        assert!(std::ptr::eq(s.global_place().report(), gp1.report()));
+        assert_eq!(gp2.report(), &report);
     }
 
     #[test]

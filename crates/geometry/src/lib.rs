@@ -18,6 +18,8 @@
 //! * [`SpatialGrid`] and [`count_overlapping_pairs`] — the uniform-cell candidate
 //!   index and sort-by-x sweepline that make the qubit legalizer's violation sweeps
 //!   and the placement overlap statistic near-linear instead of O(n²),
+//! * [`SegmentGrid`] — the same candidate index generalised to line segments, the
+//!   engine behind `qgdp-metrics`' near-linear resonator crossing detector,
 //! * small numeric helpers shared by the placement and legalization crates.
 //!
 //! # Example
@@ -59,7 +61,7 @@ pub use point::{Point, Vector};
 pub use polyline::Polyline;
 pub use rect::Rect;
 pub use segment::{segments_properly_intersect, Orientation, Segment};
-pub use spatial::{count_overlapping_pairs, SpatialGrid};
+pub use spatial::{count_overlapping_pairs, SegmentGrid, SpatialGrid};
 
 /// Numerical tolerance used by geometric predicates throughout the workspace.
 ///

@@ -1,6 +1,6 @@
 //! Spatial indexing for near-linear overlap detection.
 //!
-//! Two complementary tools replace the workspace's O(n²) pairwise sweeps:
+//! Three complementary tools replace the workspace's O(n²) pairwise sweeps:
 //!
 //! * [`SpatialGrid`] — a uniform-cell candidate index over movable rectangles.  Each
 //!   item is rasterised into every cell its rectangle covers, so any two overlapping
@@ -10,6 +10,12 @@
 //!   the covered cell span is unchanged), and every query returns ids in ascending
 //!   order, which lets callers replay pairwise algorithms in exactly the order a
 //!   brute-force `(i, j)` double loop would visit them.
+//! * [`SegmentGrid`] — the same idea generalised from rectangles to line segments:
+//!   each segment is rasterised into the cells it passes through (a conservative
+//!   column walk, not a bounding-box fill, so long diagonals stay `O(length/cell)`),
+//!   guaranteeing that two *properly intersecting* segments share the cell containing
+//!   their intersection point.  This is the candidate index behind the resonator
+//!   crossing detector in `qgdp-metrics`.
 //! * [`count_overlapping_pairs`] — a sort-by-x sweepline that counts overlapping
 //!   rectangle pairs in `O(n log n + n·k)` (k = average x-overlap depth) with exactly
 //!   the same [`Rect::overlaps`] predicate as the brute-force double loop.
@@ -19,7 +25,7 @@
 //! plain rectangle overlap, and `qgdp_netlist::Placement::count_overlaps` is the
 //! sweepline's main consumer.
 
-use crate::{Point, Rect};
+use crate::{Point, Rect, Segment};
 
 /// Covered cell range of one indexed item (inclusive on both ends).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,6 +253,227 @@ impl SpatialGrid {
     }
 }
 
+/// A uniform-cell spatial hash over line segments.
+///
+/// The segment analogue of [`SpatialGrid`]: each inserted segment is rasterised into
+/// the grid cells it passes through, walking column by column and covering only the
+/// rows the segment's y-extent spans *within that column* — a long diagonal therefore
+/// costs `O(length / cell_size)` cells, not the `O((length / cell_size)²)` a
+/// bounding-box fill would.  The guarantee callers rely on:
+///
+/// > If two inserted segments **properly intersect** (in the
+/// > [`Segment::properly_intersects`] sense — they cross at one interior point of
+/// > each), both appear in each other's candidate set and in
+/// > [`SegmentGrid::candidate_pairs`].
+///
+/// The crossing point lies on both segments, so both rasterise into the (clamped)
+/// cell containing it: per column the covered y-interval is the segment's exact
+/// y-extent over that column's x-interval, widened by a relative slack absorbing
+/// interpolation round-off, and boundary columns extend their x-interval to infinity
+/// so coordinates outside the grid clamp monotonically.  Touching or collinear
+/// segment pairs are *not* guaranteed to share a cell — exactly the pairs the proper
+/// intersection predicate rejects anyway.  Queries return **sorted, deduplicated**
+/// ids like every index in this module.
+///
+/// # Example
+///
+/// ```
+/// use qgdp_geometry::{Point, Rect, Segment, SegmentGrid};
+///
+/// let bounds = Rect::from_lower_left(Point::ORIGIN, 100.0, 100.0);
+/// let mut grid = SegmentGrid::new(&bounds, 10.0, 2);
+/// grid.insert(0, &Segment::new(Point::new(10.0, 10.0), Point::new(90.0, 90.0)));
+/// grid.insert(1, &Segment::new(Point::new(10.0, 90.0), Point::new(90.0, 10.0)));
+/// let mut pairs = Vec::new();
+/// grid.candidate_pairs(&mut pairs);
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentGrid {
+    origin: Point,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    /// Item ids present in each cell (row-major), unsorted within a cell.
+    cells: Vec<Vec<u32>>,
+    /// Flat cell indices covered per item id; `None` when the id is not inserted.
+    covered: Vec<Option<Vec<u32>>>,
+}
+
+impl SegmentGrid {
+    /// Creates an empty grid of square cells of side `cell_size` covering `bounds`.
+    ///
+    /// The grid extends past the top/right edges so that `bounds` is fully covered
+    /// (at least one cell per axis); segments outside `bounds` clamp to the boundary
+    /// cells.  `capacity` pre-sizes the per-item coverage table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(bounds: &Rect, cell_size: f64, capacity: usize) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite (got {cell_size})"
+        );
+        let cols = ((bounds.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell_size).ceil() as usize).max(1);
+        SegmentGrid {
+            origin: bounds.lower_left(),
+            cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            covered: vec![None; capacity],
+        }
+    }
+
+    /// Number of cell columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of cell rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Side length of each (square) cell.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Returns `true` if `item` is currently inserted.
+    #[must_use]
+    pub fn contains(&self, item: usize) -> bool {
+        self.covered.get(item).is_some_and(Option::is_some)
+    }
+
+    /// Calls `visit` with the flat index of every cell `segment` rasterises into.
+    ///
+    /// Column walk: the (clamped) column range comes from the segment's x-extent;
+    /// within each column the covered rows come from the segment's y-extent over that
+    /// column's x-interval, widened by a relative slack.  Boundary columns extend
+    /// their x-interval to infinity so that clamped geometry stays covered; a column
+    /// whose x-interval misses the segment entirely (possible only through clamping)
+    /// conservatively falls back to the full y-extent.  Each cell is visited at most
+    /// once — column/row pairs are unique by construction.
+    fn for_each_cell(&self, segment: &Segment, mut visit: impl FnMut(usize)) {
+        let (p, q) = if segment.a.x <= segment.b.x {
+            (segment.a, segment.b)
+        } else {
+            (segment.b, segment.a)
+        };
+        let max_col = self.cols as i64 - 1;
+        let max_row = self.rows as i64 - 1;
+        let lo_col = (((p.x - self.origin.x) / self.cell_size).floor() as i64).clamp(0, max_col);
+        let hi_col =
+            (((q.x - self.origin.x) / self.cell_size).floor() as i64).clamp(lo_col, max_col);
+        let dx = q.x - p.x;
+        let dy = q.y - p.y;
+        let magnitude = p.x.abs().max(p.y.abs()).max(q.x.abs()).max(q.y.abs());
+        let y_slack = crate::EPS * (1.0 + magnitude);
+        let (seg_y_lo, seg_y_hi) = (p.y.min(q.y), p.y.max(q.y));
+        for col in lo_col..=hi_col {
+            // Boundary columns absorb everything clamped onto them.
+            let col_x0 = if col == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.origin.x + col as f64 * self.cell_size
+            };
+            let col_x1 = if col == max_col {
+                f64::INFINITY
+            } else {
+                self.origin.x + (col + 1) as f64 * self.cell_size
+            };
+            let (y_lo, y_hi) = if dx <= crate::EPS {
+                (seg_y_lo, seg_y_hi)
+            } else {
+                let xl = p.x.max(col_x0);
+                let xr = q.x.min(col_x1);
+                if xl > xr {
+                    (seg_y_lo, seg_y_hi)
+                } else {
+                    let yl = p.y + dy * ((xl - p.x) / dx);
+                    let yr = p.y + dy * ((xr - p.x) / dx);
+                    (yl.min(yr), yl.max(yr))
+                }
+            };
+            let lo_row = (((y_lo - y_slack - self.origin.y) / self.cell_size).floor() as i64)
+                .clamp(0, max_row);
+            let hi_row = (((y_hi + y_slack - self.origin.y) / self.cell_size).floor() as i64)
+                .clamp(lo_row, max_row);
+            for row in lo_row..=hi_row {
+                visit(row as usize * self.cols + col as usize);
+            }
+        }
+    }
+
+    /// Inserts `item` covering `segment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is already inserted (remove it first to move it).
+    pub fn insert(&mut self, item: usize, segment: &Segment) {
+        if item >= self.covered.len() {
+            self.covered.resize(item + 1, None);
+        }
+        assert!(
+            self.covered[item].is_none(),
+            "item {item} is already in the index"
+        );
+        let mut cells_of_item = Vec::new();
+        self.for_each_cell(segment, |cell| cells_of_item.push(cell as u32));
+        for &cell in &cells_of_item {
+            self.cells[cell as usize].push(item as u32);
+        }
+        self.covered[item] = Some(cells_of_item);
+    }
+
+    /// Removes `item` from the index.  A no-op when the item is not inserted.
+    pub fn remove(&mut self, item: usize) {
+        if let Some(cells_of_item) = self.covered.get_mut(item).and_then(Option::take) {
+            for cell in cells_of_item {
+                let cell = &mut self.cells[cell as usize];
+                if let Some(pos) = cell.iter().position(|&x| x == item as u32) {
+                    cell.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Collects into `out` the ids of every inserted item that *may* properly
+    /// intersect `segment` (all items sharing a cell with it), **sorted ascending and
+    /// deduplicated**.  The query segment itself need not be inserted; an inserted
+    /// item queried with its own segment appears in its own candidate list.
+    pub fn candidates(&self, segment: &Segment, out: &mut Vec<u32>) {
+        out.clear();
+        self.for_each_cell(segment, |cell| out.extend_from_slice(&self.cells[cell]));
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Collects into `out` every unordered candidate pair `(i, j)` with `i < j` that
+    /// shares at least one cell, sorted ascending by `(i, j)` and deduplicated — a
+    /// conservative superset of all properly-intersecting pairs, in exactly the order
+    /// a brute-force double loop visits them.
+    pub fn candidate_pairs(&self, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        for cell in &self.cells {
+            for (a, &i) in cell.iter().enumerate() {
+                for &j in &cell[a + 1..] {
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
 /// Counts pairs of overlapping rectangles with a sort-by-x sweepline.
 ///
 /// Exactly equivalent to the brute-force double loop over [`Rect::overlaps`] — the
@@ -391,6 +618,88 @@ mod tests {
     }
 
     #[test]
+    fn segment_grid_reports_crossing_diagonals() {
+        let mut grid = SegmentGrid::new(&bounds(100.0), 10.0, 2);
+        let s0 = Segment::new(Point::new(10.0, 10.0), Point::new(90.0, 90.0));
+        let s1 = Segment::new(Point::new(10.0, 90.0), Point::new(90.0, 10.0));
+        grid.insert(0, &s0);
+        grid.insert(1, &s1);
+        let mut out = Vec::new();
+        grid.candidates(&s0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        let mut pairs = Vec::new();
+        grid.candidate_pairs(&mut pairs);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn segment_grid_diagonal_covers_corridor_not_bounding_box() {
+        // A main-diagonal segment across a 10×10 grid must stay O(n) cells — the
+        // column walk covers a corridor, not the 100-cell bounding-box fill.
+        let mut grid = SegmentGrid::new(&bounds(100.0), 10.0, 1);
+        grid.insert(
+            0,
+            &Segment::new(Point::new(0.5, 0.5), Point::new(99.5, 99.5)),
+        );
+        let covered = grid.covered[0].as_ref().expect("inserted").len();
+        assert!(
+            (10..=30).contains(&covered),
+            "diagonal should cover a thin corridor, got {covered} cells"
+        );
+        // A far-off-diagonal probe shares no cell with it.
+        let mut out = Vec::new();
+        grid.candidates(
+            &Segment::new(Point::new(80.0, 5.0), Point::new(95.0, 10.0)),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn segment_grid_vertical_and_horizontal() {
+        let mut grid = SegmentGrid::new(&bounds(100.0), 10.0, 2);
+        let v = Segment::new(Point::new(50.0, 5.0), Point::new(50.0, 95.0));
+        let h = Segment::new(Point::new(5.0, 50.0), Point::new(95.0, 50.0));
+        grid.insert(0, &v);
+        grid.insert(1, &h);
+        let mut pairs = Vec::new();
+        grid.candidate_pairs(&mut pairs);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn segment_grid_out_of_bounds_clamps_to_boundary_cells() {
+        let mut grid = SegmentGrid::new(&bounds(100.0), 10.0, 2);
+        // Both segments cross far beyond the top-right corner of the grid.
+        let s0 = Segment::new(Point::new(150.0, 120.0), Point::new(200.0, 180.0));
+        let s1 = Segment::new(Point::new(150.0, 180.0), Point::new(200.0, 120.0));
+        assert!(s0.properly_intersects(&s1));
+        grid.insert(0, &s0);
+        grid.insert(1, &s1);
+        let mut pairs = Vec::new();
+        grid.candidate_pairs(&mut pairs);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn segment_grid_remove_clears_coverage() {
+        let mut grid = SegmentGrid::new(&bounds(100.0), 10.0, 1);
+        let s = Segment::new(Point::new(10.0, 10.0), Point::new(90.0, 90.0));
+        grid.insert(0, &s);
+        assert!(grid.contains(0));
+        grid.remove(0);
+        assert!(!grid.contains(0));
+        let mut out = Vec::new();
+        grid.candidates(&s, &mut out);
+        assert!(out.is_empty());
+        // Removing again is a no-op; re-insertion works.
+        grid.remove(0);
+        grid.insert(0, &s);
+        grid.candidates(&s, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
     fn sweepline_empty_and_single() {
         assert_eq!(count_overlapping_pairs(&[]), 0);
         assert_eq!(
@@ -457,6 +766,47 @@ mod tests {
                         prop_assert!(
                             pairs.binary_search(&(i as u32, j as u32)).is_ok(),
                             "overlapping pair ({}, {}) missing from candidate_pairs", i, j
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_segment_candidates_cover_all_proper_intersections(
+            segs in proptest::collection::vec(
+                (-30.0..230.0f64, -30.0..230.0f64, -30.0..230.0f64, -30.0..230.0f64),
+                1..30,
+            ),
+            cell in 5.0..60.0f64,
+        ) {
+            let segs: Vec<Segment> = segs
+                .into_iter()
+                .map(|(ax, ay, bx, by)| Segment::new(Point::new(ax, ay), Point::new(bx, by)))
+                .collect();
+            let mut grid = SegmentGrid::new(&bounds(200.0), cell, segs.len());
+            for (k, s) in segs.iter().enumerate() {
+                grid.insert(k, s);
+            }
+            let mut out = Vec::new();
+            let mut pairs = Vec::new();
+            grid.candidate_pairs(&mut pairs);
+            for i in 0..segs.len() {
+                grid.candidates(&segs[i], &mut out);
+                let mut sorted = out.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(&out, &sorted);
+                prop_assert!(out.contains(&(i as u32)));
+                for j in (i + 1)..segs.len() {
+                    if segs[i].properly_intersects(&segs[j]) {
+                        prop_assert!(
+                            out.contains(&(j as u32)),
+                            "properly intersecting pair ({}, {}) missing from candidates", i, j
+                        );
+                        prop_assert!(
+                            pairs.binary_search(&(i as u32, j as u32)).is_ok(),
+                            "properly intersecting pair ({}, {}) missing from candidate_pairs", i, j
                         );
                     }
                 }

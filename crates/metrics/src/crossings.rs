@@ -5,9 +5,17 @@
 //! endpoint-to-endpoint axis), to the other endpoint qubit.  Every proper pairwise
 //! crossing between the routes of two different resonators corresponds to a physical
 //! wire crossing that would need an airbridge on the chip.
+//!
+//! [`crossing_pairs`] detects crossings with a [`SegmentGrid`] candidate index over
+//! the flattened route segments — near-linear in the segment count for real layouts —
+//! while [`crossing_pairs_reference`] retains the brute-force route-pair double loop.
+//! Both apply the same exact [`qgdp_geometry::Segment::properly_intersects`] predicate
+//! to candidate segment pairs, so their outputs are identical on every layout (a
+//! property the test suite and `bench_report` both enforce).
 
-use qgdp_geometry::{Point, Polyline};
+use qgdp_geometry::{Point, Polyline, Rect, Segment, SegmentGrid};
 use qgdp_netlist::{resonator_clusters, Placement, QuantumNetlist, ResonatorId};
+use std::collections::BTreeMap;
 
 /// Builds the route polyline of one resonator under `placement`.
 ///
@@ -62,9 +70,101 @@ pub fn count_crossings(netlist: &QuantumNetlist, placement: &Placement) -> usize
 }
 
 /// Returns, for every resonator pair with at least one crossing, the pair and its
-/// crossing count.
+/// crossing count, sorted ascending by id pair.
+///
+/// Detection runs over a [`SegmentGrid`] candidate index on the flattened route
+/// segments, making it near-linear in the segment count instead of quadratic in the
+/// resonator count.  The index only prunes segment pairs that provably cannot
+/// properly intersect; every surviving candidate goes through the same exact
+/// predicate as the brute-force walk, so the result is identical to
+/// [`crossing_pairs_reference`] on every layout.
 #[must_use]
 pub fn crossing_pairs(
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+) -> Vec<(ResonatorId, ResonatorId, usize)> {
+    let routes: Vec<Polyline> = netlist
+        .resonator_ids()
+        .map(|r| resonator_route(netlist, placement, r))
+        .collect();
+    crossing_pairs_of_routes(&routes)
+}
+
+/// Indexed crossing detection over prebuilt routes (`routes[i]` is resonator `i`).
+///
+/// Shared by [`crossing_pairs`] and the delta-report engine, which maintains the
+/// route vector incrementally and re-runs detection only for affected resonators.
+pub(crate) fn crossing_pairs_of_routes(
+    routes: &[Polyline],
+) -> Vec<(ResonatorId, ResonatorId, usize)> {
+    // Flatten every route into segments tagged with their owning resonator.
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut owner: Vec<u32> = Vec::new();
+    for (r, route) in routes.iter().enumerate() {
+        for s in route.segments() {
+            segs.push(s);
+            owner.push(r as u32);
+        }
+    }
+    if segs.len() < 2 {
+        return Vec::new();
+    }
+
+    // Grid extent = union bounding box of all segments; cell size tracks the mean
+    // segment length so a typical segment covers O(1) cells, floored both by a
+    // resolution cap (≤ 512 cells per axis keeps memory bounded on sparse layouts)
+    // and an absolute 1 µm minimum.
+    let mut lo = segs[0].a;
+    let mut hi = segs[0].a;
+    let mut total_len = 0.0;
+    for s in &segs {
+        for p in [s.a, s.b] {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        total_len += s.length();
+    }
+    let bounds = Rect::from_corners(lo, hi);
+    let mean_len = total_len / segs.len() as f64;
+    let cell = mean_len
+        .max(bounds.width().max(bounds.height()) / 512.0)
+        .max(1.0);
+
+    let mut grid = SegmentGrid::new(&bounds, cell, segs.len());
+    for (k, s) in segs.iter().enumerate() {
+        grid.insert(k, s);
+    }
+    let mut candidates = Vec::new();
+    grid.candidate_pairs(&mut candidates);
+
+    let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, j) in candidates {
+        let (ri, rj) = (owner[i as usize], owner[j as usize]);
+        if ri == rj {
+            continue;
+        }
+        if segs[i as usize].properly_intersects(&segs[j as usize]) {
+            *counts
+                .entry((ri.min(rj) as usize, ri.max(rj) as usize))
+                .or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|((i, j), n)| (ResonatorId(i), ResonatorId(j), n))
+        .collect()
+}
+
+/// Brute-force route-pair double loop — the retained reference implementation of
+/// [`crossing_pairs`].
+///
+/// Kept for the bit-identity goldens, the oracle proptests, and the
+/// `bench_report` speedup record (the house pattern: every optimized path ships
+/// with its reference).
+#[must_use]
+pub fn crossing_pairs_reference(
     netlist: &QuantumNetlist,
     placement: &Placement,
 ) -> Vec<(ResonatorId, ResonatorId, usize)> {
@@ -188,6 +288,27 @@ mod tests {
     }
 
     #[test]
+    fn indexed_detector_matches_reference_on_goldens() {
+        let (netlist, mut p) = diagonal_netlist();
+        assert_eq!(
+            crossing_pairs(&netlist, &p),
+            crossing_pairs_reference(&netlist, &p)
+        );
+        // Fragment resonator 0 so the routes become long and wiggly.
+        let segs = netlist.resonator(ResonatorId(0)).segments().to_vec();
+        for (k, &s) in segs.iter().enumerate() {
+            p.set_segment(
+                s,
+                Point::new(150.0 + 37.0 * k as f64, 150.0 + 29.0 * (k % 5) as f64),
+            );
+        }
+        let opt = crossing_pairs(&netlist, &p);
+        let reference = crossing_pairs_reference(&netlist, &p);
+        assert_eq!(opt, reference);
+        assert!(!reference.is_empty(), "fragmented layout should cross");
+    }
+
+    #[test]
     fn shared_endpoint_resonators_do_not_count_as_crossing() {
         let netlist = NetlistBuilder::new(ComponentGeometry::default())
             .qubits(3)
@@ -211,5 +332,37 @@ mod tests {
             }
         }
         assert_eq!(count_crossings(&netlist, &p), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_indexed_detector_matches_reference(
+            coords in proptest::collection::vec(
+                (0.0..600.0f64, 0.0..600.0f64),
+                160..161,
+            ),
+        ) {
+            // Six resonators (ring + both diagonals of a 4-qubit square) with every
+            // component thrown at a random position: fragmented clusters, overlapping
+            // routes, shared endpoints — the full zoo the detector must agree on.
+            let netlist = NetlistBuilder::new(ComponentGeometry::default())
+                .qubits(4)
+                .couple(0, 1)
+                .couple(1, 2)
+                .couple(2, 3)
+                .couple(3, 0)
+                .couple(0, 2)
+                .couple(1, 3)
+                .build()
+                .unwrap();
+            let mut p = Placement::new(&netlist);
+            for (id, &(x, y)) in netlist.component_ids().zip(coords.iter()) {
+                p.set_component(id, Point::new(x, y));
+            }
+            proptest::prop_assert_eq!(
+                crossing_pairs(&netlist, &p),
+                crossing_pairs_reference(&netlist, &p)
+            );
+        }
     }
 }

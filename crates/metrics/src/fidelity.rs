@@ -129,6 +129,27 @@ impl<'a> FidelityEvaluator<'a> {
         }
     }
 
+    /// Builds the evaluator from an already-computed [`crate::LayoutScan`].
+    ///
+    /// Bit-identical to [`FidelityEvaluator::new`] on the placement the scan was
+    /// taken from — the scan stores the exact violation and crossing lists `new`
+    /// would compute — but skips the layout re-scan, which is what lets forked
+    /// session artifacts share one scan between their quality report and their
+    /// fidelity evaluations.
+    #[must_use]
+    pub fn from_scan(
+        netlist: &'a QuantumNetlist,
+        noise: NoiseModel,
+        scan: &crate::LayoutScan,
+    ) -> Self {
+        FidelityEvaluator {
+            netlist,
+            noise,
+            violations: scan.violations.clone(),
+            crossings: scan.crossings.clone(),
+        }
+    }
+
     /// The spatial violations found in the layout.
     #[must_use]
     pub fn violations(&self) -> &[crate::SpatialViolation] {

@@ -40,25 +40,46 @@
 //! crossing detection uses [`qgdp_geometry::Polyline`] routes.  The
 //! [`parallel_map`] worker pool (sized by `QGDP_THREADS`) fans mapping sets out
 //! with a bit-deterministic serial reduction.
+//!
+//! # Incremental evaluation
+//!
+//! Every metric can be produced from scratch or incrementally, and the two paths
+//! are **bit-identical** on every layout (golden-tested and property-tested):
+//!
+//! * [`crossing_pairs`] detects crossings through a [`qgdp_geometry::SegmentGrid`]
+//!   candidate index — near-linear in the segment count — while
+//!   [`crossing_pairs_reference`] retains the brute-force route-pair walk;
+//! * [`LayoutScan`] walks a layout once (violations, crossings, clusters) and both
+//!   [`LayoutReport::from_scan`] and [`FidelityEvaluator::from_scan`] assemble
+//!   from it, so callers scoring one placement several ways pay the walk once;
+//! * [`ReportDelta`] maintains every metric input under single-component moves at
+//!   neighbourhood cost, keeping discrete state (violation/crossing maps, per-net
+//!   HPWL) and re-summing in canonical order at read time so [`ReportDelta::report`]
+//!   matches a full [`LayoutReport::evaluate`] bit for bit after every move; debug
+//!   builds re-verify against a full rebuild every 16 applications.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod crossings;
 pub mod crosstalk;
+pub mod delta;
 pub mod fidelity;
 pub mod hotspot;
 pub mod parallel;
 pub mod report;
+pub mod scan;
 
-pub use crossings::{count_crossings, crossing_pairs, resonator_route};
+pub use crossings::{count_crossings, crossing_pairs, crossing_pairs_reference, resonator_route};
 pub use crosstalk::{CrosstalkConfig, CrosstalkModel};
+pub use delta::ReportDelta;
 pub use fidelity::{
     estimate_fidelity, mean_fidelity, FidelityEvaluator, FidelityReport, NoiseModel,
 };
 pub use hotspot::{find_violations, hotspot_proportion, hotspot_qubits, SpatialViolation};
 pub use parallel::{parallel_map, worker_threads};
 pub use report::LayoutReport;
+pub use scan::LayoutScan;
 
 // Re-exported so benchmark code can depend on one crate for topology-independent use.
 pub use qgdp_circuits::GateTimes;

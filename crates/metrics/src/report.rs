@@ -1,8 +1,8 @@
 //! Aggregate layout-quality report (the rows of Fig. 9 and Table III).
 
 use crate::hotspot::hotspot_proportion_from;
-use crate::{count_crossings, find_violations, hotspot_qubits, CrosstalkConfig};
-use qgdp_netlist::{ClusterReport, Placement, QuantumNetlist};
+use crate::{hotspot_qubits, CrosstalkConfig, LayoutScan};
+use qgdp_netlist::{Placement, QuantumNetlist};
 use std::fmt;
 
 /// The layout-quality metrics the paper reports per topology: integration ratio
@@ -30,25 +30,35 @@ pub struct LayoutReport {
 
 impl LayoutReport {
     /// Evaluates every layout metric for `placement`.
+    ///
+    /// Equivalent to `LayoutReport::from_scan(netlist, &LayoutScan::scan(...))`; when
+    /// a [`LayoutScan`] is already available (e.g. cached on a session artifact),
+    /// prefer [`LayoutReport::from_scan`], which skips the re-scan entirely.
     #[must_use]
     pub fn evaluate(
         netlist: &QuantumNetlist,
         placement: &Placement,
         config: &CrosstalkConfig,
     ) -> Self {
-        let clusters = ClusterReport::analyze(netlist, placement);
-        let violations = find_violations(netlist, placement, config);
-        let ph = hotspot_proportion_from(&violations, netlist);
-        let hq = hotspot_qubits(netlist, &violations).len();
+        Self::from_scan(netlist, &LayoutScan::scan(netlist, placement, config))
+    }
+
+    /// Assembles the report from an already-computed [`LayoutScan`].
+    ///
+    /// Bit-identical to [`LayoutReport::evaluate`] on the placement the scan was
+    /// taken from: the aggregates are summed in the scan's canonical (sorted) order,
+    /// which is exactly the order `evaluate` uses.
+    #[must_use]
+    pub fn from_scan(netlist: &QuantumNetlist, scan: &LayoutScan) -> Self {
         LayoutReport {
             num_cells: netlist.num_components(),
-            unified_resonators: clusters.unified_count(),
-            total_resonators: clusters.total_resonators(),
-            total_clusters: clusters.total_clusters(),
-            crossings: count_crossings(netlist, placement),
-            hotspot_proportion_percent: ph,
-            hotspot_qubits: hq,
-            violations: violations.len(),
+            unified_resonators: scan.clusters.unified_count(),
+            total_resonators: scan.clusters.total_resonators(),
+            total_clusters: scan.clusters.total_clusters(),
+            crossings: scan.crossing_count(),
+            hotspot_proportion_percent: hotspot_proportion_from(&scan.violations, netlist),
+            hotspot_qubits: hotspot_qubits(netlist, &scan.violations).len(),
+            violations: scan.violations.len(),
         }
     }
 

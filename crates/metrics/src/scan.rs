@@ -1,0 +1,76 @@
+//! One-pass layout scan shared by every metric consumer.
+//!
+//! [`LayoutReport::evaluate`](crate::LayoutReport::evaluate) and
+//! [`FidelityEvaluator::new`](crate::FidelityEvaluator::new) both need the same three
+//! expensive facts about a layout — its cluster structure, its spatial violations, and
+//! its resonator crossings.  [`LayoutScan`] computes them once so that callers holding
+//! several views of one placement (a session artifact's quality report *and* its
+//! fidelity evaluator, or several forked artifacts sharing one placement) pay for the
+//! scan a single time.  `qgdp-core` caches one `Arc<LayoutScan>` per artifact for
+//! exactly this reason.
+
+use crate::{crossing_pairs, find_violations, CrosstalkConfig, SpatialViolation};
+use qgdp_netlist::{ClusterReport, Placement, QuantumNetlist, ResonatorId};
+
+/// The layout-dependent (mapping-independent) facts every metric derives from.
+///
+/// Constructing a [`crate::LayoutReport`] or a [`crate::FidelityEvaluator`] from a
+/// shared scan is bit-identical to computing either from scratch: the scan stores the
+/// exact outputs of [`ClusterReport::analyze`], [`find_violations`] and
+/// [`crossing_pairs`], and the derived aggregates are re-assembled in the same
+/// canonical order either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutScan {
+    /// Cluster structure of every resonator ([`ClusterReport::analyze`]).
+    pub clusters: ClusterReport,
+    /// Spatial violations in [`find_violations`] order (sorted by component pair).
+    pub violations: Vec<SpatialViolation>,
+    /// Crossing pairs in [`crossing_pairs`] order (sorted by resonator pair).
+    pub crossings: Vec<(ResonatorId, ResonatorId, usize)>,
+}
+
+impl LayoutScan {
+    /// Scans `placement` once, computing every layout-dependent metric input.
+    #[must_use]
+    pub fn scan(netlist: &QuantumNetlist, placement: &Placement, config: &CrosstalkConfig) -> Self {
+        LayoutScan {
+            clusters: ClusterReport::analyze(netlist, placement),
+            violations: find_violations(netlist, placement, config),
+            crossings: crossing_pairs(netlist, placement),
+        }
+    }
+
+    /// Total crossing count `X` (the sum over all crossing pairs).
+    #[must_use]
+    pub fn crossing_count(&self) -> usize {
+        self.crossings.iter().map(|&(_, _, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_geometry::Point;
+    use qgdp_netlist::{ComponentGeometry, NetlistBuilder};
+
+    #[test]
+    fn scan_matches_its_parts() {
+        let netlist = NetlistBuilder::new(ComponentGeometry::default())
+            .qubits(4)
+            .couple(0, 1)
+            .couple(1, 2)
+            .couple(2, 3)
+            .build()
+            .unwrap();
+        let mut p = Placement::new(&netlist);
+        for (i, id) in netlist.component_ids().enumerate() {
+            p.set_component(id, Point::new((i % 8) as f64 * 30.0, (i / 8) as f64 * 30.0));
+        }
+        let cfg = CrosstalkConfig::default();
+        let scan = LayoutScan::scan(&netlist, &p, &cfg);
+        assert_eq!(scan.clusters, ClusterReport::analyze(&netlist, &p));
+        assert_eq!(scan.violations, find_violations(&netlist, &p, &cfg));
+        assert_eq!(scan.crossings, crossing_pairs(&netlist, &p));
+        assert_eq!(scan.crossing_count(), crate::count_crossings(&netlist, &p));
+    }
+}

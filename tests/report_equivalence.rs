@@ -1,0 +1,223 @@
+//! Convergence suite for the incremental metrics engine.
+//!
+//! The report stack ships three optimized paths next to their from-scratch
+//! references: the [`SegmentGrid`]-indexed crossing detector vs the brute-force
+//! route-pair walk, scan-assembled reports/evaluators vs a fresh layout walk per
+//! consumer, and [`ReportDelta`] incremental updates vs a full
+//! [`LayoutReport::evaluate`] after every move.  Each pair must be **bit-identical**
+//! on every layout: these tests drive seeded and property-generated move sequences
+//! over legalized layouts of the paper topologies (plus random devices) and compare
+//! after every single move, so any drift is caught at the move that introduced it.
+//!
+//! [`SegmentGrid`]: qgdp::geometry::SegmentGrid
+//! [`ReportDelta`]: qgdp::metrics::ReportDelta
+//! [`LayoutReport::evaluate`]: qgdp::metrics::LayoutReport::evaluate
+
+use proptest::prelude::*;
+use qgdp::metrics::{
+    crossing_pairs, crossing_pairs_reference, CrosstalkConfig, FidelityEvaluator, LayoutReport,
+    LayoutScan, NoiseModel, ReportDelta,
+};
+use qgdp::prelude::*;
+use qgdp_netlist::ComponentId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const PAPER_PANEL: [StandardTopology; 3] = [
+    StandardTopology::Grid,
+    StandardTopology::Falcon,
+    StandardTopology::Eagle,
+];
+
+/// The legalized qGDP layout of one topology plus the crosstalk config it was
+/// produced under — the layout every convergence check perturbs.
+fn legalized_case(topology: StandardTopology) -> (Session, Placement, CrosstalkConfig) {
+    let config = FlowConfig::default();
+    let session = Session::new(&topology.build(), config).expect("session builds");
+    let cell = session
+        .global_place()
+        .legalize(LegalizationStrategy::Qgdp)
+        .expect("qGDP legalization succeeds on the paper topologies");
+    let placement = cell.placement().clone();
+    (session, placement, config.crosstalk)
+}
+
+/// Asserts the incremental report is bit-identical to a from-scratch evaluation of
+/// the same placement (struct equality plus explicit bit checks on the f64 fields).
+fn assert_delta_matches_fresh(
+    delta: &ReportDelta,
+    netlist: &QuantumNetlist,
+    placement: &Placement,
+    config: &CrosstalkConfig,
+    context: &str,
+) {
+    let incremental = delta.report();
+    let fresh = LayoutReport::evaluate(netlist, placement, config);
+    assert_eq!(incremental, fresh, "{context}: delta report diverged");
+    assert_eq!(
+        incremental.hotspot_proportion_percent.to_bits(),
+        fresh.hotspot_proportion_percent.to_bits(),
+        "{context}: P_h must be bit-identical"
+    );
+    assert_eq!(
+        delta.hpwl().to_bits(),
+        qgdp::placer::hpwl(netlist, placement).to_bits(),
+        "{context}: HPWL must be bit-identical"
+    );
+}
+
+/// Seeded random walks over the legalized paper layouts: segment *and* qubit moves,
+/// checked against a full rebuild after every single application, then walked back
+/// to the starting placement (the delta must converge to the initial report).
+#[test]
+fn delta_reports_converge_on_seeded_move_sequences() {
+    for topology in PAPER_PANEL {
+        let (session, placement, config) = legalized_case(topology);
+        let netlist = session.netlist();
+        let initial = LayoutReport::evaluate(netlist, &placement, &config);
+
+        let ids: Vec<ComponentId> = netlist.component_ids().collect();
+        let die = session.global_place().die();
+        let mut rng = ChaCha8Rng::seed_from_u64(0xDE17A ^ topology.name().len() as u64);
+        let mut delta = ReportDelta::new(netlist, &placement, &config);
+        let mut scratch = placement.clone();
+        let mut trail: Vec<(ComponentId, Point)> = Vec::new();
+
+        for step in 0..48 {
+            let id = ids[rng.gen_range(0..ids.len())];
+            let to = Point::new(
+                rng.gen_range(die.left()..die.right()),
+                rng.gen_range(die.bottom()..die.top()),
+            );
+            trail.push((id, scratch.component(id)));
+            delta.apply_move(id, to);
+            scratch.set_component(id, to);
+            assert_delta_matches_fresh(
+                &delta,
+                netlist,
+                &scratch,
+                &config,
+                &format!("{topology} step {step}"),
+            );
+        }
+
+        // Walk the trail back: the delta must converge to the starting report.
+        for (id, from) in trail.into_iter().rev() {
+            delta.apply_move(id, from);
+            scratch.set_component(id, from);
+        }
+        assert_eq!(
+            delta.report(),
+            initial,
+            "{topology}: delta must converge back to the initial report"
+        );
+    }
+}
+
+/// The scan-cache equivalence golden: a report and a fidelity evaluator assembled
+/// from one shared [`LayoutScan`] match their from-scratch constructors bit for bit,
+/// and the indexed crossing detector matches the brute-force reference.
+#[test]
+fn scan_cached_paths_match_fresh_evaluation() {
+    for topology in PAPER_PANEL {
+        let (session, placement, config) = legalized_case(topology);
+        let netlist = session.netlist();
+
+        assert_eq!(
+            crossing_pairs(netlist, &placement),
+            crossing_pairs_reference(netlist, &placement),
+            "{topology}: indexed crossing detector diverged from the reference"
+        );
+
+        let scan = LayoutScan::scan(netlist, &placement, &config);
+        let cached = LayoutReport::from_scan(netlist, &scan);
+        let fresh = LayoutReport::evaluate(netlist, &placement, &config);
+        assert_eq!(cached, fresh, "{topology}: scan-assembled report diverged");
+        assert_eq!(
+            cached.hotspot_proportion_percent.to_bits(),
+            fresh.hotspot_proportion_percent.to_bits(),
+            "{topology}: P_h must be bit-identical"
+        );
+
+        let noise = NoiseModel::default();
+        let from_scan = FidelityEvaluator::from_scan(netlist, noise, &scan);
+        let from_scratch = FidelityEvaluator::new(netlist, &placement, noise, &config);
+        assert_eq!(
+            from_scan.violations(),
+            from_scratch.violations(),
+            "{topology}: evaluator violations diverged"
+        );
+        assert_eq!(
+            from_scan.crossings(),
+            from_scratch.crossings(),
+            "{topology}: evaluator crossings diverged"
+        );
+    }
+}
+
+/// A random connected device: binary-tree spanning tree plus bounded extra chords
+/// (the same generator shape `random_netlist_properties` uses).
+fn random_device(n: usize, extra_edges: &[(usize, usize)]) -> Topology {
+    let mut couplings: Vec<(usize, usize)> = (1..n).map(|i| (i, i / 2)).collect();
+    for &(a, b) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a != b
+            && !couplings.contains(&(a.min(b), a.max(b)))
+            && !couplings.contains(&(a, b))
+            && !couplings.contains(&(b, a))
+        {
+            couplings.push((a.min(b), a.max(b)));
+        }
+    }
+    let coords = (0..n)
+        .map(|i| qgdp::geometry::Point::new((i % 4) as f64, (i / 4) as f64))
+        .collect();
+    Topology::new(
+        format!("random-{n}"),
+        qgdp::topology::TopologyKind::Custom,
+        n,
+        couplings,
+        coords,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On random devices with random placements, a delta driven through a random
+    /// move sequence stays bit-identical to the from-scratch report at every step.
+    #[test]
+    fn prop_delta_matches_full_rebuild(
+        n in 3usize..8,
+        extra in proptest::collection::vec((0usize..8, 0usize..8), 0..4),
+        positions in proptest::collection::vec((0.05f64..0.95, 0.05f64..0.95), 8..40),
+        moves in proptest::collection::vec((0usize..64, 0.05f64..0.95, 0.05f64..0.95), 1..24),
+    ) {
+        let device = random_device(n, &extra);
+        let netlist = device
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .expect("netlist builds");
+        let die = netlist.suggested_die(0.35);
+        let mut placement = Placement::new(&netlist);
+        for (k, id) in netlist.component_ids().enumerate() {
+            let (fx, fy) = positions[k % positions.len()];
+            placement.set_component(
+                id,
+                Point::new(die.left() + fx * die.width(), die.bottom() + fy * die.height()),
+            );
+        }
+
+        let config = FlowConfig::default().crosstalk;
+        let ids: Vec<ComponentId> = netlist.component_ids().collect();
+        let mut delta = ReportDelta::new(&netlist, &placement, &config);
+        let mut scratch = placement.clone();
+        for &(pick, fx, fy) in &moves {
+            let id = ids[pick % ids.len()];
+            let to = Point::new(die.left() + fx * die.width(), die.bottom() + fy * die.height());
+            delta.apply_move(id, to);
+            scratch.set_component(id, to);
+            let fresh = LayoutReport::evaluate(&netlist, &scratch, &config);
+            prop_assert_eq!(delta.report(), fresh);
+        }
+    }
+}
