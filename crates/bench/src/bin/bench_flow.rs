@@ -17,10 +17,14 @@
 //!
 //! Before timing, the binary asserts the session artifacts are **bit-identical** to
 //! the `run_flow` results (placements and reports), and that the batch path is
-//! bit-identical between 1 worker and a multi-worker pool.  Override the output
-//! path with `QGDP_BENCH_OUT`, the topology panel with `QGDP_BENCH_TOPOLOGIES`
-//! (comma-separated names) and repetitions with `QGDP_BENCH_REPS` (fastest rep is
-//! reported, criterion-style).
+//! bit-identical between 1 worker and a multi-worker pool.  A **fault-injection
+//! scenario** then poisons one strategy of the five-strategy matrix via
+//! [`FaultInjection`] and asserts the four surviving strategies still return
+//! artifacts bit-identical to the all-success run, for 1 and 4 workers alike; the
+//! outcome is recorded as a `"kind": "fault-injection"` record that
+//! `scripts/bench_gate` requires.  Override the output path with `QGDP_BENCH_OUT`,
+//! the topology panel with `QGDP_BENCH_TOPOLOGIES` (comma-separated names) and
+//! repetitions with `QGDP_BENCH_REPS` (fastest rep is reported, criterion-style).
 
 use qgdp::prelude::*;
 use qgdp_bench::experiment_config;
@@ -102,6 +106,76 @@ fn verify_bit_identity(topology: StandardTopology, strategies: &[LegalizationStr
     }
 }
 
+/// Poisons one strategy of the matrix via [`FaultInjection`] and asserts the
+/// surviving strategies still return artifacts **bit-identical** to the
+/// all-success run, for 1 and 4 workers alike.  Returns the JSON record row.
+fn fault_injection_scenario(topology: StandardTopology) -> String {
+    let poisoned_strategy = LegalizationStrategy::QTetris;
+    let topo = topology.build();
+    let strategies = LegalizationStrategy::all();
+    let requests: Vec<FlowRequest> = strategies
+        .iter()
+        .map(|&s| FlowRequest::legalize(s))
+        .collect();
+
+    let clean = Session::new(&topo, experiment_config()).expect("session builds");
+    let baseline = clean
+        .run_batch_with_threads(&requests, 1)
+        .expect("all-success batch");
+
+    let fault = FaultInjection {
+        fail_legalization: Some(poisoned_strategy),
+        panic_in_legalization: None,
+    };
+    let poisoned = Session::new(&topo, experiment_config().with_fault_injection(fault))
+        .expect("session builds");
+    let mut survivors = 0usize;
+    for threads in [1, 4] {
+        let results = poisoned.try_run_batch_with_threads(&requests, threads);
+        assert_eq!(results.len(), requests.len());
+        survivors = 0;
+        for ((&strategy, result), clean_artifact) in strategies.iter().zip(&results).zip(&baseline)
+        {
+            if strategy == poisoned_strategy {
+                let error = result
+                    .as_ref()
+                    .expect_err("the poisoned strategy must fail, not vanish");
+                assert_eq!(
+                    error.strategy(),
+                    Some(poisoned_strategy),
+                    "{topology}: fault attributed to the wrong strategy"
+                );
+                continue;
+            }
+            let artifact = result.as_ref().unwrap_or_else(|e| {
+                panic!("{topology}/{strategy}: sibling lost to the injected fault: {e}")
+            });
+            assert_eq!(
+                artifact.final_placement(),
+                clean_artifact.final_placement(),
+                "{topology}/{strategy}/threads={threads}: surviving placement must be \
+                 bit-identical to the all-success run"
+            );
+            assert_eq!(
+                artifact.report(),
+                clean_artifact.report(),
+                "{topology}/{strategy}/threads={threads}: surviving report must be \
+                 bit-identical to the all-success run"
+            );
+            survivors += 1;
+        }
+    }
+    assert_eq!(survivors, strategies.len() - 1);
+
+    format!(
+        "    {{ \"kind\": \"fault-injection\", \"topology\": \"{}\", \"strategies\": {}, \
+         \"poisoned\": \"{poisoned_strategy}\", \"surviving\": {survivors}, \
+         \"bit_identical\": true }}",
+        topology.name(),
+        strategies.len(),
+    )
+}
+
 fn bench_topology(
     topology: StandardTopology,
     strategies: &[LegalizationStrategy],
@@ -138,12 +212,16 @@ fn bench_topology(
         start.elapsed().as_secs_f64() * 1e3
     });
 
-    let session = Session::new(&topo, experiment_config()).expect("session builds");
+    // A fresh session per rep: the session-level GP cache would otherwise make
+    // every rep after the first (and hence the best-of) a ~0 ms cache hit.
     let gp_ms = best_of(reps, || {
+        let session = Session::new(&topo, experiment_config()).expect("session builds");
         let start = Instant::now();
         std::hint::black_box(session.global_place());
         start.elapsed().as_secs_f64() * 1e3
     });
+
+    let session = Session::new(&topo, experiment_config()).expect("session builds");
 
     Record {
         topology: topology.name().to_string(),
@@ -202,6 +280,13 @@ fn main() {
             r.gp_ms,
         ));
     }
+    // The fault-isolation contract rides in the same file: one poisoned strategy,
+    // four bit-identical survivors (gated by scripts/bench_gate).
+    let fault_row = fault_injection_scenario(topologies[0]);
+    if !rows.is_empty() {
+        rows.push_str(",\n");
+    }
+    rows.push_str(&fault_row);
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = worker_threads();
     let json = format!(
@@ -226,5 +311,9 @@ fn main() {
             r.strategies,
         );
     }
+    println!(
+        "fault-injection: 1 poisoned strategy of {}, siblings bit-identical (1 and 4 workers)",
+        strategies.len()
+    );
     println!("recorded in {out_path}");
 }

@@ -252,19 +252,47 @@ impl GlobalPlacement {
 
     /// Runs the qubit-legalization stage of `strategy` on this GP (§III-C).
     ///
+    /// This is also where the [`FaultInjection`](crate::pipeline::FaultInjection)
+    /// hooks of the session config trigger, so every path that legalizes the
+    /// poisoned strategy — single flows and batches alike — observes the fault.
+    ///
     /// # Errors
     ///
-    /// Returns a [`FlowError`] when the legalizer cannot find a legal qubit layout.
+    /// Returns a [`FlowError`] naming the stage and strategy when the legalizer
+    /// cannot find a legal qubit layout; the error carries the
+    /// [`StageEvent`] trace of the stages that completed before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session config injects a panic into this strategy's
+    /// legalization (`fault.panic_in_legalization`).
     pub fn legalize_qubits(
         &self,
         strategy: LegalizationStrategy,
     ) -> Result<QubitLegalized, FlowError> {
+        let fault = &self.ctx.config.fault;
+        if fault.panic_in_legalization == Some(strategy) {
+            panic!("injected fault: panic in {strategy} qubit legalization");
+        }
         let start = Instant::now();
-        let placement = strategy.qubit_legalizer().legalize_qubits(
-            &self.ctx.netlist,
-            &self.die,
-            &self.placement,
-        )?;
+        let legalized = if fault.fail_legalization == Some(strategy) {
+            Err(qgdp_legalize::LegalizeError::NoSpace {
+                component: format!("injected fault: {strategy} qubit legalization"),
+            })
+        } else {
+            strategy.qubit_legalizer().legalize_qubits(
+                &self.ctx.netlist,
+                &self.die,
+                &self.placement,
+            )
+        };
+        let placement = legalized.map_err(|source| FlowError::Legalize {
+            source,
+            stage: Stage::QubitLegalization,
+            strategy,
+            request: None,
+            events: self.events(),
+        })?;
         let event = StageEvent {
             stage: Stage::QubitLegalization,
             duration: start.elapsed(),
@@ -346,14 +374,22 @@ impl QubitLegalized {
     ///
     /// # Errors
     ///
-    /// Returns a [`FlowError`] when the cell legalizer cannot find a legal layout.
+    /// Returns a [`FlowError`] naming the stage and strategy when the cell
+    /// legalizer cannot find a legal layout; the error carries the [`StageEvent`]
+    /// trace of the stages that completed before it (GP and qubit legalization).
     pub fn legalize_cells(&self) -> Result<CellLegalized, FlowError> {
         let start = Instant::now();
-        let placement = self.strategy.cell_legalizer().legalize_cells(
-            self.netlist(),
-            &self.gp.die,
-            &self.placement,
-        )?;
+        let placement = self
+            .strategy
+            .cell_legalizer()
+            .legalize_cells(self.netlist(), &self.gp.die, &self.placement)
+            .map_err(|source| FlowError::Legalize {
+                source,
+                stage: Stage::ResonatorLegalization,
+                strategy: self.strategy,
+                request: None,
+                events: self.events(),
+            })?;
         let event = StageEvent {
             stage: Stage::ResonatorLegalization,
             duration: start.elapsed(),

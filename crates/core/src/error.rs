@@ -1,5 +1,16 @@
 //! The error type of the end-to-end qGDP flow.
+//!
+//! Flow errors carry the **context of the failure**, not just its cause: a
+//! legalization failure names the [`Stage`] that raised it, the
+//! [`LegalizationStrategy`] being legalized, the batch request index when it
+//! happened inside a [`Session::try_run_batch`](crate::Session::try_run_batch)
+//! fan-out, and the [`StageEvent`] trace of every stage that *completed* before
+//! the failure.  A worker panic contained by the batch engine surfaces as
+//! [`FlowError::Worker`] with the panic payload's message, so one poisoned
+//! request can be diagnosed without losing its siblings.
 
+use crate::artifact::{Stage, StageEvent};
+use crate::strategy::LegalizationStrategy;
 use qgdp_legalize::LegalizeError;
 use qgdp_netlist::NetlistError;
 use std::error::Error;
@@ -12,16 +23,129 @@ pub enum FlowError {
     /// Building the netlist from the topology failed.
     Netlist(NetlistError),
     /// A legalization stage failed.
-    Legalize(LegalizeError),
+    Legalize {
+        /// The underlying legalizer failure.
+        source: LegalizeError,
+        /// The pipeline stage that raised the error.
+        stage: Stage,
+        /// The strategy whose legalizer failed.
+        strategy: LegalizationStrategy,
+        /// The batch request index, when the failure happened inside a
+        /// [`Session::try_run_batch`](crate::Session::try_run_batch) fan-out.
+        request: Option<usize>,
+        /// Trace of every stage that completed before the failing one.
+        events: Vec<StageEvent>,
+    },
+    /// A batch worker panicked; the unwind was contained to its request
+    /// ([`qgdp_metrics::parallel_try_map`]) instead of taking down the pool.
+    Worker {
+        /// The stage the worker was executing when it panicked.
+        stage: Stage,
+        /// The panic payload, downcast to a message where possible.
+        message: String,
+        /// The strategy of the poisoned request, when known.
+        strategy: Option<LegalizationStrategy>,
+        /// The batch request index of the poisoned request.
+        request: Option<usize>,
+    },
     /// The detailed placer was asked to run without a legalized layout.
     MissingLegalization,
+}
+
+impl FlowError {
+    /// The pipeline stage the error was raised in, when known.
+    #[must_use]
+    pub fn stage(&self) -> Option<Stage> {
+        match self {
+            FlowError::Legalize { stage, .. } | FlowError::Worker { stage, .. } => Some(*stage),
+            FlowError::Netlist(_) | FlowError::MissingLegalization => None,
+        }
+    }
+
+    /// The legalization strategy of the failing flow, when known.
+    #[must_use]
+    pub fn strategy(&self) -> Option<LegalizationStrategy> {
+        match self {
+            FlowError::Legalize { strategy, .. } => Some(*strategy),
+            FlowError::Worker { strategy, .. } => *strategy,
+            FlowError::Netlist(_) | FlowError::MissingLegalization => None,
+        }
+    }
+
+    /// The batch request index of the failing request, when the error came out of
+    /// a batch fan-out.
+    #[must_use]
+    pub fn request(&self) -> Option<usize> {
+        match self {
+            FlowError::Legalize { request, .. } | FlowError::Worker { request, .. } => *request,
+            FlowError::Netlist(_) | FlowError::MissingLegalization => None,
+        }
+    }
+
+    /// The [`StageEvent`] trace of every stage that completed before the failure
+    /// (empty for errors that carry no trace).
+    #[must_use]
+    pub fn events(&self) -> &[StageEvent] {
+        match self {
+            FlowError::Legalize { events, .. } => events,
+            _ => &[],
+        }
+    }
+
+    /// Returns the error with its batch request index set — the batch engine tags
+    /// each per-request error with the request it poisoned.
+    #[must_use]
+    pub(crate) fn with_request(mut self, index: usize) -> Self {
+        match &mut self {
+            FlowError::Legalize { request, .. } | FlowError::Worker { request, .. } => {
+                *request = Some(index);
+            }
+            FlowError::Netlist(_) | FlowError::MissingLegalization => {}
+        }
+        self
+    }
+}
+
+/// Formats the shared `for <strategy> (request N)` context suffix.
+fn write_context(
+    f: &mut fmt::Formatter<'_>,
+    strategy: Option<LegalizationStrategy>,
+    request: Option<usize>,
+) -> fmt::Result {
+    if let Some(strategy) = strategy {
+        write!(f, " for {strategy}")?;
+    }
+    if let Some(request) = request {
+        write!(f, " (request {request})")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
-            FlowError::Legalize(e) => write!(f, "legalization failed: {e}"),
+            FlowError::Legalize {
+                source,
+                stage,
+                strategy,
+                request,
+                ..
+            } => {
+                write!(f, "legalization failed at {stage}")?;
+                write_context(f, Some(*strategy), *request)?;
+                write!(f, ": {source}")
+            }
+            FlowError::Worker {
+                stage,
+                message,
+                strategy,
+                request,
+            } => {
+                write!(f, "worker panicked at {stage}")?;
+                write_context(f, *strategy, *request)?;
+                write!(f, ": {message}")
+            }
             FlowError::MissingLegalization => {
                 write!(f, "detailed placement requires a legalized layout")
             }
@@ -33,8 +157,8 @@ impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FlowError::Netlist(e) => Some(e),
-            FlowError::Legalize(e) => Some(e),
-            FlowError::MissingLegalization => None,
+            FlowError::Legalize { source, .. } => Some(source),
+            FlowError::Worker { .. } | FlowError::MissingLegalization => None,
         }
     }
 }
@@ -45,27 +169,74 @@ impl From<NetlistError> for FlowError {
     }
 }
 
-impl From<LegalizeError> for FlowError {
-    fn from(value: LegalizeError) -> Self {
-        FlowError::Legalize(value)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn legalize_error() -> FlowError {
+        FlowError::Legalize {
+            source: LegalizeError::NoSpace {
+                component: "q1".into(),
+            },
+            stage: Stage::QubitLegalization,
+            strategy: LegalizationStrategy::Qgdp,
+            request: None,
+            events: vec![StageEvent {
+                stage: Stage::GlobalPlacement,
+                duration: Duration::from_millis(5),
+            }],
+        }
+    }
 
     #[test]
     fn display_and_source() {
         let e: FlowError = NetlistError::Empty.into();
         assert!(e.to_string().contains("netlist"));
         assert!(e.source().is_some());
-        let e: FlowError = LegalizeError::NoSpace {
-            component: "q1".into(),
-        }
-        .into();
-        assert!(e.to_string().contains("legalization"));
+        let e = legalize_error();
+        assert!(e.to_string().contains("legalization failed"));
+        assert!(e.to_string().contains("qubit-legalization"));
+        assert!(e.to_string().contains("qGDP-LG"));
+        assert!(e.source().is_some());
         assert!(FlowError::MissingLegalization.source().is_none());
+    }
+
+    #[test]
+    fn context_accessors_expose_stage_strategy_request_and_trace() {
+        let e = legalize_error();
+        assert_eq!(e.stage(), Some(Stage::QubitLegalization));
+        assert_eq!(e.strategy(), Some(LegalizationStrategy::Qgdp));
+        assert_eq!(e.request(), None);
+        assert_eq!(e.events().len(), 1);
+        assert_eq!(e.events()[0].stage, Stage::GlobalPlacement);
+
+        let tagged = e.with_request(3);
+        assert_eq!(tagged.request(), Some(3));
+        assert!(tagged.to_string().contains("(request 3)"));
+
+        let plain: FlowError = NetlistError::Empty.into();
+        assert_eq!(plain.stage(), None);
+        assert_eq!(plain.strategy(), None);
+        assert_eq!(plain.clone().with_request(7).request(), None);
+        assert!(plain.events().is_empty());
+    }
+
+    #[test]
+    fn worker_variant_reports_panic_context() {
+        let e = FlowError::Worker {
+            stage: Stage::DetailedPlacement,
+            message: "injected fault".into(),
+            strategy: Some(LegalizationStrategy::Tetris),
+            request: Some(4),
+        };
+        assert!(e.to_string().contains("worker panicked"));
+        assert!(e.to_string().contains("detailed-placement"));
+        assert!(e.to_string().contains("Tetris"));
+        assert!(e.to_string().contains("(request 4)"));
+        assert!(e.to_string().contains("injected fault"));
+        assert!(e.source().is_none());
+        assert_eq!(e.stage(), Some(Stage::DetailedPlacement));
     }
 
     #[test]

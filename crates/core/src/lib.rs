@@ -21,9 +21,13 @@
 //! stage artifacts — [`GlobalPlacement`] → [`QubitLegalized`] → [`CellLegalized`] →
 //! [`Detailed`] — each a cheap `Arc`-shared handle that can be forked (one GP feeds
 //! all five strategies, one legalized layout feeds many detailed-placer
-//! configurations) with lazily-computed, cached reports.  [`Session::run_batch`] /
-//! [`Session::run_matrix`] fan a strategy × config request set over the
-//! `QGDP_THREADS` worker pool.  The monolithic [`run_flow`] survives as a thin,
+//! configurations) with lazily-computed, cached reports.  [`Session::try_run_batch`]
+//! / [`Session::try_run_matrix`] fan a strategy × config request set over the
+//! `QGDP_THREADS` worker pool with **per-request fault isolation**: a failing or
+//! panicking strategy poisons only its own requests (one contextful
+//! [`FlowError`] per poisoned slot), while every sibling still returns its
+//! artifact; [`Session::run_batch`] / [`Session::run_matrix`] are all-or-nothing
+//! shims over the same engine.  The monolithic [`run_flow`] survives as a thin,
 //! bit-identical compatibility shim — everything the `qgdp-bench` harness needs to
 //! regenerate the paper's figures and tables.
 //!
@@ -81,7 +85,7 @@ pub use artifact::{
 };
 pub use detail::{DetailedPlacementOutcome, DetailedPlacer, DetailedPlacerConfig};
 pub use error::FlowError;
-pub use pipeline::{run_flow, FlowConfig, FlowResult, StageTiming};
+pub use pipeline::{run_flow, FaultInjection, FlowConfig, FlowResult, StageTiming};
 pub use qubit_lg::QuantumQubitLegalizer;
 pub use resonator_lg::ResonatorLegalizer;
 pub use session::{FlowRequest, Session};

@@ -20,14 +20,35 @@ use qgdp_topology::Topology;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Deterministic fault injection into the legalization stage — the testing/chaos
+/// hook behind the fault-isolation contract of
+/// [`Session::try_run_batch`](crate::Session::try_run_batch).
+///
+/// Both hooks trigger at the entry of the qubit-legalization stage of the named
+/// strategy, on every path that legalizes it (single flows and batches alike), so
+/// tests and bench scenarios can poison exactly one strategy of a matrix and
+/// assert its siblings survive.  The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultInjection {
+    /// Fail this strategy's qubit legalization with a
+    /// [`LegalizeError::NoSpace`](qgdp_legalize::LegalizeError::NoSpace) error.
+    pub fail_legalization: Option<LegalizationStrategy>,
+    /// Panic inside this strategy's qubit-legalization worker.  On the batch
+    /// `try_` surface the unwind is contained to the poisoned request
+    /// ([`FlowError::Worker`]); on single-flow paths
+    /// ([`Session::run`], [`crate::run_flow`]) it propagates to the caller.
+    pub panic_in_legalization: Option<LegalizationStrategy>,
+}
+
 /// Configuration of the full flow (and of a [`Session`]).
 ///
 /// Every field has a builder-style setter, so no field needs struct-literal access:
 /// [`with_geometry`](FlowConfig::with_geometry), [`with_net_model`](FlowConfig::with_net_model),
 /// [`with_gp`](FlowConfig::with_gp), [`with_crosstalk`](FlowConfig::with_crosstalk),
 /// [`with_detailed_placement`](FlowConfig::with_detailed_placement),
-/// [`with_detail`](FlowConfig::with_detail) and the [`with_seed`](FlowConfig::with_seed)
-/// shorthand.
+/// [`with_detail`](FlowConfig::with_detail),
+/// [`with_fault_injection`](FlowConfig::with_fault_injection) and the
+/// [`with_seed`](FlowConfig::with_seed) shorthand.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowConfig {
     /// Component geometry used to build the netlist.
@@ -42,6 +63,9 @@ pub struct FlowConfig {
     pub detailed_placement: bool,
     /// Detailed-placer configuration.
     pub detail: DetailedPlacerConfig,
+    /// Deterministic fault injection (testing/chaos hook; injects nothing by
+    /// default).
+    pub fault: FaultInjection,
 }
 
 impl FlowConfig {
@@ -55,6 +79,7 @@ impl FlowConfig {
             crosstalk: CrosstalkConfig::default(),
             detailed_placement: false,
             detail: DetailedPlacerConfig::default(),
+            fault: FaultInjection::default(),
         }
     }
 
@@ -105,6 +130,13 @@ impl FlowConfig {
     #[must_use]
     pub fn with_detail(mut self, detail: DetailedPlacerConfig) -> Self {
         self.detail = detail;
+        self
+    }
+
+    /// Overrides the fault-injection hooks (see [`FaultInjection`]).
+    #[must_use]
+    pub fn with_fault_injection(mut self, fault: FaultInjection) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -312,19 +344,26 @@ mod tests {
         let detail = DetailedPlacerConfig::new();
         let crosstalk = CrosstalkConfig::default();
         let geometry = ComponentGeometry::default();
+        let fault = FaultInjection {
+            fail_legalization: Some(LegalizationStrategy::Tetris),
+            panic_in_legalization: None,
+        };
         let cfg = FlowConfig::new()
             .with_geometry(geometry)
             .with_net_model(NetModel::Chain)
             .with_gp(gp)
             .with_crosstalk(crosstalk)
             .with_detailed_placement(true)
-            .with_detail(detail);
+            .with_detail(detail)
+            .with_fault_injection(fault);
         assert_eq!(cfg.gp.seed, 99);
         assert_eq!(cfg.net_model, NetModel::Chain);
         assert!(cfg.detailed_placement);
         assert_eq!(cfg.detail, detail);
         assert_eq!(cfg.crosstalk, crosstalk);
         assert_eq!(cfg.geometry, geometry);
+        assert_eq!(cfg.fault, fault);
+        assert_eq!(FlowConfig::default().fault, FaultInjection::default());
     }
 
     #[test]

@@ -20,20 +20,32 @@
 //!
 //! # Batching
 //!
-//! [`Session::run_batch`] / [`Session::run_matrix`] fan a `(strategy × detail
-//! config)` request set over the `QGDP_THREADS` worker pool
+//! [`Session::try_run_batch`] / [`Session::try_run_matrix`] fan a `(strategy ×
+//! detail config)` request set over the `QGDP_THREADS` worker pool
 //! ([`qgdp_metrics::parallel`]): the GP runs once, each distinct strategy is
-//! legalized once, and detailed-placement forks run concurrently.  Results come back
-//! in request order and are bit-identical for every worker count (each stage is a
+//! legalized once, each distinct `(strategy, detail)` pair is detailed once, and
+//! the forks run concurrently.  Results come back **one `Result` per request, in
+//! request order**, and are bit-identical for every worker count (each stage is a
 //! deterministic function of its inputs and the collection points are
 //! index-ordered).
+//!
+//! The `try_` surface is **fault-isolated**: a request whose legalization fails —
+//! or whose worker outright panics — poisons only its own slot
+//! ([`qgdp_metrics::parallel_try_map`] contains the unwind per item), and every
+//! sibling request still returns its artifact, bit-identical to an all-success
+//! run of those siblings.  Errors carry the failing [`Stage`], strategy, request
+//! index and the [`StageEvent`](crate::StageEvent) trace of the stages that
+//! completed ([`FlowError::Legalize`] / [`FlowError::Worker`]).
+//! [`Session::run_batch`] / [`Session::run_matrix`] remain as thin all-or-nothing
+//! shims over the same engine.
 
-use crate::artifact::{CellLegalized, FlowArtifact, GlobalPlacement, GpData};
+use crate::artifact::{CellLegalized, Detailed, FlowArtifact, GlobalPlacement, GpData, Stage};
 use crate::pipeline::FlowConfig;
 use crate::{DetailedPlacerConfig, FlowError, LegalizationStrategy};
-use qgdp_metrics::{parallel_map, worker_threads};
+use qgdp_metrics::{parallel_try_map, worker_threads};
 use qgdp_netlist::QuantumNetlist;
 use qgdp_topology::Topology;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// The shared, immutable context of one placement session.
@@ -166,35 +178,91 @@ impl Session {
         })
     }
 
-    /// Runs `requests` as one batch off a single shared global placement, fanned
-    /// over the `QGDP_THREADS` worker pool.  See
-    /// [`Session::run_batch_with_threads`].
+    /// Fault-isolated batching: runs `requests` as one batch off a single shared
+    /// global placement, fanned over the `QGDP_THREADS` worker pool, and returns
+    /// **one `Result` per request, in request order**.  See
+    /// [`Session::try_run_batch_with_threads`].
+    #[must_use]
+    pub fn try_run_batch(&self, requests: &[FlowRequest]) -> Vec<Result<FlowArtifact, FlowError>> {
+        self.try_run_batch_with_threads(requests, worker_threads())
+    }
+
+    /// [`Session::try_run_batch`] with an explicit worker count.
+    ///
+    /// One GP run feeds the whole batch; each *distinct* strategy in `requests` is
+    /// legalized exactly once (concurrently), then each *distinct* `(strategy,
+    /// detail)` pair is detailed exactly once off the shared legalized artifacts
+    /// (concurrently) — duplicate requests share the resulting artifact handles.
+    ///
+    /// The batch is **fault-isolated**: a failing legalization poisons only the
+    /// requests of that strategy, a panicking worker is contained to its own
+    /// request ([`qgdp_metrics::parallel_try_map`] catches the unwind per item and
+    /// surfaces it as [`FlowError::Worker`]), and every sibling request returns its
+    /// artifact bit-identically to an all-success run of those siblings.  Each
+    /// per-request error is tagged with its request index, failing stage and
+    /// strategy.  The outcome vector — successes *and* errors — is identical for
+    /// every `threads` value.
+    #[must_use]
+    pub fn try_run_batch_with_threads(
+        &self,
+        requests: &[FlowRequest],
+        threads: usize,
+    ) -> Vec<Result<FlowArtifact, FlowError>> {
+        let gp = self.global_place();
+        try_batch_from_gp(&gp, requests, threads)
+    }
+
+    /// Fault-isolated form of [`Session::run_matrix`]: runs the `strategies ×
+    /// details` cross product (strategy-major request order) and returns one
+    /// `Result` per cell, in request order — a partial matrix survives a poisoned
+    /// strategy column.
+    ///
+    /// Each entry of `details` is `None` to stop after legalization or
+    /// `Some(config)` to run detailed placement with that configuration.
+    #[must_use]
+    pub fn try_run_matrix(
+        &self,
+        strategies: &[LegalizationStrategy],
+        details: &[Option<DetailedPlacerConfig>],
+    ) -> Vec<Result<FlowArtifact, FlowError>> {
+        self.try_run_batch(&matrix_requests(strategies, details))
+    }
+
+    /// All-or-nothing batching over [`Session::try_run_batch`]: runs `requests` as
+    /// one batch off a single shared global placement, fanned over the
+    /// `QGDP_THREADS` worker pool.  See [`Session::run_batch_with_threads`].
     ///
     /// # Errors
     ///
-    /// Returns the first [`FlowError`] (in strategy order) if a legalization fails.
+    /// Returns the error of the **first failing strategy in request
+    /// first-appearance order** (within that strategy, the lowest failing request
+    /// index) — *not* the first error in request order, because legalizations are
+    /// fanned out per distinct strategy.  Use [`Session::try_run_batch`] to keep
+    /// the surviving siblings instead of discarding them.
     pub fn run_batch(&self, requests: &[FlowRequest]) -> Result<Vec<FlowArtifact>, FlowError> {
         self.run_batch_with_threads(requests, worker_threads())
     }
 
     /// [`Session::run_batch`] with an explicit worker count.
     ///
-    /// One GP run feeds the whole batch; each *distinct* strategy in `requests` is
-    /// legalized exactly once (concurrently), then the per-request detailed
-    /// placements fork off the shared legalized artifacts (concurrently).  Results
-    /// are returned in request order and are bit-identical for every `threads`
-    /// value.
+    /// A thin all-or-nothing shim over
+    /// [`Session::try_run_batch_with_threads`]: on an all-success batch the
+    /// artifacts are identical (the `session_equivalence` golden suite proves
+    /// bit-identity with serial staging); on any failure the whole batch is
+    /// discarded.  Results are returned in request order and are bit-identical for
+    /// every `threads` value.
     ///
     /// # Errors
     ///
-    /// Returns the first [`FlowError`] (in strategy order) if a legalization fails.
+    /// Returns the error of the first failing strategy in request
+    /// first-appearance order (within that strategy, the lowest failing request
+    /// index).
     pub fn run_batch_with_threads(
         &self,
         requests: &[FlowRequest],
         threads: usize,
     ) -> Result<Vec<FlowArtifact>, FlowError> {
-        let gp = self.global_place();
-        batch_from_gp(&gp, requests, threads)
+        all_or_nothing(requests, self.try_run_batch_with_threads(requests, threads))
     }
 
     /// Runs the `strategies × details` cross product as one batch (strategy-major
@@ -206,47 +274,97 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Returns the first [`FlowError`] (in strategy order) if a legalization fails.
+    /// Returns the error of the first failing strategy in request
+    /// first-appearance order — for the strategy-major request order built here,
+    /// the first failing entry of `strategies` — discarding the surviving columns;
+    /// [`Session::try_run_matrix`] returns them instead.
     pub fn run_matrix(
         &self,
         strategies: &[LegalizationStrategy],
         details: &[Option<DetailedPlacerConfig>],
     ) -> Result<Vec<FlowArtifact>, FlowError> {
-        let requests: Vec<FlowRequest> = strategies
-            .iter()
-            .flat_map(|&strategy| {
-                details
-                    .iter()
-                    .map(move |&detail| FlowRequest { strategy, detail })
-            })
-            .collect();
-        self.run_batch(&requests)
+        self.run_batch(&matrix_requests(strategies, details))
     }
 }
 
-/// The batch engine: legalize each distinct strategy once, then fork the per-request
-/// detailed placements, both levels on up to `threads` workers.
-fn batch_from_gp(
-    gp: &GlobalPlacement,
-    requests: &[FlowRequest],
-    threads: usize,
-) -> Result<Vec<FlowArtifact>, FlowError> {
-    // Distinct strategies in first-appearance order (≤ 5 entries; linear scan keeps
-    // the order deterministic without a hash map).
+/// Expands a `strategies × details` cross product into strategy-major requests.
+fn matrix_requests(
+    strategies: &[LegalizationStrategy],
+    details: &[Option<DetailedPlacerConfig>],
+) -> Vec<FlowRequest> {
+    strategies
+        .iter()
+        .flat_map(|&strategy| {
+            details
+                .iter()
+                .map(move |&detail| FlowRequest { strategy, detail })
+        })
+        .collect()
+}
+
+/// Distinct strategies of `requests` in first-appearance order (≤ 5 entries; linear
+/// scan keeps the order deterministic without a hash map).
+fn distinct_strategies(requests: &[FlowRequest]) -> Vec<LegalizationStrategy> {
     let mut strategies: Vec<LegalizationStrategy> = Vec::new();
     for request in requests {
         if !strategies.contains(&request.strategy) {
             strategies.push(request.strategy);
         }
     }
+    strategies
+}
 
-    let legalized: Vec<Result<CellLegalized, FlowError>> =
-        parallel_map(&strategies, threads, |&strategy| gp.legalize(strategy));
-    let mut by_strategy: Vec<(LegalizationStrategy, CellLegalized)> = Vec::new();
-    for (strategy, outcome) in strategies.iter().zip(legalized) {
-        by_strategy.push((*strategy, outcome?));
+/// Stage codes for the per-job panic-attribution marker: a legalization worker
+/// advances its marker as it crosses the stage boundary, so a contained panic can
+/// still be attributed to the stage it unwound from.
+const MARK_QUBIT_LG: u8 = 0;
+const MARK_RESONATOR_LG: u8 = 1;
+
+fn marker_stage(code: u8) -> Stage {
+    if code == MARK_RESONATOR_LG {
+        Stage::ResonatorLegalization
+    } else {
+        Stage::QubitLegalization
     }
-    let lookup = |strategy: LegalizationStrategy| -> &CellLegalized {
+}
+
+/// The fault-isolated batch engine: legalize each distinct strategy once, then
+/// fork each distinct `(strategy, detail)` pair, both levels on up to `threads`
+/// workers with per-item panic containment, and assemble one `Result` per request
+/// in request order.
+fn try_batch_from_gp(
+    gp: &GlobalPlacement,
+    requests: &[FlowRequest],
+    threads: usize,
+) -> Vec<Result<FlowArtifact, FlowError>> {
+    // Level 1: one legalization per distinct strategy.  Each job carries a stage
+    // marker its worker advances at the qubit→resonator boundary; the marker is
+    // only read back when the worker's unwind was contained.
+    let jobs: Vec<(LegalizationStrategy, AtomicU8)> = distinct_strategies(requests)
+        .into_iter()
+        .map(|s| (s, AtomicU8::new(MARK_QUBIT_LG)))
+        .collect();
+    let legalized = parallel_try_map(&jobs, threads, |(strategy, marker)| {
+        let qubits = gp.legalize_qubits(*strategy)?;
+        marker.store(MARK_RESONATOR_LG, Ordering::Relaxed);
+        qubits.legalize_cells()
+    });
+    let by_strategy: Vec<(LegalizationStrategy, Result<CellLegalized, FlowError>)> = jobs
+        .iter()
+        .zip(legalized)
+        .map(|((strategy, marker), outcome)| {
+            let outcome = outcome.unwrap_or_else(|message| {
+                Err(FlowError::Worker {
+                    stage: marker_stage(marker.load(Ordering::Relaxed)),
+                    message,
+                    strategy: Some(*strategy),
+                    request: None,
+                })
+            });
+            (*strategy, outcome)
+        })
+        .collect();
+    let lookup = |strategy: LegalizationStrategy| -> &Result<CellLegalized, FlowError> {
         &by_strategy
             .iter()
             .find(|(s, _)| *s == strategy)
@@ -254,20 +372,87 @@ fn batch_from_gp(
             .1
     };
 
-    // Detail-free requests are pure handle clones — not worth spawning workers for.
-    if requests.iter().all(|r| r.detail.is_none()) {
-        return Ok(requests
-            .iter()
-            .map(|r| FlowArtifact::Legalized(lookup(r.strategy).clone()))
-            .collect());
-    }
-    Ok(parallel_map(requests, threads, |request| {
-        let cell = lookup(request.strategy).clone();
-        match request.detail {
-            None => FlowArtifact::Legalized(cell),
-            Some(config) => FlowArtifact::Detailed(cell.detail_with(config)),
+    // Level 2: one detailed placement per distinct `(strategy, detail)` pair of a
+    // successfully legalized strategy — duplicate requests share the artifact
+    // handle, like duplicate strategies share one legalization above.  A batch
+    // with no detail requests fans out nothing here.
+    let mut detail_jobs: Vec<(LegalizationStrategy, DetailedPlacerConfig)> = Vec::new();
+    for request in requests {
+        if let Some(config) = request.detail {
+            let job = (request.strategy, config);
+            if lookup(request.strategy).is_ok() && !detail_jobs.contains(&job) {
+                detail_jobs.push(job);
+            }
         }
-    }))
+    }
+    let detailed: Vec<Result<Detailed, FlowError>> =
+        parallel_try_map(&detail_jobs, threads, |&(strategy, config)| {
+            let cell = lookup(strategy)
+                .as_ref()
+                .expect("only successfully legalized strategies are detailed");
+            cell.detail_with(config)
+        })
+        .into_iter()
+        .zip(&detail_jobs)
+        .map(|(outcome, &(strategy, _))| {
+            outcome.map_err(|message| FlowError::Worker {
+                stage: Stage::DetailedPlacement,
+                message,
+                strategy: Some(strategy),
+                request: None,
+            })
+        })
+        .collect();
+    let lookup_detail = |strategy: LegalizationStrategy,
+                         config: DetailedPlacerConfig|
+     -> &Result<Detailed, FlowError> {
+        detail_jobs
+            .iter()
+            .zip(&detailed)
+            .find(|((s, c), _)| *s == strategy && *c == config)
+            .expect("every detail request pair was processed")
+            .1
+    };
+
+    // Assembly: request order, errors tagged with the request index they poison.
+    requests
+        .iter()
+        .enumerate()
+        .map(|(index, request)| match lookup(request.strategy) {
+            Err(error) => Err(error.clone().with_request(index)),
+            Ok(cell) => match request.detail {
+                None => Ok(FlowArtifact::Legalized(cell.clone())),
+                Some(config) => match lookup_detail(request.strategy, config) {
+                    Ok(dp) => Ok(FlowArtifact::Detailed(dp.clone())),
+                    Err(error) => Err(error.clone().with_request(index)),
+                },
+            },
+        })
+        .collect()
+}
+
+/// The all-or-nothing contract of [`Session::run_batch`]: every artifact, or the
+/// error of the first failing strategy in request first-appearance order (within
+/// that strategy, the lowest failing request index) — the same order the
+/// pre-fault-isolation engine produced, proven by the shim contract tests.
+fn all_or_nothing(
+    requests: &[FlowRequest],
+    results: Vec<Result<FlowArtifact, FlowError>>,
+) -> Result<Vec<FlowArtifact>, FlowError> {
+    for strategy in distinct_strategies(requests) {
+        let first_failure = requests.iter().zip(&results).find_map(|(request, result)| {
+            (request.strategy == strategy)
+                .then(|| result.as_ref().err())
+                .flatten()
+        });
+        if let Some(error) = first_failure {
+            return Err(error.clone());
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|result| result.expect("no request failed"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -392,5 +577,213 @@ mod tests {
     fn empty_batch_is_an_empty_vec() {
         let artifacts = session().run_batch(&[]).unwrap();
         assert!(artifacts.is_empty());
+        assert!(session().try_run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_requests_share_one_detailed_placement_run() {
+        let s = session();
+        let config = DetailedPlacerConfig::new();
+        let requests = [
+            FlowRequest::detailed(LegalizationStrategy::Qgdp, config),
+            FlowRequest::legalize(LegalizationStrategy::Qgdp),
+            FlowRequest::detailed(LegalizationStrategy::Qgdp, config),
+        ];
+        let artifacts = s.run_batch_with_threads(&requests, 2).unwrap();
+        // Identical (strategy, detail) requests share the artifact handle — the
+        // same allocation, not merely equal values.
+        assert!(std::ptr::eq(
+            artifacts[0].final_placement(),
+            artifacts[2].final_placement()
+        ));
+        // The legalization level shares as before.
+        assert!(std::ptr::eq(
+            artifacts[0].legalized().placement(),
+            artifacts[1].legalized().placement()
+        ));
+    }
+
+    #[test]
+    fn injected_failure_poisons_only_its_own_requests() {
+        let topo = StandardTopology::Grid.build();
+        let fault = crate::FaultInjection {
+            fail_legalization: Some(LegalizationStrategy::QTetris),
+            panic_in_legalization: None,
+        };
+        let poisoned = Session::new(
+            &topo,
+            FlowConfig::default()
+                .with_seed(11)
+                .with_fault_injection(fault),
+        )
+        .unwrap();
+        let clean = session();
+        let requests: Vec<FlowRequest> = LegalizationStrategy::all()
+            .into_iter()
+            .map(FlowRequest::legalize)
+            .collect();
+        let results = poisoned.try_run_batch_with_threads(&requests, 2);
+        let baseline = clean.run_batch_with_threads(&requests, 2).unwrap();
+        assert_eq!(results.len(), 5);
+        for (index, (request, result)) in requests.iter().zip(&results).enumerate() {
+            if request.strategy == LegalizationStrategy::QTetris {
+                let error = result.as_ref().unwrap_err();
+                assert_eq!(error.stage(), Some(Stage::QubitLegalization));
+                assert_eq!(error.strategy(), Some(LegalizationStrategy::QTetris));
+                assert_eq!(error.request(), Some(index));
+                // The trace covers every stage that completed before the failure.
+                assert_eq!(
+                    error.events().iter().map(|e| e.stage).collect::<Vec<_>>(),
+                    vec![Stage::GlobalPlacement]
+                );
+            } else {
+                let artifact = result.as_ref().unwrap();
+                assert_eq!(
+                    artifact.final_placement(),
+                    baseline[index].final_placement(),
+                    "sibling {index} diverged from the all-success run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_to_its_request() {
+        let topo = StandardTopology::Grid.build();
+        let fault = crate::FaultInjection {
+            fail_legalization: None,
+            panic_in_legalization: Some(LegalizationStrategy::Abacus),
+        };
+        let s = Session::new(
+            &topo,
+            FlowConfig::default()
+                .with_seed(11)
+                .with_fault_injection(fault),
+        )
+        .unwrap();
+        let requests: Vec<FlowRequest> = LegalizationStrategy::all()
+            .into_iter()
+            .map(FlowRequest::legalize)
+            .collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results = s.try_run_batch_with_threads(&requests, 3);
+        std::panic::set_hook(hook);
+        let poisoned_index = 3; // Abacus is the 4th strategy of `all()`.
+        match &results[poisoned_index] {
+            Err(FlowError::Worker {
+                stage,
+                message,
+                strategy,
+                request,
+            }) => {
+                assert_eq!(*stage, Stage::QubitLegalization);
+                assert!(message.contains("injected fault"), "message: {message}");
+                assert_eq!(*strategy, Some(LegalizationStrategy::Abacus));
+                assert_eq!(*request, Some(poisoned_index));
+            }
+            other => panic!("expected a contained Worker error, got {other:?}"),
+        }
+        for (index, result) in results.iter().enumerate() {
+            if index != poisoned_index {
+                assert!(result.is_ok(), "sibling {index} was lost: {result:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_propagates_on_the_single_flow_path() {
+        let topo = StandardTopology::Grid.build();
+        let fault = crate::FaultInjection {
+            fail_legalization: None,
+            panic_in_legalization: Some(LegalizationStrategy::Qgdp),
+        };
+        let s = Session::new(
+            &topo,
+            FlowConfig::default()
+                .with_seed(11)
+                .with_fault_injection(fault),
+        )
+        .unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.run(LegalizationStrategy::Qgdp)
+        }));
+        std::panic::set_hook(hook);
+        assert!(outcome.is_err(), "Session::run must not contain panics");
+    }
+
+    #[test]
+    fn all_or_nothing_shim_returns_the_first_failing_strategy_in_appearance_order() {
+        // Poison one strategy and order the requests so request order disagrees
+        // with the canonical LegalizationStrategy::all() order: the shim must key
+        // on request first-appearance order.
+        let topo = StandardTopology::Grid.build();
+        let fault = crate::FaultInjection {
+            fail_legalization: Some(LegalizationStrategy::Tetris),
+            panic_in_legalization: None,
+        };
+        let s = Session::new(
+            &topo,
+            FlowConfig::default()
+                .with_seed(11)
+                .with_fault_injection(fault),
+        )
+        .unwrap();
+        let requests = [
+            FlowRequest::legalize(LegalizationStrategy::Tetris),
+            FlowRequest::legalize(LegalizationStrategy::Qgdp),
+            FlowRequest::legalize(LegalizationStrategy::Tetris),
+        ];
+        let error = s.run_batch_with_threads(&requests, 2).unwrap_err();
+        assert_eq!(error.strategy(), Some(LegalizationStrategy::Tetris));
+        // The error instance is the poisoned strategy's lowest request index.
+        assert_eq!(error.request(), Some(0));
+    }
+
+    #[test]
+    fn try_batch_outcomes_are_worker_count_invariant_under_faults() {
+        let topo = StandardTopology::Grid.build();
+        let fault = crate::FaultInjection {
+            fail_legalization: Some(LegalizationStrategy::QAbacus),
+            panic_in_legalization: None,
+        };
+        let s = Session::new(
+            &topo,
+            FlowConfig::default()
+                .with_seed(11)
+                .with_fault_injection(fault),
+        )
+        .unwrap();
+        let requests: Vec<FlowRequest> = LegalizationStrategy::all()
+            .into_iter()
+            .flat_map(|strategy| {
+                [
+                    FlowRequest::legalize(strategy),
+                    FlowRequest::detailed(strategy, DetailedPlacerConfig::new()),
+                ]
+            })
+            .collect();
+        let serial = s.try_run_batch_with_threads(&requests, 1);
+        for threads in [2, 4, 16] {
+            let parallel = s.try_run_batch_with_threads(&requests, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (index, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.final_placement(),
+                            b.final_placement(),
+                            "request {index}, threads={threads}"
+                        );
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "request {index}, threads={threads}"),
+                    other => {
+                        panic!("request {index} outcome flipped at threads={threads}: {other:?}")
+                    }
+                }
+            }
+        }
     }
 }

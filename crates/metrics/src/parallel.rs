@@ -2,7 +2,12 @@
 //!
 //! One chunked fan-out implementation serves every parallel surface of the harness
 //! (per-mapping fidelities, per-strategy figure sweeps, per-topology table runs), so
-//! the chunk geometry and panic behaviour cannot drift between call sites.
+//! the chunk geometry and panic behaviour cannot drift between call sites.  Two
+//! panic disciplines are offered over the same geometry: [`parallel_map`] re-raises
+//! a worker's panic on the caller (all-or-nothing), while [`parallel_try_map`]
+//! catches each item's unwind in place (fault-isolated — one poisoned item cannot
+//! take down its siblings), which is what the `Session::try_run_batch` surface in
+//! `qgdp` builds on.
 
 /// Number of worker threads used by the batch-evaluation entry points.
 ///
@@ -61,6 +66,49 @@ where
         .collect()
 }
 
+/// Downcasts a caught panic payload to a human-readable message.
+///
+/// `panic!("…")` payloads are `String` (formatted) or `&'static str` (literal);
+/// anything else — a custom `panic_any` value — gets a fixed placeholder so the
+/// caller always has *some* message to report.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
+    }
+}
+
+/// [`parallel_map`] with per-item panic containment: a worker that panics on one
+/// item poisons **that item only**, not its chunk, its pool or the caller.
+///
+/// Each item's `f` call runs under [`std::panic::catch_unwind`]; a caught unwind
+/// becomes `Err(message)` in that item's slot (the payload downcast to a string via
+/// the usual `String` / `&'static str` panic shapes), and every other item still
+/// returns `Ok`.  The output is element-for-element identical to
+/// `items.iter().map(|i| catch(f(i))).collect()` for **every** thread count — the
+/// chunk geometry is the same as [`parallel_map`]'s, and thread counts of 0 or 1
+/// run inline (still catching per item, so containment is worker-count invariant).
+///
+/// `f` is called behind an [`std::panic::AssertUnwindSafe`]: the batch surfaces
+/// built on this (`Session::try_run_batch`) hand each item an independent,
+/// immutable input and discard the poisoned item's partial state, which is exactly
+/// the containment that assertion claims.  Callers sharing mutable state across
+/// items must provide their own unwind safety.
+pub fn parallel_try_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let contained = |item: &T| -> Result<R, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(panic_message)
+    };
+    parallel_map(items, threads, contained)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +147,76 @@ mod tests {
     #[test]
     fn worker_threads_is_at_least_one() {
         assert!(worker_threads() >= 1);
+    }
+
+    /// Suppresses the default panic hook's stderr spew while `body` deliberately
+    /// panics inside contained workers, restoring the hook afterwards.
+    fn with_quiet_panics<R>(body: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = body();
+        std::panic::set_hook(hook);
+        result
+    }
+
+    #[test]
+    fn try_map_contains_a_panic_to_its_item_for_any_thread_count() {
+        let items: Vec<usize> = (0..23).collect();
+        with_quiet_panics(|| {
+            let expected: Vec<Result<usize, String>> = items
+                .iter()
+                .map(|&x| {
+                    if x % 7 == 5 {
+                        Err(format!("poisoned item {x}"))
+                    } else {
+                        Ok(x * x)
+                    }
+                })
+                .collect();
+            for threads in [0, 1, 2, 3, 8, 23, 100] {
+                let out = parallel_try_map(&items, threads, |&x| {
+                    assert!(x % 7 != 5, "poisoned item {x}");
+                    x * x
+                });
+                assert_eq!(out, expected, "threads={threads}");
+            }
+        });
+    }
+
+    #[test]
+    fn try_map_downcasts_str_and_string_payloads() {
+        let items = [0usize, 1, 2];
+        let out = with_quiet_panics(|| {
+            parallel_try_map(&items, 2, |&x| match x {
+                0 => panic!("literal payload"),
+                1 => panic!("formatted payload {x}"),
+                _ => x,
+            })
+        });
+        assert_eq!(out[0], Err("literal payload".to_string()));
+        assert_eq!(out[1], Err("formatted payload 1".to_string()));
+        assert_eq!(out[2], Ok(2));
+    }
+
+    #[test]
+    fn try_map_reports_non_string_payloads() {
+        let out = with_quiet_panics(|| {
+            parallel_try_map(&[0u8], 1, |_| -> u8 { std::panic::panic_any(42u32) })
+        });
+        assert_eq!(
+            out,
+            vec![Err("worker panicked with a non-string payload".to_string())]
+        );
+    }
+
+    #[test]
+    fn try_map_without_panics_equals_parallel_map() {
+        let items: Vec<u32> = (0..17).collect();
+        let plain = parallel_map(&items, 4, |&x| x + 1);
+        let tried = parallel_try_map(&items, 4, |&x| x + 1);
+        assert_eq!(tried.len(), plain.len());
+        for (t, p) in tried.iter().zip(&plain) {
+            assert_eq!(t.as_ref().unwrap(), p);
+        }
     }
 }

@@ -183,6 +183,113 @@ fn batch_surface_is_bit_identical_to_serial_staging() {
 }
 
 #[test]
+fn all_or_nothing_shims_are_golden_over_the_try_surface() {
+    // `run_batch` / `run_matrix` are thin shims over `try_run_batch` /
+    // `try_run_matrix`: on all-success inputs they must return exactly the
+    // artifacts of the fault-isolated surface, in the same order.
+    let topo = StandardTopology::Falcon.build();
+    let session = Session::new(&topo, config()).expect("session builds");
+    let requests: Vec<FlowRequest> = LegalizationStrategy::all()
+        .into_iter()
+        .flat_map(|s| {
+            [
+                FlowRequest::legalize(s),
+                FlowRequest::detailed(s, DetailedPlacerConfig::new()),
+            ]
+        })
+        .collect();
+    for threads in [1, 3, 8] {
+        let shim = session
+            .run_batch_with_threads(&requests, threads)
+            .expect("all-success batch");
+        let tried = session.try_run_batch_with_threads(&requests, threads);
+        assert_eq!(shim.len(), tried.len());
+        for (index, (a, b)) in shim.iter().zip(&tried).enumerate() {
+            let b = b.as_ref().expect("all-success try surface");
+            assert_eq!(
+                a.final_placement(),
+                b.final_placement(),
+                "request {index}/threads={threads}: shim diverged from try surface"
+            );
+            assert_eq!(a.report(), b.report(), "request {index}/threads={threads}");
+        }
+    }
+
+    let strategies = LegalizationStrategy::all();
+    let details = [None, Some(DetailedPlacerConfig::new())];
+    let matrix = session.run_matrix(&strategies, &details).expect("matrix");
+    let tried = session.try_run_matrix(&strategies, &details);
+    for (cell, (a, b)) in matrix.iter().zip(&tried).enumerate() {
+        let b = b.as_ref().expect("all-success try matrix");
+        assert_eq!(a.final_placement(), b.final_placement(), "cell {cell}");
+    }
+}
+
+#[test]
+fn shim_error_is_the_first_failing_strategy_in_request_appearance_order() {
+    // Contract (see the `run_batch` docs): the all-or-nothing shims surface the
+    // error of the first failing strategy in request *first-appearance* order —
+    // NOT the first failing request index, and NOT `LegalizationStrategy::all()`
+    // order.  Over-pack the die so several strategies fail organically, then
+    // order the requests to make the three candidate orders distinguishable.
+    let geometry = ComponentGeometry {
+        qubit_width: 80.0,
+        qubit_height: 80.0,
+        ..ComponentGeometry::new()
+    };
+    let cfg = FlowConfig::default()
+        .with_seed(7)
+        .with_geometry(geometry)
+        .with_gp(GlobalPlacerConfig::default().with_utilization(0.9));
+    let topo = StandardTopology::Grid.build();
+    let session = Session::new(&topo, cfg).expect("session builds");
+
+    let outcomes = session.try_run_batch(
+        &LegalizationStrategy::all()
+            .into_iter()
+            .map(FlowRequest::legalize)
+            .collect::<Vec<_>>(),
+    );
+    let failing: Vec<LegalizationStrategy> = LegalizationStrategy::all()
+        .into_iter()
+        .zip(&outcomes)
+        .filter(|(_, o)| o.is_err())
+        .map(|(s, _)| s)
+        .collect();
+    let surviving: Vec<LegalizationStrategy> = LegalizationStrategy::all()
+        .into_iter()
+        .zip(&outcomes)
+        .filter(|(_, o)| o.is_ok())
+        .map(|(s, _)| s)
+        .collect();
+    assert!(
+        failing.len() >= 2 && !surviving.is_empty(),
+        "need >=2 organic failures and a survivor to pin the order \
+         (failing: {failing:?}, surviving: {surviving:?})"
+    );
+
+    // Put a survivor first, then the failing strategies in *reverse* canonical
+    // order: appearance order now disagrees with both index order within
+    // `all()` and the canonical strategy order.
+    let mut requests = vec![FlowRequest::legalize(surviving[0])];
+    requests.extend(failing.iter().rev().map(|&s| FlowRequest::legalize(s)));
+    let expected = *failing.last().expect("non-empty");
+
+    for threads in [1, 3, 8] {
+        let error = session
+            .run_batch_with_threads(&requests, threads)
+            .expect_err("a failing strategy must fail the shim batch");
+        assert_eq!(
+            error.strategy(),
+            Some(expected),
+            "threads={threads}: the shim must surface the first failing strategy \
+             in request appearance order"
+        );
+        assert_eq!(error.request(), Some(1), "threads={threads}");
+    }
+}
+
+#[test]
 fn artifact_fidelity_matches_flow_result_fidelity_bits() {
     let topo = StandardTopology::Grid.build();
     let staged = Session::new(&topo, config())
