@@ -121,6 +121,29 @@ pub(crate) struct GpData {
     scan: Arc<OnceLock<Arc<LayoutScan>>>,
 }
 
+impl GpData {
+    /// Rebuilds the cache payload from previously-computed outputs (the
+    /// snapshot-restore path; see [`crate::Session::restore_global`]).
+    pub(crate) fn restored(
+        die: Rect,
+        placement: Placement,
+        stats: GpStats,
+        elapsed: Duration,
+    ) -> Self {
+        GpData {
+            die,
+            placement: Arc::new(placement),
+            stats,
+            event: StageEvent {
+                stage: Stage::GlobalPlacement,
+                duration: elapsed,
+            },
+            report: Arc::new(OnceLock::new()),
+            scan: Arc::new(OnceLock::new()),
+        }
+    }
+}
+
 /// The global-placement artifact: GP positions for every component, the die outline
 /// and the placer's quality statistics.
 ///
@@ -312,6 +335,46 @@ impl GlobalPlacement {
     /// Returns a [`FlowError`] when either legalization stage fails.
     pub fn legalize(&self, strategy: LegalizationStrategy) -> Result<CellLegalized, FlowError> {
         self.legalize_qubits(strategy)?.legalize_cells()
+    }
+
+    /// Rebuilds a legalized artifact from previously-computed stage outputs without
+    /// re-running either legalization stage — the snapshot-restore path of the
+    /// serving layer.
+    ///
+    /// The placements **must** be the bit-exact outputs of `strategy`'s
+    /// legalization stages on this exact GP (same topology, same
+    /// [`FlowConfig`] stage prefix); the content identity of
+    /// [`crate::ArtifactKey`] is what guarantees this at the call sites.  Lazy
+    /// metrics (scan, report) are recomputed on demand and are bit-identical to a
+    /// live run's by determinism of the scan.
+    #[must_use]
+    pub fn restore_legalized(
+        &self,
+        strategy: LegalizationStrategy,
+        qubit_placement: Placement,
+        qubit_elapsed: Duration,
+        cell_placement: Placement,
+        cell_elapsed: Duration,
+    ) -> CellLegalized {
+        let qubits = QubitLegalized {
+            gp: self.clone(),
+            strategy,
+            placement: Arc::new(qubit_placement),
+            event: StageEvent {
+                stage: Stage::QubitLegalization,
+                duration: qubit_elapsed,
+            },
+        };
+        CellLegalized {
+            qubits,
+            placement: Arc::new(cell_placement),
+            event: StageEvent {
+                stage: Stage::ResonatorLegalization,
+                duration: cell_elapsed,
+            },
+            report: Arc::new(OnceLock::new()),
+            scan: Arc::new(OnceLock::new()),
+        }
     }
 }
 
@@ -575,6 +638,36 @@ impl CellLegalized {
         }
     }
 
+    /// Rebuilds a detailed artifact from a previously-computed refinement without
+    /// re-running the detailed placer — the snapshot-restore path of the serving
+    /// layer.
+    ///
+    /// `placement` **must** be the bit-exact output of a detailed-placement run on
+    /// this exact legalized layout with the configuration the caller's content
+    /// identity ([`crate::ArtifactKey`]) names; lazy metrics are recomputed on
+    /// demand, bit-identically to a live run's.
+    #[must_use]
+    pub fn restore_detailed(
+        &self,
+        placement: Placement,
+        windows_processed: usize,
+        windows_accepted: usize,
+        elapsed: Duration,
+    ) -> Detailed {
+        Detailed {
+            legalized: self.clone(),
+            placement: Arc::new(placement),
+            windows_processed,
+            windows_accepted,
+            event: StageEvent {
+                stage: Stage::DetailedPlacement,
+                duration: elapsed,
+            },
+            report: Arc::new(OnceLock::new()),
+            scan: Arc::new(OnceLock::new()),
+        }
+    }
+
     /// Assembles the legacy eager [`FlowResult`] view of this artifact (no detailed
     /// placement).  Reports are forced; placements are copied out of the shared
     /// handles.  The result is bit-identical to what [`crate::run_flow`] returns for
@@ -701,6 +794,15 @@ impl Detailed {
                 &self.legalized.config().crosstalk,
             ))
         })
+    }
+
+    /// Seeds the lazy scan cache with an externally-assembled scan (the
+    /// [`ReportDelta`](qgdp_metrics::ReportDelta) scoring path of the batch
+    /// engine).  The caller owes the bit-identity contract: `scan` must equal a
+    /// from-scratch [`LayoutScan::scan`] of this placement.  A no-op when the
+    /// cache is already populated.
+    pub(crate) fn prime_scan(&self, scan: Arc<LayoutScan>) {
+        let _ = self.scan.set(scan);
     }
 
     /// Layout metrics of the refined layout, computed lazily on first call and cached.

@@ -1,0 +1,422 @@
+//! Stable content identities for flow artifacts — the addressing scheme of the
+//! `qgdp-serve` cross-session artifact cache.
+//!
+//! A stage artifact is a deterministic function of a **stage prefix** of its
+//! inputs: a [`GlobalPlacement`](crate::GlobalPlacement) depends on the topology,
+//! the netlist-shaping config fields and the global-placer config, but *not* on
+//! which legalization strategy or detailed-placer configuration will consume it; a
+//! [`CellLegalized`](crate::CellLegalized) adds the strategy; a
+//! [`Detailed`](crate::Detailed) adds the detail config.  [`ArtifactKey`] encodes
+//! exactly that prefix, canonically, into bytes:
+//!
+//! ```text
+//! ArtifactKey::session(topology, config)   →  GP-level identity
+//!     .for_strategy(strategy)              →  legalized-level identity
+//!     .for_detail(&detail_config)          →  detailed-level identity
+//! ```
+//!
+//! Two keys are equal **iff their canonical byte encodings are equal** — the
+//! 64-bit [FNV-1a] digest is only a fast bucketing hint, so a digest collision
+//! between differing configurations is harmless *by construction*: the byte
+//! comparison still tells them apart.  Every `f64` is encoded via
+//! [`f64::to_bits`], making the identity exactly as strict as the bit-identity
+//! contracts the rest of the repository tests against.
+//!
+//! Fault-injected configurations ([`FlowConfig::is_cacheable`] is `false`) must
+//! never be cached; the serve layer bypasses its store entirely for them, so they
+//! need no key representation.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use crate::detail::DetailedPlacerConfig;
+use crate::pipeline::FlowConfig;
+use crate::strategy::LegalizationStrategy;
+use qgdp_topology::{Topology, TopologyKind};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A tiny, dependency-free FNV-1a 64-bit streaming hasher.
+///
+/// Used wherever the repository needs a *stable* digest (cache bucketing,
+/// snapshot checksums, placement fingerprints on the serve wire) — unlike
+/// [`std::collections::hash_map::DefaultHasher`], the output is identical across
+/// processes, platforms and releases.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds one `f64` as its IEEE-754 bit pattern.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update_u64(v.to_bits());
+    }
+
+    /// The current digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// Stable FNV-1a digest of a byte slice (one-shot convenience).
+#[must_use]
+pub fn stable_digest(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Stable fingerprint of a placement: the FNV-1a digest of every coordinate's bit
+/// pattern, qubits first then segments, in id order.
+///
+/// Two placements have equal fingerprints iff they are bit-identical (up to FNV
+/// collisions — the serve protocol uses this as a cheap wire-level bit-identity
+/// witness, while the test layers compare the placements themselves).
+#[must_use]
+pub fn placement_fingerprint(placement: &qgdp_netlist::Placement) -> u64 {
+    let mut h = StableHasher::new();
+    h.update_u64(placement.num_qubits() as u64);
+    for q in 0..placement.num_qubits() {
+        let p = placement.qubit(qgdp_netlist::QubitId(q));
+        h.update_f64(p.x);
+        h.update_f64(p.y);
+    }
+    h.update_u64(placement.num_segments() as u64);
+    for s in 0..placement.num_segments() {
+        let p = placement.segment(qgdp_netlist::SegmentId(s));
+        h.update_f64(p.x);
+        h.update_f64(p.y);
+    }
+    h.finish()
+}
+
+/// Level-tag bytes separating the stage-prefix sections of a key encoding, so a
+/// session key can never be a prefix-ambiguous encoding of a legalized key.
+const TAG_SESSION: u8 = b'S';
+const TAG_STRATEGY: u8 = b'L';
+const TAG_DETAIL: u8 = b'D';
+
+/// The content-addressed identity of one stage artifact (see the [module
+/// docs](self)).
+///
+/// Equality and ordering are over the full canonical byte encoding; [`Hash`]
+/// feeds only the precomputed 64-bit digest (cheap bucketing).
+#[derive(Clone)]
+pub struct ArtifactKey {
+    bytes: Vec<u8>,
+    digest: u64,
+}
+
+impl ArtifactKey {
+    fn from_bytes(bytes: Vec<u8>) -> Self {
+        let digest = stable_digest(&bytes);
+        ArtifactKey { bytes, digest }
+    }
+
+    /// The GP-level (session) identity: topology plus every [`FlowConfig`] field
+    /// that shapes the netlist, the global placement or the cached reports —
+    /// geometry, net model, GP config and crosstalk thresholds.  The detail
+    /// config, the `detailed_placement` flag and the fault hooks are *not* part
+    /// of this prefix: they cannot change what a GP or legalization produces.
+    #[must_use]
+    pub fn session(topology: &Topology, config: &FlowConfig) -> Self {
+        let mut out = Vec::with_capacity(256);
+        out.push(TAG_SESSION);
+        encode_topology(topology, &mut out);
+        encode_gp_prefix(config, &mut out);
+        ArtifactKey::from_bytes(out)
+    }
+
+    /// The legalized-level identity: this key's stage prefix plus `strategy`.
+    #[must_use]
+    pub fn for_strategy(&self, strategy: LegalizationStrategy) -> Self {
+        let mut out = self.bytes.clone();
+        out.push(TAG_STRATEGY);
+        out.push(strategy_tag(strategy));
+        ArtifactKey::from_bytes(out)
+    }
+
+    /// The detailed-level identity: this key's stage prefix plus the full
+    /// detailed-placer configuration.
+    #[must_use]
+    pub fn for_detail(&self, detail: &DetailedPlacerConfig) -> Self {
+        let mut out = self.bytes.clone();
+        out.push(TAG_DETAIL);
+        push_f64(&mut out, detail.window_margin_cells);
+        push_u64(&mut out, detail.max_windows as u64);
+        push_u64(&mut out, detail.passes as u64);
+        push_f64(&mut out, detail.crosstalk.proximity_threshold);
+        push_f64(&mut out, detail.crosstalk.detuning_threshold_ghz);
+        out.push(u8::from(detail.fidelity_guided));
+        ArtifactKey::from_bytes(out)
+    }
+
+    /// The canonical byte encoding (the identity itself).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The FNV-1a digest of the encoding (a bucketing hint, not the identity).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl PartialEq for ArtifactKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest check is a fast negative path; equality is the bytes.
+        self.digest == other.digest && self.bytes == other.bytes
+    }
+}
+
+impl Eq for ArtifactKey {}
+
+impl PartialOrd for ArtifactKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ArtifactKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bytes.cmp(&other.bytes)
+    }
+}
+
+impl Hash for ArtifactKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+impl fmt::Debug for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ArtifactKey({:016x}, {} bytes)",
+            self.digest,
+            self.bytes.len()
+        )
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A stable tag byte per [`LegalizationStrategy`] variant (wire/key encoding).
+#[must_use]
+pub fn strategy_tag(strategy: LegalizationStrategy) -> u8 {
+    match strategy {
+        LegalizationStrategy::Qgdp => 0,
+        LegalizationStrategy::QAbacus => 1,
+        LegalizationStrategy::QTetris => 2,
+        LegalizationStrategy::Abacus => 3,
+        LegalizationStrategy::Tetris => 4,
+    }
+}
+
+/// The inverse of [`strategy_tag`]; `None` for unknown tags.
+#[must_use]
+pub fn strategy_from_tag(tag: u8) -> Option<LegalizationStrategy> {
+    Some(match tag {
+        0 => LegalizationStrategy::Qgdp,
+        1 => LegalizationStrategy::QAbacus,
+        2 => LegalizationStrategy::QTetris,
+        3 => LegalizationStrategy::Abacus,
+        4 => LegalizationStrategy::Tetris,
+        _ => return None,
+    })
+}
+
+fn kind_tag(kind: TopologyKind) -> u8 {
+    match kind {
+        TopologyKind::Grid => 0,
+        TopologyKind::HeavyHex => 1,
+        TopologyKind::Octagon => 2,
+        TopologyKind::Xtree => 3,
+        // `TopologyKind` is non-exhaustive; any future variant lands on the
+        // custom tag — the graph and coordinates encoded next still separate
+        // structurally distinct devices.
+        _ => 4,
+    }
+}
+
+/// Canonically encodes a topology: name, kind, qubit count, couplings
+/// (normalised order, as stored) and lattice coordinates (bit patterns).
+fn encode_topology(topology: &Topology, out: &mut Vec<u8>) {
+    push_str(out, topology.name());
+    out.push(kind_tag(topology.kind()));
+    push_u64(out, topology.num_qubits() as u64);
+    push_u64(out, topology.couplings().len() as u64);
+    for &(a, b) in topology.couplings() {
+        push_u64(out, a as u64);
+        push_u64(out, b as u64);
+    }
+    for p in topology.coords() {
+        push_f64(out, p.x);
+        push_f64(out, p.y);
+    }
+}
+
+/// Encodes the GP-stage prefix of a [`FlowConfig`]: geometry, net model, GP
+/// config, crosstalk thresholds — every field earlier stages read.
+fn encode_gp_prefix(config: &FlowConfig, out: &mut Vec<u8>) {
+    let g = &config.geometry;
+    push_f64(out, g.qubit_width);
+    push_f64(out, g.qubit_height);
+    push_f64(out, g.wire_block_size);
+    push_f64(out, g.padding_length);
+    push_f64(out, g.resonator_wirelength);
+    push_f64(out, g.min_qubit_spacing_cells);
+    out.push(match config.net_model {
+        qgdp_netlist::NetModel::Chain => 0,
+        qgdp_netlist::NetModel::Pseudo => 1,
+        qgdp_netlist::NetModel::Clique => 2,
+    });
+    let gp = &config.gp;
+    push_f64(out, gp.utilization);
+    push_u64(out, gp.iterations as u64);
+    push_f64(out, gp.attraction);
+    push_f64(out, gp.anchor);
+    push_f64(out, gp.repulsion);
+    push_f64(out, gp.damping);
+    push_f64(out, gp.jitter);
+    push_f64(out, gp.qubit_padding_cells);
+    push_u64(out, gp.star_threshold as u64);
+    push_u64(out, gp.seed);
+    push_f64(out, config.crosstalk.proximity_threshold);
+    push_f64(out, config.crosstalk.detuning_threshold_ghz);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_topology::StandardTopology;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(stable_digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_digest(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn session_keys_separate_every_prefix_field() {
+        let topo = StandardTopology::Grid.build();
+        let base = FlowConfig::default().with_seed(7);
+        let base_key = ArtifactKey::session(&topo, &base);
+        // Same inputs → same key, bit for bit.
+        assert_eq!(base_key, ArtifactKey::session(&topo, &base));
+        assert_eq!(
+            base_key.digest(),
+            ArtifactKey::session(&topo, &base).digest()
+        );
+
+        // Differing prefix fields → differing canonical bytes (not merely
+        // differing digests), so a cache can never conflate them.
+        let variants = [
+            ArtifactKey::session(&topo, &base.with_seed(8)),
+            ArtifactKey::session(&topo, &base.with_net_model(qgdp_netlist::NetModel::Chain)),
+            ArtifactKey::session(
+                &topo,
+                &base.with_crosstalk(qgdp_metrics::CrosstalkConfig {
+                    proximity_threshold: 11.0,
+                    ..Default::default()
+                }),
+            ),
+            ArtifactKey::session(&StandardTopology::Falcon.build(), &base),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base_key.bytes(), v.bytes(), "variant {i} collided");
+        }
+        // Fields *outside* the GP stage prefix must NOT change the identity:
+        // a session key is shared by detail-on and detail-off requests.
+        let detail_on = base
+            .with_detailed_placement(true)
+            .with_detail(crate::DetailedPlacerConfig::new().with_fidelity_guided(true));
+        assert_eq!(base_key, ArtifactKey::session(&topo, &detail_on));
+    }
+
+    #[test]
+    fn stage_levels_nest_without_ambiguity() {
+        let topo = StandardTopology::Grid.build();
+        let session = ArtifactKey::session(&topo, &FlowConfig::default());
+        let qgdp = session.for_strategy(LegalizationStrategy::Qgdp);
+        let tetris = session.for_strategy(LegalizationStrategy::Tetris);
+        assert_ne!(qgdp, tetris);
+        assert_ne!(session, qgdp);
+        let detail = qgdp.for_detail(&crate::DetailedPlacerConfig::new());
+        let guided =
+            qgdp.for_detail(&crate::DetailedPlacerConfig::new().with_fidelity_guided(true));
+        assert_ne!(detail, guided);
+        assert_ne!(detail, qgdp);
+        // The legalized key literally extends the session key's bytes.
+        assert!(qgdp.bytes().starts_with(session.bytes()));
+        assert!(detail.bytes().starts_with(qgdp.bytes()));
+    }
+
+    #[test]
+    fn strategy_tags_round_trip() {
+        for s in LegalizationStrategy::all() {
+            assert_eq!(strategy_from_tag(strategy_tag(s)), Some(s));
+        }
+        assert_eq!(strategy_from_tag(250), None);
+    }
+
+    #[test]
+    fn placement_fingerprint_tracks_bits() {
+        let topo = StandardTopology::Grid.build();
+        let session = crate::Session::new(&topo, FlowConfig::default().with_seed(3)).unwrap();
+        let gp = session.global_place();
+        let fp = placement_fingerprint(gp.placement());
+        assert_eq!(fp, placement_fingerprint(gp.placement()));
+        let mut moved = gp.placement().clone();
+        moved.set_qubit(
+            qgdp_netlist::QubitId(0),
+            qgdp_geometry::Point::new(1.0, 2.0),
+        );
+        assert_ne!(fp, placement_fingerprint(&moved));
+    }
+}

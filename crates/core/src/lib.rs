@@ -72,6 +72,7 @@
 
 pub mod artifact;
 pub mod detail;
+pub mod digest;
 pub mod error;
 pub mod pipeline;
 pub mod prelude;
@@ -84,6 +85,7 @@ pub use artifact::{
     CellLegalized, Detailed, FlowArtifact, GlobalPlacement, QubitLegalized, Stage, StageEvent,
 };
 pub use detail::{DetailedPlacementOutcome, DetailedPlacer, DetailedPlacerConfig};
+pub use digest::{placement_fingerprint, stable_digest, ArtifactKey, StableHasher};
 pub use error::FlowError;
 pub use pipeline::{run_flow, FaultInjection, FlowConfig, FlowResult, StageTiming};
 pub use qubit_lg::QuantumQubitLegalizer;

@@ -139,6 +139,16 @@ impl FlowConfig {
         self.fault = fault;
         self
     }
+
+    /// Returns `true` when results of this configuration may be cached and shared
+    /// across sessions: every field is then part of the content identity
+    /// ([`crate::ArtifactKey`]).  Fault-injected configurations are **not**
+    /// cacheable — their outcomes are deliberately wrong for their identity, so
+    /// the serve layer must bypass its artifact store for them entirely.
+    #[must_use]
+    pub fn is_cacheable(&self) -> bool {
+        self.fault == FaultInjection::default()
+    }
 }
 
 impl Default for FlowConfig {

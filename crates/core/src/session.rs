@@ -42,11 +42,14 @@
 use crate::artifact::{CellLegalized, Detailed, FlowArtifact, GlobalPlacement, GpData, Stage};
 use crate::pipeline::FlowConfig;
 use crate::{DetailedPlacerConfig, FlowError, LegalizationStrategy};
-use qgdp_metrics::{parallel_try_map, worker_threads};
-use qgdp_netlist::QuantumNetlist;
+use qgdp_geometry::Rect;
+use qgdp_metrics::{parallel_try_map, worker_threads, ReportDelta};
+use qgdp_netlist::{ComponentId, Placement, QuantumNetlist, SegmentId};
+use qgdp_placer::GpStats;
 use qgdp_topology::Topology;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// The shared, immutable context of one placement session.
 #[derive(Debug)]
@@ -161,6 +164,39 @@ impl Session {
     #[must_use]
     pub fn global_place(&self) -> GlobalPlacement {
         GlobalPlacement::compute(Arc::clone(&self.ctx))
+    }
+
+    /// Returns the global-placement artifact **only if** the session's GP cache
+    /// is already populated (by [`Session::global_place`], a batch run, or
+    /// [`Session::restore_global`]) — never triggers a placer run.  The serving
+    /// layer's snapshot export uses this to persist exactly what was computed.
+    #[must_use]
+    pub fn cached_global(&self) -> Option<GlobalPlacement> {
+        self.ctx.gp_cache.get().map(|_| self.global_place())
+    }
+
+    /// Seeds the session's global-placement cache with a previously-computed
+    /// result instead of running the placer — the snapshot-restore path of the
+    /// serving layer — and returns the artifact handle.
+    ///
+    /// The inputs **must** be the bit-exact outputs of a GP run of an identical
+    /// session (same topology, same [`FlowConfig`] stage prefix); the content
+    /// identity of [`crate::ArtifactKey`] is what guarantees this at the call
+    /// sites.  When the cache is already populated the provided data is ignored
+    /// and the live handle is returned, so racing a restore against a live run is
+    /// harmless.
+    #[must_use]
+    pub fn restore_global(
+        &self,
+        die: Rect,
+        placement: Placement,
+        stats: GpStats,
+        elapsed: Duration,
+    ) -> GlobalPlacement {
+        self.ctx
+            .gp_cache
+            .get_or_init(|| GpData::restored(die, placement, stats, elapsed));
+        self.global_place()
     }
 
     /// Runs one full flow for `strategy`, honouring the config's
@@ -385,12 +421,43 @@ fn try_batch_from_gp(
             }
         }
     }
+    // Scoring bases: one incremental ReportDelta per strategy that is detailed
+    // more than once, built off the legalized layout.  Each of that strategy's DP
+    // workers clones the base, replays its artifact's component moves and primes
+    // the artifact's scan cache with the delta-assembled scan — bit-identical to a
+    // from-scratch `LayoutScan` by the `ReportDelta` contract — so sibling detail
+    // configs share one full layout walk instead of paying one each when their
+    // reports are read.  Single-job strategies keep the lazy from-scratch path
+    // (an incremental base would cost a full walk anyway).
+    let delta_bases: Vec<(LegalizationStrategy, ReportDelta<'_>)> = distinct_strategies(requests)
+        .into_iter()
+        .filter(|&s| detail_jobs.iter().filter(|(js, _)| *js == s).count() >= 2)
+        .filter_map(|s| {
+            lookup(s).as_ref().ok().map(|cell| {
+                let base = ReportDelta::new(gp.netlist(), cell.placement(), &gp.config().crosstalk);
+                (s, base)
+            })
+        })
+        .collect();
     let detailed: Vec<Result<Detailed, FlowError>> =
         parallel_try_map(&detail_jobs, threads, |&(strategy, config)| {
             let cell = lookup(strategy)
                 .as_ref()
                 .expect("only successfully legalized strategies are detailed");
-            cell.detail_with(config)
+            let dp = cell.detail_with(config);
+            if let Some((_, base)) = delta_bases.iter().find(|(s, _)| *s == strategy) {
+                let mut delta = base.clone();
+                let before = cell.placement();
+                let after = dp.placement();
+                for s in 0..after.num_segments() {
+                    let id = SegmentId(s);
+                    if before.segment(id) != after.segment(id) {
+                        delta.apply_move(ComponentId::Segment(id), after.segment(id));
+                    }
+                }
+                dp.prime_scan(Arc::new(delta.to_scan()));
+            }
+            dp
         })
         .into_iter()
         .zip(&detail_jobs)
@@ -601,6 +668,96 @@ mod tests {
             artifacts[0].legalized().placement(),
             artifacts[1].legalized().placement()
         ));
+    }
+
+    #[test]
+    fn delta_scored_matrix_reports_are_bit_identical_to_evaluate() {
+        // Two detail configs per strategy trigger the shared ReportDelta scoring
+        // base; the primed reports must be bit-identical to both a from-scratch
+        // evaluate and the serially-staged artifact path.
+        let s = session();
+        let strategies = [LegalizationStrategy::Qgdp, LegalizationStrategy::Tetris];
+        let details = [
+            Some(DetailedPlacerConfig::new()),
+            Some(DetailedPlacerConfig::new().with_fidelity_guided(true)),
+        ];
+        let artifacts = s.run_matrix(&strategies, &details).unwrap();
+        assert_eq!(artifacts.len(), 4);
+        for (index, artifact) in artifacts.iter().enumerate() {
+            let dp = artifact.detailed().expect("every request ran DP");
+            let fresh = qgdp_metrics::LayoutReport::evaluate(
+                dp.netlist(),
+                dp.placement(),
+                &s.config().crosstalk,
+            );
+            assert_eq!(dp.report(), &fresh, "request {index}");
+            assert_eq!(
+                dp.report().hotspot_proportion_percent.to_bits(),
+                fresh.hotspot_proportion_percent.to_bits(),
+                "request {index}"
+            );
+            // The serially-staged path (no delta engine) agrees bit for bit.
+            let config = details[index % details.len()].unwrap();
+            let serial = s
+                .global_place()
+                .legalize(dp.strategy())
+                .unwrap()
+                .detail_with(config);
+            assert_eq!(dp.placement(), serial.placement(), "request {index}");
+            assert_eq!(dp.report(), serial.report(), "request {index}");
+        }
+    }
+
+    #[test]
+    fn restored_artifacts_are_bit_identical_to_live_runs() {
+        let topo = StandardTopology::Grid.build();
+        let cfg = FlowConfig::default().with_seed(11);
+        let live = Session::new(&topo, cfg).unwrap();
+        let gp = live.global_place();
+        let cell = gp.legalize(LegalizationStrategy::Qgdp).unwrap();
+        let dp = cell.detail();
+
+        let fresh = Session::new(&topo, cfg).unwrap();
+        let rgp = fresh.restore_global(gp.die(), gp.placement().clone(), gp.stats(), gp.elapsed());
+        assert_eq!(rgp.placement(), gp.placement());
+        assert_eq!(rgp.elapsed(), gp.elapsed());
+        // The restore seeded the session cache: global_place() now returns the
+        // restored allocation instead of running the placer.
+        assert!(std::ptr::eq(
+            fresh.global_place().placement(),
+            rgp.placement()
+        ));
+        // A restore into an already-placed session is ignored.
+        let ignored = live.restore_global(
+            gp.die(),
+            Placement::new(live.netlist()),
+            gp.stats(),
+            Duration::ZERO,
+        );
+        assert!(std::ptr::eq(ignored.placement(), gp.placement()));
+
+        let rcell = rgp.restore_legalized(
+            LegalizationStrategy::Qgdp,
+            cell.qubit_stage().placement().clone(),
+            cell.qubit_stage().elapsed(),
+            cell.placement().clone(),
+            cell.elapsed(),
+        );
+        assert_eq!(rcell.strategy(), LegalizationStrategy::Qgdp);
+        assert_eq!(rcell.placement(), cell.placement());
+        assert_eq!(rcell.report(), cell.report());
+        assert!(rcell.is_legal());
+
+        let rdp = rcell.restore_detailed(
+            dp.placement().clone(),
+            dp.windows_processed(),
+            dp.windows_accepted(),
+            dp.elapsed(),
+        );
+        assert_eq!(rdp.placement(), dp.placement());
+        assert_eq!(rdp.report(), dp.report());
+        assert_eq!(rdp.windows_accepted(), dp.windows_accepted());
+        assert_eq!(rdp.timing(), dp.timing());
     }
 
     #[test]

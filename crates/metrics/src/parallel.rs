@@ -109,6 +109,91 @@ where
     parallel_map(items, threads, contained)
 }
 
+/// [`parallel_try_map`] over a **work-stealing** scheduler: items are dealt
+/// round-robin into one deque per worker, each worker drains its own deque from
+/// the front and steals from the back of its siblings' when it runs dry, so a
+/// batch of wildly uneven items (one Eagle flow next to ten Grid flows) keeps
+/// every worker busy instead of idling behind the chunked geometry of
+/// [`parallel_map`].
+///
+/// The *output contract is identical* to [`parallel_try_map`]: one slot per item,
+/// in item order, per-item panic containment (`Err(message)` for the poisoned
+/// item only), and — because every slot is written by exactly the worker that
+/// popped its index, and `f` is required to be deterministic per item — the
+/// result vector is element-for-element identical for **every** thread count,
+/// steal pattern and interleaving.  Thread counts of 0 or 1 (or a single item)
+/// run inline without spawning.  The scheduling order is *not* part of the
+/// contract; only the output vector is.
+pub fn parallel_try_map_stealing<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let contained = |item: &T| -> Result<R, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(panic_message)
+    };
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(contained).collect();
+    }
+
+    // Deal item indices round-robin: worker k starts with items k, k+threads, …
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|k| Mutex::new((k..items.len()).step_by(threads).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for k in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let contained = &contained;
+            scope.spawn(move || loop {
+                // Own deque first (front), then steal from siblings (back) —
+                // the classic Chase–Lev discipline, here over mutexed deques
+                // because the per-item work (a placement flow) dwarfs the lock.
+                let next = queues[k]
+                    .lock()
+                    .expect("queue lock")
+                    .pop_front()
+                    .or_else(|| {
+                        (1..threads).find_map(|offset| {
+                            queues[(k + offset) % threads]
+                                .lock()
+                                .expect("queue lock")
+                                .pop_back()
+                        })
+                    });
+                match next {
+                    Some(index) => {
+                        let result = contained(&items[index]);
+                        *slots[index].lock().expect("slot lock") = Some(result);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every dealt index was popped by exactly one worker")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +292,73 @@ mod tests {
             out,
             vec![Err("worker panicked with a non-string payload".to_string())]
         );
+    }
+
+    #[test]
+    fn stealing_map_matches_try_map_for_every_thread_count() {
+        // Deliberately uneven per-item work so stealing actually happens.
+        let items: Vec<u64> = (0..41).collect();
+        let work = |&x: &u64| -> u64 {
+            let spins = if x % 9 == 0 { 40_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let expected = parallel_try_map(&items, 1, work);
+        for threads in [0, 1, 2, 3, 5, 8, 41, 100] {
+            assert_eq!(
+                parallel_try_map_stealing(&items, threads, work),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_map_contains_panics_per_item() {
+        let items: Vec<usize> = (0..19).collect();
+        with_quiet_panics(|| {
+            for threads in [1, 2, 4, 19] {
+                let out = parallel_try_map_stealing(&items, threads, |&x| {
+                    assert!(x % 5 != 3, "poisoned item {x}");
+                    x + 1
+                });
+                for (index, slot) in out.iter().enumerate() {
+                    if index % 5 == 3 {
+                        assert_eq!(
+                            slot,
+                            &Err(format!("poisoned item {index}")),
+                            "threads={threads}"
+                        );
+                    } else {
+                        assert_eq!(slot, &Ok(index + 1), "threads={threads}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn stealing_map_runs_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..100).collect();
+        let counters: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
+        let out = parallel_try_map_stealing(&items, 7, |&x| {
+            counters[x].fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        for (index, counter) in counters.iter().enumerate() {
+            assert_eq!(counter.load(Ordering::Relaxed), 1, "item {index}");
+        }
+    }
+
+    #[test]
+    fn stealing_map_handles_empty_input() {
+        let out: Vec<Result<u32, String>> = parallel_try_map_stealing(&[] as &[u32], 8, |&x| x);
+        assert!(out.is_empty());
     }
 
     #[test]

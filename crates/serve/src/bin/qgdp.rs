@@ -1,0 +1,122 @@
+//! The `qgdp` command: a placement server (`qgdp serve`) and its line-stream
+//! client (`qgdp submit`).
+//!
+//! ```text
+//! qgdp serve --addr 127.0.0.1:7421     # TCP server, sequential connections
+//! qgdp serve --stdin                   # one conversation over stdin/stdout
+//! qgdp submit --addr 127.0.0.1:7421 requests.jsonl
+//! qgdp submit --addr 127.0.0.1:7421 < requests.jsonl
+//! ```
+//!
+//! Environment: `QGDP_THREADS` (workers per batch), `QGDP_CACHE_ENTRIES` /
+//! `QGDP_CACHE_BYTES` (artifact-store budgets), `QGDP_QUEUE_DEPTH` (batch
+//! admission bound), `QGDP_SNAPSHOT` (cache snapshot file, restored at startup
+//! and written on the `shutdown` op).
+
+use qgdp_serve::engine::ServeEngine;
+use qgdp_serve::server::{serve_stdin, serve_tcp, ServerOptions};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  qgdp serve [--addr HOST:PORT | --stdin]
+  qgdp submit --addr HOST:PORT [FILE]
+
+qgdp serve answers line-delimited JSON placement requests (see the qgdp-serve
+crate docs for the wire format). qgdp submit streams FILE (or stdin) to a
+running server and prints the response lines in request order.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let engine = ServeEngine::from_env();
+    let options = ServerOptions::from_env();
+    let use_stdin = args.iter().any(|a| a == "--stdin");
+    let result = if use_stdin {
+        serve_stdin(&engine, &options)
+    } else {
+        let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7421");
+        serve_tcp(&engine, addr, &options)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qgdp serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, "--addr") else {
+        eprintln!("qgdp submit: --addr HOST:PORT is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            file = Some(args[i].clone());
+            i += 1;
+        }
+    }
+    match submit(addr, file.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qgdp submit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submit(addr: &str, file: Option<&str>) -> std::io::Result<()> {
+    let requests: Box<dyn Read> = match file {
+        Some(path) => Box::new(std::fs::File::open(path)?),
+        None => Box::new(std::io::stdin()),
+    };
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    for line in BufReader::new(requests).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+    // Half-close tells the server the batch is complete; responses follow.
+    stream.shutdown(Shutdown::Write)?;
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for response in BufReader::new(stream).lines() {
+        writeln!(out, "{}", response?)?;
+    }
+    out.flush()
+}

@@ -1,0 +1,64 @@
+//! # qgdp-serve
+//!
+//! The long-lived serving layer over the staged [`qgdp::Session`] pipeline: a
+//! **content-addressed artifact store** that shares global placements,
+//! legalizations and detailed placements across requests, a **hand-rolled
+//! binary snapshot codec** that persists the cache across restarts, and a
+//! **work-stealing job queue** with admission control, fronted by the
+//! `qgdp serve` / `qgdp submit` binaries speaking line-delimited JSON.
+//!
+//! # The contracts
+//!
+//! Every layer is held to the repo's bit-identity discipline, and every
+//! contract ships with tests in this crate / the `serve_equivalence` suite:
+//!
+//! * **Cache** ([`store`], [`engine`]) — a warm hit is *pointer-equal*
+//!   (`Arc`-shared) to the artifact the cold path produced, and therefore
+//!   bit-identical; keys ([`qgdp::ArtifactKey`]) compare by full canonical
+//!   content encoding, so digest collisions are impossible by construction.
+//!   Fault-injected configurations never read or populate the cache.
+//! * **Snapshots** ([`snapshot`]) — encoding is canonical (byte-stable across
+//!   cache insertion order), loads are checksum-rejecting, version-gated, and
+//!   never panic on malformed bytes; a restored artifact serves byte-identical
+//!   responses without recomputing any stage.
+//! * **Queue** ([`engine`], [`server`]) — one `Result` per request, in request
+//!   order, identical for every worker count; a poisoned request answers
+//!   `ok:false` in its slot while its siblings and the server survive.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qgdp_serve::engine::{JobRequest, ServeEngine};
+//! use qgdp::{FlowConfig, LegalizationStrategy};
+//! use qgdp_topology::StandardTopology;
+//! use std::sync::Arc;
+//!
+//! let engine = ServeEngine::from_env();
+//! let request = JobRequest {
+//!     topology: Arc::new(StandardTopology::Grid.build()),
+//!     config: FlowConfig::default().with_seed(7),
+//!     strategy: LegalizationStrategy::Qgdp,
+//!     detail: None,
+//! };
+//! let cold = engine.execute(&request)?;
+//! let warm = engine.execute(&request)?;   // Arc-shared cache hit
+//! assert_eq!(
+//!     qgdp::placement_fingerprint(cold.legalized().placement()),
+//!     qgdp::placement_fingerprint(warm.legalized().placement()),
+//! );
+//! # Ok::<(), qgdp_serve::engine::ServeError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod engine;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+pub mod wire;
+
+pub use engine::{JobRequest, RestoreStats, ServeEngine, ServeError};
+pub use server::{serve_stdin, serve_tcp, ServerOptions};
+pub use snapshot::{Snapshot, SnapshotError};
+pub use store::{ArtifactStore, StoreConfig, StoreStats};

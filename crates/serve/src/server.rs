@@ -1,0 +1,386 @@
+//! The request-stream server: segments a line-delimited request stream into
+//! batches, fans each batch over the work-stealing pool, and answers **in
+//! request order**.
+//!
+//! Two transports share one loop ([`run_lines`]):
+//!
+//! * **stdin** — [`serve_stdin`] reads the whole stream to EOF as one
+//!   conversation (the `qgdp serve --stdin` mode used by tests and one-shot
+//!   scripting);
+//! * **TCP** — [`serve_tcp`] accepts connections sequentially; each connection
+//!   is one conversation, with batching on the client's half-close (`qgdp
+//!   submit` writes its lines, shuts down its write half, then reads the
+//!   responses).
+//!
+//! Consecutive job lines form one batch; a control line (`stats`, `shutdown`)
+//! flushes the batch before executing.  A malformed line answers `ok:false` in
+//! its slot without dropping the conversation, and a fault-injected job is
+//! contained to its own response — the server survives poisoned requests by
+//! the batch engine's isolation contract.
+//!
+//! When `QGDP_SNAPSHOT` names a file, the server restores the artifact cache
+//! from it at startup (if present) and persists the cache back on `shutdown`.
+
+use crate::engine::ServeEngine;
+use crate::snapshot;
+use crate::wire::{parse_request, render_parse_error, render_response, WireMessage};
+use qgdp_metrics::worker_threads;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
+
+/// Server policy knobs (transport-independent).
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Snapshot file: restored at startup, written on `shutdown`.
+    pub snapshot_path: Option<PathBuf>,
+    /// Worker threads per batch; `None` follows `QGDP_THREADS`.
+    pub threads: Option<usize>,
+}
+
+impl ServerOptions {
+    /// Reads the options from the environment (`QGDP_SNAPSHOT`).
+    #[must_use]
+    pub fn from_env() -> Self {
+        ServerOptions {
+            snapshot_path: std::env::var_os("QGDP_SNAPSHOT").map(PathBuf::from),
+            threads: None,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(worker_threads)
+    }
+}
+
+/// How a conversation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerOutcome {
+    /// The request stream ended (EOF / client half-close).
+    Eof,
+    /// A `shutdown` op was processed; the server should stop accepting.
+    Shutdown,
+}
+
+/// One pending line of the current batch segment.
+enum Pending {
+    Job { id: String, index: usize },
+    Broken(String),
+}
+
+/// Runs one conversation: reads request lines from `reader` until EOF, writes
+/// one response line per request to `writer`, in request order.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when reading or writing the transport
+/// fails; request-level problems are answered in-band instead.
+pub fn run_lines<R: BufRead, W: Write>(
+    engine: &ServeEngine,
+    reader: R,
+    writer: &mut W,
+    options: &ServerOptions,
+) -> std::io::Result<ServerOutcome> {
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut jobs = Vec::new();
+
+    let flush_batch =
+        |pending: &mut Vec<Pending>, jobs: &mut Vec<_>, writer: &mut W| -> std::io::Result<()> {
+            let results = engine.run_batch(jobs, options.threads());
+            for line in pending.drain(..) {
+                match line {
+                    Pending::Job { id, index } => {
+                        writeln!(writer, "{}", render_response(&id, &results[index]))?;
+                    }
+                    Pending::Broken(response) => writeln!(writer, "{response}")?,
+                }
+            }
+            jobs.clear();
+            writer.flush()
+        };
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(WireMessage::Job { id, job }) => {
+                pending.push(Pending::Job {
+                    id,
+                    index: jobs.len(),
+                });
+                jobs.push(*job);
+            }
+            Ok(WireMessage::Stats) => {
+                flush_batch(&mut pending, &mut jobs, writer)?;
+                let stats = engine.store_stats();
+                writeln!(
+                    writer,
+                    "{{\"ok\":true,\"op\":\"stats\",\"hits\":{},\"misses\":{},\
+                     \"insertions\":{},\"evictions\":{},\"cached\":{}}}",
+                    stats.hits,
+                    stats.misses,
+                    stats.insertions,
+                    stats.evictions,
+                    engine.cached_artifacts()
+                )?;
+                writer.flush()?;
+            }
+            Ok(WireMessage::Shutdown) => {
+                flush_batch(&mut pending, &mut jobs, writer)?;
+                let persisted = persist_snapshot(engine, options);
+                writeln!(
+                    writer,
+                    "{{\"ok\":true,\"op\":\"shutdown\",\"snapshot_saved\":{persisted}}}"
+                )?;
+                writer.flush()?;
+                return Ok(ServerOutcome::Shutdown);
+            }
+            Err(e) => pending.push(Pending::Broken(render_parse_error(&e))),
+        }
+    }
+    flush_batch(&mut pending, &mut jobs, writer)?;
+    Ok(ServerOutcome::Eof)
+}
+
+fn persist_snapshot(engine: &ServeEngine, options: &ServerOptions) -> bool {
+    let Some(path) = &options.snapshot_path else {
+        return false;
+    };
+    match snapshot::save(path, &engine.export_snapshot()) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "qgdp serve: failed to save snapshot {}: {e}",
+                path.display()
+            );
+            false
+        }
+    }
+}
+
+/// Restores the snapshot named by `options`, if the file exists.  Corrupt or
+/// incompatible snapshots are reported to stderr and the server starts cold —
+/// a damaged cache file must never keep the service down.
+pub fn restore_snapshot_if_present(engine: &ServeEngine, options: &ServerOptions) {
+    let Some(path) = &options.snapshot_path else {
+        return;
+    };
+    if !path.exists() {
+        return;
+    }
+    match snapshot::load(path).map(|snap| engine.restore_snapshot(&snap)) {
+        Ok(Ok(stats)) => eprintln!(
+            "qgdp serve: restored {} sessions / {} legalized / {} detailed from {}",
+            stats.sessions,
+            stats.legalized,
+            stats.detailed,
+            path.display()
+        ),
+        Ok(Err(e)) => eprintln!(
+            "qgdp serve: snapshot {} rejected ({e}); starting cold",
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "qgdp serve: snapshot {} unreadable ({e}); starting cold",
+            path.display()
+        ),
+    }
+}
+
+/// Serves one conversation over stdin/stdout, then exits.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the standard streams fail.
+pub fn serve_stdin(engine: &ServeEngine, options: &ServerOptions) -> std::io::Result<()> {
+    restore_snapshot_if_present(engine, options);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut writer = BufWriter::new(stdout.lock());
+    run_lines(engine, stdin.lock(), &mut writer, options)?;
+    Ok(())
+}
+
+/// Binds `addr` and serves connections sequentially until a client sends the
+/// `shutdown` op.  Prints one `listening on <addr>` line to stderr once bound
+/// (the CI smoke test waits for it).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when binding or accepting fails; per-
+/// connection I/O errors are logged and the accept loop continues.
+pub fn serve_tcp<A: ToSocketAddrs>(
+    engine: &ServeEngine,
+    addr: A,
+    options: &ServerOptions,
+) -> std::io::Result<()> {
+    restore_snapshot_if_present(engine, options);
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("qgdp serve: listening on {}", listener.local_addr()?);
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("qgdp serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        match run_lines(engine, reader, &mut writer, options) {
+            Ok(ServerOutcome::Shutdown) => return Ok(()),
+            Ok(ServerOutcome::Eof) => {}
+            Err(e) => eprintln!("qgdp serve: connection error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeEngine;
+    use crate::store::StoreConfig;
+    use crate::wire::{parse_json, Json};
+
+    fn options() -> ServerOptions {
+        ServerOptions {
+            snapshot_path: None,
+            threads: Some(2),
+        }
+    }
+
+    fn run(engine: &ServeEngine, input: &str) -> (Vec<String>, ServerOutcome) {
+        let mut out = Vec::new();
+        let outcome = run_lines(engine, input.as_bytes(), &mut out, &options()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), outcome)
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order_with_ids_echoed() {
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let input = "\
+{\"id\":\"a\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n\
+{\"id\":\"b\",\"topology\":\"grid\",\"strategy\":\"tetris\",\"seed\":3}\n";
+        let (lines, outcome) = run(&engine, input);
+        assert_eq!(outcome, ServerOutcome::Eof);
+        assert_eq!(lines.len(), 2);
+        for (line, id) in lines.iter().zip(["a", "b"]) {
+            let v = parse_json(line).unwrap();
+            assert_eq!(v.get("id"), Some(&Json::Str(id.to_string())));
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn poisoned_request_answers_in_slot_and_siblings_survive() {
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let input = "\
+{\"id\":\"good1\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n\
+{\"id\":\"bad\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3,\"fault\":\"panic\"}\n\
+{\"id\":\"good2\",\"topology\":\"grid\",\"strategy\":\"tetris\",\"seed\":3}\n";
+        let (lines, _) = run(&engine, input);
+        assert_eq!(lines.len(), 3);
+        let ok: Vec<bool> = lines
+            .iter()
+            .map(|l| parse_json(l).unwrap().get("ok") == Some(&Json::Bool(true)))
+            .collect();
+        assert_eq!(ok, [true, false, true]);
+    }
+
+    #[test]
+    fn malformed_line_answers_without_dropping_the_stream() {
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let input = "\
+this is not json\n\
+{\"id\":\"ok\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n";
+        let (lines, _) = run(&engine, input);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            parse_json(&lines[0]).unwrap().get("ok"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            parse_json(&lines[1]).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn warm_rerun_of_the_same_stream_is_byte_identical() {
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let input = "\
+{\"id\":\"a\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n\
+{\"id\":\"b\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3,\"detail\":true}\n";
+        let (cold, _) = run(&engine, input);
+        let (warm, _) = run(&engine, input);
+        assert_eq!(
+            cold, warm,
+            "served responses must not depend on cache state"
+        );
+        assert!(
+            engine.store_stats().hits > 0,
+            "second run must hit the cache"
+        );
+    }
+
+    #[test]
+    fn stats_and_shutdown_ops_flush_then_answer() {
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let input = "\
+{\"id\":\"a\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n\
+{\"op\":\"stats\"}\n\
+{\"op\":\"shutdown\"}\n\
+{\"id\":\"never\",\"topology\":\"grid\",\"strategy\":\"qgdp\"}\n";
+        let (lines, outcome) = run(&engine, input);
+        assert_eq!(outcome, ServerOutcome::Shutdown);
+        assert_eq!(lines.len(), 3, "lines after shutdown are not processed");
+        let stats = parse_json(&lines[1]).unwrap();
+        assert_eq!(stats.get("op"), Some(&Json::Str("stats".to_string())));
+        let bye = parse_json(&lines[2]).unwrap();
+        assert_eq!(bye.get("op"), Some(&Json::Str("shutdown".to_string())));
+    }
+
+    #[test]
+    fn shutdown_snapshot_restores_on_next_start() {
+        let dir = std::env::temp_dir().join("qgdp-serve-server-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.qgdpsnap");
+        let _ = std::fs::remove_file(&path);
+        let opts = ServerOptions {
+            snapshot_path: Some(path.clone()),
+            threads: Some(2),
+        };
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let input = "\
+{\"id\":\"a\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n\
+{\"op\":\"shutdown\"}\n";
+        let mut out = Vec::new();
+        let outcome = run_lines(&engine, input.as_bytes(), &mut out, &opts).unwrap();
+        assert_eq!(outcome, ServerOutcome::Shutdown);
+        assert!(path.exists(), "shutdown must write the snapshot");
+
+        let fresh = ServeEngine::new(StoreConfig::default(), 64);
+        restore_snapshot_if_present(&fresh, &opts);
+        assert!(
+            fresh.cached_artifacts() > 0,
+            "restart must restore the cache"
+        );
+        // The restored cache serves the same request without recomputing.
+        let mut warm_out = Vec::new();
+        let job_line = "{\"id\":\"a\",\"topology\":\"grid\",\"strategy\":\"qgdp\",\"seed\":3}\n";
+        run_lines(&fresh, job_line.as_bytes(), &mut warm_out, &opts).unwrap();
+        let cold_first = String::from_utf8(out).unwrap();
+        let warm_first = String::from_utf8(warm_out).unwrap();
+        assert_eq!(
+            cold_first.lines().next(),
+            warm_first.lines().next(),
+            "snapshot-restored response must match the original byte for byte"
+        );
+        assert_eq!(fresh.store_stats().misses, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

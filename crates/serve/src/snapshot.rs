@@ -1,0 +1,834 @@
+//! The hand-rolled binary snapshot codec: persists the artifact cache across
+//! process restarts without serde or any external dependency.
+//!
+//! # File layout
+//!
+//! ```text
+//! +----------+---------+-------------+-----------+-------------+
+//! | QGDPSNAP | version | payload_len |  payload  | fnv64(body) |
+//! |  8 bytes | u32 LE  |   u64 LE    |  n bytes  |   u64 LE    |
+//! +----------+---------+-------------+-----------+-------------+
+//! ```
+//!
+//! Loads are **checksum-rejecting**: a truncated or bit-flipped file fails with
+//! a typed [`SnapshotError`] (never a panic), and a version the codec does not
+//! speak is refused before any payload byte is touched.
+//!
+//! # Byte stability
+//!
+//! [`encode`] is canonical: sessions are sorted by their content-identity bytes,
+//! legalized stages by strategy tag, detailed stages by `(strategy, detail
+//! config)` encoding, and every `f64` is written as its IEEE-754 bit pattern.
+//! Encoding a snapshot, decoding it and encoding the result yields the **same
+//! bytes**, regardless of cache insertion or LRU order — the round-trip
+//! byte-stability contract of the snapshot test layer.
+
+use qgdp::digest::{strategy_from_tag, strategy_tag};
+use qgdp::{DetailedPlacerConfig, FlowConfig, LegalizationStrategy, StableHasher};
+use qgdp_geometry::Point;
+use qgdp_metrics::CrosstalkConfig;
+use qgdp_netlist::NetModel;
+use qgdp_placer::{GlobalPlacerConfig, GpStats};
+use qgdp_topology::{Topology, TopologyKind};
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte magic prefix of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"QGDPSNAP";
+/// The codec version this build writes and the only one it reads.
+pub const VERSION: u32 = 1;
+
+/// Cap on any decoded element count, so a corrupted length prefix cannot ask
+/// for an absurd allocation before the real data runs out.
+const MAX_COUNT: u64 = 16_000_000;
+
+/// A typed snapshot failure.  Every malformed input maps to one of these —
+/// decoding never panics.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The header names a version this codec does not speak.
+    UnsupportedVersion(u32),
+    /// The file ended before the structure it promised.
+    Truncated,
+    /// The payload checksum does not match the trailer — bit rot or tampering.
+    ChecksumMismatch {
+        /// Checksum recorded in the file trailer.
+        expected: u64,
+        /// Checksum of the payload actually read.
+        actual: u64,
+    },
+    /// The payload decoded but described an impossible structure.
+    Malformed(String),
+    /// An I/O failure while reading or writing the file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a qGDP snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this codec speaks {VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch (trailer {expected:016x}, payload {actual:016x})"
+            ),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Raw component positions of one placement, decoupled from any netlist handle.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacementData {
+    /// Qubit centres, in id order.
+    pub qubits: Vec<Point>,
+    /// Wire-block segment centres, in id order.
+    pub segments: Vec<Point>,
+}
+
+/// One persisted global-placement result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpSnapshot {
+    /// Die lower-left corner, width and height.
+    pub die: (Point, f64, f64),
+    /// The GP positions.
+    pub placement: PlacementData,
+    /// The placer's quality statistics.
+    pub stats: GpStats,
+    /// Wall-clock nanoseconds of the original run (restored artifacts report
+    /// the original stage cost, not zero).
+    pub elapsed_ns: u64,
+}
+
+/// One persisted legalization (both stages of one strategy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalizedSnapshot {
+    /// The strategy that produced the layout.
+    pub strategy: LegalizationStrategy,
+    /// Positions after qubit legalization.
+    pub qubit_placement: PlacementData,
+    /// Qubit-stage nanoseconds.
+    pub qubit_ns: u64,
+    /// Positions after wire-block legalization.
+    pub cell_placement: PlacementData,
+    /// Wire-block-stage nanoseconds.
+    pub cell_ns: u64,
+}
+
+/// One persisted detailed placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedSnapshot {
+    /// The strategy of the legalized input layout.
+    pub strategy: LegalizationStrategy,
+    /// The detailed-placer configuration that produced the refinement.
+    pub detail: DetailedPlacerConfig,
+    /// The refined positions.
+    pub placement: PlacementData,
+    /// Number of windows examined.
+    pub windows_processed: u64,
+    /// Number of windows accepted.
+    pub windows_accepted: u64,
+    /// Stage nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Everything persisted for one session identity: the inputs that rebuild the
+/// [`qgdp::Session`] plus every cached stage artifact derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The device topology (self-contained; rebuilt on load).
+    pub topology: Topology,
+    /// The GP-stage-prefix configuration (geometry, net model, GP, crosstalk).
+    /// Detail configs travel per [`DetailedSnapshot`]; fault hooks are never
+    /// snapshotted (fault-injected configurations are uncacheable).
+    pub config: FlowConfig,
+    /// The cached global placement, when one was computed.
+    pub gp: Option<GpSnapshot>,
+    /// Cached legalizations, at most one per strategy.
+    pub legalized: Vec<LegalizedSnapshot>,
+    /// Cached detailed placements, at most one per `(strategy, detail)` pair.
+    pub detailed: Vec<DetailedSnapshot>,
+}
+
+/// A decoded (or to-be-encoded) snapshot: the persistent image of the cache.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// One entry per session identity.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_points(out: &mut Vec<u8>, points: &[Point]) {
+    push_u64(out, points.len() as u64);
+    for p in points {
+        push_f64(out, p.x);
+        push_f64(out, p.y);
+    }
+}
+
+fn push_placement(out: &mut Vec<u8>, p: &PlacementData) {
+    push_points(out, &p.qubits);
+    push_points(out, &p.segments);
+}
+
+fn kind_tag(kind: TopologyKind) -> u8 {
+    match kind {
+        TopologyKind::Grid => 0,
+        TopologyKind::HeavyHex => 1,
+        TopologyKind::Octagon => 2,
+        TopologyKind::Xtree => 3,
+        _ => 4,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<TopologyKind> {
+    Some(match tag {
+        0 => TopologyKind::Grid,
+        1 => TopologyKind::HeavyHex,
+        2 => TopologyKind::Octagon,
+        3 => TopologyKind::Xtree,
+        4 => TopologyKind::Custom,
+        _ => return None,
+    })
+}
+
+fn push_topology(out: &mut Vec<u8>, t: &Topology) {
+    push_str(out, t.name());
+    push_u8(out, kind_tag(t.kind()));
+    push_u64(out, t.num_qubits() as u64);
+    push_u64(out, t.couplings().len() as u64);
+    for &(a, b) in t.couplings() {
+        push_u64(out, a as u64);
+        push_u64(out, b as u64);
+    }
+    push_points(out, t.coords());
+}
+
+fn push_config(out: &mut Vec<u8>, c: &FlowConfig) {
+    let g = &c.geometry;
+    push_f64(out, g.qubit_width);
+    push_f64(out, g.qubit_height);
+    push_f64(out, g.wire_block_size);
+    push_f64(out, g.padding_length);
+    push_f64(out, g.resonator_wirelength);
+    push_f64(out, g.min_qubit_spacing_cells);
+    push_u8(
+        out,
+        match c.net_model {
+            NetModel::Chain => 0,
+            NetModel::Pseudo => 1,
+            NetModel::Clique => 2,
+        },
+    );
+    let gp = &c.gp;
+    push_f64(out, gp.utilization);
+    push_u64(out, gp.iterations as u64);
+    push_f64(out, gp.attraction);
+    push_f64(out, gp.anchor);
+    push_f64(out, gp.repulsion);
+    push_f64(out, gp.damping);
+    push_f64(out, gp.jitter);
+    push_f64(out, gp.qubit_padding_cells);
+    push_u64(out, gp.star_threshold as u64);
+    push_u64(out, gp.seed);
+    push_f64(out, c.crosstalk.proximity_threshold);
+    push_f64(out, c.crosstalk.detuning_threshold_ghz);
+}
+
+fn push_detail_config(out: &mut Vec<u8>, d: &DetailedPlacerConfig) {
+    push_f64(out, d.window_margin_cells);
+    push_u64(out, d.max_windows as u64);
+    push_u64(out, d.passes as u64);
+    push_f64(out, d.crosstalk.proximity_threshold);
+    push_f64(out, d.crosstalk.detuning_threshold_ghz);
+    push_u8(out, u8::from(d.fidelity_guided));
+}
+
+fn detail_sort_key(d: &DetailedPlacerConfig) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(42);
+    push_detail_config(&mut bytes, d);
+    bytes
+}
+
+fn push_session(out: &mut Vec<u8>, s: &SessionSnapshot) {
+    push_topology(out, &s.topology);
+    push_config(out, &s.config);
+    match &s.gp {
+        None => push_u8(out, 0),
+        Some(gp) => {
+            push_u8(out, 1);
+            push_f64(out, gp.die.0.x);
+            push_f64(out, gp.die.0.y);
+            push_f64(out, gp.die.1);
+            push_f64(out, gp.die.2);
+            push_placement(out, &gp.placement);
+            push_f64(out, gp.stats.hpwl);
+            push_u64(out, gp.stats.overlaps as u64);
+            push_f64(out, gp.stats.max_density);
+            push_u64(out, gp.elapsed_ns);
+        }
+    }
+    let mut legalized: Vec<&LegalizedSnapshot> = s.legalized.iter().collect();
+    legalized.sort_by_key(|l| strategy_tag(l.strategy));
+    push_u64(out, legalized.len() as u64);
+    for l in legalized {
+        push_u8(out, strategy_tag(l.strategy));
+        push_placement(out, &l.qubit_placement);
+        push_u64(out, l.qubit_ns);
+        push_placement(out, &l.cell_placement);
+        push_u64(out, l.cell_ns);
+    }
+    let mut detailed: Vec<&DetailedSnapshot> = s.detailed.iter().collect();
+    detailed.sort_by_key(|d| (strategy_tag(d.strategy), detail_sort_key(&d.detail)));
+    push_u64(out, detailed.len() as u64);
+    for d in detailed {
+        push_u8(out, strategy_tag(d.strategy));
+        push_detail_config(out, &d.detail);
+        push_placement(out, &d.placement);
+        push_u64(out, d.windows_processed);
+        push_u64(out, d.windows_accepted);
+        push_u64(out, d.elapsed_ns);
+    }
+}
+
+/// Encodes `snapshot` into the canonical byte form (header + payload +
+/// checksum).  Canonical: the same logical snapshot always encodes to the same
+/// bytes, whatever order its vectors arrived in.
+#[must_use]
+pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
+    // Sort sessions by their own canonical encoding for order independence.
+    let mut bodies: Vec<Vec<u8>> = snapshot
+        .sessions
+        .iter()
+        .map(|s| {
+            let mut body = Vec::new();
+            push_session(&mut body, s);
+            body
+        })
+        .collect();
+    bodies.sort();
+    let mut payload = Vec::new();
+    push_u64(&mut payload, bodies.len() as u64);
+    for body in &bodies {
+        payload.extend_from_slice(body);
+    }
+
+    let mut hasher = StableHasher::new();
+    hasher.update(&payload);
+    let checksum = hasher.finish();
+
+    let mut out = Vec::with_capacity(payload.len() + 28);
+    out.extend_from_slice(MAGIC);
+    push_u32(&mut out, VERSION);
+    push_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    push_u64(&mut out, checksum);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.at.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn count(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        if n > MAX_COUNT {
+            return Err(SnapshotError::Malformed(format!(
+                "{what} count {n} exceeds the sanity cap"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, SnapshotError> {
+        let len = self.count(what)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn points(&mut self, what: &str) -> Result<Vec<Point>, SnapshotError> {
+        let n = self.count(what)?;
+        let mut out = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            let x = self.f64()?;
+            let y = self.f64()?;
+            out.push(Point::new(x, y));
+        }
+        Ok(out)
+    }
+
+    fn placement(&mut self, what: &str) -> Result<PlacementData, SnapshotError> {
+        Ok(PlacementData {
+            qubits: self.points(what)?,
+            segments: self.points(what)?,
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn read_topology(r: &mut Reader<'_>) -> Result<Topology, SnapshotError> {
+    let name = r.string("topology name")?;
+    let kind = kind_from_tag(r.u8()?)
+        .ok_or_else(|| SnapshotError::Malformed("unknown topology kind tag".into()))?;
+    let num_qubits = r.count("qubit")?;
+    let num_couplings = r.count("coupling")?;
+    let mut couplings = Vec::with_capacity(num_couplings.min(65_536));
+    for _ in 0..num_couplings {
+        let a = r.u64()? as usize;
+        let b = r.u64()? as usize;
+        if a >= num_qubits || b >= num_qubits || a == b {
+            return Err(SnapshotError::Malformed(format!(
+                "coupling ({a}, {b}) is invalid for {num_qubits} qubits"
+            )));
+        }
+        couplings.push((a, b));
+    }
+    // `Topology::new` panics on duplicates; refuse them here instead.
+    let mut sorted: Vec<(usize, usize)> = couplings
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    sorted.sort_unstable();
+    let before = sorted.len();
+    sorted.dedup();
+    if sorted.len() != before {
+        return Err(SnapshotError::Malformed("duplicate couplings".into()));
+    }
+    let coords = r.points("coordinate")?;
+    if coords.len() != num_qubits {
+        return Err(SnapshotError::Malformed(format!(
+            "{} coordinates for {num_qubits} qubits",
+            coords.len()
+        )));
+    }
+    // `Topology::new` synthesises a "{kind}-{n}" display name; restore the
+    // recorded one so the round trip is lossless.
+    Ok(Topology::new(name.clone(), kind, num_qubits, couplings, coords).with_name(name))
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<FlowConfig, SnapshotError> {
+    let geometry = qgdp_netlist::ComponentGeometry {
+        qubit_width: r.f64()?,
+        qubit_height: r.f64()?,
+        wire_block_size: r.f64()?,
+        padding_length: r.f64()?,
+        resonator_wirelength: r.f64()?,
+        min_qubit_spacing_cells: r.f64()?,
+    };
+    let net_model = match r.u8()? {
+        0 => NetModel::Chain,
+        1 => NetModel::Pseudo,
+        2 => NetModel::Clique,
+        tag => {
+            return Err(SnapshotError::Malformed(format!(
+                "unknown net-model tag {tag}"
+            )))
+        }
+    };
+    let gp = GlobalPlacerConfig {
+        utilization: r.f64()?,
+        iterations: r.count("gp iteration")?,
+        attraction: r.f64()?,
+        anchor: r.f64()?,
+        repulsion: r.f64()?,
+        damping: r.f64()?,
+        jitter: r.f64()?,
+        qubit_padding_cells: r.f64()?,
+        star_threshold: r.count("gp star threshold")?,
+        seed: r.u64()?,
+    };
+    let crosstalk = CrosstalkConfig {
+        proximity_threshold: r.f64()?,
+        detuning_threshold_ghz: r.f64()?,
+    };
+    Ok(FlowConfig::default()
+        .with_geometry(geometry)
+        .with_net_model(net_model)
+        .with_gp(gp)
+        .with_crosstalk(crosstalk))
+}
+
+fn read_detail_config(r: &mut Reader<'_>) -> Result<DetailedPlacerConfig, SnapshotError> {
+    let window_margin_cells = r.f64()?;
+    let max_windows = r.count("detail window")?;
+    let passes = r.count("detail pass")?;
+    let crosstalk = CrosstalkConfig {
+        proximity_threshold: r.f64()?,
+        detuning_threshold_ghz: r.f64()?,
+    };
+    let fidelity_guided = match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(SnapshotError::Malformed(format!(
+                "bad fidelity-guided flag {tag}"
+            )))
+        }
+    };
+    Ok(DetailedPlacerConfig {
+        window_margin_cells,
+        max_windows,
+        passes,
+        crosstalk,
+        fidelity_guided,
+    })
+}
+
+fn read_strategy(r: &mut Reader<'_>) -> Result<LegalizationStrategy, SnapshotError> {
+    let tag = r.u8()?;
+    strategy_from_tag(tag)
+        .ok_or_else(|| SnapshotError::Malformed(format!("unknown strategy tag {tag}")))
+}
+
+fn read_session(r: &mut Reader<'_>) -> Result<SessionSnapshot, SnapshotError> {
+    let topology = read_topology(r)?;
+    let config = read_config(r)?;
+    let gp = match r.u8()? {
+        0 => None,
+        1 => {
+            let ll = Point::new(r.f64()?, r.f64()?);
+            let w = r.f64()?;
+            let h = r.f64()?;
+            let placement = r.placement("gp placement")?;
+            let stats = GpStats {
+                hpwl: r.f64()?,
+                overlaps: r.count("gp overlap")?,
+                max_density: r.f64()?,
+            };
+            let elapsed_ns = r.u64()?;
+            Some(GpSnapshot {
+                die: (ll, w, h),
+                placement,
+                stats,
+                elapsed_ns,
+            })
+        }
+        tag => {
+            return Err(SnapshotError::Malformed(format!(
+                "bad gp-presence flag {tag}"
+            )))
+        }
+    };
+    let num_legalized = r.count("legalized")?;
+    let mut legalized = Vec::with_capacity(num_legalized.min(16));
+    for _ in 0..num_legalized {
+        legalized.push(LegalizedSnapshot {
+            strategy: read_strategy(r)?,
+            qubit_placement: r.placement("qubit placement")?,
+            qubit_ns: r.u64()?,
+            cell_placement: r.placement("cell placement")?,
+            cell_ns: r.u64()?,
+        });
+    }
+    let num_detailed = r.count("detailed")?;
+    let mut detailed = Vec::with_capacity(num_detailed.min(16));
+    for _ in 0..num_detailed {
+        detailed.push(DetailedSnapshot {
+            strategy: read_strategy(r)?,
+            detail: read_detail_config(r)?,
+            placement: r.placement("detailed placement")?,
+            windows_processed: r.u64()?,
+            windows_accepted: r.u64()?,
+            elapsed_ns: r.u64()?,
+        });
+    }
+    Ok(SessionSnapshot {
+        topology,
+        config,
+        gp,
+        legalized,
+        detailed,
+    })
+}
+
+/// Decodes a snapshot file image.
+///
+/// # Errors
+///
+/// Returns the typed [`SnapshotError`] describing exactly what was wrong:
+/// bad magic, unsupported version, truncation, checksum mismatch, or a
+/// structurally impossible payload.  Never panics on malformed input.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = {
+        let b = r.take(4)?;
+        u32::from_le_bytes(b.try_into().expect("4-byte slice"))
+    };
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let payload_len = r.u64()? as usize;
+    let payload = r.take(payload_len)?;
+    let expected = r.u64()?;
+    if !r.is_done() {
+        return Err(SnapshotError::Malformed(
+            "trailing bytes after checksum".into(),
+        ));
+    }
+    let mut hasher = StableHasher::new();
+    hasher.update(payload);
+    let actual = hasher.finish();
+    if actual != expected {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut r = Reader::new(payload);
+    let num_sessions = r.count("session")?;
+    let mut sessions = Vec::with_capacity(num_sessions.min(1024));
+    for _ in 0..num_sessions {
+        sessions.push(read_session(&mut r)?);
+    }
+    if !r.is_done() {
+        return Err(SnapshotError::Malformed("trailing payload bytes".into()));
+    }
+    Ok(Snapshot { sessions })
+}
+
+/// Writes `snapshot` to `path` atomically (temp file + rename).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] on filesystem failures.
+pub fn save(path: &Path, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+    let bytes = encode(snapshot);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and decodes the snapshot at `path`.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for I/O failures and every malformed-file
+/// shape [`decode`] rejects.
+pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp_topology::StandardTopology;
+
+    fn sample() -> Snapshot {
+        let topology = StandardTopology::Grid.build();
+        let config = FlowConfig::default().with_seed(7);
+        let placement = PlacementData {
+            qubits: vec![Point::new(1.5, 2.5), Point::new(3.25, -4.0)],
+            segments: vec![Point::new(0.125, 9.0)],
+        };
+        Snapshot {
+            sessions: vec![SessionSnapshot {
+                topology,
+                config,
+                gp: Some(GpSnapshot {
+                    die: (Point::new(0.0, 0.0), 500.0, 400.0),
+                    placement: placement.clone(),
+                    stats: GpStats {
+                        hpwl: 1234.5,
+                        overlaps: 3,
+                        max_density: 0.75,
+                    },
+                    elapsed_ns: 1_000_000,
+                }),
+                legalized: vec![LegalizedSnapshot {
+                    strategy: LegalizationStrategy::Qgdp,
+                    qubit_placement: placement.clone(),
+                    qubit_ns: 10,
+                    cell_placement: placement.clone(),
+                    cell_ns: 20,
+                }],
+                detailed: vec![DetailedSnapshot {
+                    strategy: LegalizationStrategy::Qgdp,
+                    detail: DetailedPlacerConfig::new(),
+                    placement,
+                    windows_processed: 5,
+                    windows_accepted: 2,
+                    elapsed_ns: 30,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_stable() {
+        let snapshot = sample();
+        let bytes = encode(&snapshot);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, snapshot);
+        assert_eq!(encode(&decoded), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn session_order_does_not_change_the_bytes() {
+        let mut two = sample();
+        let mut other = sample().sessions.remove(0);
+        other.config = other.config.with_seed(99);
+        two.sessions.push(other);
+        let forward = encode(&two);
+        two.sessions.reverse();
+        assert_eq!(encode(&two), forward, "canonical encoding is order-free");
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_length() {
+        let bytes = encode(&sample());
+        for len in 0..bytes.len() {
+            match decode(&bytes[..len]) {
+                Err(
+                    SnapshotError::Truncated
+                    | SnapshotError::BadMagic
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::Malformed(_),
+                ) => {}
+                other => panic!("truncation at {len} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = encode(&sample());
+        // Flipping any payload or trailer bit must be caught by the checksum (or
+        // an earlier structural check); header flips trip magic/version/length.
+        for byte in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 0x10;
+            assert!(
+                decode(&corrupt).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 0xFE; // version LE byte 0
+        match decode(&bytes) {
+            Err(SnapshotError::UnsupportedVersion(v)) => assert_eq!(v, 0x0000_00FE),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_refused() {
+        let mut bytes = encode(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let bytes = encode(&Snapshot::default());
+        assert_eq!(decode(&bytes).unwrap(), Snapshot::default());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let snapshot = sample();
+        let dir = std::env::temp_dir().join("qgdp-serve-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.qgdpsnap");
+        save(&path, &snapshot).unwrap();
+        assert_eq!(load(&path).unwrap(), snapshot);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_errors_are_typed() {
+        let missing = Path::new("/nonexistent/qgdp/cache.qgdpsnap");
+        assert!(matches!(load(missing), Err(SnapshotError::Io(_))));
+    }
+}

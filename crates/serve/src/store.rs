@@ -1,0 +1,422 @@
+//! The content-addressed artifact store: an LRU map from [`ArtifactKey`] to
+//! `Arc`-shared stage artifacts, bounded by **both** an entry count and an
+//! estimated byte budget.
+//!
+//! Keys are full canonical byte encodings (see [`qgdp::digest`]) — two requests
+//! collide in the store **iff** their stage prefixes are byte-identical, so a
+//! digest collision between differing configurations is impossible by
+//! construction: the 64-bit digest only buckets, the bytes decide.
+//!
+//! The store itself is value-agnostic (`ArtifactStore<V>`); the serving engine
+//! instantiates it with its cache-value enum.  [`ArtifactStore::insert`] has
+//! *get-or-insert winner semantics*: racing inserts of the same key converge on
+//! the first value in, so every caller walks away holding a handle to **one**
+//! shared allocation — the pointer-sharing contract the service layer tests.
+
+use qgdp::ArtifactKey;
+use std::collections::HashMap;
+
+/// Default entry budget when `QGDP_CACHE_ENTRIES` is unset.
+pub const DEFAULT_MAX_ENTRIES: usize = 256;
+/// Default estimated-byte budget when `QGDP_CACHE_BYTES` is unset (64 MiB).
+pub const DEFAULT_MAX_BYTES: usize = 64 * 1024 * 1024;
+
+/// Capacity budgets of an [`ArtifactStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Maximum number of live entries (LRU-evicted beyond this).
+    pub max_entries: usize,
+    /// Maximum total *estimated* bytes across live entries.  Estimates are the
+    /// caller's (placement-dominated) sizings, not allocator truth.
+    pub max_bytes: usize,
+}
+
+impl StoreConfig {
+    /// Budgets from the environment: `QGDP_CACHE_ENTRIES` / `QGDP_CACHE_BYTES`,
+    /// each falling back to its default when unset, unparsable or zero.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let read = |var: &str, default: usize| -> usize {
+            match std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                Some(n) if n >= 1 => n,
+                _ => default,
+            }
+        };
+        StoreConfig {
+            max_entries: read("QGDP_CACHE_ENTRIES", DEFAULT_MAX_ENTRIES),
+            max_bytes: read("QGDP_CACHE_BYTES", DEFAULT_MAX_BYTES),
+        }
+    }
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_entries: DEFAULT_MAX_ENTRIES,
+            max_bytes: DEFAULT_MAX_BYTES,
+        }
+    }
+}
+
+/// Observability counters of one store (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// `get` calls that found their key.
+    pub hits: u64,
+    /// `get` calls that did not.
+    pub misses: u64,
+    /// `insert` calls that added a new entry.
+    pub insertions: u64,
+    /// Entries dropped to respect a budget.
+    pub evictions: u64,
+}
+
+/// Sentinel slab index for the ends of the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<V> {
+    key: ArtifactKey,
+    value: V,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// A strict-LRU, doubly-budgeted map from [`ArtifactKey`] to shared artifact
+/// handles (see the [module docs](self)).
+///
+/// Recency order: `get` and `insert` both mark the touched entry most-recently
+/// used; eviction always removes the least-recently-used entry.  Eviction never
+/// removes the entry being inserted, so a single artifact larger than
+/// `max_bytes` still caches (alone) rather than thrashing.
+#[derive(Debug)]
+pub struct ArtifactStore<V> {
+    config: StoreConfig,
+    /// Key → slab index.  `ArtifactKey` hashes by digest and compares by full
+    /// bytes, so digest collisions land in one bucket but never conflate.
+    index: HashMap<ArtifactKey, usize>,
+    slab: Vec<Option<Entry<V>>>,
+    free: Vec<usize>,
+    /// Most-recently-used slab index (NIL when empty).
+    head: usize,
+    /// Least-recently-used slab index (NIL when empty).
+    tail: usize,
+    total_bytes: usize,
+    stats: StoreStats,
+}
+
+impl<V: Clone> ArtifactStore<V> {
+    /// An empty store with the given budgets.
+    #[must_use]
+    pub fn new(config: StoreConfig) -> Self {
+        ArtifactStore {
+            config,
+            index: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            total_bytes: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The configured budgets.
+    #[must_use]
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no entries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total estimated bytes across live entries.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// The observability counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Looks `key` up; a hit marks the entry most-recently used and returns a
+    /// clone of the stored handle (an `Arc` bump for the engine's values).
+    pub fn get(&mut self, key: &ArtifactKey) -> Option<V> {
+        match self.index.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.touch(slot);
+                Some(self.entry(slot).value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key` with the caller's byte estimate, evicting
+    /// least-recently-used entries until both budgets hold, and returns the
+    /// handle now cached under the key.
+    ///
+    /// **Winner semantics**: when the key is already present, the *existing*
+    /// value is kept (and marked most-recently used) and returned — the caller's
+    /// freshly-computed duplicate is dropped.  Every racer therefore ends up
+    /// pointing at one shared allocation.
+    pub fn insert(&mut self, key: ArtifactKey, value: V, bytes: usize) -> V {
+        if let Some(slot) = self.index.get(&key).copied() {
+            self.touch(slot);
+            return self.entry(slot).value.clone();
+        }
+        self.stats.insertions += 1;
+        let slot = self.allocate(Entry {
+            key: key.clone(),
+            value: value.clone(),
+            bytes,
+            prev: NIL,
+            next: NIL,
+        });
+        self.index.insert(key, slot);
+        self.total_bytes += bytes;
+        self.link_front(slot);
+        // Evict from the LRU end until both budgets hold — but never the entry
+        // just inserted (`len() > 1` keeps at least it).
+        // An entry budget of 0 is clamped to "the newest entry survives", and an
+        // over-budget singleton likewise stays (documented above).
+        while self.len() > 1
+            && (self.len() > self.config.max_entries || self.total_bytes > self.config.max_bytes)
+        {
+            self.evict_lru();
+        }
+        value
+    }
+
+    /// Drops every entry (budgets and counters are kept).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.total_bytes = 0;
+    }
+
+    /// Visits every live entry, most-recently used first.
+    pub fn for_each(&self, mut visit: impl FnMut(&ArtifactKey, &V)) {
+        let mut slot = self.head;
+        while slot != NIL {
+            let entry = self.entry(slot);
+            visit(&entry.key, &entry.value);
+            slot = entry.next;
+        }
+    }
+
+    fn entry(&self, slot: usize) -> &Entry<V> {
+        self.slab[slot].as_ref().expect("live slab slot")
+    }
+
+    fn entry_mut(&mut self, slot: usize) -> &mut Entry<V> {
+        self.slab[slot].as_mut().expect("live slab slot")
+    }
+
+    fn allocate(&mut self, entry: Entry<V>) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.entry(slot);
+            (e.prev, e.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entry_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entry_mut(next).prev = prev;
+        }
+    }
+
+    fn link_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(slot);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entry_mut(old_head).prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        if victim == NIL {
+            return;
+        }
+        self.unlink(victim);
+        let entry = self.slab[victim].take().expect("live LRU tail");
+        self.index.remove(&entry.key);
+        self.total_bytes -= entry.bytes;
+        self.free.push(victim);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgdp::{ArtifactKey, FlowConfig, LegalizationStrategy};
+    use qgdp_topology::StandardTopology;
+
+    fn keys(n: u64) -> Vec<ArtifactKey> {
+        let topo = StandardTopology::Grid.build();
+        (0..n)
+            .map(|seed| ArtifactKey::session(&topo, &FlowConfig::default().with_seed(seed)))
+            .collect()
+    }
+
+    fn store(max_entries: usize, max_bytes: usize) -> ArtifactStore<u64> {
+        ArtifactStore::new(StoreConfig {
+            max_entries,
+            max_bytes,
+        })
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let ks = keys(4);
+        let mut s = store(3, usize::MAX);
+        for (i, k) in ks.iter().take(3).enumerate() {
+            s.insert(k.clone(), i as u64, 1);
+        }
+        // Touch k0 so k1 becomes the LRU victim.
+        assert_eq!(s.get(&ks[0]), Some(0));
+        s.insert(ks[3].clone(), 3, 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(&ks[1]), None, "LRU entry was evicted");
+        assert_eq!(s.get(&ks[0]), Some(0));
+        assert_eq!(s.get(&ks[2]), Some(2));
+        assert_eq!(s.get(&ks[3]), Some(3));
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_until_it_holds() {
+        let ks = keys(3);
+        let mut s = store(usize::MAX, 100);
+        s.insert(ks[0].clone(), 0, 60);
+        s.insert(ks[1].clone(), 1, 30);
+        assert_eq!(s.total_bytes(), 90);
+        s.insert(ks[2].clone(), 2, 50);
+        // 60 + 30 + 50 > 100: evict k0 (LRU) → 80 holds.
+        assert_eq!(s.total_bytes(), 80);
+        assert_eq!(s.get(&ks[0]), None);
+        assert_eq!(s.get(&ks[1]), Some(1));
+    }
+
+    #[test]
+    fn oversized_singleton_still_caches() {
+        let ks = keys(2);
+        let mut s = store(8, 10);
+        s.insert(ks[0].clone(), 7, 1_000);
+        assert_eq!(s.len(), 1, "the newest entry always survives");
+        assert_eq!(s.get(&ks[0]), Some(7));
+        s.insert(ks[1].clone(), 9, 2_000);
+        assert_eq!(s.len(), 1, "the old oversized entry made room");
+        assert_eq!(s.get(&ks[1]), Some(9));
+    }
+
+    #[test]
+    fn insert_has_winner_semantics() {
+        let ks = keys(1);
+        let mut s = store(8, usize::MAX);
+        assert_eq!(s.insert(ks[0].clone(), 1, 1), 1);
+        // A racing duplicate insert keeps (and returns) the first value.
+        assert_eq!(s.insert(ks[0].clone(), 2, 1), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&ks[0]), Some(1));
+        assert_eq!(s.stats().insertions, 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let ks = keys(2);
+        let mut s = store(8, usize::MAX);
+        s.insert(ks[0].clone(), 1, 1);
+        let _ = s.get(&ks[0]);
+        let _ = s.get(&ks[1]);
+        let _ = s.get(&ks[1]);
+        let stats = s.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn distinct_stage_levels_never_conflate() {
+        let topo = StandardTopology::Grid.build();
+        let session = ArtifactKey::session(&topo, &FlowConfig::default());
+        let mut s = store(8, usize::MAX);
+        s.insert(session.clone(), 1, 1);
+        s.insert(session.for_strategy(LegalizationStrategy::Qgdp), 2, 1);
+        s.insert(session.for_strategy(LegalizationStrategy::Tetris), 3, 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(&session), Some(1));
+        assert_eq!(
+            s.get(&session.for_strategy(LegalizationStrategy::Qgdp)),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn for_each_walks_mru_to_lru() {
+        let ks = keys(3);
+        let mut s = store(8, usize::MAX);
+        for (i, k) in ks.iter().enumerate() {
+            s.insert(k.clone(), i as u64, 1);
+        }
+        let _ = s.get(&ks[0]); // order now: k0, k2, k1
+        let mut seen = Vec::new();
+        s.for_each(|_, &v| seen.push(v));
+        assert_eq!(seen, vec![0, 2, 1]);
+    }
+}

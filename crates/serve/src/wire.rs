@@ -1,0 +1,611 @@
+//! The line-delimited JSON wire format of `qgdp serve` / `qgdp submit`.
+//!
+//! One request per line; one response line per request, **in request order**.
+//! The parser and renderer are hand-rolled (no serde in this build
+//! environment) and deliberately tiny: flat objects, string/number/bool
+//! values, the standard escape set.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"id": "r1", "topology": "grid", "strategy": "qgdp", "seed": 7}
+//! {"id": "r2", "topology": "falcon", "strategy": "tetris", "seed": 7, "detail": true}
+//! {"id": "r3", "topology": "eagle", "strategy": "qgdp", "detail": {"passes": 2}}
+//! {"id": "r4", "topology": "grid", "strategy": "qgdp", "fault": "panic"}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! * `topology` — a standard device name (`grid`, `xtree`, `falcon`, `eagle`,
+//!   `aspen-11`, `aspen-m`), case-insensitive.
+//! * `strategy` — `qgdp`, `qabacus`, `qtetris`, `abacus` or `tetris`.
+//! * `seed` — GP seed (optional, default 0).
+//! * `detail` — omitted/`false` stops after legalization; `true` runs detailed
+//!   placement with defaults; an object overrides `window_margin_cells`,
+//!   `max_windows`, `passes`, `fidelity_guided`.
+//! * `fault` — `"panic"` / `"fail"` arms the deterministic fault hooks for the
+//!   request's strategy (testing; such requests bypass the artifact cache).
+//!
+//! # Responses
+//!
+//! Responses are **fully deterministic** — metrics and the placement
+//! fingerprint, never timings — so a warm-cache rerun of a request stream is
+//! byte-for-byte identical to the cold run (the CI smoke test diffs exactly
+//! that).
+
+use crate::engine::{JobRequest, ServeError};
+use qgdp::{
+    placement_fingerprint, DetailedPlacerConfig, FaultInjection, FlowArtifact, FlowConfig,
+    LegalizationStrategy,
+};
+use qgdp_topology::{StandardTopology, Topology};
+use std::fmt;
+use std::sync::Arc;
+
+/// A wire-level parse failure (the offending line gets an error response; the
+/// stream keeps going).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the wire format uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(err(format!("expected '{}' at byte {}", b as char, self.at)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, WireError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(err(format!(
+                "unexpected '{}' at byte {}",
+                c as char, self.at
+            ))),
+            None => Err(err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(err(format!("bad literal at byte {}", self.at)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.at;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| err(format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or_else(|| err("unterminated escape"))?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| err("bad \\u escape"))?;
+                            self.at += 4;
+                            // Surrogate pairs are rejected rather than decoded:
+                            // nothing in the wire vocabulary needs them.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| err("\\u escape is not a scalar value"))?,
+                            );
+                        }
+                        other => return Err(err(format!("unknown escape '\\{}'", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences included).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| err("invalid UTF-8 in string"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| err("empty string tail"))?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(err(format!("expected ',' or '}}' at byte {}", self.at))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(err(format!("expected ',' or ']' at byte {}", self.at))),
+            }
+        }
+    }
+}
+
+/// Parses one JSON value, requiring the whole input to be consumed.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the first offending byte.
+pub fn parse_json(text: &str) -> Result<Json, WireError> {
+    let mut p = JsonParser::new(text);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(err(format!("trailing input at byte {}", p.at)));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------------
+
+/// One decoded request line.
+#[derive(Debug, Clone)]
+pub enum WireMessage {
+    /// A placement job with its caller-chosen id.
+    Job {
+        /// The id echoed back on the response line.
+        id: String,
+        /// The decoded job (boxed — a job dwarfs the dataless control ops).
+        job: Box<JobRequest>,
+    },
+    /// `{"op": "stats"}` — report cache counters.
+    Stats,
+    /// `{"op": "shutdown"}` — snapshot (if configured) and stop the server.
+    Shutdown,
+}
+
+fn topology_by_name(name: &str) -> Result<Topology, WireError> {
+    let lowered = name.to_ascii_lowercase();
+    for standard in StandardTopology::all() {
+        if standard.name().to_ascii_lowercase() == lowered {
+            return Ok(standard.build());
+        }
+    }
+    Err(err(format!(
+        "unknown topology '{name}' (expected one of grid, xtree, falcon, eagle, aspen-11, aspen-m)"
+    )))
+}
+
+/// Parses a strategy name as used on the wire (lowercase).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for anything but the five paper strategies.
+pub fn strategy_by_name(name: &str) -> Result<LegalizationStrategy, WireError> {
+    match name.to_ascii_lowercase().as_str() {
+        "qgdp" => Ok(LegalizationStrategy::Qgdp),
+        "qabacus" => Ok(LegalizationStrategy::QAbacus),
+        "qtetris" => Ok(LegalizationStrategy::QTetris),
+        "abacus" => Ok(LegalizationStrategy::Abacus),
+        "tetris" => Ok(LegalizationStrategy::Tetris),
+        other => Err(err(format!("unknown strategy '{other}'"))),
+    }
+}
+
+fn parse_u64(value: &Json, what: &str) -> Result<u64, WireError> {
+    match value {
+        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8e19 => Ok(*n as u64),
+        _ => Err(err(format!("{what} must be a non-negative integer"))),
+    }
+}
+
+fn parse_detail(value: &Json) -> Result<Option<DetailedPlacerConfig>, WireError> {
+    match value {
+        Json::Null | Json::Bool(false) => Ok(None),
+        Json::Bool(true) => Ok(Some(DetailedPlacerConfig::new())),
+        Json::Obj(_) => {
+            let mut config = DetailedPlacerConfig::new();
+            if let Some(v) = value.get("window_margin_cells") {
+                match v {
+                    Json::Num(n) => config.window_margin_cells = *n,
+                    _ => return Err(err("window_margin_cells must be a number")),
+                }
+            }
+            if let Some(v) = value.get("max_windows") {
+                config.max_windows = parse_u64(v, "max_windows")? as usize;
+            }
+            if let Some(v) = value.get("passes") {
+                config.passes = parse_u64(v, "passes")? as usize;
+            }
+            if let Some(v) = value.get("fidelity_guided") {
+                match v {
+                    Json::Bool(b) => config.fidelity_guided = *b,
+                    _ => return Err(err("fidelity_guided must be a boolean")),
+                }
+            }
+            Ok(Some(config))
+        }
+        _ => Err(err("detail must be a boolean or an object")),
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first problem with the line; the
+/// caller turns it into an `ok:false` response without dropping the stream.
+pub fn parse_request(line: &str) -> Result<WireMessage, WireError> {
+    let value = parse_json(line)?;
+    if let Some(op) = value.get("op") {
+        return match op {
+            Json::Str(s) if s == "stats" => Ok(WireMessage::Stats),
+            Json::Str(s) if s == "shutdown" => Ok(WireMessage::Shutdown),
+            Json::Str(s) => Err(err(format!("unknown op '{s}'"))),
+            _ => Err(err("op must be a string")),
+        };
+    }
+    let id = match value.get("id") {
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => return Err(err("id must be a string")),
+        None => return Err(err("request is missing 'id'")),
+    };
+    let topology = match value.get("topology") {
+        Some(Json::Str(s)) => topology_by_name(s)?,
+        _ => return Err(err("request is missing string 'topology'")),
+    };
+    let strategy = match value.get("strategy") {
+        Some(Json::Str(s)) => strategy_by_name(s)?,
+        _ => return Err(err("request is missing string 'strategy'")),
+    };
+    let seed = match value.get("seed") {
+        Some(v) => parse_u64(v, "seed")?,
+        None => 0,
+    };
+    let detail = match value.get("detail") {
+        Some(v) => parse_detail(v)?,
+        None => None,
+    };
+    let mut config = FlowConfig::default().with_seed(seed);
+    if let Some(fault) = value.get("fault") {
+        config = config.with_fault_injection(match fault {
+            Json::Str(s) if s == "panic" => FaultInjection {
+                panic_in_legalization: Some(strategy),
+                ..FaultInjection::default()
+            },
+            Json::Str(s) if s == "fail" => FaultInjection {
+                fail_legalization: Some(strategy),
+                ..FaultInjection::default()
+            },
+            Json::Null => FaultInjection::default(),
+            _ => return Err(err("fault must be \"panic\" or \"fail\"")),
+        });
+    }
+    Ok(WireMessage::Job {
+        id,
+        job: Box::new(JobRequest {
+            topology: Arc::new(topology),
+            config,
+            strategy,
+            detail,
+        }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for embedding in a JSON response line.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn strategy_name(strategy: LegalizationStrategy) -> &'static str {
+    match strategy {
+        LegalizationStrategy::Qgdp => "qgdp",
+        LegalizationStrategy::QAbacus => "qabacus",
+        LegalizationStrategy::QTetris => "qtetris",
+        LegalizationStrategy::Abacus => "abacus",
+        LegalizationStrategy::Tetris => "tetris",
+    }
+}
+
+/// Renders the response line for one job outcome.
+///
+/// Success lines carry the layout metrics and the 64-bit placement
+/// fingerprint; they are a pure function of the artifact, so reruns (warm or
+/// cold) produce byte-identical lines.
+#[must_use]
+pub fn render_response(id: &str, outcome: &Result<FlowArtifact, ServeError>) -> String {
+    match outcome {
+        Ok(artifact) => {
+            let (stage, placement, report) = match artifact {
+                FlowArtifact::Legalized(cell) => ("legalized", cell.placement(), cell.report()),
+                FlowArtifact::Detailed(dp) => ("detailed", dp.placement(), dp.report()),
+            };
+            format!(
+                "{{\"id\":\"{}\",\"ok\":true,\"strategy\":\"{}\",\"stage\":\"{}\",\
+                 \"fingerprint\":\"{:016x}\",\"num_cells\":{},\"crossings\":{},\
+                 \"violations\":{},\"hotspot_qubits\":{},\"hotspot_proportion_percent\":{}}}",
+                escape_json(id),
+                strategy_name(artifact.strategy()),
+                stage,
+                placement_fingerprint(placement),
+                report.num_cells,
+                report.crossings,
+                report.violations,
+                report.hotspot_qubits,
+                report.hotspot_proportion_percent,
+            )
+        }
+        Err(e) => format!(
+            "{{\"id\":\"{}\",\"ok\":false,\"error\":\"{}\"}}",
+            escape_json(id),
+            escape_json(&e.to_string())
+        ),
+    }
+}
+
+/// Renders the error response for a line that failed to parse.
+#[must_use]
+pub fn render_parse_error(e: &WireError) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\"}}",
+        escape_json(&format!("bad request: {e}"))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_job_line() {
+        let msg = parse_request(
+            r#"{"id": "r1", "topology": "Falcon", "strategy": "qtetris", "seed": 9, "detail": {"passes": 2}}"#,
+        )
+        .unwrap();
+        let WireMessage::Job { id, job } = msg else {
+            panic!("expected a job");
+        };
+        assert_eq!(id, "r1");
+        assert_eq!(job.topology.name(), "Falcon");
+        assert_eq!(job.strategy, LegalizationStrategy::QTetris);
+        assert_eq!(job.config.gp.seed, 9);
+        assert_eq!(job.detail.unwrap().passes, 2);
+    }
+
+    #[test]
+    fn detail_true_means_default_config() {
+        let msg = parse_request(r#"{"id":"x","topology":"grid","strategy":"qgdp","detail":true}"#)
+            .unwrap();
+        let WireMessage::Job { job, .. } = msg else {
+            panic!("expected a job");
+        };
+        assert_eq!(job.detail, Some(DetailedPlacerConfig::new()));
+    }
+
+    #[test]
+    fn fault_hooks_make_the_config_uncacheable() {
+        let msg =
+            parse_request(r#"{"id":"bad","topology":"grid","strategy":"qgdp","fault":"panic"}"#)
+                .unwrap();
+        let WireMessage::Job { job, .. } = msg else {
+            panic!("expected a job");
+        };
+        assert!(!job.config.is_cacheable());
+    }
+
+    #[test]
+    fn ops_and_errors() {
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            WireMessage::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            WireMessage::Shutdown
+        ));
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"id":"a","topology":"moon","strategy":"qgdp"}"#).is_err());
+        assert!(parse_request(r#"{"id":"a","topology":"grid","strategy":"magic"}"#).is_err());
+        assert!(parse_request(r#"{"topology":"grid","strategy":"qgdp"}"#).is_err());
+        assert!(parse_request(r#"{"id":"a","topology":"grid","strategy":"qgdp"} extra"#).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": "q\"\\\nA", "b": [1, -2.5e1, true, null]}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Str("q\"\\\nA".to_string())));
+        assert_eq!(
+            v.get("b"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Bool(true),
+                Json::Null
+            ]))
+        );
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let line = format!("{{\"s\":\"{}\"}}", escape_json(nasty));
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("s"), Some(&Json::Str(nasty.to_string())));
+    }
+
+    #[test]
+    fn error_responses_are_well_formed_json() {
+        let outcome: Result<FlowArtifact, ServeError> =
+            Err(ServeError::Worker("boom \"quoted\"".into()));
+        let line = render_response("r\"1", &outcome);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("id"), Some(&Json::Str("r\"1".to_string())));
+    }
+}

@@ -1,0 +1,386 @@
+//! Service-level equivalence suite: the serving layer must be **invisible** in
+//! the outputs.
+//!
+//! Contracts locked down here:
+//!
+//! * **Served = direct** — running requests through [`ServeEngine`] (cache,
+//!   queue, work stealing) yields placements and reports bit-identical to a
+//!   plain [`Session::try_run_matrix`] on the same inputs, for Grid / Falcon /
+//!   Eagle across all five strategies, at 1 / 3 / 8 workers, cold cache, warm
+//!   cache, and snapshot-restored cache alike.
+//! * **Warm = pointer-shared** — a cache hit returns the same `Arc` allocation
+//!   the cold path produced, not a recomputation.
+//! * **Fault isolation** — a poisoned request answers in its own slot while
+//!   every sibling stays bit-identical to a clean run, at 1 and 4 workers.
+//! * **Store vs oracle** — the intrusive-list LRU store behaves exactly like a
+//!   naive `Vec`-based LRU model under random operation sequences (property
+//!   tested), and stage-nested keys never collide by construction.
+
+use proptest::prelude::*;
+use qgdp::{
+    placement_fingerprint, ArtifactKey, DetailedPlacerConfig, FaultInjection, FlowArtifact,
+    FlowConfig, LegalizationStrategy, Session,
+};
+use qgdp_netlist::Placement;
+use qgdp_serve::engine::{JobRequest, ServeEngine, ServeError};
+use qgdp_serve::snapshot;
+use qgdp_serve::store::{ArtifactStore, StoreConfig};
+use qgdp_topology::StandardTopology;
+use std::sync::Arc;
+
+/// The GP seed shared by every experiment (`qgdp_bench::EXPERIMENT_SEED`).
+const EXPERIMENT_SEED: u64 = 20_250_331;
+
+const TOPOLOGIES: [StandardTopology; 3] = [
+    StandardTopology::Grid,
+    StandardTopology::Falcon,
+    StandardTopology::Eagle,
+];
+
+fn config() -> FlowConfig {
+    FlowConfig::default().with_seed(EXPERIMENT_SEED)
+}
+
+/// A deliberately small detail config so the full matrix stays fast.
+fn small_detail() -> DetailedPlacerConfig {
+    DetailedPlacerConfig {
+        max_windows: 6,
+        passes: 1,
+        ..DetailedPlacerConfig::new()
+    }
+}
+
+fn placement_of(artifact: &FlowArtifact) -> &Placement {
+    match artifact {
+        FlowArtifact::Legalized(cell) => cell.placement(),
+        FlowArtifact::Detailed(dp) => dp.placement(),
+    }
+}
+
+/// The request matrix for one topology: all five strategies × {legalize-only,
+/// small detail} — strategy-major, matching [`Session::try_run_matrix`].
+fn matrix_requests(topology: &Arc<qgdp_topology::Topology>) -> Vec<JobRequest> {
+    let mut requests = Vec::new();
+    for strategy in LegalizationStrategy::all() {
+        for detail in [None, Some(small_detail())] {
+            requests.push(JobRequest {
+                topology: Arc::clone(topology),
+                config: config(),
+                strategy,
+                detail,
+            });
+        }
+    }
+    requests
+}
+
+fn assert_matches_direct(
+    served: &[Result<FlowArtifact, ServeError>],
+    direct: &[Result<FlowArtifact, qgdp::FlowError>],
+    label: &str,
+) {
+    assert_eq!(served.len(), direct.len(), "{label}: result counts");
+    for (i, (s, d)) in served.iter().zip(direct).enumerate() {
+        match (s, d) {
+            (Ok(s), Ok(d)) => {
+                assert_eq!(
+                    placement_of(s),
+                    placement_of(d),
+                    "{label}: request {i} placement diverged"
+                );
+                match (s, d) {
+                    (FlowArtifact::Legalized(s), FlowArtifact::Legalized(d)) => {
+                        assert_eq!(s.report(), d.report(), "{label}: request {i} report");
+                    }
+                    (FlowArtifact::Detailed(s), FlowArtifact::Detailed(d)) => {
+                        assert_eq!(s.report(), d.report(), "{label}: request {i} report");
+                    }
+                    _ => panic!("{label}: request {i} stage mismatch"),
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (s, d) => panic!("{label}: request {i} outcome mismatch: {s:?} vs {d:?}"),
+        }
+    }
+}
+
+#[test]
+fn served_matrix_is_bit_identical_to_direct_session_at_every_worker_count() {
+    let details = [None, Some(small_detail())];
+    for standard in TOPOLOGIES {
+        let topology = Arc::new(standard.build());
+        let session = Session::over(Arc::clone(&topology), config()).expect("session builds");
+        let direct = session.try_run_matrix(&LegalizationStrategy::all(), &details);
+        let requests = matrix_requests(&topology);
+
+        for threads in [1, 3, 8] {
+            // Cold: a fresh engine per worker count.
+            let engine = ServeEngine::new(StoreConfig::default(), 256);
+            let cold = engine.run_batch(&requests, threads);
+            assert_matches_direct(&cold, &direct, &format!("{standard} cold t={threads}"));
+
+            // Warm: the same stream again must hit the cache and still match.
+            let warm = engine.run_batch(&requests, threads);
+            assert_matches_direct(&warm, &direct, &format!("{standard} warm t={threads}"));
+            for (c, w) in cold.iter().zip(&warm) {
+                let (Ok(c), Ok(w)) = (c, w) else {
+                    panic!("{standard}: matrix requests all succeed")
+                };
+                assert!(
+                    std::ptr::eq(placement_of(c), placement_of(w)),
+                    "{standard} t={threads}: warm hit must be Arc-shared with cold"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_restored_cache_serves_bit_identical_artifacts_without_recomputing() {
+    for standard in [StandardTopology::Grid, StandardTopology::Falcon] {
+        let topology = Arc::new(standard.build());
+        let requests = matrix_requests(&topology);
+
+        let origin = ServeEngine::new(StoreConfig::default(), 256);
+        let before = origin.run_batch(&requests, 3);
+
+        // Persist through the real codec: encode → bytes → decode → restore.
+        let bytes = snapshot::encode(&origin.export_snapshot());
+        let restored = ServeEngine::new(StoreConfig::default(), 256);
+        let stats = restored
+            .restore_snapshot(&snapshot::decode(&bytes).expect("snapshot decodes"))
+            .expect("snapshot restores");
+        assert!(stats.sessions >= 1 && stats.legalized >= 5 && stats.detailed >= 5);
+
+        let after = restored.run_batch(&requests, 3);
+        assert_eq!(
+            restored.store_stats().misses,
+            0,
+            "{standard}: restored cache must serve the stream without recomputing"
+        );
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            let (Ok(b), Ok(a)) = (b, a) else {
+                panic!("{standard}: matrix requests all succeed")
+            };
+            assert_eq!(
+                placement_fingerprint(placement_of(b)),
+                placement_fingerprint(placement_of(a)),
+                "{standard}: request {i} diverged across the snapshot boundary"
+            );
+            match (b, a) {
+                (FlowArtifact::Legalized(b), FlowArtifact::Legalized(a)) => {
+                    assert_eq!(b.report(), a.report());
+                    assert_eq!(b.elapsed(), a.elapsed(), "persisted stage timings");
+                }
+                (FlowArtifact::Detailed(b), FlowArtifact::Detailed(a)) => {
+                    assert_eq!(b.report(), a.report());
+                    assert_eq!(b.elapsed(), a.elapsed(), "persisted stage timings");
+                }
+                _ => panic!("{standard}: stage mismatch across snapshot"),
+            }
+        }
+
+        // Two warm requests off the restored cache share one allocation.
+        let x = restored.execute(&requests[0]).unwrap();
+        let y = restored.execute(&requests[0]).unwrap();
+        assert!(
+            std::ptr::eq(placement_of(&x), placement_of(&y)),
+            "{standard}: restored artifacts must be pointer-shared on reuse"
+        );
+    }
+}
+
+#[test]
+fn poisoned_request_is_contained_and_siblings_match_at_1_and_4_workers() {
+    let topology = Arc::new(StandardTopology::Grid.build());
+    let clean: Vec<JobRequest> = LegalizationStrategy::all()
+        .into_iter()
+        .map(|strategy| JobRequest {
+            topology: Arc::clone(&topology),
+            config: config(),
+            strategy,
+            detail: None,
+        })
+        .collect();
+    let mut poisoned = clean.clone();
+    poisoned.insert(
+        2,
+        JobRequest {
+            topology: Arc::clone(&topology),
+            config: config().with_fault_injection(FaultInjection {
+                panic_in_legalization: Some(LegalizationStrategy::Qgdp),
+                ..FaultInjection::default()
+            }),
+            strategy: LegalizationStrategy::Qgdp,
+            detail: None,
+        },
+    );
+
+    for threads in [1, 4] {
+        let clean_engine = ServeEngine::new(StoreConfig::default(), 64);
+        let clean_results = clean_engine.run_batch(&clean, threads);
+
+        let engine = ServeEngine::new(StoreConfig::default(), 64);
+        let results = engine.run_batch(&poisoned, threads);
+        assert_eq!(results.len(), clean.len() + 1);
+        assert!(
+            matches!(
+                &results[2],
+                Err(ServeError::Flow(qgdp::FlowError::Worker { .. }))
+            ),
+            "t={threads}: poisoned slot must report the contained panic, got {:?}",
+            results[2]
+        );
+        let siblings: Vec<_> = results[..2].iter().chain(&results[3..]).collect();
+        for (i, (s, c)) in siblings.iter().zip(&clean_results).enumerate() {
+            let (Ok(s), Ok(c)) = (s, c) else {
+                panic!("t={threads}: sibling {i} should succeed")
+            };
+            assert_eq!(
+                placement_of(s),
+                placement_of(c),
+                "t={threads}: sibling {i} must be bit-identical to a clean run"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_injected_requests_are_never_cached_even_when_they_succeed() {
+    let topology = Arc::new(StandardTopology::Grid.build());
+    // A fault config that targets a strategy we don't run: the request
+    // succeeds, but the config is still uncacheable and must bypass the store.
+    let request = JobRequest {
+        topology,
+        config: config().with_fault_injection(FaultInjection {
+            fail_legalization: Some(LegalizationStrategy::Tetris),
+            ..FaultInjection::default()
+        }),
+        strategy: LegalizationStrategy::Qgdp,
+        detail: None,
+    };
+    let engine = ServeEngine::new(StoreConfig::default(), 64);
+    assert!(engine.execute(&request).is_ok());
+    assert_eq!(engine.cached_artifacts(), 0);
+    assert!(engine.export_snapshot().sessions.is_empty());
+    let stats = engine.store_stats();
+    assert_eq!(stats.hits + stats.misses + stats.insertions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Store vs naive LRU oracle
+// ---------------------------------------------------------------------------
+
+/// A deliberately naive LRU model: a `Vec` ordered MRU-first, linear lookups.
+struct OracleLru {
+    max_entries: usize,
+    max_bytes: usize,
+    /// MRU-first `(key bytes, value, bytes)` triples.
+    entries: Vec<(Vec<u8>, u64, usize)>,
+}
+
+impl OracleLru {
+    fn new(max_entries: usize, max_bytes: usize) -> Self {
+        OracleLru {
+            max_entries,
+            max_bytes,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<u64> {
+        let pos = self.entries.iter().position(|(k, _, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1;
+        self.entries.insert(0, entry);
+        Some(value)
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, _, b)| b).sum()
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: u64, bytes: usize) -> u64 {
+        if let Some(existing) = self.get(&key) {
+            return existing; // first writer wins, insert touches to MRU
+        }
+        self.entries.insert(0, (key, value, bytes));
+        while self.entries.len() > 1
+            && (self.entries.len() > self.max_entries || self.total_bytes() > self.max_bytes)
+        {
+            self.entries.pop();
+        }
+        value
+    }
+}
+
+/// Distinct [`ArtifactKey`]s to index with: seeds × strategies × stage levels,
+/// so the oracle run exercises nested stage keys, not just flat blobs.
+fn key_universe() -> Vec<ArtifactKey> {
+    let topology = StandardTopology::Grid.build();
+    let mut keys = Vec::new();
+    for seed in 0..4u64 {
+        let session = ArtifactKey::session(&topology, &FlowConfig::default().with_seed(seed));
+        for strategy in [LegalizationStrategy::Qgdp, LegalizationStrategy::Tetris] {
+            let legalized = session.for_strategy(strategy);
+            keys.push(legalized.for_detail(&DetailedPlacerConfig::new()));
+            keys.push(legalized);
+        }
+        keys.push(session);
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_matches_naive_lru_oracle(
+        max_entries in 1usize..8,
+        max_bytes in 1usize..2000,
+        ops in proptest::collection::vec((0usize..20, 0u64..1_000_000, 1usize..400, 0usize..2), 1..120),
+    ) {
+        let keys = key_universe();
+        let mut store = ArtifactStore::<u64>::new(StoreConfig { max_entries, max_bytes });
+        let mut oracle = OracleLru::new(max_entries, max_bytes);
+
+        for (key_index, value, bytes, op) in ops {
+            let key = &keys[key_index % keys.len()];
+            if op == 0 {
+                let got = store.get(key);
+                let expected = oracle.get(key.bytes());
+                prop_assert_eq!(got, expected);
+            } else {
+                let got = store.insert(key.clone(), value, bytes);
+                let expected = oracle.insert(key.bytes().to_vec(), value, bytes);
+                prop_assert_eq!(got, expected);
+            }
+            prop_assert_eq!(store.len(), oracle.entries.len());
+            prop_assert_eq!(store.total_bytes(), oracle.total_bytes());
+
+            // The store's MRU→LRU walk must equal the oracle's order exactly.
+            let mut walked = Vec::new();
+            store.for_each(|k, v| walked.push((k.bytes().to_vec(), *v)));
+            let expected_walk: Vec<(Vec<u8>, u64)> = oracle
+                .entries
+                .iter()
+                .map(|(k, v, _)| (k.clone(), *v))
+                .collect();
+            prop_assert_eq!(walked, expected_walk);
+        }
+    }
+
+    #[test]
+    fn artifact_keys_never_collide_across_stage_levels(a in 0usize..25, b in 0usize..25) {
+        let keys = key_universe();
+        let (ka, kb) = (&keys[a % keys.len()], &keys[b % keys.len()]);
+        if a % keys.len() == b % keys.len() {
+            prop_assert_eq!(ka, kb);
+        } else {
+            // Equality is on the full canonical byte encoding: distinct stage
+            // paths are distinct keys even if a 64-bit digest were to collide.
+            prop_assert_ne!(ka, kb);
+            prop_assert_ne!(ka.bytes(), kb.bytes());
+        }
+    }
+}
