@@ -5,6 +5,29 @@
 //! ```
 
 use qgdp::prelude::*;
+use qgdp::topology::{multi_chip, roadmap_heavy_hex, Topology};
+
+/// Netlist-cell budget above which the roadmap rows print "—" instead of
+/// building the full component netlist (the inventory stays instant at 100k).
+const NETLIST_CELL_CEILING: usize = 20_000;
+
+fn roadmap_row(topo: &Topology, desc: &str) {
+    let cells = if topo.num_qubits() <= NETLIST_CELL_CEILING {
+        let netlist = topo
+            .to_netlist(ComponentGeometry::default(), NetModel::Pseudo)
+            .expect("netlist builds");
+        netlist.num_components().to_string()
+    } else {
+        "—".to_string()
+    };
+    println!(
+        "{:<28} {:>7} {:>9} {:>7}  {desc}",
+        topo.name(),
+        topo.num_qubits(),
+        topo.num_couplings(),
+        cells,
+    );
+}
 
 fn main() {
     println!("TABLE I: TOPOLOGIES AND BENCHMARKS");
@@ -53,6 +76,22 @@ fn main() {
             netlist.num_components(),
         );
     }
+
+    println!();
+    println!(
+        "{:<28} {:>7} {:>9} {:>7}  description",
+        "Roadmap device", "Qubits", "Couplers", "Cells"
+    );
+    println!("{}", "-".repeat(76));
+    for target in [1_000usize, 10_000, 100_000] {
+        let topo = roadmap_heavy_hex(target);
+        roadmap_row(&topo, "Vendor-roadmap heavy-hex tiling");
+    }
+    let module = multi_chip(&roadmap_heavy_hex(1_000), 2, 2, 8, 4.0);
+    roadmap_row(
+        &module,
+        "Four chips stitched by inter-chip couplers (qLDPC multilayer model)",
+    );
 
     println!();
     println!(

@@ -220,11 +220,13 @@ pub fn map_circuit(circuit: &Circuit, topology: &Topology, seed: u64) -> MappedC
         topology.num_qubits()
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    // Both the adjacency list and the all-pairs distance matrix are cached on the
+    // Both the adjacency list and the distance provider are cached on the
     // topology, so mapping the same device repeatedly (the 50-mappings protocol)
-    // costs no per-call BFS and no per-call O(V²) allocation.
+    // costs no per-call BFS.  The tiered provider keeps roadmap-scale devices
+    // out of O(V²) memory entirely: below the threshold it is the dense matrix,
+    // above it distances come from lazily computed per-source BFS rows.
     let adjacency = topology.adjacency();
-    let dist = topology.distance_matrix();
+    let dist = topology.distances();
     let n_phys = topology.num_qubits();
     let n_logical = circuit.num_qubits();
 
@@ -276,7 +278,13 @@ pub fn map_circuit(circuit: &Circuit, topology: &Topology, seed: u64) -> MappedC
         loop {
             let pa = l2p[la];
             let pb = l2p[lb];
-            if dist.get(pa, pb) <= 1 {
+            // One row fetch per step: every query this iteration has target pb,
+            // and BFS hop counts on the undirected coupling graph are symmetric,
+            // so `row(pb)[x]` is bit-identical to `get(x, pb)` — on the lazy
+            // tier this is the difference between one BFS per step and one per
+            // neighbour probe.
+            let to_pb = dist.row(pb);
+            if to_pb[pa] <= 1 {
                 break;
             }
             // Step to any neighbour of pa strictly closer to pb (`checked_add` keeps
@@ -284,7 +292,7 @@ pub fn map_circuit(circuit: &Circuit, topology: &Topology, seed: u64) -> MappedC
             let next = adjacency[pa]
                 .iter()
                 .copied()
-                .filter(|&v| dist.get(v, pb).checked_add(1) == Some(dist.get(pa, pb)))
+                .filter(|&v| to_pb[v].checked_add(1) == Some(to_pb[pa]))
                 .min()
                 .expect("shortest path step exists on a connected graph");
             // Emit the SWAP as three CNOTs.

@@ -66,7 +66,10 @@ pub mod traits;
 
 pub use abacus::AbacusLegalizer;
 pub use error::LegalizeError;
-pub use macros::{legalize_macros, legalize_macros_reference, macros_are_legal, MacroLegalizer};
+pub use macros::{
+    legalize_macros, legalize_macros_reference, macros_are_legal, scheduled_sweeps, MacroLegalizer,
+    MIN_SCHEDULED_SWEEPS, SWEEP_SCHEDULE_THRESHOLD_MACROS,
+};
 pub use rows::{RowGrid, SubRow};
 pub use tetris::TetrisLegalizer;
 pub use traits::{is_legal, CellLegalizer, QubitLegalizer};

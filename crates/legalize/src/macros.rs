@@ -43,6 +43,33 @@ use qgdp_netlist::{Placement, QuantumNetlist};
 /// Maximum number of pairwise-separation sweeps before falling back to repair.
 const MAX_SWEEPS: usize = 200;
 
+/// Macro count up to which [`scheduled_sweeps`] is the identity (the full
+/// `MAX_SWEEPS` budget).  An order of magnitude past Eagle's 127 macros and
+/// past the synthetic-1600 bench row, so every committed golden is unaffected.
+pub const SWEEP_SCHEDULE_THRESHOLD_MACROS: usize = 2048;
+
+/// Floor [`scheduled_sweeps`] never goes below.
+pub const MIN_SCHEDULED_SWEEPS: usize = 32;
+
+/// Pairwise-separation sweep budget for `num_macros` macros: the full
+/// `MAX_SWEEPS` up to [`SWEEP_SCHEDULE_THRESHOLD_MACROS`], then scaled by
+/// `√(threshold / n)` with a floor of [`MIN_SCHEDULED_SWEEPS`].  In practice
+/// the sweep loop converges (and returns early) long before the budget on
+/// realistic densities; the budget only caps the pathological tail, so
+/// shrinking it at roadmap scale bounds worst-case work without touching
+/// converging runs.  A pure function of `num_macros`, shared by
+/// [`legalize_macros`] and [`legalize_macros_reference`] so both engines make
+/// identical sweep decisions at every size.
+#[must_use]
+pub fn scheduled_sweeps(num_macros: usize) -> usize {
+    if num_macros <= SWEEP_SCHEDULE_THRESHOLD_MACROS {
+        return MAX_SWEEPS;
+    }
+    let ratio = SWEEP_SCHEDULE_THRESHOLD_MACROS as f64 / num_macros as f64;
+    let scaled = (MAX_SWEEPS as f64 * ratio.sqrt()).round() as usize;
+    scaled.clamp(MIN_SCHEDULED_SWEEPS, MAX_SWEEPS)
+}
+
 /// Rejects inputs whose spacing-inflated macro area provably exceeds the die.
 fn check_required_area(desired: &[Rect], die: &Rect, spacing: f64) -> Result<(), LegalizeError> {
     let required_area: f64 = desired
@@ -230,7 +257,7 @@ pub fn legalize_macros(
     // so the sequence of pushes matches the reference's exhaustive (i, j) loop.
     let mut index = MacroIndex::full(desired, &centers, spacing, die);
     let mut scratch: Vec<u32> = Vec::new();
-    for _ in 0..MAX_SWEEPS {
+    for _ in 0..scheduled_sweeps(desired.len()) {
         let mut any_violation = false;
         for i in 0..desired.len() {
             let mut next_j = i + 1;
@@ -288,7 +315,7 @@ pub fn legalize_macros_reference(
     let mut centers = initial_centers(desired, die);
 
     // Phase 1: pairwise separation sweeps.
-    for _ in 0..MAX_SWEEPS {
+    for _ in 0..scheduled_sweeps(desired.len()) {
         let mut any_violation = false;
         for i in 0..desired.len() {
             for j in (i + 1)..desired.len() {
@@ -586,6 +613,16 @@ mod tests {
 
     fn die(side: f64) -> Rect {
         Rect::from_lower_left(Point::ORIGIN, side, side)
+    }
+
+    #[test]
+    fn sweep_schedule_is_identity_then_shrinks_to_floor() {
+        for n in [0, 1, 127, 1600, SWEEP_SCHEDULE_THRESHOLD_MACROS] {
+            assert_eq!(scheduled_sweeps(n), MAX_SWEEPS, "n = {n}");
+        }
+        let at_10k = scheduled_sweeps(10_000);
+        assert!((MIN_SCHEDULED_SWEEPS..MAX_SWEEPS).contains(&at_10k));
+        assert_eq!(scheduled_sweeps(100_000), MIN_SCHEDULED_SWEEPS);
     }
 
     fn squares(centers: &[(f64, f64)], size: f64) -> Vec<Rect> {

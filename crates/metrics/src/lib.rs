@@ -76,7 +76,10 @@ pub use delta::ReportDelta;
 pub use fidelity::{
     estimate_fidelity, mean_fidelity, FidelityEvaluator, FidelityReport, NoiseModel,
 };
-pub use hotspot::{find_violations, hotspot_proportion, hotspot_qubits, SpatialViolation};
+pub use hotspot::{
+    find_violations, find_violations_reference, hotspot_proportion, hotspot_qubits,
+    SpatialViolation,
+};
 pub use parallel::{parallel_map, parallel_try_map, parallel_try_map_stealing, worker_threads};
 pub use report::LayoutReport;
 pub use scan::LayoutScan;

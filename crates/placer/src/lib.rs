@@ -67,4 +67,7 @@ pub mod placer;
 pub use config::GlobalPlacerConfig;
 pub use density::{DensityGrid, SpreadingField};
 pub use forces::NetForceField;
-pub use placer::{hpwl, GlobalPlacement, GlobalPlacer, GpStats};
+pub use placer::{
+    density_bins_per_side, hpwl, scheduled_iterations, GlobalPlacement, GlobalPlacer, GpStats,
+    GP_MIN_SCHEDULED_ITERATIONS, GP_SCHEDULE_THRESHOLD_QUBITS, MAX_DENSITY_BINS_PER_SIDE,
+};

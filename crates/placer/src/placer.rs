@@ -26,6 +26,49 @@ use rand_chacha::ChaCha8Rng;
 #[cfg(debug_assertions)]
 const DENSITY_CHECK_INTERVAL: usize = 16;
 
+/// Device size (qubits) up to which [`scheduled_iterations`] is the identity.
+/// 2048 qubits is an order of magnitude past Eagle, so every paper-scale device
+/// (and every committed golden) runs the configured iteration count unchanged.
+pub const GP_SCHEDULE_THRESHOLD_QUBITS: usize = 2048;
+
+/// Floor [`scheduled_iterations`] never goes below (when the configured base
+/// allows it) — enough sweeps for forces to settle even at 100k qubits.
+pub const GP_MIN_SCHEDULED_ITERATIONS: usize = 24;
+
+/// Cap on the density grid resolution.  The pre-roadmap sizing rule
+/// (`max(16, qubits / 4)` bins per side) is kept verbatim up to 1024 qubits —
+/// and with it every committed golden — but it made the *total* bin count
+/// quadratic in device size (625M bins at 100k qubits); past the cap the grid
+/// stays 256×256 and bins simply get coarser.
+pub const MAX_DENSITY_BINS_PER_SIDE: usize = 256;
+
+/// Density-grid resolution (bins per side) for a device of `num_qubits` qubits:
+/// the historical `max(16, qubits / 4)`, capped at
+/// [`MAX_DENSITY_BINS_PER_SIDE`].  Shared by [`GlobalPlacer::place`] and
+/// [`GlobalPlacer::place_reference`], so the two engines stay mutually
+/// bit-comparable at every size.
+#[must_use]
+pub fn density_bins_per_side(num_qubits: usize) -> usize {
+    16.max(num_qubits / 4).min(MAX_DENSITY_BINS_PER_SIDE)
+}
+
+/// GP iteration budget for a device of `num_qubits` qubits given the configured
+/// `base` count: identity up to [`GP_SCHEDULE_THRESHOLD_QUBITS`], then scaled
+/// by `√(threshold / n)` (forces act on ever-coarser density bins, so fewer
+/// sweeps reach the same settling) with a floor of
+/// [`GP_MIN_SCHEDULED_ITERATIONS`].  A pure function of `(base, num_qubits)`
+/// and shared by both placement engines, so results stay deterministic per
+/// netlist and the engines stay mutually bit-comparable at every size.
+#[must_use]
+pub fn scheduled_iterations(base: usize, num_qubits: usize) -> usize {
+    if num_qubits <= GP_SCHEDULE_THRESHOLD_QUBITS || base == 0 {
+        return base;
+    }
+    let ratio = GP_SCHEDULE_THRESHOLD_QUBITS as f64 / num_qubits as f64;
+    let scaled = (base as f64 * ratio.sqrt()).round() as usize;
+    scaled.clamp(GP_MIN_SCHEDULED_ITERATIONS.min(base), base)
+}
+
 /// Quality statistics of a global placement.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GpStats {
@@ -131,7 +174,7 @@ impl GlobalPlacer {
 
         let field = NetForceField::compile(netlist, cfg.attraction, cfg.star_threshold);
 
-        let mut density = DensityGrid::new(&die, 16.max(num_qubits / 4));
+        let mut density = DensityGrid::new(&die, density_bins_per_side(num_qubits));
         let mut bin: Vec<u32> = Vec::with_capacity(n);
         for k in 0..n {
             density.add_area(pos[k], deposited_area[k]);
@@ -142,8 +185,9 @@ impl GlobalPlacer {
         // The reported max density matches the reference formulation, whose grid is
         // last rebuilt at the top of the final iteration (before its moves).
         let mut final_max_density = 0.0;
-        for _iteration in 0..cfg.iterations {
-            if _iteration + 1 == cfg.iterations {
+        let iterations = scheduled_iterations(cfg.iterations, num_qubits);
+        for _iteration in 0..iterations {
+            if _iteration + 1 == iterations {
                 final_max_density = density.max_density();
             }
             #[cfg(debug_assertions)]
@@ -252,10 +296,10 @@ impl GlobalPlacer {
         placement.clamp_within(netlist, &die);
         let seeds = placement.clone();
 
-        let mut density = DensityGrid::new(&die, 16.max(netlist.num_qubits() / 4));
+        let mut density = DensityGrid::new(&die, density_bins_per_side(netlist.num_qubits()));
         let ids: Vec<ComponentId> = netlist.component_ids().collect();
 
-        for _ in 0..cfg.iterations {
+        for _ in 0..scheduled_iterations(cfg.iterations, netlist.num_qubits()) {
             // Rebuild the density field for this iteration.
             density.clear();
             for &id in &ids {
@@ -458,6 +502,34 @@ mod tests {
         )
         .place(&netlist, &topo);
         (netlist, gp)
+    }
+
+    #[test]
+    fn iteration_schedule_is_identity_at_paper_scale() {
+        // Every committed golden (Eagle is the largest at 127 qubits) must run
+        // the configured count unchanged.
+        for n in [1, 127, 1024, GP_SCHEDULE_THRESHOLD_QUBITS] {
+            assert_eq!(scheduled_iterations(120, n), 120, "n = {n}");
+        }
+        assert_eq!(scheduled_iterations(0, 100_000), 0);
+    }
+
+    #[test]
+    fn iteration_schedule_shrinks_sublinearly_with_floor() {
+        let at_10k = scheduled_iterations(120, 10_000);
+        let at_100k = scheduled_iterations(120, 100_000);
+        assert!(at_10k < 120 && at_10k > at_100k, "{at_10k} vs {at_100k}");
+        assert_eq!(at_100k, GP_MIN_SCHEDULED_ITERATIONS);
+        // The floor never raises a small configured base.
+        assert_eq!(scheduled_iterations(8, 100_000), 8);
+    }
+
+    #[test]
+    fn density_resolution_keeps_the_historical_rule_then_caps() {
+        assert_eq!(density_bins_per_side(25), 16);
+        assert_eq!(density_bins_per_side(127), 31);
+        assert_eq!(density_bins_per_side(1024), 256);
+        assert_eq!(density_bins_per_side(100_000), MAX_DENSITY_BINS_PER_SIDE);
     }
 
     #[test]

@@ -156,6 +156,45 @@ fn placement_bytes(netlist: &QuantumNetlist) -> usize {
     (netlist.num_qubits() + netlist.num_segments()) * 16
 }
 
+/// Rough live-memory estimate of the netlist an artifact keeps alive (Arc
+/// shared, but the cache is what keeps it live): component structs, the
+/// coupling graph and the net pin lists.  On roadmap-scale devices this
+/// dominates a single placement, so leaving it out made large artifacts look
+/// almost free to the byte budget.
+fn netlist_bytes(netlist: &QuantumNetlist) -> usize {
+    let pins: usize = netlist.nets().iter().map(|n| n.components().len()).sum();
+    netlist.num_qubits() * 64
+        + netlist.num_segments() * 48
+        + netlist.num_resonators() * 64
+        + pins * 8
+}
+
+/// Rough live-memory estimate of one cached [`qgdp_metrics::LayoutReport`] +
+/// its backing layout scan (violation and crossing lists scale with the
+/// component count).
+fn report_bytes(netlist: &QuantumNetlist) -> usize {
+    netlist.num_components() * 8 + netlist.num_resonators() * 32
+}
+
+/// Byte estimate for a cached [`CacheValue::Session`]: the shared netlist, the
+/// lazily cached GP placement (plus seed/scratch headroom) and its report.
+fn session_value_bytes(netlist: &QuantumNetlist) -> usize {
+    netlist_bytes(netlist) + placement_bytes(netlist) * 3 + report_bytes(netlist)
+}
+
+/// Byte estimate for a cached [`CacheValue::Legalized`]: qubit- and cell-stage
+/// placements and their lazily cached stage reports (the netlist is charged to
+/// the session entry that shares it).
+fn legalized_value_bytes(netlist: &QuantumNetlist) -> usize {
+    placement_bytes(netlist) * 2 + report_bytes(netlist) * 2
+}
+
+/// Byte estimate for a cached [`CacheValue::Detailed`]: one placement and its
+/// lazily cached report.
+fn detailed_value_bytes(netlist: &QuantumNetlist) -> usize {
+    placement_bytes(netlist) + report_bytes(netlist)
+}
+
 fn to_data(p: &Placement) -> PlacementData {
     PlacementData {
         qubits: (0..p.num_qubits()).map(|i| p.qubit(QubitId(i))).collect(),
@@ -282,7 +321,7 @@ impl ServeEngine {
             return Ok(s);
         }
         let built = Session::over(Arc::clone(&request.topology), request.config)?;
-        let bytes = placement_bytes(built.netlist()) * 3;
+        let bytes = session_value_bytes(built.netlist());
         match self
             .store()
             .insert(key.clone(), CacheValue::Session(built.clone()), bytes)
@@ -302,7 +341,7 @@ impl ServeEngine {
             return Ok(cell);
         }
         let cell = session.global_place().legalize(strategy)?;
-        let bytes = placement_bytes(session.netlist()) * 2;
+        let bytes = legalized_value_bytes(session.netlist());
         match self
             .store()
             .insert(key.clone(), CacheValue::Legalized(cell.clone()), bytes)
@@ -322,7 +361,7 @@ impl ServeEngine {
             return artifact;
         }
         let dp = legalized.detail_with(config);
-        let bytes = placement_bytes(legalized.netlist());
+        let bytes = detailed_value_bytes(legalized.netlist());
         match self.store().insert(
             key.clone(),
             CacheValue::Detailed {
@@ -501,11 +540,11 @@ impl ServeEngine {
             let topology = Arc::new(entry.topology.clone());
             let session = Session::over(Arc::clone(&topology), entry.config)?;
             let session_key = ArtifactKey::session(&topology, &entry.config);
-            let netlist_bytes = placement_bytes(session.netlist()) * 3;
+            let session_bytes = session_value_bytes(session.netlist());
             let session = match self.store().insert(
                 session_key.clone(),
                 CacheValue::Session(session.clone()),
-                netlist_bytes,
+                session_bytes,
             ) {
                 CacheValue::Session(winner) => winner,
                 _ => session,
@@ -535,7 +574,7 @@ impl ServeEngine {
                     Duration::from_nanos(leg.cell_ns),
                 );
                 let key = session_key.for_strategy(leg.strategy);
-                let bytes = placement_bytes(session.netlist()) * 2;
+                let bytes = legalized_value_bytes(session.netlist());
                 let restored =
                     match self
                         .store()
@@ -557,7 +596,7 @@ impl ServeEngine {
                     let key = session_key
                         .for_strategy(leg.strategy)
                         .for_detail(&det.detail);
-                    let bytes = placement_bytes(session.netlist());
+                    let bytes = detailed_value_bytes(session.netlist());
                     self.store().insert(
                         key,
                         CacheValue::Detailed {

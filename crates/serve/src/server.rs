@@ -7,10 +7,10 @@
 //! * **stdin** — [`serve_stdin`] reads the whole stream to EOF as one
 //!   conversation (the `qgdp serve --stdin` mode used by tests and one-shot
 //!   scripting);
-//! * **TCP** — [`serve_tcp`] accepts connections sequentially; each connection
-//!   is one conversation, with batching on the client's half-close (`qgdp
-//!   submit` writes its lines, shuts down its write half, then reads the
-//!   responses).
+//! * **TCP** — [`serve_tcp`] accepts connections concurrently (one thread per
+//!   connection over the shared engine); each connection is one conversation,
+//!   with batching on the client's half-close (`qgdp submit` writes its lines,
+//!   shuts down its write half, then reads the responses).
 //!
 //! Consecutive job lines form one batch; a control line (`stats`, `shutdown`)
 //! flushes the batch before executing.  A malformed line answers `ok:false` in
@@ -26,8 +26,9 @@ use crate::snapshot;
 use crate::wire::{parse_request, render_parse_error, render_response, WireMessage};
 use qgdp_metrics::worker_threads;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, ToSocketAddrs};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Server policy knobs (transport-independent).
 #[derive(Debug, Clone, Default)]
@@ -203,9 +204,20 @@ pub fn serve_stdin(engine: &ServeEngine, options: &ServerOptions) -> std::io::Re
     Ok(())
 }
 
-/// Binds `addr` and serves connections sequentially until a client sends the
-/// `shutdown` op.  Prints one `listening on <addr>` line to stderr once bound
-/// (the CI smoke test waits for it).
+/// Binds `addr` and serves connections concurrently — one thread per
+/// connection over the shared engine — until a client sends the `shutdown`
+/// op.  Prints one `listening on <addr>` line to stderr once bound (the CI
+/// smoke test waits for it).
+///
+/// Concurrency model: each accepted connection runs [`run_lines`] on its own
+/// scoped thread, so a tenant holding a conversation open never blocks another
+/// tenant's batch (the PR 8 sequential-accept carry-over).  The engine is
+/// already `Sync` — the artifact store is mutex-guarded and batch execution
+/// fans over its own worker pool — so conversations interleave safely and warm
+/// replays stay byte-identical.  On `shutdown` the handling thread raises a
+/// flag and wakes the accept loop with a loopback connection; the scope then
+/// joins every in-flight conversation before the function returns, so no
+/// accepted request is dropped mid-stream.
 ///
 /// # Errors
 ///
@@ -218,23 +230,44 @@ pub fn serve_tcp<A: ToSocketAddrs>(
 ) -> std::io::Result<()> {
     restore_snapshot_if_present(engine, options);
     let listener = TcpListener::bind(addr)?;
-    eprintln!("qgdp serve: listening on {}", listener.local_addr()?);
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("qgdp serve: accept failed: {e}");
-                continue;
+    let local_addr = listener.local_addr()?;
+    eprintln!("qgdp serve: listening on {local_addr}");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
             }
-        };
-        let reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        match run_lines(engine, reader, &mut writer, options) {
-            Ok(ServerOutcome::Shutdown) => return Ok(()),
-            Ok(ServerOutcome::Eof) => {}
-            Err(e) => eprintln!("qgdp serve: connection error: {e}"),
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("qgdp serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let shutdown = &shutdown;
+            scope.spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(s) => BufReader::new(s),
+                    Err(e) => {
+                        eprintln!("qgdp serve: connection setup failed: {e}");
+                        return;
+                    }
+                };
+                let mut writer = BufWriter::new(stream);
+                match run_lines(engine, reader, &mut writer, options) {
+                    Ok(ServerOutcome::Shutdown) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // `incoming()` blocks in accept; a loopback connection
+                        // wakes it so the loop can observe the flag and stop.
+                        let _ = TcpStream::connect(local_addr);
+                    }
+                    Ok(ServerOutcome::Eof) => {}
+                    Err(e) => eprintln!("qgdp serve: connection error: {e}"),
+                }
+            });
         }
-    }
+    });
     Ok(())
 }
 

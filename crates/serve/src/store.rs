@@ -27,7 +27,8 @@ pub struct StoreConfig {
     /// Maximum number of live entries (LRU-evicted beyond this).
     pub max_entries: usize,
     /// Maximum total *estimated* bytes across live entries.  Estimates are the
-    /// caller's (placement-dominated) sizings, not allocator truth.
+    /// caller's sizings (placements plus the netlist and cached reports an
+    /// artifact keeps alive), not allocator truth.
     pub max_bytes: usize,
 }
 

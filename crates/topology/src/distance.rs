@@ -1,14 +1,26 @@
-//! The [`DistanceMatrix`] type: flat all-pairs hop distances over a coupling graph.
+//! Hop-distance providers over a coupling graph: the dense all-pairs
+//! [`DistanceMatrix`] and the tiered [`Distances`] front-end that keeps
+//! roadmap-scale devices out of O(V²) memory.
 //!
 //! The Fig. 8 harness maps 50 mappings × 7 benchmarks per topology, and every mapping
-//! needs the all-pairs shortest-path table to route SWAPs.  Recomputing the table per
+//! needs shortest-path hop counts to route SWAPs.  Recomputing the table per
 //! mapping (as the pre-cache harness did) costs O(V·E) BFS work and O(V²) fresh
-//! allocations each time; this module stores the table once, in a single row-major
-//! `Vec<u32>` so lookups are one multiply-add away and the whole matrix lives in one
-//! cache-friendly allocation instead of `V` scattered rows.
+//! allocations each time; [`DistanceMatrix`] stores the table once, in a single
+//! row-major `Vec<u32>` so lookups are one multiply-add away and the whole matrix
+//! lives in one cache-friendly allocation instead of `V` scattered rows.
+//!
+//! That dense table is exactly right up to Eagle (127 qubits, 64 KiB) but turns
+//! into 40 GB at the 100k-qubit roadmap point.  [`Distances`] therefore picks a
+//! tier per device: **dense** below a size threshold (bit-identical to the matrix,
+//! same allocation), **lazy** above it (per-source BFS rows computed on demand and
+//! held in a small LRU, so memory stays O(rows · V) no matter how large the device
+//! grows).  Both tiers run the same BFS ([`DistanceMatrix::from_adjacency`]'s inner
+//! loop, factored into one shared helper), so every returned distance is
+//! bit-identical across tiers.
 
-use std::collections::VecDeque;
-use std::ops::Index;
+use std::collections::{HashMap, VecDeque};
+use std::ops::{Deref, Index};
+use std::sync::{Arc, Mutex};
 
 /// All-pairs shortest-path lengths (in hops) over a coupling graph, stored row-major
 /// in one flat allocation.
@@ -20,6 +32,28 @@ use std::ops::Index;
 pub struct DistanceMatrix {
     dim: usize,
     data: Vec<u32>,
+}
+
+/// Fills `row` (pre-filled with [`DistanceMatrix::UNREACHABLE`]) with BFS hop
+/// counts from `start`.  Shared by the dense matrix and the lazy tier so both
+/// produce bit-identical rows.
+fn bfs_fill_row(
+    adjacency: &[Vec<usize>],
+    start: usize,
+    row: &mut [u32],
+    queue: &mut VecDeque<usize>,
+) {
+    row[start] = 0;
+    queue.clear();
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adjacency[u] {
+            if row[v] == DistanceMatrix::UNREACHABLE {
+                row[v] = row[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
 }
 
 impl DistanceMatrix {
@@ -39,17 +73,7 @@ impl DistanceMatrix {
         let mut queue = VecDeque::new();
         for start in 0..dim {
             let row = &mut data[start * dim..(start + 1) * dim];
-            row[start] = 0;
-            queue.clear();
-            queue.push_back(start);
-            while let Some(u) = queue.pop_front() {
-                for &v in &adjacency[u] {
-                    if row[v] == Self::UNREACHABLE {
-                        row[v] = row[u] + 1;
-                        queue.push_back(v);
-                    }
-                }
-            }
+            bfs_fill_row(adjacency, start, row, &mut queue);
         }
         DistanceMatrix { dim, data }
     }
@@ -110,6 +134,306 @@ impl Index<(usize, usize)> for DistanceMatrix {
     }
 }
 
+/// Which storage tier a [`Distances`] provider runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceTier {
+    /// Full all-pairs matrix in one allocation (O(V²) memory, O(1) lookups).
+    Dense,
+    /// Per-source BFS rows computed on demand behind a bounded LRU
+    /// (O(rows · V) memory, amortised O(E) per new source).
+    Lazy,
+}
+
+impl std::fmt::Display for DistanceTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DistanceTier::Dense => "dense",
+            DistanceTier::Lazy => "lazy",
+        })
+    }
+}
+
+/// Requested distance-provider mode, before the device size is known.
+///
+/// Parsed from the `QGDP_DISTANCE_MODE` environment variable by
+/// [`distance_settings_from_env`]; resolved against a device size by
+/// [`resolve_tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceMode {
+    /// Always materialize the dense matrix, whatever the size.
+    Dense,
+    /// Always use lazy rows, even on small devices.
+    Lazy,
+    /// Dense up to the threshold, lazy above it (the default).
+    Auto,
+}
+
+impl DistanceMode {
+    /// Parses a mode name (`dense` | `lazy` | `auto`), case-insensitively.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "dense" => Some(DistanceMode::Dense),
+            "lazy" => Some(DistanceMode::Lazy),
+            "auto" => Some(DistanceMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Default device size (vertices) at which [`DistanceMode::Auto`] switches from
+/// the dense matrix to lazy rows.  2048² u32 entries is a 16 MiB table — cheap;
+/// one step up the roadmap ladder (10k qubits) would already cost 400 MB.
+pub const DEFAULT_DISTANCE_THRESHOLD: usize = 2048;
+
+/// Default number of BFS rows the lazy tier retains in its LRU.
+pub const DEFAULT_DISTANCE_ROWS: usize = 64;
+
+/// Resolves the tier a device of `dim` vertices should run on.
+///
+/// Pure so the policy is testable without touching process environment:
+/// `Dense`/`Lazy` force their tier, `Auto` compares `dim` against `threshold`
+/// (dense while `dim <= threshold`).
+#[must_use]
+pub fn resolve_tier(mode: DistanceMode, threshold: usize, dim: usize) -> DistanceTier {
+    match mode {
+        DistanceMode::Dense => DistanceTier::Dense,
+        DistanceMode::Lazy => DistanceTier::Lazy,
+        DistanceMode::Auto => {
+            if dim <= threshold {
+                DistanceTier::Dense
+            } else {
+                DistanceTier::Lazy
+            }
+        }
+    }
+}
+
+/// Reads `(mode, threshold, lru_rows)` from the environment:
+/// `QGDP_DISTANCE_MODE` (`dense` | `lazy` | `auto`), `QGDP_DISTANCE_THRESHOLD`
+/// (vertices) and `QGDP_DISTANCE_ROWS` (LRU capacity).  Unset or unparseable
+/// values fall back to `auto` / [`DEFAULT_DISTANCE_THRESHOLD`] /
+/// [`DEFAULT_DISTANCE_ROWS`].
+///
+/// The tiers return bit-identical distances, so these knobs trade memory and
+/// wall-clock only — results (and serve cache keys) never depend on them.
+#[must_use]
+pub fn distance_settings_from_env() -> (DistanceMode, usize, usize) {
+    let mode = std::env::var("QGDP_DISTANCE_MODE")
+        .ok()
+        .and_then(|s| DistanceMode::parse(&s))
+        .unwrap_or(DistanceMode::Auto);
+    let threshold = std::env::var("QGDP_DISTANCE_THRESHOLD")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_DISTANCE_THRESHOLD);
+    let rows = std::env::var("QGDP_DISTANCE_ROWS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_DISTANCE_ROWS);
+    (mode, threshold, rows)
+}
+
+/// One row of hop distances, borrowed from the dense matrix or shared out of the
+/// lazy tier's LRU.  Derefs to `&[u32]`, so callers index it like a slice either
+/// way.
+#[derive(Debug, Clone)]
+pub enum DistanceRow<'a> {
+    /// A row borrowed straight out of the dense matrix.
+    Borrowed(&'a [u32]),
+    /// A row shared with (and kept alive independently of) the lazy LRU.
+    Shared(Arc<[u32]>),
+}
+
+impl Deref for DistanceRow<'_> {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        match self {
+            DistanceRow::Borrowed(r) => r,
+            DistanceRow::Shared(r) => r,
+        }
+    }
+}
+
+/// LRU of lazily computed BFS rows, keyed by source vertex.
+#[derive(Debug, Default)]
+struct RowCache {
+    rows: HashMap<usize, Arc<[u32]>>,
+    /// Source vertices in least-recently-used-first order.
+    order: VecDeque<usize>,
+}
+
+#[derive(Debug)]
+struct LazyRows {
+    adjacency: Arc<Vec<Vec<usize>>>,
+    capacity: usize,
+    cache: Mutex<RowCache>,
+}
+
+impl LazyRows {
+    fn row(&self, start: usize) -> Arc<[u32]> {
+        let mut cache = self.cache.lock().expect("distance row cache poisoned");
+        if let Some(row) = cache.rows.get(&start) {
+            let row = Arc::clone(row);
+            if let Some(pos) = cache.order.iter().position(|&s| s == start) {
+                cache.order.remove(pos);
+            }
+            cache.order.push_back(start);
+            return row;
+        }
+        let dim = self.adjacency.len();
+        let mut fresh = vec![DistanceMatrix::UNREACHABLE; dim];
+        let mut queue = VecDeque::new();
+        bfs_fill_row(&self.adjacency, start, &mut fresh, &mut queue);
+        let row: Arc<[u32]> = Arc::from(fresh);
+        while cache.order.len() >= self.capacity {
+            if let Some(evicted) = cache.order.pop_front() {
+                cache.rows.remove(&evicted);
+            }
+        }
+        cache.rows.insert(start, Arc::clone(&row));
+        cache.order.push_back(start);
+        row
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    Dense(Arc<DistanceMatrix>),
+    Lazy(LazyRows),
+}
+
+/// Tiered hop-distance provider: a dense [`DistanceMatrix`] below the size
+/// threshold, lazy per-source BFS rows behind a bounded LRU above it.
+///
+/// Both tiers run the same BFS, so [`Distances::get`] and [`Distances::row`]
+/// return bit-identical values whichever tier is active — the tier only decides
+/// memory (O(V²) vs O(rows · V)) and when the BFS work happens.  Construct via
+/// [`crate::Topology::distances`] (which resolves the tier from the environment)
+/// or directly via [`Distances::dense`] / [`Distances::lazy`] in tests and
+/// benchmarks.
+#[derive(Debug)]
+pub struct Distances {
+    dim: usize,
+    backend: Backend,
+}
+
+impl Distances {
+    /// The distance reported for pairs with no connecting path (same sentinel as
+    /// [`DistanceMatrix::UNREACHABLE`]).
+    pub const UNREACHABLE: u32 = DistanceMatrix::UNREACHABLE;
+
+    /// Wraps an already-computed dense matrix (shares its allocation).
+    #[must_use]
+    pub fn dense(matrix: Arc<DistanceMatrix>) -> Self {
+        Distances {
+            dim: matrix.dim(),
+            backend: Backend::Dense(matrix),
+        }
+    }
+
+    /// Builds a lazy provider over `adjacency` retaining at most `lru_rows`
+    /// BFS rows (clamped to at least 1).
+    #[must_use]
+    pub fn lazy(adjacency: Vec<Vec<usize>>, lru_rows: usize) -> Self {
+        Distances {
+            dim: adjacency.len(),
+            backend: Backend::Lazy(LazyRows {
+                adjacency: Arc::new(adjacency),
+                capacity: lru_rows.max(1),
+                cache: Mutex::new(RowCache::default()),
+            }),
+        }
+    }
+
+    /// Number of vertices the provider answers for.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Which tier this provider runs on.
+    #[must_use]
+    pub fn tier(&self) -> DistanceTier {
+        match &self.backend {
+            Backend::Dense(_) => DistanceTier::Dense,
+            Backend::Lazy(_) => DistanceTier::Lazy,
+        }
+    }
+
+    /// Number of BFS rows currently materialized (always `dim` on the dense tier).
+    #[must_use]
+    pub fn rows_materialized(&self) -> usize {
+        match &self.backend {
+            Backend::Dense(_) => self.dim,
+            Backend::Lazy(lazy) => lazy
+                .cache
+                .lock()
+                .expect("distance row cache poisoned")
+                .rows
+                .len(),
+        }
+    }
+
+    /// The distances from `a` to every vertex.
+    ///
+    /// On the lazy tier this is the unit of work to amortise: fetch the row once
+    /// and index it, instead of calling [`Distances::get`] per pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[must_use]
+    pub fn row(&self, a: usize) -> DistanceRow<'_> {
+        assert!(a < self.dim, "index out of range");
+        match &self.backend {
+            Backend::Dense(m) => DistanceRow::Borrowed(m.row(a)),
+            Backend::Lazy(lazy) => DistanceRow::Shared(lazy.row(a)),
+        }
+    }
+
+    /// Hop distance from `a` to `b` ([`Distances::UNREACHABLE`] if disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    #[must_use]
+    pub fn get(&self, a: usize, b: usize) -> u32 {
+        assert!(a < self.dim && b < self.dim, "index out of range");
+        match &self.backend {
+            Backend::Dense(m) => m.get(a, b),
+            Backend::Lazy(lazy) => lazy.row(a)[b],
+        }
+    }
+
+    /// Returns `true` if a path exists from `a` to `b`.
+    #[must_use]
+    pub fn is_reachable(&self, a: usize, b: usize) -> bool {
+        self.get(a, b) != Self::UNREACHABLE
+    }
+}
+
+impl Clone for Distances {
+    /// Dense clones share the matrix allocation; lazy clones share the adjacency
+    /// but start with an empty row LRU (rows are cheap to recompute and the LRU
+    /// is an interior-mutability cache, not part of the provider's value).
+    fn clone(&self) -> Self {
+        match &self.backend {
+            Backend::Dense(m) => Distances::dense(Arc::clone(m)),
+            Backend::Lazy(lazy) => Distances {
+                dim: self.dim,
+                backend: Backend::Lazy(LazyRows {
+                    adjacency: Arc::clone(&lazy.adjacency),
+                    capacity: lazy.capacity,
+                    cache: Mutex::new(RowCache::default()),
+                }),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +477,86 @@ mod tests {
     #[should_panic(expected = "index out of range")]
     fn out_of_range_get_panics() {
         let _ = ring4().get(0, 4);
+    }
+
+    fn ring_adjacency(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect()
+    }
+
+    #[test]
+    fn lazy_rows_match_dense_matrix() {
+        let adjacency = ring_adjacency(9);
+        let dense = DistanceMatrix::from_adjacency(&adjacency);
+        let lazy = Distances::lazy(adjacency, 3);
+        assert_eq!(lazy.tier(), DistanceTier::Lazy);
+        for a in 0..9 {
+            assert_eq!(&lazy.row(a)[..], dense.row(a), "row {a}");
+            for b in 0..9 {
+                assert_eq!(lazy.get(a, b), dense.get(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_lru_evicts_but_stays_correct() {
+        let adjacency = ring_adjacency(12);
+        let dense = DistanceMatrix::from_adjacency(&adjacency);
+        let lazy = Distances::lazy(adjacency, 2);
+        for a in [0, 1, 2, 3, 0, 5, 0, 1] {
+            assert_eq!(&lazy.row(a)[..], dense.row(a));
+            assert!(lazy.rows_materialized() <= 2);
+        }
+        // A shared row stays valid after its source is evicted from the LRU.
+        let row0 = lazy.row(0);
+        for a in 0..12 {
+            let _ = lazy.row(a);
+        }
+        assert_eq!(&row0[..], dense.row(0));
+    }
+
+    #[test]
+    fn dense_tier_borrows_matrix_rows() {
+        let matrix = Arc::new(ring4());
+        let d = Distances::dense(Arc::clone(&matrix));
+        assert_eq!(d.tier(), DistanceTier::Dense);
+        assert_eq!(d.dim(), 4);
+        assert_eq!(d.rows_materialized(), 4);
+        assert_eq!(&d.row(1)[..], matrix.row(1));
+        assert_eq!(d.get(0, 2), 2);
+        assert!(d.is_reachable(0, 2));
+    }
+
+    #[test]
+    fn tier_resolution_policy() {
+        assert_eq!(
+            resolve_tier(DistanceMode::Auto, 2048, 2048),
+            DistanceTier::Dense
+        );
+        assert_eq!(
+            resolve_tier(DistanceMode::Auto, 2048, 2049),
+            DistanceTier::Lazy
+        );
+        assert_eq!(
+            resolve_tier(DistanceMode::Dense, 10, 10_000),
+            DistanceTier::Dense
+        );
+        assert_eq!(
+            resolve_tier(DistanceMode::Lazy, 10_000, 10),
+            DistanceTier::Lazy
+        );
+        assert_eq!(DistanceMode::parse(" Dense "), Some(DistanceMode::Dense));
+        assert_eq!(DistanceMode::parse("lazy"), Some(DistanceMode::Lazy));
+        assert_eq!(DistanceMode::parse("auto"), Some(DistanceMode::Auto));
+        assert_eq!(DistanceMode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn lazy_clone_shares_adjacency_but_not_rows() {
+        let lazy = Distances::lazy(ring_adjacency(6), 4);
+        let _ = lazy.row(2);
+        assert_eq!(lazy.rows_materialized(), 1);
+        let cloned = lazy.clone();
+        assert_eq!(cloned.rows_materialized(), 0);
+        assert_eq!(cloned.get(2, 5), lazy.get(2, 5));
     }
 }

@@ -328,6 +328,65 @@ pub fn xtree(levels: usize) -> Topology {
         .with_name(format!("Xtree-{next}"))
 }
 
+/// Closed-form `(num_qubits, num_couplers)` of [`heavy_hex_rows`]`(long_rows, row_len)`,
+/// without building the topology.
+///
+/// Each of the `long_rows` chains contributes `row_len` qubits and `row_len - 1`
+/// edges; the bridge row below long row `r` contributes one qubit and two edges
+/// per bridge column `c ∈ {offset, offset + 4, …} < row_len`, with `offset`
+/// alternating 0 / 2 — i.e. `⌈(row_len − offset) / 4⌉` bridges when
+/// `row_len > offset`.  The generator proptests hold the built topologies to
+/// these formulas.
+///
+/// # Panics
+///
+/// Panics if `long_rows` or `row_len` is zero (same contract as
+/// [`heavy_hex_rows`]).
+#[must_use]
+pub fn heavy_hex_counts(long_rows: usize, row_len: usize) -> (usize, usize) {
+    assert!(
+        long_rows > 0 && row_len > 0,
+        "heavy-hex needs at least one row and column"
+    );
+    let mut qubits = long_rows * row_len;
+    let mut couplers = long_rows * (row_len - 1);
+    for r in 0..long_rows - 1 {
+        let offset = if r % 2 == 0 { 0 } else { 2 };
+        let bridges = if row_len > offset {
+            (row_len - offset).div_ceil(4)
+        } else {
+            0
+        };
+        qubits += bridges;
+        couplers += 2 * bridges;
+    }
+    (qubits, couplers)
+}
+
+/// A roadmap-scale heavy-hex device with at least `target_qubits` qubits —
+/// the parameterized generator family behind the 1k/10k/100k entries of the
+/// vendor roadmap (~23k physical qubits by 2029, 100k by 2033).
+///
+/// Deterministically picks a near-square tiling: the long-row length is
+/// `√(target / 1.25)` (a heavy-hex tiling holds ≈ 1.25 · rows · row_len
+/// qubits), then the smallest row count whose [`heavy_hex_counts`] reaches the
+/// target.  The result overshoots by at most one row of qubits, stays
+/// connected, and keeps the heavy-hex degree ≤ 3 bound.
+///
+/// # Panics
+///
+/// Panics if `target_qubits` is zero.
+#[must_use]
+pub fn roadmap_heavy_hex(target_qubits: usize) -> Topology {
+    assert!(target_qubits > 0, "roadmap device needs at least one qubit");
+    let row_len = ((target_qubits as f64 / 1.25).sqrt().round() as usize).max(4);
+    let mut long_rows = 1;
+    while heavy_hex_counts(long_rows, row_len).0 < target_qubits {
+        long_rows += 1;
+    }
+    heavy_hex_rows(long_rows, row_len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +479,34 @@ mod tests {
         for q in 0..16 {
             let d = a.degree(QubitId(q));
             assert!((2..=3).contains(&d));
+        }
+    }
+
+    #[test]
+    fn heavy_hex_counts_match_built_topologies() {
+        for (rows, len) in [(1, 1), (1, 7), (2, 3), (3, 7), (4, 14), (7, 15)] {
+            let (q, c) = heavy_hex_counts(rows, len);
+            let t = heavy_hex_rows(rows, len);
+            assert_eq!(
+                (t.num_qubits(), t.num_couplings()),
+                (q, c),
+                "({rows}, {len})"
+            );
+        }
+    }
+
+    #[test]
+    fn roadmap_devices_hit_their_targets() {
+        for target in [1_000usize, 10_000, 100_000] {
+            let t = roadmap_heavy_hex(target);
+            assert!(t.num_qubits() >= target, "{} < {target}", t.num_qubits());
+            // Overshoot is bounded by roughly one extra row of the tiling.
+            assert!(
+                t.num_qubits() < target + target / 10 + 64,
+                "{} overshoots {target}",
+                t.num_qubits()
+            );
+            assert!(t.is_connected(), "roadmap device {target} disconnected");
         }
     }
 

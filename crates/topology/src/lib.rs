@@ -27,18 +27,33 @@
 //! all-pairs coupling-graph distances ([`DistanceMatrix`], cached per device) that
 //! the benchmark mapper's SWAP insertion relies on.  [`Topology::to_netlist`]
 //! bridges into the [`qgdp_netlist`] component model (Eq. 6 partitioning).
+//!
+//! Beyond the paper's Table I, the roadmap-scale family
+//! ([`roadmap_heavy_hex`], [`multi_chip()`]) follows the vendor roadmap
+//! (~23k physical qubits by 2029, 100k by 2033) with the multi-chip/multi-die
+//! geometry model of the multilayer qLDPC placing-and-routing paper (see
+//! PAPERS.md): identical chips tiled with a gap and stitched by sparse
+//! inter-chip coupler nets.  At those sizes the dense distance table is
+//! replaced by the tiered [`Distances`] provider (lazy per-source BFS rows
+//! behind an LRU), keeping distance queries out of O(V²) memory.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod distance;
 pub mod generators;
+pub mod multi_chip;
 pub mod standard;
 pub mod topology;
 
-pub use distance::DistanceMatrix;
-pub use generators::{
-    grid, heavy_hex_eagle, heavy_hex_falcon, heavy_hex_rows, octagon_lattice, xtree,
+pub use distance::{
+    distance_settings_from_env, resolve_tier, DistanceMatrix, DistanceMode, DistanceRow,
+    DistanceTier, Distances, DEFAULT_DISTANCE_ROWS, DEFAULT_DISTANCE_THRESHOLD,
 };
+pub use generators::{
+    grid, heavy_hex_counts, heavy_hex_eagle, heavy_hex_falcon, heavy_hex_rows, octagon_lattice,
+    roadmap_heavy_hex, xtree,
+};
+pub use multi_chip::{multi_chip, multi_chip_counts};
 pub use standard::StandardTopology;
 pub use topology::{Topology, TopologyKind};

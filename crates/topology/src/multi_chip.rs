@@ -1,0 +1,230 @@
+//! Multi-chip module composer: stitches copies of a chip into one device with
+//! inter-chip coupler nets.
+//!
+//! # Paper map
+//!
+//! The multilayer qLDPC placing/routing paper (see PAPERS.md) models scaled
+//! devices as modules of identical chips joined by a sparse set of inter-chip
+//! couplers; this module reproduces that geometry over any base [`Topology`].
+//! Chips are tiled on a `rows × cols` grid with a fixed gap between bounding
+//! boxes, and each pair of adjacent chips is joined by `links_per_edge`
+//! couplers between the facing boundary qubits — so the composed graph stays
+//! heavy-hex-sparse while the qubit count multiplies, exactly the regime the
+//! roadmap generators target.
+
+use crate::{Topology, TopologyKind};
+use qgdp_geometry::Point;
+
+/// Closed-form `(num_qubits, num_couplers)` of
+/// [`multi_chip`]`(chip, rows, cols, links_per_edge, _)` for a chip with
+/// `chip_qubits` qubits and `chip_couplers` couplers.
+///
+/// Every tile carries a full chip copy; each of the `rows · (cols − 1)`
+/// horizontal and `(rows − 1) · cols` vertical adjacencies adds
+/// `min(links_per_edge, chip_qubits)` inter-chip couplers.
+#[must_use]
+pub fn multi_chip_counts(
+    chip_qubits: usize,
+    chip_couplers: usize,
+    rows: usize,
+    cols: usize,
+    links_per_edge: usize,
+) -> (usize, usize) {
+    let chips = rows * cols;
+    let links = links_per_edge.min(chip_qubits);
+    let edges = rows * (cols.saturating_sub(1)) + rows.saturating_sub(1) * cols;
+    (chips * chip_qubits, chips * chip_couplers + edges * links)
+}
+
+/// Which face of a chip a boundary selection looks at.
+#[derive(Clone, Copy)]
+enum Face {
+    West,
+    East,
+    North,
+    South,
+}
+
+/// The `k` qubits of `chip` closest to a face, returned in a deterministic
+/// pairing order (sorted along the face, ids breaking ties).
+fn boundary(chip: &Topology, face: Face, k: usize) -> Vec<usize> {
+    let coords = chip.coords();
+    let mut ids: Vec<usize> = (0..chip.num_qubits()).collect();
+    // Primary key: distance from the face (outermost first); the pairing order
+    // below re-sorts along the face so facing selections line up.
+    ids.sort_by(|&a, &b| {
+        let (pa, pb) = (coords[a], coords[b]);
+        let primary = match face {
+            Face::West => pa.x.total_cmp(&pb.x),
+            Face::East => pb.x.total_cmp(&pa.x),
+            Face::North => pa.y.total_cmp(&pb.y),
+            Face::South => pb.y.total_cmp(&pa.y),
+        };
+        primary
+            .then_with(|| match face {
+                Face::West | Face::East => pa.y.total_cmp(&pb.y),
+                Face::North | Face::South => pa.x.total_cmp(&pb.x),
+            })
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k.min(chip.num_qubits()));
+    // Pairing order: along the face, so the i-th east pick couples to the i-th
+    // west pick of the neighbouring chip.
+    ids.sort_by(|&a, &b| {
+        let (pa, pb) = (coords[a], coords[b]);
+        match face {
+            Face::West | Face::East => pa.y.total_cmp(&pb.y).then(a.cmp(&b)),
+            Face::North | Face::South => pa.x.total_cmp(&pb.x).then(a.cmp(&b)),
+        }
+    });
+    ids
+}
+
+/// Composes a `rows × cols` multi-chip module from copies of `chip`, adjacent
+/// chips stitched by `links_per_edge` inter-chip couplers between their facing
+/// boundary qubits (clamped to the chip's qubit count), with `gap` canonical
+/// lattice units between chip bounding boxes.
+///
+/// Qubit ids are chip-major (`chip_index * chip.num_qubits() + local_id`,
+/// chips in row-major tile order), so counts follow [`multi_chip_counts`]
+/// exactly.  The composition is deterministic: boundary qubits are picked by
+/// coordinate (ids break ties) and paired in face order.  If `chip` is
+/// connected and `links_per_edge > 0`, the module is connected.
+///
+/// # Panics
+///
+/// Panics if `rows`, `cols`, `links_per_edge` or `chip.num_qubits()` is zero,
+/// or if `gap` is not a positive finite number.
+#[must_use]
+pub fn multi_chip(
+    chip: &Topology,
+    rows: usize,
+    cols: usize,
+    links_per_edge: usize,
+    gap: f64,
+) -> Topology {
+    assert!(rows > 0 && cols > 0, "multi-chip needs at least one tile");
+    assert!(
+        links_per_edge > 0,
+        "multi-chip needs at least one link per edge"
+    );
+    assert!(chip.num_qubits() > 0, "multi-chip needs a non-empty chip");
+    assert!(
+        gap.is_finite() && gap > 0.0,
+        "chip gap must be positive and finite"
+    );
+
+    let n = chip.num_qubits();
+    let coords = chip.coords();
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in coords {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let pitch_x = (max_x - min_x) + gap;
+    let pitch_y = (max_y - min_y) + gap;
+
+    let mut all_coords = Vec::with_capacity(rows * cols * n);
+    let mut couplings = Vec::new();
+    for tr in 0..rows {
+        for tc in 0..cols {
+            let base = (tr * cols + tc) * n;
+            let (dx, dy) = (tc as f64 * pitch_x, tr as f64 * pitch_y);
+            for p in coords {
+                all_coords.push(Point::new(p.x + dx, p.y + dy));
+            }
+            for &(a, b) in chip.couplings() {
+                couplings.push((base + a, base + b));
+            }
+        }
+    }
+
+    let links = links_per_edge.min(n);
+    let east = boundary(chip, Face::East, links);
+    let west = boundary(chip, Face::West, links);
+    let north = boundary(chip, Face::North, links);
+    let south = boundary(chip, Face::South, links);
+    for tr in 0..rows {
+        for tc in 0..cols {
+            let base = (tr * cols + tc) * n;
+            if tc + 1 < cols {
+                let right = base + n;
+                for (&e, &w) in east.iter().zip(&west) {
+                    couplings.push((base + e, right + w));
+                }
+            }
+            if tr + 1 < rows {
+                let below = base + cols * n;
+                for (&s, &no) in south.iter().zip(&north) {
+                    couplings.push((base + s, below + no));
+                }
+            }
+        }
+    }
+
+    Topology::new(
+        "",
+        TopologyKind::MultiChip,
+        rows * cols * n,
+        couplings,
+        all_coords,
+    )
+    .with_name(format!("MultiChip-{rows}x{cols}-{}", chip.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid, heavy_hex_eagle, heavy_hex_falcon};
+
+    #[test]
+    fn counts_match_closed_form() {
+        for (chip, rows, cols, links) in [
+            (heavy_hex_falcon(), 1, 2, 1),
+            (heavy_hex_falcon(), 2, 2, 2),
+            (heavy_hex_eagle(), 2, 3, 4),
+            (grid(3, 3), 3, 1, 2),
+        ] {
+            let m = multi_chip(&chip, rows, cols, links, 4.0);
+            let (q, c) =
+                multi_chip_counts(chip.num_qubits(), chip.num_couplings(), rows, cols, links);
+            assert_eq!((m.num_qubits(), m.num_couplings()), (q, c), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn module_is_connected_and_named() {
+        let m = multi_chip(&heavy_hex_falcon(), 2, 2, 2, 4.0);
+        assert!(m.is_connected());
+        assert_eq!(m.kind(), TopologyKind::MultiChip);
+        assert_eq!(m.name(), "MultiChip-2x2-Falcon");
+    }
+
+    #[test]
+    fn coordinates_stay_distinct_across_tiles() {
+        let m = multi_chip(&heavy_hex_eagle(), 2, 2, 3, 4.0);
+        let mut seen = std::collections::HashSet::new();
+        for p in m.coords() {
+            let key = (format!("{:.4}", p.x), format!("{:.4}", p.y));
+            assert!(seen.insert(key), "duplicate coordinate {p}");
+        }
+    }
+
+    #[test]
+    fn links_clamp_to_chip_size() {
+        let tiny = grid(1, 2); // two qubits
+        let m = multi_chip(&tiny, 1, 2, 8, 2.0);
+        let (q, c) = multi_chip_counts(2, 1, 1, 2, 8);
+        assert_eq!((m.num_qubits(), m.num_couplings()), (q, c));
+        assert_eq!(m.num_couplings(), 2 + 2); // intra + 2 clamped links
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_links_panics() {
+        let _ = multi_chip(&grid(2, 2), 1, 2, 0, 2.0);
+    }
+}

@@ -1,13 +1,14 @@
 //! The [`Topology`] type: a device coupling graph plus canonical lattice coordinates.
 
-use crate::DistanceMatrix;
+use crate::distance::{distance_settings_from_env, resolve_tier, DistanceTier};
+use crate::{DistanceMatrix, Distances};
 use qgdp_geometry::Point;
 use qgdp_netlist::{
     ComponentGeometry, NetModel, NetlistBuilder, NetlistError, QuantumNetlist, QubitId,
 };
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The family a topology belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,6 +22,9 @@ pub enum TopologyKind {
     Octagon,
     /// Tree-shaped Pauli-string-efficient architecture.
     Xtree,
+    /// Several chips stitched by inter-chip coupler nets (qLDPC multilayer
+    /// geometry model); built by [`crate::multi_chip()`].
+    MultiChip,
     /// Any other hand-built connectivity.
     Custom,
 }
@@ -32,6 +36,7 @@ impl fmt::Display for TopologyKind {
             TopologyKind::HeavyHex => "heavy-hex",
             TopologyKind::Octagon => "octagon",
             TopologyKind::Xtree => "xtree",
+            TopologyKind::MultiChip => "multi-chip",
             TopologyKind::Custom => "custom",
         };
         f.write_str(s)
@@ -58,7 +63,8 @@ pub struct Topology {
     couplings: Vec<(usize, usize)>,
     coords: Vec<Point>,
     adjacency_cache: OnceLock<Vec<Vec<usize>>>,
-    distance_cache: OnceLock<DistanceMatrix>,
+    distance_cache: OnceLock<Arc<DistanceMatrix>>,
+    distances_cache: OnceLock<Distances>,
 }
 
 impl PartialEq for Topology {
@@ -122,6 +128,7 @@ impl Topology {
             coords,
             adjacency_cache: OnceLock::new(),
             distance_cache: OnceLock::new(),
+            distances_cache: OnceLock::new(),
         }
         .with_name_internal()
     }
@@ -242,7 +249,45 @@ impl Topology {
     #[must_use]
     pub fn distance_matrix(&self) -> &DistanceMatrix {
         self.distance_cache
-            .get_or_init(|| self.compute_distance_matrix())
+            .get_or_init(|| Arc::new(self.compute_distance_matrix()))
+    }
+
+    /// Tiered hop-distance provider over the coupling graph: the dense
+    /// [`DistanceMatrix`] below a size threshold (bit-identical to
+    /// [`Topology::distance_matrix`], sharing its allocation and cache), lazy
+    /// per-source BFS rows behind a bounded LRU above it — so mapping a circuit
+    /// onto a roadmap-scale device never materializes O(V²) memory.
+    ///
+    /// The tier is resolved once per topology from `QGDP_DISTANCE_MODE`
+    /// (`dense` | `lazy` | `auto`, default `auto`), `QGDP_DISTANCE_THRESHOLD`
+    /// (default [`crate::DEFAULT_DISTANCE_THRESHOLD`] qubits) and
+    /// `QGDP_DISTANCE_ROWS` (LRU capacity, default
+    /// [`crate::DEFAULT_DISTANCE_ROWS`]).  Both tiers run the same BFS, so the
+    /// returned distances — and everything derived from them, including serve
+    /// cache keys — are identical whichever tier is active.
+    #[must_use]
+    pub fn distances(&self) -> &Distances {
+        self.distances_cache.get_or_init(|| {
+            let (mode, threshold, lru_rows) = distance_settings_from_env();
+            match resolve_tier(mode, threshold, self.num_qubits) {
+                DistanceTier::Dense => {
+                    let matrix = self
+                        .distance_cache
+                        .get_or_init(|| Arc::new(self.compute_distance_matrix()));
+                    Distances::dense(Arc::clone(matrix))
+                }
+                DistanceTier::Lazy => Distances::lazy(self.adjacency().to_vec(), lru_rows),
+            }
+        })
+    }
+
+    /// Whether the dense all-pairs matrix has been materialized on this
+    /// topology (by [`Topology::distance_matrix`] or a dense-tier
+    /// [`Topology::distances`]).  The scaling benchmark uses this to attest
+    /// that large-device flows never allocated O(V²) distance memory.
+    #[must_use]
+    pub fn dense_distances_materialized(&self) -> bool {
+        self.distance_cache.get().is_some()
     }
 
     /// Recomputes the all-pairs distance matrix from scratch, bypassing the cache.
@@ -339,6 +384,27 @@ mod tests {
         assert_eq!(t, fresh);
         assert_eq!(t, warmed);
         assert_eq!(fresh.distance_matrix(), warmed.distance_matrix());
+    }
+
+    #[test]
+    fn distances_small_device_shares_dense_matrix() {
+        // 4 qubits is far below any sane threshold, so whatever the
+        // environment says short of an explicit lazy override, the provider is
+        // bit-identical to the dense matrix (and on the dense tier it shares
+        // the same allocation the matrix cache holds).
+        let t = square();
+        let d = t.distances();
+        let m = t.distance_matrix();
+        assert_eq!(d.dim(), 4);
+        for a in 0..4 {
+            assert_eq!(&d.row(a)[..], m.row(a));
+            for b in 0..4 {
+                assert_eq!(d.get(a, b), m.get(a, b));
+            }
+        }
+        if d.tier() == crate::DistanceTier::Dense {
+            assert!(std::ptr::eq(&d.row(0)[0], &m.row(0)[0]));
+        }
     }
 
     #[test]

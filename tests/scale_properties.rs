@@ -1,0 +1,207 @@
+//! Property-based tests for the roadmap-scale device generators and the tiered
+//! distance provider.
+//!
+//! Three families of claims are pinned down:
+//!
+//! 1. The parameterized heavy-hex generator matches its closed-form
+//!    qubit/coupler counts ([`heavy_hex_counts`]) on every `(long_rows,
+//!    row_len)` shape, stays connected, and never stacks two qubits on the
+//!    same canonical coordinate — the properties `roadmap_heavy_hex` relies on
+//!    when it inverts the count formula to hit a target size.
+//! 2. The multi-chip composer matches [`multi_chip_counts`], remains connected
+//!    through its inter-chip coupler nets, and keeps coordinates distinct
+//!    across tiles for any chip it is handed.
+//! 3. The lazy per-source BFS distance tier is **bit-identical** to the dense
+//!    matrix on the paper topologies and on random connected *and*
+//!    disconnected graphs, including under an LRU small enough to force
+//!    evictions on every walk.  This is the contract that lets
+//!    `QGDP_DISTANCE_MODE` change memory behaviour without ever changing a
+//!    mapped circuit.
+
+use proptest::prelude::*;
+use qgdp::prelude::*;
+use qgdp::topology::{
+    heavy_hex_counts, heavy_hex_rows, multi_chip, multi_chip_counts, roadmap_heavy_hex, Distances,
+    TopologyKind,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn build_device(n: usize, couplings: Vec<(usize, usize)>) -> Topology {
+    let coords = (0..n)
+        .map(|i| Point::new((i % 4) as f64, (i / 4) as f64))
+        .collect();
+    Topology::new(
+        format!("random-{n}"),
+        TopologyKind::Custom,
+        n,
+        couplings,
+        coords,
+    )
+}
+
+/// A random connected coupling graph: binary-tree spanning tree plus chords.
+fn random_connected_device(n: usize, extra_edges: &[(usize, usize)]) -> Topology {
+    let mut couplings: Vec<(usize, usize)> = (1..n).map(|i| (i, i / 2)).collect();
+    for &(a, b) in extra_edges {
+        let (a, b) = (a % n, b % n);
+        if a != b
+            && !couplings.contains(&(a.min(b), a.max(b)))
+            && !couplings.contains(&(a.max(b), a.min(b)))
+        {
+            couplings.push((a.min(b), a.max(b)));
+        }
+    }
+    build_device(n, couplings)
+}
+
+/// Two disjoint connected halves with no bridge.
+fn random_disconnected_device(n: usize, split: usize) -> Topology {
+    let mut couplings: Vec<(usize, usize)> = (1..split).map(|i| (i, i - 1)).collect();
+    couplings.extend((split + 1..n).map(|i| (i, i - 1)));
+    build_device(n, couplings)
+}
+
+/// Coordinates must be pairwise distinct (placement seeds collapse otherwise).
+fn assert_coords_distinct(topo: &Topology) -> Result<(), TestCaseError> {
+    let mut seen = HashSet::new();
+    for p in topo.coords() {
+        prop_assert!(
+            seen.insert((p.x.to_bits(), p.y.to_bits())),
+            "{}: duplicate canonical coordinate ({}, {})",
+            topo.name(),
+            p.x,
+            p.y
+        );
+    }
+    Ok(())
+}
+
+/// Every distance the lazy tier serves must equal the dense matrix bit for bit,
+/// row-wise and point-wise, whatever the LRU capacity.
+fn assert_tiers_identical(topo: &Topology, lru_rows: usize) -> Result<(), TestCaseError> {
+    let n = topo.num_qubits();
+    let dense = Distances::dense(Arc::new(topo.compute_distance_matrix()));
+    let lazy = Distances::lazy(topo.adjacency().to_vec(), lru_rows);
+    prop_assert_eq!(dense.dim(), n);
+    prop_assert_eq!(lazy.dim(), n);
+    for a in 0..n {
+        prop_assert_eq!(&*lazy.row(a), &*dense.row(a));
+        for b in 0..n {
+            prop_assert_eq!(lazy.get(a, b), dense.get(a, b));
+            prop_assert_eq!(lazy.is_reachable(a, b), dense.is_reachable(a, b));
+        }
+    }
+    // A second interleaved pass exercises LRU hits and re-computation after
+    // eviction: values must not depend on the cache's history.
+    for a in (0..n).rev() {
+        prop_assert_eq!(&*lazy.row(a), &*dense.row(a));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn heavy_hex_shapes_match_their_closed_form(
+        long_rows in 2usize..10,
+        row_len in 4usize..24,
+    ) {
+        let (qubits, couplers) = heavy_hex_counts(long_rows, row_len);
+        let topo = heavy_hex_rows(long_rows, row_len);
+        prop_assert_eq!(topo.num_qubits(), qubits);
+        prop_assert_eq!(topo.couplings().len(), couplers);
+        prop_assert!(topo.is_connected(), "{} is disconnected", topo.name());
+        assert_coords_distinct(&topo)?;
+    }
+
+    #[test]
+    fn roadmap_generator_reaches_its_target(target in 100usize..3000) {
+        let topo = roadmap_heavy_hex(target);
+        prop_assert!(
+            topo.num_qubits() >= target,
+            "{}: {} qubits misses the {} target",
+            topo.name(), topo.num_qubits(), target
+        );
+        // The inversion may overshoot by at most one long row's worth.
+        prop_assert!(
+            topo.num_qubits() < target + target / 10 + 64,
+            "{}: {} qubits overshoots the {} target",
+            topo.name(), topo.num_qubits(), target
+        );
+        prop_assert!(topo.is_connected());
+        assert_coords_distinct(&topo)?;
+    }
+
+    #[test]
+    fn multi_chip_modules_match_their_closed_form(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        links in 1usize..6,
+        chip_rows in 2usize..5,
+        chip_len in 4usize..10,
+    ) {
+        let chip = heavy_hex_rows(chip_rows, chip_len);
+        let module = multi_chip(&chip, rows, cols, links, 3.0);
+        let (qubits, couplers) = multi_chip_counts(
+            chip.num_qubits(),
+            chip.couplings().len(),
+            rows,
+            cols,
+            links,
+        );
+        prop_assert_eq!(module.num_qubits(), qubits);
+        prop_assert_eq!(module.couplings().len(), couplers);
+        prop_assert_eq!(module.kind(), TopologyKind::MultiChip);
+        prop_assert!(module.is_connected(), "{} is disconnected", module.name());
+        assert_coords_distinct(&module)?;
+    }
+
+    #[test]
+    fn lazy_tier_is_bit_identical_on_random_connected_graphs(
+        n in 2usize..14,
+        extra in proptest::collection::vec((0usize..14, 0usize..14), 0..6),
+        lru in 1usize..5,
+    ) {
+        let topo = random_connected_device(n, &extra);
+        assert_tiers_identical(&topo, lru)?;
+    }
+
+    #[test]
+    fn lazy_tier_is_bit_identical_on_random_disconnected_graphs(
+        n in 4usize..14,
+        split_frac in 0.2f64..0.8,
+        lru in 1usize..5,
+    ) {
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n - 1);
+        let topo = random_disconnected_device(n, split);
+        prop_assert!(!topo.is_connected());
+        assert_tiers_identical(&topo, lru)?;
+    }
+
+    #[test]
+    fn lazy_tier_is_bit_identical_on_paper_topologies(
+        which in 0usize..3,
+        lru in 1usize..4,
+    ) {
+        let topo = [
+            StandardTopology::Grid,
+            StandardTopology::Falcon,
+            StandardTopology::Eagle,
+        ][which]
+            .build();
+        assert_tiers_identical(&topo, lru)?;
+    }
+}
+
+/// The three vendor-roadmap milestones, built once each (not proptest cases —
+/// the 100k build is a second-scale operation).
+#[test]
+fn roadmap_milestones_build_connected_at_scale() {
+    for target in [1_000, 10_000, 100_000] {
+        let topo = roadmap_heavy_hex(target);
+        assert!(topo.num_qubits() >= target, "{}", topo.name());
+        assert!(topo.is_connected(), "{}", topo.name());
+    }
+}
